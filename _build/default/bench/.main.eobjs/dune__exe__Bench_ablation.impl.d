@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Bench_util Cost_model Ctx Database Explain Join_enum List Optimizer Plan Printf Rss String Workload

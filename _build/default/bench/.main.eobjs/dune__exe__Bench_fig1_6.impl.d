@@ -1,0 +1,1 @@
+bench/bench_fig1_6.ml: Bench_util Cost_model Database Explain Optimizer Plan Printf Rss Workload

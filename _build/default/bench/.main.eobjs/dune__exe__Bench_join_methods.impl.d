@@ -1,0 +1,1 @@
+bench/bench_join_methods.ml: Access_path Ast Bench_util Catalog Cost_model Ctx Database Interesting_order List Normalize Optimizer Plan Printf Random Rel Semant Workload

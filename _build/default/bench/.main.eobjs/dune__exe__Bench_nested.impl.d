@@ -1,0 +1,1 @@
+bench/bench_nested.ml: Bench_util Catalog Database Executor List Option Printf Rel Stats

@@ -1,0 +1,1 @@
+bench/bench_opt_time.ml: Analyze Bechamel Bench_util Benchmark Catalog Database Hashtbl Join_enum List Measure Optimizer Printf Rel Staged String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/bench_opt_vs_exec.ml: Bench_util Catalog Database Executor List Optimizer Printf Rel String Workload

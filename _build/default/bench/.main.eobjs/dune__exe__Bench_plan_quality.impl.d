@@ -1,0 +1,1 @@
+bench/bench_plan_quality.ml: Access_path Bench_util Cost_model Database Float Fun Join_enum List Normalize Optimizer Plan Printf Semant String Workload

@@ -1,0 +1,1 @@
+bench/bench_search_space.ml: Bench_util Catalog Ctx Database Join_enum List Optimizer Printf Rel String

@@ -1,0 +1,1 @@
+bench/bench_skew.ml: Bench_util Database Executor List Printf Rel Selectivity Semant Workload

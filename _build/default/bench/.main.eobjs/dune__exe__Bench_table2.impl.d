@@ -1,0 +1,1 @@
+bench/bench_table2.ml: Access_path Bench_util Catalog Cost_model Database List Normalize Plan Printf Random Rel Rss Workload

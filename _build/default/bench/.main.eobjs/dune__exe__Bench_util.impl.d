@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Catalog Ctx Cursor Database Eval Executor List Optimizer Plan Printf Rss String Unix

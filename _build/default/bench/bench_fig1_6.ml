@@ -1,0 +1,28 @@
+(* F1–F6 — the worked example of Figures 1 through 6.
+
+   The exact query of Figure 1 is optimized over the EMP/DEPT/JOB database,
+   and the search tree is dumped exactly as the figures walk it: access paths
+   for single relations with local predicates only (Fig. 2–3), solutions for
+   pairs of relations by nested loops (Fig. 4) and merging scans (Fig. 5),
+   and the full three-relation solutions (Fig. 6), ending with the chosen
+   plan. *)
+
+let run () =
+  Bench_util.section "F1-F6: the Figure 1 join example (EMP, DEPT, JOB)";
+  let db = Database.create ~buffer_pages:24 () in
+  Workload.load_emp_dept_job db;
+  Printf.printf "query (Figure 1):\n  %s\n" Workload.fig1_query;
+  let r = Database.optimize db Workload.fig1_query in
+  Printf.printf "\nsearch tree (Figures 2-6):\n%s"
+    (Explain.search_tree r.Optimizer.block r.Optimizer.search);
+  Printf.printf "\nchosen plan:\n%s" (Explain.plan r);
+  let d, n = Bench_util.measure_query db r in
+  Printf.printf
+    "\nexecuted: %d result tuples; measured %d page fetches, %d RSI calls \
+     (COST = %.1f at W = %.2f)\n"
+    n d.Rss.Counters.page_fetches d.Rss.Counters.rsi_calls
+    (Bench_util.measured_cost d) Bench_util.w;
+  Printf.printf
+    "predicted: cost {pages=%.1f; rsi=%.1f}, %.1f tuples\n"
+    r.Optimizer.plan.Plan.cost.Cost_model.pages
+    r.Optimizer.plan.Plan.cost.Cost_model.rsi r.Optimizer.plan.Plan.out_card

@@ -1,0 +1,69 @@
+(* N1 — section 6, nested queries: correlated subqueries are re-evaluated
+   per candidate tuple, but "if the referenced value is the same as in the
+   previous candidate tuple, the previous evaluation result can be used
+   again"; the NCARD > ICARD clue tells the optimizer when referenced values
+   repeat. We measure actual nested-block executions with the optimization
+   on and off, across manager fan-outs. *)
+
+module V = Rel.Value
+
+let schema cols =
+  Rel.Schema.make (List.map (fun n -> { Rel.Schema.name = n; ty = V.Tint }) cols)
+
+let build db ~employees ~managers =
+  let cat = Database.catalog db in
+  let emp =
+    Catalog.create_relation cat ~name:"EMPLOYEE"
+      ~schema:(schema [ "EMPNO"; "SALARY"; "MANAGER" ])
+  in
+  for i = 0 to employees - 1 do
+    ignore
+      (Catalog.insert_tuple cat emp
+         (Rel.Tuple.make
+            [ V.Int i; V.Int (10000 + (i * 137 mod 9000)); V.Int (i mod managers) ]))
+  done;
+  ignore
+    (Catalog.create_index cat ~name:"EMP_EMPNO" ~rel:emp ~columns:[ "EMPNO" ]
+       ~clustered:true);
+  ignore
+    (Catalog.create_index cat ~name:"EMP_MGR" ~rel:emp ~columns:[ "MANAGER" ]
+       ~clustered:false);
+  Catalog.update_statistics cat
+
+let sql =
+  "SELECT EMPNO FROM EMPLOYEE X WHERE SALARY > (SELECT SALARY FROM EMPLOYEE \
+   WHERE EMPNO = X.MANAGER)"
+
+let run () =
+  Bench_util.section
+    "N1: correlated subqueries — re-evaluation with and without value caching";
+  let rows = ref [] in
+  List.iter
+    (fun managers ->
+      let db = Database.create ~buffer_pages:32 () in
+      build db ~employees:500 ~managers;
+      let r = Database.optimize db sql in
+      let cat = Database.catalog db in
+      let _, cached = Executor.run_with_stats cat r in
+      let _, raw = Executor.run_with_stats ~use_subquery_cache:false cat r in
+      (* the NCARD > ICARD clue: referenced-column cardinality vs relation *)
+      let mgr_idx = Option.get (Catalog.find_index cat "EMP_MGR") in
+      let icard = (Option.get mgr_idx.Catalog.istats).Stats.icard in
+      let emp = Option.get (Catalog.find_relation cat "EMPLOYEE") in
+      let ncard = (Option.get emp.Catalog.rstats).Stats.ncard in
+      rows :=
+        [ string_of_int managers;
+          Printf.sprintf "%d > %d = %b" ncard icard (ncard > icard);
+          string_of_int raw.Executor.subquery_calls;
+          string_of_int raw.Executor.subquery_evals;
+          string_of_int cached.Executor.subquery_evals ]
+        :: !rows)
+    [ 2; 10; 50; 250; 500 ];
+  Bench_util.print_table
+    ~header:
+      [ "distinct managers"; "NCARD > ICARD (clue)"; "calls"; "evals (no cache)";
+        "evals (cached)" ]
+    (List.rev !rows);
+  Printf.printf
+    "\n(Cached evaluations track the number of distinct referenced values —\n\
+     exactly the saving the paper's conditional re-evaluation provides.)\n"

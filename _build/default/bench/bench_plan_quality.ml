@@ -1,0 +1,166 @@
+(* S7b — "although the costs predicted by the optimizer are often not
+   accurate in absolute value, the true optimal path is selected in a large
+   majority of cases. In many cases, the ordering among the estimated costs
+   is precisely the same as that among the actual measured costs."
+
+   Sweep: single-relation queries (every access path executed and measured)
+   and two-way joins (every retained solution executed and measured). Report
+   per query: paths considered, whether the optimizer's choice was the
+   measured-best, and the estimate/measurement rank agreement. *)
+
+let sr_queries =
+  [ "SELECT NAME FROM EMP WHERE DNO = 7";
+    "SELECT NAME FROM EMP WHERE DNO BETWEEN 5 AND 9";
+    "SELECT NAME FROM EMP WHERE JOB = 5";
+    "SELECT NAME FROM EMP WHERE JOB = 5 AND SAL > 20000";
+    "SELECT NAME FROM EMP WHERE SAL > 28000";
+    "SELECT NAME FROM EMP WHERE DNO = 7 AND JOB = 9";
+    "SELECT NAME FROM EMP WHERE NAME = 'SMITH0001'";
+    "SELECT NAME FROM EMP" ]
+
+let join_queries =
+  [ "SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND LOC = 'DENVER'";
+    "SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND SAL > 28000";
+    "SELECT NAME FROM EMP, JOB WHERE EMP.JOB = JOB.JOB AND TITLE = 'TYPIST'";
+    "SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO ORDER BY EMP.DNO";
+    "SELECT NAME FROM EMP, DEPT, JOB WHERE EMP.DNO = DEPT.DNO AND EMP.JOB = \
+     JOB.JOB AND TITLE = 'CLERK' AND LOC = 'DENVER'" ]
+
+let run () =
+  Bench_util.section "S7b: plan quality — optimizer choice vs measured-best";
+  let db = Database.create ~buffer_pages:32 () in
+  Workload.load_emp_dept_job db
+    ~config:{ Workload.default_emp_config with n_emp = 4000; n_dept = 40 };
+  Bench_util.subsection "single-relation access paths";
+  let picked_best = ref 0 in
+  let all_pairs = ref [] in
+  let rows =
+    List.map
+      (fun sql ->
+        let block = Database.resolve db sql in
+        let factors =
+          List.filter
+            (fun (f : Normalize.factor) -> not f.Normalize.has_subquery)
+            (Normalize.factors_of_block block)
+        in
+        let paths =
+          Access_path.paths (Database.ctx db) block ~factors ~tab:0 ~outer:[]
+        in
+        let measured =
+          List.map
+            (fun (p : Plan.t) ->
+              let d, _ = Bench_util.measure_plan db block p in
+              (Cost_model.total ~w:Bench_util.w p.Plan.cost,
+               Bench_util.measured_cost d))
+            paths
+        in
+        all_pairs := measured @ !all_pairs;
+        let best = List.fold_left (fun acc (_, m) -> Float.min acc m) infinity measured in
+        let r = Database.optimize db sql in
+        let d, _ = Bench_util.measure_plan db block r.Optimizer.plan in
+        let chosen = Bench_util.measured_cost d in
+        let optimal = chosen <= best *. 1.02 +. 0.5 in
+        if optimal then incr picked_best;
+        let rho = Bench_util.spearman (List.map fst measured) (List.map snd measured) in
+        [ (if String.length sql > 46 then String.sub sql 0 43 ^ "..." else sql);
+          string_of_int (List.length paths);
+          Bench_util.f1 best;
+          Bench_util.f1 chosen;
+          (if optimal then "yes" else "NO");
+          Bench_util.f2 rho ])
+      sr_queries
+  in
+  Bench_util.print_table
+    ~header:[ "query"; "paths"; "best"; "chosen"; "optimal?"; "spearman" ]
+    rows;
+  Printf.printf "\noptimal pick rate: %d/%d\n" !picked_best (List.length sr_queries);
+  let agree, total = Bench_util.ordering_agreement !all_pairs in
+  Printf.printf "pairwise estimate/measurement ordering agreement: %d/%d (%.0f%%)\n"
+    agree total
+    (100. *. float_of_int agree /. float_of_int (max 1 total));
+  Bench_util.subsection "joins (retained solutions of the search)";
+  let jrows =
+    List.map
+      (fun sql ->
+        let r = Database.optimize db sql in
+        let block = r.Optimizer.block in
+        let n = List.length block.Semant.tables in
+        let full = List.init n Fun.id in
+        let finals =
+          List.concat_map
+            (fun (tabs, plans) ->
+              if List.sort compare tabs = full then plans else [])
+            r.Optimizer.search.Join_enum.dp_table
+        in
+        let measured =
+          List.map
+            (fun (p : Plan.t) ->
+              let d, _ = Bench_util.measure_plan db block p in
+              Bench_util.measured_cost d)
+            finals
+        in
+        let best = List.fold_left Float.min infinity measured in
+        let d, _ = Bench_util.measure_plan db block r.Optimizer.plan in
+        let chosen = Bench_util.measured_cost d in
+        [ (if String.length sql > 46 then String.sub sql 0 43 ^ "..." else sql);
+          string_of_int (List.length finals);
+          Bench_util.f1 best;
+          Bench_util.f1 chosen;
+          (if chosen <= best *. 1.05 +. 1. then "yes" else "NO") ])
+      join_queries
+  in
+  Bench_util.print_table
+    ~header:[ "query"; "retained"; "best retained"; "chosen"; "best?" ]
+    jrows;
+  Bench_util.subsection "second workload family: sales analytics (4 relations)";
+  let db2 = Database.create ~buffer_pages:32 () in
+  Workload.load_sales db2
+    ~config:{ Workload.default_sales_config with orders = 2000 };
+  let sales_queries =
+    [ "SELECT ORDKEY FROM ORDERS WHERE CUSTKEY = 17";
+      "SELECT ORDKEY, REGION FROM ORDERS, CUSTOMER WHERE ORDERS.CUSTKEY = \
+       CUSTOMER.CUSTKEY AND REGION = 'WEST'";
+      "SELECT AMOUNT FROM LINEITEM, PRODUCT WHERE LINEITEM.PRODKEY = \
+       PRODUCT.PRODKEY AND CATEGORY = 'TOYS' AND QTY > 5";
+      "SELECT REGION, AMOUNT FROM CUSTOMER, ORDERS, LINEITEM WHERE \
+       CUSTOMER.CUSTKEY = ORDERS.CUSTKEY AND ORDERS.ORDKEY = LINEITEM.ORDKEY \
+       AND SEGMENT = 'ONLINE'";
+      "SELECT CATEGORY, AMOUNT FROM CUSTOMER, ORDERS, LINEITEM, PRODUCT \
+       WHERE CUSTOMER.CUSTKEY = ORDERS.CUSTKEY AND ORDERS.ORDKEY = \
+       LINEITEM.ORDKEY AND LINEITEM.PRODKEY = PRODUCT.PRODKEY AND REGION = \
+       'NORTH'" ]
+  in
+  let srows =
+    List.map
+      (fun sql ->
+        let r = Database.optimize db2 sql in
+        let block = r.Optimizer.block in
+        let n = List.length block.Semant.tables in
+        let full = List.init n Fun.id in
+        let finals =
+          List.concat_map
+            (fun (tabs, plans) ->
+              if List.sort compare tabs = full then plans else [])
+            r.Optimizer.search.Join_enum.dp_table
+        in
+        let measured =
+          List.map
+            (fun (p : Plan.t) ->
+              let d, _ = Bench_util.measure_plan db2 block p in
+              Bench_util.measured_cost d)
+            finals
+        in
+        let best = List.fold_left Float.min infinity measured in
+        let d, _ = Bench_util.measure_plan db2 block r.Optimizer.plan in
+        let chosen = Bench_util.measured_cost d in
+        [ (if String.length sql > 46 then String.sub sql 0 43 ^ "..." else sql);
+          string_of_int n;
+          string_of_int (List.length finals);
+          Bench_util.f1 best;
+          Bench_util.f1 chosen;
+          (if chosen <= best *. 1.05 +. 1. then "yes" else "NO") ])
+      sales_queries
+  in
+  Bench_util.print_table
+    ~header:[ "query"; "rels"; "retained"; "best retained"; "chosen"; "best?" ]
+    srows

@@ -1,0 +1,197 @@
+(* systemr — interactive SQL shell and script runner over the engine.
+
+   Usage:
+     systemr_cli                  interactive REPL
+     systemr_cli -f script.sql    execute a script, print results
+     systemr_cli --demo           preload the EMP/DEPT/JOB database
+     systemr_cli -w 0.1           set the optimizer's W weighting
+
+   REPL meta-commands:
+     \q               quit            \t               list tables
+     \i               list indexes    \stats           show statistics
+     \counters        I/O counters since last \reset
+     \reset           reset counters  \demo            load EMP/DEPT/JOB *)
+
+let print_rows (out : Executor.output) =
+  let render_value = Rel.Value.to_string in
+  let cols = out.Executor.columns in
+  let rows = List.map (fun r -> Array.to_list (Array.map render_value r)) out.Executor.rows in
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length c) rows)
+      cols
+  in
+  let line cells =
+    String.concat " | "
+      (List.map2
+         (fun cell w -> cell ^ String.make (w - String.length cell) ' ')
+         cells widths)
+  in
+  print_endline (line cols);
+  print_endline (String.make (String.length (line cols)) '-');
+  List.iter (fun row -> print_endline (line row)) rows;
+  Printf.printf "(%d row%s)\n" (List.length rows)
+    (if List.length rows = 1 then "" else "s")
+
+let print_result = function
+  | Database.Rows out -> print_rows out
+  | Database.Text s -> print_string s
+  | Database.Done msg -> Printf.printf "%s\n" msg
+
+let list_tables db =
+  List.iter
+    (fun (r : Catalog.relation) ->
+      Printf.printf "%-16s %s\n" r.Catalog.rel_name
+        (Format.asprintf "%a" Rel.Schema.pp r.Catalog.schema))
+    (Catalog.relations (Database.catalog db))
+
+let list_indexes db =
+  let cat = Database.catalog db in
+  List.iter
+    (fun (r : Catalog.relation) ->
+      List.iter
+        (fun (i : Catalog.index) ->
+          Printf.printf "%-16s on %-12s (%s)%s\n" i.Catalog.idx_name
+            r.Catalog.rel_name
+            (String.concat ", "
+               (List.map
+                  (fun c -> (Rel.Schema.column r.Catalog.schema c).Rel.Schema.name)
+                  i.Catalog.key_cols))
+            (if i.Catalog.clustered then " CLUSTERED" else ""))
+        (Catalog.indexes_on cat r))
+    (Catalog.relations cat)
+
+let show_stats db =
+  List.iter
+    (fun (r : Catalog.relation) ->
+      (match r.Catalog.rstats with
+       | Some s ->
+         Printf.printf "%-16s %s\n" r.Catalog.rel_name
+           (Format.asprintf "%a" Stats.pp_relation s)
+       | None -> Printf.printf "%-16s (no statistics)\n" r.Catalog.rel_name);
+      List.iter
+        (fun (i : Catalog.index) ->
+          match i.Catalog.istats with
+          | Some s ->
+            Printf.printf "  %-14s %s\n" i.Catalog.idx_name
+              (Format.asprintf "%a" Stats.pp_index s)
+          | None -> Printf.printf "  %-14s (no statistics)\n" i.Catalog.idx_name)
+        (Catalog.indexes_on (Database.catalog db) r))
+    (Catalog.relations (Database.catalog db))
+
+let show_counters db =
+  let c = Rss.Pager.counters (Database.pager db) in
+  Printf.printf "page fetches: %d   buffer hits: %d   RSI calls: %d   pages written: %d\n"
+    c.Rss.Counters.page_fetches c.Rss.Counters.buffer_hits c.Rss.Counters.rsi_calls
+    c.Rss.Counters.pages_written
+
+let exec_sql db sql =
+  match Database.exec db sql with
+  | result -> print_result result
+  | exception Database.Error msg -> Printf.printf "error: %s\n" msg
+
+let meta db_ref cmd =
+  let db = !db_ref in
+  match String.split_on_char ' ' (String.trim cmd) with
+  | [ "\\q" ] -> raise Exit
+  | [ "\\t" ] -> list_tables db
+  | [ "\\i" ] -> list_indexes db
+  | [ "\\stats" ] -> show_stats db
+  | [ "\\counters" ] -> show_counters db
+  | [ "\\reset" ] -> Rss.Counters.reset (Rss.Pager.counters (Database.pager db))
+  | [ "\\demo" ] ->
+    Workload.load_emp_dept_job db;
+    print_endline "EMP/DEPT/JOB loaded (2000 employees); statistics updated."
+  | [ "\\w"; w ] ->
+    (match float_of_string_opt w with
+     | Some w ->
+       Database.set_w db w;
+       Printf.printf "W = %g\n" w
+     | None -> print_endline "usage: \\w <float>")
+  | [ "\\save"; path ] ->
+    (try
+       Snapshot.save_to_file db path;
+       Printf.printf "saved to %s\n" path
+     with e -> Printf.printf "save failed: %s\n" (Printexc.to_string e))
+  | [ "\\load"; path ] ->
+    (try
+       db_ref := Snapshot.load_from_file path;
+       Printf.printf "loaded %s\n" path
+     with e -> Printf.printf "load failed: %s\n" (Printexc.to_string e))
+  | other ->
+    Printf.printf "unknown meta-command %s\n" (String.concat " " other)
+
+let repl db =
+  Printf.printf
+    "System R access path selection — SQL shell.\n\
+     Statements end with ';'. \\q quits, \\demo loads the paper's database,\n\
+     \\save FILE / \\load FILE snapshot the database, \\w W sets the weighting.\n";
+  let db_ref = ref db in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       print_string (if Buffer.length buf = 0 then "systemr> " else "   ...> ");
+       flush stdout;
+       match input_line stdin with
+       | exception End_of_file -> raise Exit
+       | line ->
+         let trimmed = String.trim line in
+         if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '\\'
+         then meta db_ref trimmed
+         else begin
+           Buffer.add_string buf line;
+           Buffer.add_char buf '\n';
+           if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';'
+           then begin
+             let sql = Buffer.contents buf in
+             Buffer.clear buf;
+             exec_sql !db_ref sql
+           end
+         end
+     done
+   with Exit -> ());
+  print_endline "bye."
+
+let run_file db path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  match Database.exec_script db src with
+  | results -> List.iter print_result results
+  | exception Database.Error msg ->
+    Printf.printf "error: %s\n" msg;
+    exit 1
+
+let main w buffer_pages demo file =
+  let db = Database.create ~buffer_pages ~w () in
+  if demo then Workload.load_emp_dept_job db;
+  match file with
+  | Some path -> run_file db path
+  | None -> repl db
+
+open Cmdliner
+
+let w_arg =
+  Arg.(value & opt float Ctx.default_w
+       & info [ "w" ] ~docv:"W" ~doc:"Weighting factor between page fetches and RSI calls.")
+
+let buffer_arg =
+  Arg.(value & opt int 64
+       & info [ "buffer-pages"; "b" ] ~docv:"N" ~doc:"Buffer pool size in 4K pages.")
+
+let demo_arg =
+  Arg.(value & flag & info [ "demo" ] ~doc:"Preload the EMP/DEPT/JOB database of Figure 1.")
+
+let file_arg =
+  Arg.(value & opt (some file) None
+       & info [ "f"; "file" ] ~docv:"SCRIPT" ~doc:"Execute a SQL script instead of the REPL.")
+
+let cmd =
+  let doc = "System R access path selection (Selinger et al., 1979) SQL engine" in
+  Cmd.v (Cmd.info "systemr" ~doc)
+    Term.(const main $ w_arg $ buffer_arg $ demo_arg $ file_arg)
+
+let () = exit (Cmd.eval cmd)

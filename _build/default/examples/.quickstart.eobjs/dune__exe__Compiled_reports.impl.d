@@ -1,0 +1,1 @@
+examples/compiled_reports.ml: Database Executor Explain List Printf Rel Workload

@@ -1,0 +1,1 @@
+examples/emp_dept_job.ml: Catalog Ctx Database Executor Explain Format List Optimizer Printf Rel Rss Stats Workload

@@ -1,0 +1,1 @@
+examples/emp_dept_job.mli:

@@ -1,0 +1,1 @@
+examples/nested_queries.ml: Catalog Database Executor List Optimizer Option Printf Random Rel Semant Workload

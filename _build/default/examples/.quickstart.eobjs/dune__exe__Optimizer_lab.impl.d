@@ -1,0 +1,1 @@
+examples/optimizer_lab.ml: Access_path Catalog Cost_model Ctx Cursor Database Eval Executor Explain Format Join_enum List Normalize Optimizer Plan Printf Rel Rss Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Database Executor List Printf Rel String

@@ -1,0 +1,1 @@
+examples/sales_analytics.ml: Catalog Database Executor Explain Format List Optimizer Plan Printf Rel Rss Stats Workload

@@ -1,0 +1,64 @@
+(* Section 7's closing argument, as an application: "application programs
+   are compiled once and run many times — the cost of path selection is
+   amortized over many runs."
+
+   A payroll "application program" prepares its report queries once (with ?
+   placeholders), then runs them repeatedly against data that changes under
+   transactions in between.
+
+   Run: dune exec examples/compiled_reports.exe *)
+
+module V = Rel.Value
+
+let () =
+  let db = Database.create ~buffer_pages:24 () in
+  Workload.load_emp_dept_job db;
+
+  (* compile the application's statements once *)
+  let dept_report =
+    Database.prepare db
+      "SELECT NAME, SAL FROM EMP WHERE DNO = ? AND SAL > ? ORDER BY SAL DESC"
+  in
+  let headcount =
+    Database.prepare db "SELECT COUNT(*) FROM EMP, DEPT WHERE EMP.DNO = \
+                         DEPT.DNO AND LOC = ?"
+  in
+  Printf.printf "prepared 2 statements (%d and %d parameters)\n"
+    (Database.prepared_param_count dept_report)
+    (Database.prepared_param_count headcount);
+  Printf.printf "\ndept_report's compiled plan (the ? is an index key bound):\n%s"
+    (Explain.plan (Database.prepared_plan dept_report));
+
+  (* run the report for a few departments *)
+  List.iter
+    (fun dno ->
+      let out = Database.execute_prepared db dept_report [ V.Int dno; V.Int 25000 ] in
+      Printf.printf "dept %2d: %d well-paid employees%s\n" dno
+        (List.length out.Executor.rows)
+        (match out.Executor.rows with
+         | [| V.Str name; V.Int sal |] :: _ -> Printf.sprintf " (top: %s at %d)" name sal
+         | _ -> ""))
+    [ 3; 17; 42 ];
+
+  (* a payroll adjustment, transactionally *)
+  print_endline "\npayroll adjustment for dept 17 inside a transaction:";
+  ignore (Database.exec db "BEGIN");
+  (match Database.exec db "UPDATE EMP SET SAL = SAL + 1000 WHERE DNO = 17" with
+   | Database.Done msg -> Printf.printf "  %s\n" msg
+   | _ -> ());
+  let mid = Database.execute_prepared db dept_report [ V.Int 17; V.Int 25000 ] in
+  Printf.printf "  report inside txn: %d rows\n" (List.length mid.Executor.rows);
+  ignore (Database.exec db "ROLLBACK");
+  let after = Database.execute_prepared db dept_report [ V.Int 17; V.Int 25000 ] in
+  Printf.printf "  after ROLLBACK:    %d rows (adjustment undone)\n"
+    (List.length after.Executor.rows);
+
+  (* headcounts by location, same prepared plan, different bindings *)
+  print_endline "\nheadcount by location (one plan, many bindings):";
+  List.iter
+    (fun loc ->
+      let out = Database.execute_prepared db headcount [ V.Str loc ] in
+      match out.Executor.rows with
+      | [ [| V.Int n |] ] -> Printf.printf "  %-10s %d\n" loc n
+      | _ -> ())
+    [ "DENVER"; "SAN JOSE"; "NEW YORK"; "BOSTON"; "AUSTIN" ]

@@ -1,0 +1,56 @@
+(* The paper's running example (Figures 1-6): the EMP/DEPT/JOB database,
+   the clerks-in-Denver join, and the optimizer's search tree.
+
+   Run: dune exec examples/emp_dept_job.exe *)
+
+let hr title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  let db = Database.create ~buffer_pages:24 () in
+  Workload.load_emp_dept_job db;
+  hr "catalog statistics (UPDATE STATISTICS has run)";
+  List.iter
+    (fun (r : Catalog.relation) ->
+      (match r.Catalog.rstats with
+       | Some s ->
+         Printf.printf "%-6s %s\n" r.Catalog.rel_name
+           (Format.asprintf "%a" Stats.pp_relation s)
+       | None -> ());
+      List.iter
+        (fun (i : Catalog.index) ->
+          match i.Catalog.istats with
+          | Some s ->
+            Printf.printf "  %-10s%s %s\n" i.Catalog.idx_name
+              (if i.Catalog.clustered then " (clustered)" else "")
+              (Format.asprintf "%a" Stats.pp_index s)
+          | None -> ())
+        (Catalog.indexes_on (Database.catalog db) r))
+    (Catalog.relations (Database.catalog db));
+  hr "the Figure 1 query";
+  print_endline Workload.fig1_query;
+  let r = Database.optimize db Workload.fig1_query in
+  hr "search tree (the walk of Figures 2-6)";
+  print_string (Explain.search_tree r.Optimizer.block r.Optimizer.search);
+  hr "chosen plan";
+  print_string (Explain.plan r);
+  hr "execution";
+  let cat = Database.catalog db in
+  Rss.Pager.evict_all (Catalog.pager cat);
+  let out, counters = Executor.run_measured cat r in
+  Printf.printf "%d Denver clerks found; first three:\n" (List.length out.Executor.rows);
+  List.iteri
+    (fun i row -> if i < 3 then Printf.printf "  %s\n" (Rel.Tuple.to_string row))
+    out.Executor.rows;
+  Printf.printf "measured: %s (COST = %.1f at W = %.2f)\n"
+    (Format.asprintf "%a" Rss.Counters.pp counters)
+    (Rss.Counters.cost ~w:Ctx.default_w counters)
+    Ctx.default_w;
+  hr "ordered and grouped variants";
+  List.iter
+    (fun sql ->
+      Printf.printf "\n%s\n" sql;
+      print_string (Database.explain db sql))
+    [ "SELECT NAME, SAL FROM EMP WHERE DNO = 5 ORDER BY SAL DESC";
+      "SELECT DNO, COUNT(*), AVG(SAL) FROM EMP GROUP BY DNO";
+      "SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND LOC = 'BOSTON' \
+       ORDER BY EMP.DNO" ]

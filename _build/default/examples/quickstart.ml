@@ -1,0 +1,42 @@
+(* Quickstart: create a database, define tables and indexes with SQL, load a
+   few rows, and watch the optimizer at work with EXPLAIN.
+
+   Run: dune exec examples/quickstart.exe *)
+
+let print_result = function
+  | Database.Rows out ->
+    Printf.printf "%s\n" (String.concat " | " out.Executor.columns);
+    List.iter
+      (fun row -> Printf.printf "%s\n" (Rel.Tuple.to_string row))
+      out.Executor.rows
+  | Database.Text s -> print_string s
+  | Database.Done msg -> Printf.printf "-- %s\n" msg
+
+let () =
+  let db = Database.create () in
+  let stmts =
+    [ "CREATE TABLE EMP (NAME STRING, DNO INT, JOB INT, SAL INT)";
+      "CREATE TABLE DEPT (DNO INT, DNAME STRING, LOC STRING)";
+      "INSERT INTO DEPT VALUES (1, 'TOYS', 'DENVER'), (2, 'SHOES', 'BOSTON'), \
+       (3, 'BOOKS', 'DENVER')";
+      "INSERT INTO EMP VALUES ('SMITH', 1, 5, 12000), ('JONES', 1, 9, 18000), \
+       ('BAKER', 2, 5, 10500), ('LOPEZ', 3, 5, 9800), ('CHEN', 3, 12, 21000)";
+      "CREATE CLUSTERED INDEX DEPT_DNO ON DEPT (DNO)";
+      "CREATE INDEX EMP_DNO ON EMP (DNO)";
+      "UPDATE STATISTICS" ]
+  in
+  List.iter (fun s -> print_result (Database.exec db s)) stmts;
+  print_endline "\n-- clerks (JOB 5) and their department, salary > 9000:";
+  print_result
+    (Database.exec db
+       "SELECT NAME, SAL, DNAME FROM EMP, DEPT \
+        WHERE EMP.DNO = DEPT.DNO AND JOB = 5 AND SAL > 9000 ORDER BY SAL DESC");
+  print_endline "\n-- what the optimizer chose:";
+  print_result
+    (Database.exec db
+       "EXPLAIN SELECT NAME, SAL, DNAME FROM EMP, DEPT \
+        WHERE EMP.DNO = DEPT.DNO AND JOB = 5 AND SAL > 9000 ORDER BY SAL DESC");
+  print_endline "\n-- employees earning above the average:";
+  print_result
+    (Database.exec db
+       "SELECT NAME, SAL FROM EMP WHERE SAL > (SELECT AVG(SAL) FROM EMP)")

@@ -1,0 +1,188 @@
+type relation = {
+  rel_id : int;
+  rel_name : string;
+  schema : Rel.Schema.t;
+  segment : Rss.Segment.t;
+  mutable rstats : Stats.relation option;
+}
+
+type index = {
+  idx_name : string;
+  rel : relation;
+  key_cols : int list;
+  btree : Rss.Btree.t;
+  clustered : bool;
+  mutable istats : Stats.index option;
+}
+
+type t = {
+  pgr : Rss.Pager.t;
+  mutable next_rel_id : int;
+  rels : (string, relation) Hashtbl.t;
+  idxs : (string, index) Hashtbl.t;
+}
+
+let norm = String.lowercase_ascii
+
+let create ?buffer_pages () =
+  { pgr = Rss.Pager.create ?buffer_pages ();
+    next_rel_id = 0;
+    rels = Hashtbl.create 16;
+    idxs = Hashtbl.create 16 }
+
+let pager t = t.pgr
+
+let create_relation ?segment t ~name ~schema =
+  let key = norm name in
+  if Hashtbl.mem t.rels key then
+    invalid_arg (Printf.sprintf "Catalog: relation %S already exists" name);
+  let segment =
+    match segment with Some s -> s | None -> Rss.Segment.create t.pgr
+  in
+  let rel =
+    { rel_id = t.next_rel_id; rel_name = name; schema; segment; rstats = None }
+  in
+  t.next_rel_id <- t.next_rel_id + 1;
+  Hashtbl.replace t.rels key rel;
+  rel
+
+let find_relation t name = Hashtbl.find_opt t.rels (norm name)
+let find_index t name = Hashtbl.find_opt t.idxs (norm name)
+
+let relations t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.rels []
+  |> List.sort (fun a b -> Int.compare a.rel_id b.rel_id)
+
+let indexes_on t rel =
+  Hashtbl.fold
+    (fun _ i acc -> if i.rel.rel_id = rel.rel_id then i :: acc else acc)
+    t.idxs []
+  |> List.sort (fun a b -> String.compare a.idx_name b.idx_name)
+
+let key_of idx tuple =
+  Array.of_list (List.map (fun c -> Rel.Tuple.get tuple c) idx.key_cols)
+
+let scan_all rel =
+  let scan = Rss.Scan.open_segment_scan rel.segment ~rel_id:rel.rel_id () in
+  Rss.Scan.to_list scan
+
+let create_index ?order t ~name ~rel ~columns ~clustered =
+  let key = norm name in
+  if Hashtbl.mem t.idxs key then
+    invalid_arg (Printf.sprintf "Catalog: index %S already exists" name);
+  let key_cols =
+    List.map
+      (fun c ->
+        match Rel.Schema.index_of rel.schema c with
+        | Some i -> i
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Catalog: no column %S in relation %S" c rel.rel_name))
+      columns
+  in
+  if key_cols = [] then invalid_arg "Catalog.create_index: empty column list";
+  let btree = Rss.Btree.create ?order t.pgr in
+  let idx = { idx_name = name; rel; key_cols; btree; clustered; istats = None } in
+  (* Bulk-load from existing tuples without I/O accounting: index creation is
+     a DDL operation, not a measured query. *)
+  let snapshot = Rss.Counters.snapshot (Rss.Pager.counters t.pgr) in
+  let scan = Rss.Scan.open_segment_scan rel.segment ~rel_id:rel.rel_id () in
+  let tuples = Rss.Scan.to_list scan in
+  let c = Rss.Pager.counters t.pgr in
+  c.page_fetches <- snapshot.page_fetches;
+  c.buffer_hits <- snapshot.buffer_hits;
+  c.rsi_calls <- snapshot.rsi_calls;
+  c.pages_written <- snapshot.pages_written;
+  List.iter (fun (tid, tuple) -> Rss.Btree.insert btree (key_of idx tuple) tid) tuples;
+  Hashtbl.replace t.idxs key idx;
+  idx
+
+let drop_index t name = Hashtbl.remove t.idxs (norm name)
+
+let drop_relation t name =
+  match find_relation t name with
+  | None -> false
+  | Some rel ->
+    List.iter (fun (i : index) -> drop_index t i.idx_name) (indexes_on t rel);
+    (* make the tuples unreachable even through the shared segment *)
+    ignore
+      (Rss.Scan.to_list
+         (Rss.Scan.open_segment_scan rel.segment ~rel_id:rel.rel_id ())
+       |> List.map (fun (tid, _) -> Rss.Segment.delete rel.segment tid));
+    Hashtbl.remove t.rels (norm name);
+    true
+
+let insert_tuple t rel tuple =
+  if not (Rel.Tuple.conforms rel.schema tuple) then
+    invalid_arg
+      (Printf.sprintf "Catalog.insert_tuple: tuple %s does not conform to %s"
+         (Rel.Tuple.to_string tuple) rel.rel_name);
+  let tid = Rss.Segment.insert rel.segment ~rel_id:rel.rel_id tuple in
+  List.iter
+    (fun idx -> Rss.Btree.insert idx.btree (key_of idx tuple) tid)
+    (indexes_on t rel);
+  tid
+
+let delete_tuples_returning t rel pred =
+  let victims = List.filter (fun (_, tup) -> pred tup) (scan_all rel) in
+  let idxs = indexes_on t rel in
+  List.iter
+    (fun (tid, tuple) ->
+      ignore (Rss.Segment.delete rel.segment tid);
+      List.iter
+        (fun idx -> ignore (Rss.Btree.delete idx.btree (key_of idx tuple) tid))
+        idxs)
+    victims;
+  victims
+
+let delete_tuples t rel pred = List.length (delete_tuples_returning t rel pred)
+
+let delete_tid t rel tid tuple =
+  if Rss.Segment.delete rel.segment tid then begin
+    List.iter
+      (fun idx -> ignore (Rss.Btree.delete idx.btree (key_of idx tuple) tid))
+      (indexes_on t rel);
+    true
+  end
+  else false
+
+(* Fraction of consecutive index entries whose tuples share a data page: the
+   measured notion of "physical proximity corresponding to index key value". *)
+let measure_cluster_ratio idx =
+  let entries = Rss.Btree.range_scan_unaccounted idx.btree |> List.of_seq in
+  match entries with
+  | [] | [ _ ] -> 1.0
+  | first :: rest ->
+    let same, total, _ =
+      List.fold_left
+        (fun (same, total, prev) (_, tid) ->
+          let same =
+            if (snd prev).Rss.Tid.page = tid.Rss.Tid.page then same + 1 else same
+          in
+          (same, total + 1, (fst prev, tid)))
+        (0, 0, first) rest
+    in
+    float_of_int same /. float_of_int total
+
+let update_relation_statistics t rel =
+  let ncard = Rss.Segment.tuple_count rel.segment ~rel_id:rel.rel_id in
+  let tcard = Rss.Segment.pages_holding rel.segment ~rel_id:rel.rel_id in
+  let nonempty = Rss.Segment.nonempty_page_count rel.segment in
+  let p = if nonempty = 0 then 1.0 else float_of_int tcard /. float_of_int nonempty in
+  rel.rstats <- Some { Stats.ncard; tcard; p };
+  List.iter
+    (fun idx ->
+      let icard = Rss.Btree.distinct_keys idx.btree in
+      let nindx = Rss.Btree.leaf_pages idx.btree in
+      let first_col = function
+        | Some k when Array.length k > 0 -> Some k.(0)
+        | Some _ | None -> None
+      in
+      let low_key = first_col (Rss.Btree.min_key idx.btree) in
+      let high_key = first_col (Rss.Btree.max_key idx.btree) in
+      let cluster_ratio = measure_cluster_ratio idx in
+      idx.istats <-
+        Some { Stats.icard; nindx; low_key; high_key; cluster_ratio })
+    (indexes_on t rel)
+
+let update_statistics t = List.iter (update_relation_statistics t) (relations t)

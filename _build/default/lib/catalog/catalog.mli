@@ -1,0 +1,81 @@
+(** The System R catalogs: relations, columns, indexes, and their statistics.
+
+    The catalog also owns index maintenance on DML — inserting or deleting a
+    tuple keeps every index on the relation consistent — and implements
+    UPDATE STATISTICS by walking segments and B-trees. *)
+
+type relation = {
+  rel_id : int;
+  rel_name : string;
+  schema : Rel.Schema.t;
+  segment : Rss.Segment.t;
+  mutable rstats : Stats.relation option;
+}
+
+type index = {
+  idx_name : string;
+  rel : relation;
+  key_cols : int list;       (** column positions forming the key, in order *)
+  btree : Rss.Btree.t;
+  clustered : bool;
+  mutable istats : Stats.index option;
+}
+
+type t
+
+val create : ?buffer_pages:int -> unit -> t
+val pager : t -> Rss.Pager.t
+
+val create_relation :
+  ?segment:Rss.Segment.t -> t -> name:string -> schema:Rel.Schema.t -> relation
+(** A fresh relation in its own segment, unless [segment] places it in an
+    existing one (relations may share segments).
+    @raise Invalid_argument on a duplicate name. *)
+
+val create_index :
+  ?order:int ->
+  t ->
+  name:string ->
+  rel:relation ->
+  columns:string list ->
+  clustered:bool ->
+  index
+(** Build a B-tree over the named columns, loading existing tuples.
+    @raise Invalid_argument on duplicate index name or unknown column. *)
+
+val drop_index : t -> string -> unit
+
+val drop_relation : t -> string -> bool
+(** Remove the relation and every index on it from the catalog; [false] when
+    unknown. Pages of a shared segment are not reclaimed (a segment may hold
+    other relations); a dropped relation's tuples simply become unreachable. *)
+
+val find_relation : t -> string -> relation option
+val find_index : t -> string -> index option
+val relations : t -> relation list
+val indexes_on : t -> relation -> index list
+
+val insert_tuple : t -> relation -> Rel.Tuple.t -> Rss.Tid.t
+(** Store the tuple and maintain all indexes. Statistics are NOT updated
+    (see module doc). @raise Invalid_argument on schema mismatch. *)
+
+val delete_tuples : t -> relation -> (Rel.Tuple.t -> bool) -> int
+(** Delete every tuple satisfying the predicate, maintaining indexes;
+    returns the count. *)
+
+val delete_tuples_returning :
+  t -> relation -> (Rel.Tuple.t -> bool) -> (Rss.Tid.t * Rel.Tuple.t) list
+(** Like {!delete_tuples} but returns the deleted (TID, tuple) pairs — the
+    engine's transaction layer logs and undoes from them. *)
+
+val delete_tid : t -> relation -> Rss.Tid.t -> Rel.Tuple.t -> bool
+(** Delete the tuple at a known TID (index maintenance uses the supplied
+    image); [false] when the slot was already dead. Used by rollback. *)
+
+val key_of : index -> Rel.Tuple.t -> Rss.Btree.key
+
+val update_statistics : t -> unit
+(** Recompute relation and index statistics from storage (the UPDATE
+    STATISTICS command, runnable by any user). *)
+
+val update_relation_statistics : t -> relation -> unit

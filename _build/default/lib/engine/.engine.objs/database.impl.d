@@ -1,0 +1,1 @@
+lib/engine/database.ml: Array Ast Catalog Ctx Eval Executor Explain Format Layout List Optimizer Option Parser Printf Rel Rss Semant

@@ -1,0 +1,1 @@
+lib/engine/database.mli: Catalog Ctx Executor Optimizer Rel Rss Semant

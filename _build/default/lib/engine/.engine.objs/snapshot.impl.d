@@ -1,0 +1,1 @@
+lib/engine/snapshot.ml: Buffer Bytes Catalog Database Fun Int64 List Printf Rel Rss String

@@ -1,0 +1,1 @@
+lib/engine/workload.ml: Array Catalog Database Int List Printf Random Rel Rss

@@ -1,0 +1,1 @@
+lib/engine/workload.mli: Database Random

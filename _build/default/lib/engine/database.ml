@@ -1,0 +1,375 @@
+type undo_op =
+  | Undo_insert of Catalog.relation * Rss.Tid.t * Rel.Tuple.t
+  | Undo_delete of Catalog.relation * Rel.Tuple.t
+
+type txn = {
+  txn_id : int;
+  explicit_txn : bool;
+  mutable undo : undo_op list;  (* newest first *)
+}
+
+type t = {
+  cat : Catalog.t;
+  mutable w : float;
+  wal : Rss.Wal.t;
+  locks : Rss.Lock_table.t;
+  mutable next_txn : int;
+  mutable active : txn option;
+}
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let create ?buffer_pages ?(w = Ctx.default_w) () =
+  { cat = Catalog.create ?buffer_pages ();
+    w;
+    wal = Rss.Wal.create ();
+    locks = Rss.Lock_table.create ();
+    next_txn = 1;
+    active = None }
+
+let catalog t = t.cat
+let pager t = Catalog.pager t.cat
+let ctx t = Ctx.create ~w:t.w t.cat
+let set_w t w = t.w <- w
+let wal t = t.wal
+let lock_table t = t.locks
+let in_transaction t =
+  match t.active with Some { explicit_txn; _ } -> explicit_txn | None -> false
+
+type result =
+  | Rows of Executor.output
+  | Text of string
+  | Done of string
+
+let wrap f =
+  try f () with
+  | Parser.Error (msg, off) -> err "syntax error at offset %d: %s" off msg
+  | Semant.Error msg -> err "semantic error: %s" msg
+  | Invalid_argument msg -> err "%s" msg
+
+(* --- transactions ------------------------------------------------------- *)
+
+(* The engine is single-user, so lock requests are always granted; the lock
+   protocol is still followed (X on written relations, held to commit). *)
+let acquire_x t (rel : Catalog.relation) txn_id =
+  match
+    Rss.Lock_table.acquire t.locks txn_id (Rss.Lock_table.Relation rel.Catalog.rel_id)
+      Rss.Lock_table.Exclusive
+  with
+  | Rss.Lock_table.Granted -> ()
+  | Rss.Lock_table.Blocked _ | Rss.Lock_table.Deadlock _ ->
+    err "relation %s is locked by another transaction" rel.Catalog.rel_name
+
+(* Run [f txn] inside the active transaction, or an implicit auto-committed
+   one. Errors inside an implicit transaction roll its effects back. *)
+let with_txn t f =
+  match t.active with
+  | Some txn -> f txn
+  | None ->
+    let txn = { txn_id = t.next_txn; explicit_txn = false; undo = [] } in
+    t.next_txn <- t.next_txn + 1;
+    t.active <- Some txn;
+    Rss.Wal.append t.wal (Rss.Wal.Begin txn.txn_id);
+    (match f txn with
+     | v ->
+       Rss.Wal.append t.wal (Rss.Wal.Commit txn.txn_id);
+       Rss.Lock_table.release_all t.locks txn.txn_id;
+       t.active <- None;
+       v
+     | exception e ->
+       (* undo the partial effects of the failed statement *)
+       List.iter
+         (fun op ->
+           match op with
+           | Undo_insert (rel, tid, tuple) ->
+             ignore (Catalog.delete_tid t.cat rel tid tuple)
+           | Undo_delete (rel, tuple) ->
+             ignore (Catalog.insert_tuple t.cat rel tuple))
+         txn.undo;
+       Rss.Wal.append t.wal (Rss.Wal.Abort txn.txn_id);
+       Rss.Lock_table.release_all t.locks txn.txn_id;
+       t.active <- None;
+       raise e)
+
+let begin_transaction t =
+  match t.active with
+  | Some _ -> err "a transaction is already active"
+  | None ->
+    let txn = { txn_id = t.next_txn; explicit_txn = true; undo = [] } in
+    t.next_txn <- t.next_txn + 1;
+    t.active <- Some txn;
+    Rss.Wal.append t.wal (Rss.Wal.Begin txn.txn_id);
+    txn.txn_id
+
+let commit t =
+  match t.active with
+  | Some txn when txn.explicit_txn ->
+    Rss.Wal.append t.wal (Rss.Wal.Commit txn.txn_id);
+    Rss.Lock_table.release_all t.locks txn.txn_id;
+    t.active <- None;
+    txn.txn_id
+  | Some _ | None -> err "no transaction is active"
+
+let rollback t =
+  match t.active with
+  | Some txn when txn.explicit_txn ->
+    List.iter
+      (fun op ->
+        match op with
+        | Undo_insert (rel, tid, tuple) ->
+          ignore (Catalog.delete_tid t.cat rel tid tuple)
+        | Undo_delete (rel, tuple) -> ignore (Catalog.insert_tuple t.cat rel tuple))
+      txn.undo;
+    Rss.Wal.append t.wal (Rss.Wal.Abort txn.txn_id);
+    Rss.Lock_table.release_all t.locks txn.txn_id;
+    t.active <- None;
+    txn.txn_id
+  | Some _ | None -> err "no transaction is active"
+
+(* logged, undoable DML primitives *)
+let dml_insert t txn (rel : Catalog.relation) tuple =
+  acquire_x t rel txn.txn_id;
+  let tid = Catalog.insert_tuple t.cat rel tuple in
+  Rss.Wal.append t.wal
+    (Rss.Wal.Insert { txn = txn.txn_id; rel_id = rel.Catalog.rel_id; tid; tuple });
+  txn.undo <- Undo_insert (rel, tid, tuple) :: txn.undo
+
+let dml_delete_where t txn (rel : Catalog.relation) pred =
+  acquire_x t rel txn.txn_id;
+  let victims = Catalog.delete_tuples_returning t.cat rel pred in
+  List.iter
+    (fun (tid, tuple) ->
+      Rss.Wal.append t.wal
+        (Rss.Wal.Delete { txn = txn.txn_id; rel_id = rel.Catalog.rel_id; tid; tuple });
+      txn.undo <- Undo_delete (rel, tuple) :: txn.undo)
+    victims;
+  victims
+
+(* --- statements ---------------------------------------------------------- *)
+
+let resolve_query t q = wrap (fun () -> Semant.resolve t.cat q)
+
+let resolve t sql =
+  let q = wrap (fun () -> Parser.parse_query sql) in
+  resolve_query t q
+
+let optimize_block ?ctx:c t block =
+  let c = Option.value c ~default:(ctx t) in
+  wrap (fun () -> Optimizer.optimize c block)
+
+let optimize ?ctx t sql = optimize_block ?ctx t (resolve t sql)
+
+let run_plan t r = wrap (fun () -> Executor.run t.cat r)
+
+let query_block t block = run_plan t (optimize_block t block)
+
+let select_star_block t (rel : Catalog.relation) where =
+  let q =
+    { Ast.select = [ Ast.Star ];
+      from = [ (rel.Catalog.rel_name, None) ];
+      where;
+      group_by = [];
+      order_by = [] }
+  in
+  resolve_query t q
+
+(* DELETE: run SELECT * with the same predicate, then delete every stored
+   tuple value-equal to a result row. The predicate is a deterministic
+   function of the tuple's values, so value equality identifies exactly the
+   qualifying tuples (duplicates qualify together). *)
+let delete_where t txn (rel : Catalog.relation) where =
+  match where with
+  | None -> List.length (dml_delete_where t txn rel (fun _ -> true))
+  | Some _ ->
+    let out = query_block t (select_star_block t rel where) in
+    List.length
+      (dml_delete_where t txn rel (fun tuple ->
+           List.exists (Rel.Tuple.equal tuple) out.Executor.rows))
+
+(* UPDATE: resolve the SET expressions against the table, identify the
+   qualifying tuples exactly as DELETE does, then delete each victim and
+   insert its updated image (indexes follow automatically). Victims are
+   collected before any re-insertion, so updated rows cannot requalify
+   (no Halloween problem). *)
+let update_where t txn (rel : Catalog.relation) sets where =
+  let schema = rel.Catalog.schema in
+  let set_query =
+    { Ast.select = List.map (fun (_, e) -> Ast.Sel_expr (e, None)) sets;
+      from = [ (rel.Catalog.rel_name, None) ];
+      where = None;
+      group_by = [];
+      order_by = [] }
+  in
+  let set_block = resolve_query t set_query in
+  let targets =
+    List.map
+      (fun (col, _) ->
+        match Rel.Schema.index_of schema col with
+        | Some i -> i
+        | None -> err "no column %s in %s" col rel.Catalog.rel_name)
+      sets
+  in
+  (* type compatibility of each assignment *)
+  List.iteri
+    (fun i (e, _) ->
+      let target_ty = (Rel.Schema.column schema (List.nth targets i)).Rel.Schema.ty in
+      match Semant.type_of_expr set_block e, target_ty with
+      | None, _ -> ()
+      | Some Rel.Value.Tstr, Rel.Value.Tstr -> ()
+      | Some (Rel.Value.Tint | Rel.Value.Tfloat), (Rel.Value.Tint | Rel.Value.Tfloat)
+        -> ()
+      | Some _, _ ->
+        err "type mismatch assigning to %s" (fst (List.nth sets i)))
+    set_block.Semant.select;
+  let layout = Layout.of_tables set_block [ 0 ] in
+  let env =
+    { Eval.blocks = []; params = [||];
+      subquery = (fun _ _ -> err "subquery in SET") }
+  in
+  let updated_image tuple =
+    let news =
+      List.map
+        (fun (e, _) -> Eval.expr env { Eval.layout; tuple } e)
+        set_block.Semant.select
+    in
+    let out = Array.copy tuple in
+    List.iteri (fun i pos -> out.(pos) <- List.nth news i) targets;
+    out
+  in
+  let victims =
+    match where with
+    | None -> dml_delete_where t txn rel (fun _ -> true)
+    | Some _ ->
+      let out = query_block t (select_star_block t rel where) in
+      dml_delete_where t txn rel (fun tuple ->
+          List.exists (Rel.Tuple.equal tuple) out.Executor.rows)
+  in
+  List.iter
+    (fun (_, tuple) -> dml_insert t txn rel (updated_image tuple))
+    victims;
+  List.length victims
+
+let exec_stmt t (stmt : Ast.statement) =
+  match stmt with
+  | Ast.Select q -> Rows (query_block t (resolve_query t q))
+  | Ast.Explain { search; q } ->
+    let r = optimize_block t (resolve_query t q) in
+    if search then
+      Text
+        (Explain.search_tree r.Optimizer.block r.Optimizer.search
+         ^ "chosen plan:\n" ^ Explain.plan r)
+    else Text (Explain.plan r)
+  | Ast.Create_table { table; columns } ->
+    let schema =
+      wrap (fun () ->
+          Rel.Schema.make
+            (List.map
+               (fun (c : Ast.column_def) ->
+                 { Rel.Schema.name = c.col_name; ty = c.col_ty })
+               columns))
+    in
+    ignore (wrap (fun () -> Catalog.create_relation t.cat ~name:table ~schema));
+    Done (Printf.sprintf "table %s created" table)
+  | Ast.Create_index { index; table; columns; clustered } ->
+    (match Catalog.find_relation t.cat table with
+     | None -> err "unknown table %s" table
+     | Some rel ->
+       ignore
+         (wrap (fun () ->
+              Catalog.create_index t.cat ~name:index ~rel ~columns ~clustered));
+       Done (Printf.sprintf "index %s created on %s" index table))
+  | Ast.Insert { table; values } ->
+    (match Catalog.find_relation t.cat table with
+     | None -> err "unknown table %s" table
+     | Some rel ->
+       let n =
+         with_txn t (fun txn ->
+             wrap (fun () ->
+                 List.iter
+                   (fun row -> dml_insert t txn rel (Rel.Tuple.make row))
+                   values;
+                 List.length values))
+       in
+       Done (Printf.sprintf "%d row%s inserted" n (if n = 1 then "" else "s")))
+  | Ast.Delete { table; where } ->
+    (match Catalog.find_relation t.cat table with
+     | None -> err "unknown table %s" table
+     | Some rel ->
+       let n = with_txn t (fun txn -> delete_where t txn rel where) in
+       Done (Printf.sprintf "%d row%s deleted" n (if n = 1 then "" else "s")))
+  | Ast.Update { table; sets; where } ->
+    (match Catalog.find_relation t.cat table with
+     | None -> err "unknown table %s" table
+     | Some rel ->
+       let n = with_txn t (fun txn -> update_where t txn rel sets where) in
+       Done (Printf.sprintf "%d row%s updated" n (if n = 1 then "" else "s")))
+  | Ast.Drop_table table ->
+    if t.active <> None then err "DROP TABLE inside a transaction is not supported";
+    if Catalog.drop_relation t.cat table then
+      Done (Printf.sprintf "table %s dropped" table)
+    else err "unknown table %s" table
+  | Ast.Drop_index index ->
+    (match Catalog.find_index t.cat index with
+     | None -> err "unknown index %s" index
+     | Some _ ->
+       Catalog.drop_index t.cat index;
+       Done (Printf.sprintf "index %s dropped" index))
+  | Ast.Update_statistics ->
+    Catalog.update_statistics t.cat;
+    Done "statistics updated"
+  | Ast.Begin_transaction ->
+    let id = begin_transaction t in
+    Done (Printf.sprintf "transaction %d started" id)
+  | Ast.Commit ->
+    let id = commit t in
+    Done (Printf.sprintf "transaction %d committed" id)
+  | Ast.Rollback ->
+    let id = rollback t in
+    Done (Printf.sprintf "transaction %d rolled back" id)
+
+let parse_stmt sql =
+  try Parser.parse_statement sql
+  with Parser.Error (msg, off) -> err "syntax error at offset %d: %s" off msg
+
+let exec t sql = exec_stmt t (parse_stmt sql)
+
+let exec_script t src =
+  let stmts =
+    try Parser.parse_script src
+    with Parser.Error (msg, off) -> err "syntax error at offset %d: %s" off msg
+  in
+  List.map (exec_stmt t) stmts
+
+let query t sql =
+  match exec t sql with
+  | Rows out -> out
+  | Text _ | Done _ -> err "not a SELECT: %s" sql
+
+let explain t sql = Explain.plan (optimize t sql)
+
+let update_statistics t = Catalog.update_statistics t.cat
+
+(* --- prepared statements ------------------------------------------------- *)
+
+type prepared = {
+  p_result : Optimizer.result;
+  p_params : int;
+}
+
+let prepare t sql =
+  let block = resolve t sql in
+  let r = optimize_block t block in
+  { p_result = r; p_params = Semant.param_count block }
+
+let prepared_param_count p = p.p_params
+let prepared_plan p = p.p_result
+
+let execute_prepared t p bindings =
+  if List.length bindings <> p.p_params then
+    err "prepared statement takes %d parameter%s, %d given" p.p_params
+      (if p.p_params = 1 then "" else "s")
+      (List.length bindings);
+  wrap (fun () ->
+      Executor.run ~params:(Array.of_list bindings) t.cat p.p_result)

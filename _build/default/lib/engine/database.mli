@@ -1,0 +1,78 @@
+(** The engine facade: a database instance tying together storage, catalog,
+    SQL front end, optimizer and executor. This is the public API examples
+    and the CLI program against.
+
+    DML is transactional: every INSERT/DELETE/UPDATE is logged to the
+    write-ahead log and covered by a relation-level exclusive lock. Without
+    an explicit BEGIN each statement auto-commits; BEGIN ... COMMIT/ROLLBACK
+    groups statements, and ROLLBACK undoes their effects (storage and
+    indexes) in reverse order. The log can be replayed with
+    {!Rss.Recovery.replay} after a crash (committed work only). *)
+
+type t
+
+val create : ?buffer_pages:int -> ?w:float -> unit -> t
+val catalog : t -> Catalog.t
+val pager : t -> Rss.Pager.t
+val ctx : t -> Ctx.t
+(** Optimization context with this database's defaults. *)
+
+val set_w : t -> float -> unit
+
+val wal : t -> Rss.Wal.t
+(** The write-ahead log (append-only; serialize with {!Rss.Wal.to_bytes}). *)
+
+val lock_table : t -> Rss.Lock_table.t
+
+val in_transaction : t -> bool
+
+type result =
+  | Rows of Executor.output
+  | Text of string      (** EXPLAIN output *)
+  | Done of string      (** DDL/DML/transaction acknowledgement *)
+
+exception Error of string
+(** Any parse / semantic / execution failure, with a message. *)
+
+val exec : t -> string -> result
+(** Execute one SQL statement (including BEGIN / COMMIT / ROLLBACK). *)
+
+val exec_script : t -> string -> result list
+(** Semicolon-separated statements. *)
+
+val query : t -> string -> Executor.output
+(** Run a SELECT. @raise Error when the statement is not a SELECT. *)
+
+val explain : t -> string -> string
+
+val resolve : t -> string -> Semant.block
+(** Parse and resolve a SELECT without running it. *)
+
+val optimize : ?ctx:Ctx.t -> t -> string -> Optimizer.result
+(** Parse, resolve and optimize a SELECT. *)
+
+val run_plan : t -> Optimizer.result -> Executor.output
+
+val update_statistics : t -> unit
+
+(** {2 Prepared statements}
+
+    The paper's closing argument: "application programs are compiled once and
+    run many times — the cost of optimization is amortized over many runs."
+    A SELECT containing [?] placeholders is parsed, resolved and optimized
+    once; each execution binds the placeholders. Placeholder predicates are
+    sargable (the value is constant per run) and can match indexes — their
+    selectivity uses the value-independent TABLE 1 rules (1/ICARD for equal
+    predicates, the defaults for ranges, since interpolation needs the
+    value). *)
+
+type prepared
+
+val prepare : t -> string -> prepared
+(** @raise Error on parse/resolution/optimization failure. *)
+
+val prepared_param_count : prepared -> int
+val prepared_plan : prepared -> Optimizer.result
+
+val execute_prepared : t -> prepared -> Rel.Value.t list -> Executor.output
+(** @raise Error when the binding count differs from the placeholder count. *)

@@ -1,0 +1,127 @@
+let magic = "SYSR1\n"
+
+let add_int buf i = Buffer.add_int64_le buf (Int64.of_int i)
+
+let add_str buf s =
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let get_int b off = (Int64.to_int (Bytes.get_int64_le b off), off + 8)
+
+let get_str b off =
+  let len, off = get_int b off in
+  (Bytes.sub_string b off len, off + len)
+
+let ty_code = function
+  | Rel.Value.Tint -> 0
+  | Rel.Value.Tfloat -> 1
+  | Rel.Value.Tstr -> 2
+
+let ty_of_code = function
+  | 0 -> Rel.Value.Tint
+  | 1 -> Rel.Value.Tfloat
+  | 2 -> Rel.Value.Tstr
+  | c -> invalid_arg (Printf.sprintf "Snapshot: bad type code %d" c)
+
+let save db =
+  if Database.in_transaction db then
+    invalid_arg "Snapshot.save: a transaction is open";
+  let cat = Database.catalog db in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf magic;
+  let rels = Catalog.relations cat in
+  add_int buf (List.length rels);
+  List.iter
+    (fun (r : Catalog.relation) ->
+      add_str buf r.Catalog.rel_name;
+      let cols = Rel.Schema.columns r.Catalog.schema in
+      add_int buf (List.length cols);
+      List.iter
+        (fun (c : Rel.Schema.column) ->
+          add_str buf c.Rel.Schema.name;
+          add_int buf (ty_code c.Rel.Schema.ty))
+        cols;
+      let tuples =
+        Rss.Scan.to_list
+          (Rss.Scan.open_segment_scan r.Catalog.segment
+             ~rel_id:r.Catalog.rel_id ())
+      in
+      add_int buf (List.length tuples);
+      List.iter (fun (_, t) -> Rel.Tuple.write buf t) tuples;
+      let idxs = Catalog.indexes_on cat r in
+      add_int buf (List.length idxs);
+      List.iter
+        (fun (i : Catalog.index) ->
+          add_str buf i.Catalog.idx_name;
+          add_int buf (if i.Catalog.clustered then 1 else 0);
+          add_int buf (List.length i.Catalog.key_cols);
+          List.iter
+            (fun c ->
+              add_str buf (Rel.Schema.column r.Catalog.schema c).Rel.Schema.name)
+            i.Catalog.key_cols)
+        idxs)
+    rels;
+  Buffer.contents buf
+
+let load ?buffer_pages ?w s =
+  if String.length s < String.length magic
+     || String.sub s 0 (String.length magic) <> magic then
+    invalid_arg "Snapshot.load: not a systemr snapshot";
+  let b = Bytes.unsafe_of_string s in
+  let db = Database.create ?buffer_pages ?w () in
+  let cat = Database.catalog db in
+  let off = ref (String.length magic) in
+  let read_int () =
+    let v, o = get_int b !off in
+    off := o;
+    v
+  in
+  let read_str () =
+    let v, o = get_str b !off in
+    off := o;
+    v
+  in
+  let nrels = read_int () in
+  for _ = 1 to nrels do
+    let name = read_str () in
+    let ncols = read_int () in
+    let cols =
+      List.init ncols (fun _ ->
+          let cname = read_str () in
+          let ty = ty_of_code (read_int ()) in
+          { Rel.Schema.name = cname; ty })
+    in
+    let rel = Catalog.create_relation cat ~name ~schema:(Rel.Schema.make cols) in
+    let ntuples = read_int () in
+    for _ = 1 to ntuples do
+      let t, o = Rel.Tuple.read b !off in
+      off := o;
+      ignore (Catalog.insert_tuple cat rel t)
+    done;
+    let nidx = read_int () in
+    for _ = 1 to nidx do
+      let iname = read_str () in
+      let clustered = read_int () = 1 in
+      let nkeys = read_int () in
+      let columns = List.init nkeys (fun _ -> read_str ()) in
+      ignore (Catalog.create_index cat ~name:iname ~rel ~columns ~clustered)
+    done
+  done;
+  if !off <> String.length s then
+    invalid_arg "Snapshot.load: trailing bytes (corrupt snapshot)";
+  Database.update_statistics db;
+  db
+
+let save_to_file db path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (save db))
+
+let load_from_file ?buffer_pages ?w path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      load ?buffer_pages ?w (really_input_string ic n))

@@ -1,0 +1,16 @@
+(** Whole-database snapshots.
+
+    Serializes the catalog (schemas, index definitions) and every relation's
+    tuples to a versioned byte string, and rebuilds a database from one —
+    the cold-storage companion to the WAL's crash recovery. Indexes are
+    re-created (not serialized) and statistics re-collected on load, so a
+    loaded database is immediately optimizable. *)
+
+val save : Database.t -> string
+(** @raise Invalid_argument if called inside an open transaction. *)
+
+val load : ?buffer_pages:int -> ?w:float -> string -> Database.t
+(** @raise Invalid_argument on a corrupt or version-mismatched snapshot. *)
+
+val save_to_file : Database.t -> string -> unit
+val load_from_file : ?buffer_pages:int -> ?w:float -> string -> Database.t

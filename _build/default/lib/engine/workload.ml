@@ -1,0 +1,318 @@
+type emp_config = {
+  n_emp : int;
+  n_dept : int;
+  n_job : int;
+  n_loc : int;
+  seed : int;
+}
+
+let default_emp_config =
+  { n_emp = 2000; n_dept = 50; n_job = 10; n_loc = 5; seed = 42 }
+
+let rand_init seed = Random.State.make [| seed; 0x5e119e8; 1979 |]
+
+let fig1_query =
+  "SELECT NAME, TITLE, SAL, DNAME FROM EMP, DEPT, JOB \
+   WHERE TITLE = 'CLERK' AND LOC = 'DENVER' \
+   AND EMP.DNO = DEPT.DNO AND EMP.JOB = JOB.JOB"
+
+let job_titles =
+  [ (5, "CLERK"); (6, "TYPIST"); (9, "SALES"); (12, "MECHANIC") ]
+
+let locations = [| "DENVER"; "SAN JOSE"; "NEW YORK"; "BOSTON"; "AUSTIN" |]
+
+let first_names =
+  [| "SMITH"; "JONES"; "BAKER"; "LOPEZ"; "CHEN"; "PATEL"; "KHAN"; "MORALES";
+     "IVANOV"; "SATO"; "MULLER"; "ROSSI"; "SILVA"; "KOWALSKI"; "NIELSEN";
+     "DUBOIS" |]
+
+let load_emp_dept_job ?(config = default_emp_config) db =
+  let cat = Database.catalog db in
+  let rng = rand_init config.seed in
+  let schema cols =
+    Rel.Schema.make
+      (List.map (fun (name, ty) -> { Rel.Schema.name; ty }) cols)
+  in
+  (* JOB codes: the paper's four plus synthetic ones *)
+  let jobs =
+    List.init config.n_job (fun i ->
+        match List.nth_opt job_titles i with
+        | Some (code, title) -> (code, title)
+        | None -> (100 + i, Printf.sprintf "JOB%02d" (100 + i)))
+  in
+  let job_codes = Array.of_list (List.map fst jobs) in
+  (* DEPT, inserted in DNO order (clustered on DNO) *)
+  let dept =
+    Catalog.create_relation cat ~name:"DEPT"
+      ~schema:
+        (schema
+           [ ("DNO", Rel.Value.Tint); ("DNAME", Rel.Value.Tstr);
+             ("LOC", Rel.Value.Tstr) ])
+  in
+  for dno = 1 to config.n_dept do
+    let loc = locations.(Random.State.int rng (min config.n_loc (Array.length locations))) in
+    ignore
+      (Catalog.insert_tuple cat dept
+         (Rel.Tuple.make
+            [ Rel.Value.Int dno;
+              Rel.Value.Str (Printf.sprintf "DEPT%03d" dno);
+              Rel.Value.Str loc ]))
+  done;
+  ignore (Catalog.create_index cat ~name:"DEPT_DNO" ~rel:dept ~columns:[ "DNO" ] ~clustered:true);
+  (* JOB, inserted in JOB order *)
+  let job =
+    Catalog.create_relation cat ~name:"JOB"
+      ~schema:(schema [ ("JOB", Rel.Value.Tint); ("TITLE", Rel.Value.Tstr) ])
+  in
+  List.iter
+    (fun (code, title) ->
+      ignore
+        (Catalog.insert_tuple cat job
+           (Rel.Tuple.make [ Rel.Value.Int code; Rel.Value.Str title ])))
+    (List.sort compare jobs);
+  ignore (Catalog.create_index cat ~name:"JOB_JOB" ~rel:job ~columns:[ "JOB" ] ~clustered:true);
+  (* EMP, generated then inserted in DNO order: EMP_DNO is clustered,
+     EMP_JOB is not *)
+  let emp =
+    Catalog.create_relation cat ~name:"EMP"
+      ~schema:
+        (schema
+           [ ("NAME", Rel.Value.Tstr); ("DNO", Rel.Value.Tint);
+             ("JOB", Rel.Value.Tint); ("SAL", Rel.Value.Tint) ])
+  in
+  let rows =
+    List.init config.n_emp (fun i ->
+        let dno = 1 + Random.State.int rng config.n_dept in
+        let jb = job_codes.(Random.State.int rng (Array.length job_codes)) in
+        let sal = 8000 + Random.State.int rng 22000 in
+        let name =
+          Printf.sprintf "%s%04d"
+            first_names.(Random.State.int rng (Array.length first_names))
+            i
+        in
+        (dno, (name, jb, sal)))
+  in
+  List.iter
+    (fun (dno, (name, jb, sal)) ->
+      ignore
+        (Catalog.insert_tuple cat emp
+           (Rel.Tuple.make
+              [ Rel.Value.Str name; Rel.Value.Int dno; Rel.Value.Int jb;
+                Rel.Value.Int sal ])))
+    (List.sort (fun (a, _) (b, _) -> Int.compare a b) rows);
+  ignore (Catalog.create_index cat ~name:"EMP_DNO" ~rel:emp ~columns:[ "DNO" ] ~clustered:true);
+  ignore (Catalog.create_index cat ~name:"EMP_JOB" ~rel:emp ~columns:[ "JOB" ] ~clustered:false);
+  Catalog.update_statistics cat
+
+type col_spec = {
+  col : string;
+  distinct : int;
+}
+
+(* Inverse-CDF Zipf sampling with a precomputed cumulative table. *)
+let zipf_sampler rng ~n ~s =
+  let n = max 1 n in
+  let weights = Array.init n (fun k -> 1. /. (float_of_int (k + 1) ** s)) in
+  let cum = Array.make n 0. in
+  let total =
+    Array.fold_left
+      (fun acc w -> acc +. w)
+      0. weights
+  in
+  let _ =
+    Array.fold_left
+      (fun (i, acc) w ->
+        let acc = acc +. w in
+        cum.(i) <- acc /. total;
+        (i + 1, acc))
+      (0, 0.) weights
+  in
+  fun () ->
+    let u = Random.State.float rng 1. in
+    let rec bsearch lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cum.(mid) < u then bsearch (mid + 1) hi else bsearch lo mid
+    in
+    bsearch 0 (n - 1)
+
+let load_zipf db ~name ~rows ~cols ?(indexes = []) ~seed () =
+  let cat = Database.catalog db in
+  let rng = rand_init seed in
+  let schema =
+    Rel.Schema.make
+      (List.map (fun (c, _, _) -> { Rel.Schema.name = c; ty = Rel.Value.Tint }) cols)
+  in
+  let rel = Catalog.create_relation cat ~name ~schema in
+  let samplers =
+    List.map (fun (_, distinct, s) -> zipf_sampler rng ~n:distinct ~s) cols
+  in
+  for _ = 1 to rows do
+    ignore
+      (Catalog.insert_tuple cat rel
+         (Rel.Tuple.make (List.map (fun sample -> Rel.Value.Int (sample ())) samplers)))
+  done;
+  List.iter
+    (fun (iname, columns, clustered) ->
+      ignore (Catalog.create_index cat ~name:iname ~rel ~columns ~clustered))
+    indexes;
+  Catalog.update_statistics cat
+
+let load_uniform db ~name ~rows ~cols ?(indexes = []) ?(first_fit = false)
+    ~seed () =
+  let cat = Database.catalog db in
+  let rng = rand_init seed in
+  let schema =
+    Rel.Schema.make
+      (List.map (fun c -> { Rel.Schema.name = c.col; ty = Rel.Value.Tint }) cols)
+  in
+  let segment =
+    if first_fit then
+      Some (Rss.Segment.create ~policy:Rss.Segment.First_fit (Catalog.pager cat))
+    else None
+  in
+  let rel = Catalog.create_relation ?segment cat ~name ~schema in
+  let data =
+    List.init rows (fun _ ->
+        List.map (fun c -> Rel.Value.Int (Random.State.int rng (max 1 c.distinct))) cols)
+  in
+  (* pre-sort on the first (clustered) index's key when one is declared *)
+  let data =
+    match indexes with
+    | (_, key_cols, true) :: _ ->
+      let pos =
+        List.map
+          (fun k ->
+            match Rel.Schema.index_of schema k with
+            | Some i -> i
+            | None -> invalid_arg ("load_uniform: unknown index column " ^ k))
+          key_cols
+      in
+      List.sort
+        (fun a b ->
+          Rel.Tuple.compare_on pos (Array.of_list a) (Array.of_list b))
+        data
+    | _ -> data
+  in
+  List.iter
+    (fun row -> ignore (Catalog.insert_tuple cat rel (Rel.Tuple.make row)))
+    data;
+  List.iter
+    (fun (iname, columns, clustered) ->
+      ignore (Catalog.create_index cat ~name:iname ~rel ~columns ~clustered))
+    indexes;
+  Catalog.update_statistics cat
+
+type sales_config = {
+  customers : int;
+  products : int;
+  orders : int;
+  lines_per_order : int;
+  sales_seed : int;
+}
+
+let default_sales_config =
+  { customers = 200; products = 100; orders = 1000; lines_per_order = 3;
+    sales_seed = 7 }
+
+let regions = [| "NORTH"; "SOUTH"; "EAST"; "WEST"; "CENTRAL" |]
+let segments = [| "RETAIL"; "WHOLESALE"; "ONLINE" |]
+let categories = [| "TOOLS"; "TOYS"; "BOOKS"; "FOOD"; "GARDEN"; "SPORTS" |]
+
+let load_sales ?(config = default_sales_config) db =
+  let cat = Database.catalog db in
+  let rng = rand_init config.sales_seed in
+  let schema cols =
+    Rel.Schema.make (List.map (fun (n, ty) -> { Rel.Schema.name = n; ty }) cols)
+  in
+  (* CUSTOMER, loaded in key order (clustered) *)
+  let customer =
+    Catalog.create_relation cat ~name:"CUSTOMER"
+      ~schema:
+        (schema
+           [ ("CUSTKEY", Rel.Value.Tint); ("REGION", Rel.Value.Tstr);
+             ("SEGMENT", Rel.Value.Tstr) ])
+  in
+  for k = 0 to config.customers - 1 do
+    ignore
+      (Catalog.insert_tuple cat customer
+         (Rel.Tuple.make
+            [ Rel.Value.Int k;
+              Rel.Value.Str regions.(Random.State.int rng (Array.length regions));
+              Rel.Value.Str segments.(Random.State.int rng (Array.length segments)) ]))
+  done;
+  ignore
+    (Catalog.create_index cat ~name:"CUST_PK" ~rel:customer ~columns:[ "CUSTKEY" ]
+       ~clustered:true);
+  (* PRODUCT *)
+  let product =
+    Catalog.create_relation cat ~name:"PRODUCT"
+      ~schema:
+        (schema
+           [ ("PRODKEY", Rel.Value.Tint); ("CATEGORY", Rel.Value.Tstr);
+             ("PRICE", Rel.Value.Tint) ])
+  in
+  for k = 0 to config.products - 1 do
+    ignore
+      (Catalog.insert_tuple cat product
+         (Rel.Tuple.make
+            [ Rel.Value.Int k;
+              Rel.Value.Str categories.(Random.State.int rng (Array.length categories));
+              Rel.Value.Int (100 + Random.State.int rng 9900) ]))
+  done;
+  ignore
+    (Catalog.create_index cat ~name:"PROD_PK" ~rel:product ~columns:[ "PRODKEY" ]
+       ~clustered:true);
+  (* ORDERS: dates skew toward recent *)
+  let orders =
+    Catalog.create_relation cat ~name:"ORDERS"
+      ~schema:
+        (schema
+           [ ("ORDKEY", Rel.Value.Tint); ("CUSTKEY", Rel.Value.Tint);
+             ("ODATE", Rel.Value.Tint) ])
+  in
+  let date_sampler = zipf_sampler rng ~n:365 ~s:0.8 in
+  for k = 0 to config.orders - 1 do
+    ignore
+      (Catalog.insert_tuple cat orders
+         (Rel.Tuple.make
+            [ Rel.Value.Int k;
+              Rel.Value.Int (Random.State.int rng config.customers);
+              Rel.Value.Int (20260000 + date_sampler ()) ]))
+  done;
+  ignore
+    (Catalog.create_index cat ~name:"ORD_PK" ~rel:orders ~columns:[ "ORDKEY" ]
+       ~clustered:true);
+  ignore
+    (Catalog.create_index cat ~name:"ORD_CUST" ~rel:orders ~columns:[ "CUSTKEY" ]
+       ~clustered:false);
+  (* LINEITEM: zipf product popularity, loaded in ORDKEY order *)
+  let lineitem =
+    Catalog.create_relation cat ~name:"LINEITEM"
+      ~schema:
+        (schema
+           [ ("ORDKEY", Rel.Value.Tint); ("PRODKEY", Rel.Value.Tint);
+             ("QTY", Rel.Value.Tint); ("AMOUNT", Rel.Value.Tint) ])
+  in
+  let prod_sampler = zipf_sampler rng ~n:config.products ~s:1.0 in
+  for ordkey = 0 to config.orders - 1 do
+    let nlines = 1 + Random.State.int rng (2 * config.lines_per_order - 1) in
+    for _ = 1 to nlines do
+      let qty = 1 + Random.State.int rng 9 in
+      ignore
+        (Catalog.insert_tuple cat lineitem
+           (Rel.Tuple.make
+              [ Rel.Value.Int ordkey;
+                Rel.Value.Int (prod_sampler ());
+                Rel.Value.Int qty;
+                Rel.Value.Int (qty * (10 + Random.State.int rng 490)) ]))
+    done
+  done;
+  ignore
+    (Catalog.create_index cat ~name:"LINE_ORD" ~rel:lineitem ~columns:[ "ORDKEY" ]
+       ~clustered:true);
+  ignore
+    (Catalog.create_index cat ~name:"LINE_PROD" ~rel:lineitem ~columns:[ "PRODKEY" ]
+       ~clustered:false);
+  Catalog.update_statistics cat

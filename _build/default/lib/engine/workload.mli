@@ -1,0 +1,88 @@
+(** Workload generators.
+
+    The EMP/DEPT/JOB database of Figure 1, scalable, plus parameterized
+    synthetic relations for the estimate-validation and plan-quality sweeps.
+    Generation is deterministic given the seed. *)
+
+type emp_config = {
+  n_emp : int;        (** employees *)
+  n_dept : int;       (** departments (EMP.DNO values) *)
+  n_job : int;        (** job codes (EMP.JOB values) *)
+  n_loc : int;        (** distinct DEPT.LOC values *)
+  seed : int;
+}
+
+val default_emp_config : emp_config
+(** 2000 employees, 50 departments, 10 jobs, 5 locations. *)
+
+val load_emp_dept_job : ?config:emp_config -> Database.t -> unit
+(** Creates and loads:
+    - EMP(NAME, DNO, JOB, SAL) — clustered index EMP_DNO on DNO (tuples are
+      inserted in DNO order), non-clustered index EMP_JOB on JOB;
+    - DEPT(DNO, DNAME, LOC) — clustered index DEPT_DNO on DNO;
+    - JOB(JOB, TITLE) — index JOB_JOB on JOB;
+    then runs UPDATE STATISTICS. The job codes include the paper's
+    5 CLERK, 6 TYPIST, 9 SALES, 12 MECHANIC. *)
+
+val fig1_query : string
+(** The Figure 1 join: clerks in Denver departments. *)
+
+type col_spec = {
+  col : string;
+  distinct : int;   (** values drawn uniformly from [0, distinct) *)
+}
+
+val load_uniform :
+  Database.t ->
+  name:string ->
+  rows:int ->
+  cols:col_spec list ->
+  ?indexes:(string * string list * bool) list ->
+  ?first_fit:bool ->
+  seed:int ->
+  unit ->
+  unit
+(** Synthetic integer relation. A clustered index must be first in
+    [indexes]; rows are then generated pre-sorted on its key. [first_fit]
+    shares segment pages greedily (drives P below 1 when co-located).
+    Statistics are updated after loading. *)
+
+type sales_config = {
+  customers : int;
+  products : int;
+  orders : int;
+  lines_per_order : int;  (** average; actual per-order count varies 1..2x *)
+  sales_seed : int;
+}
+
+val default_sales_config : sales_config
+(** 200 customers, 100 products, 1000 orders, ~3 lines each. *)
+
+val load_sales : ?config:sales_config -> Database.t -> unit
+(** A 4-relation analytical schema:
+    - CUSTOMER(CUSTKEY, REGION, SEGMENT) — clustered index on CUSTKEY;
+    - PRODUCT(PRODKEY, CATEGORY, PRICE) — clustered index on PRODKEY;
+    - ORDERS(ORDKEY, CUSTKEY, ODATE) — clustered on ORDKEY, index on CUSTKEY;
+    - LINEITEM(ORDKEY, PRODKEY, QTY, AMOUNT) — clustered on ORDKEY, index on
+      PRODKEY;
+    statistics updated after loading. Order dates skew toward recent values
+    (zipf), product popularity is zipf-distributed. *)
+
+val zipf_sampler : Random.State.t -> n:int -> s:float -> unit -> int
+(** Zipf-distributed draws over [0, n): value k with probability proportional
+    to 1/(k+1)^s. [s = 0] is uniform; larger [s] is more skewed. *)
+
+val load_zipf :
+  Database.t ->
+  name:string ->
+  rows:int ->
+  cols:(string * int * float) list ->
+  ?indexes:(string * string list * bool) list ->
+  seed:int ->
+  unit ->
+  unit
+(** Like {!load_uniform} but each column is (name, distinct, zipf-s):
+    skewed value frequencies, for probing TABLE 1's "even distribution of
+    tuples among index key values" assumption. *)
+
+val rand_init : int -> Random.State.t

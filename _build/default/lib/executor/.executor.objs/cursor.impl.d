@@ -1,0 +1,1 @@
+lib/executor/cursor.ml: Array Ast Catalog Eval Layout List Option Plan Rel Rss Semant Seq

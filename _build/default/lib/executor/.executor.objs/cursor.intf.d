@@ -1,0 +1,1 @@
+lib/executor/cursor.mli: Catalog Eval Layout Plan Rel Semant

@@ -1,0 +1,1 @@
+lib/executor/eval.ml: Array Ast Layout List Option Plan Printf Rel Rss Semant

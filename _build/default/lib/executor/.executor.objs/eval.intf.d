@@ -1,0 +1,1 @@
+lib/executor/eval.mli: Layout Plan Rel Rss Semant

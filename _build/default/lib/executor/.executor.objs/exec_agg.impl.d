@@ -1,0 +1,1 @@
+lib/executor/exec_agg.ml: Array Ast Eval Layout List Rel Semant

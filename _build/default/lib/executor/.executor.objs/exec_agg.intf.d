@@ -1,0 +1,1 @@
+lib/executor/exec_agg.mli: Eval Layout Rel Semant

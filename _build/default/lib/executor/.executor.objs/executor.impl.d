@@ -1,0 +1,1 @@
+lib/executor/executor.ml: Ast Catalog Cursor Eval Exec_agg Hashtbl Layout List Optimizer Option Rel Rss Semant

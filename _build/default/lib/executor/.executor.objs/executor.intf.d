@@ -1,0 +1,1 @@
+lib/executor/executor.mli: Catalog Optimizer Rel Rss

@@ -1,0 +1,1 @@
+lib/executor/layout.ml: Catalog List Printf Rel Semant

@@ -1,0 +1,1 @@
+lib/executor/layout.mli: Semant

@@ -1,0 +1,221 @@
+type t = unit -> Rel.Tuple.t option
+
+let layout_of block (p : Plan.t) = Layout.of_tables block p.Plan.tables
+
+let drain c =
+  let rec go acc = match c () with None -> List.rev acc | Some t -> go (t :: acc) in
+  go []
+
+let rec open_plan catalog block (env : Eval.env) ~join (p : Plan.t) : t =
+  match p.Plan.node with
+  | Plan.Scan { tab; access; sargs; residual } ->
+    open_scan catalog block env ~join ~tab ~access ~sargs ~residual
+  | Plan.Nl_join { outer; inner } ->
+    (match join with
+     | Some _ -> invalid_arg "Cursor: join node cannot itself be a join inner"
+     | None -> open_nl catalog block env ~outer ~inner)
+  | Plan.Merge_join { outer; inner; outer_col; inner_col; residual } ->
+    (match join with
+     | Some _ -> invalid_arg "Cursor: join node cannot itself be a join inner"
+     | None ->
+       open_merge catalog block env ~outer ~inner ~outer_col ~inner_col ~residual)
+  | Plan.Sort { input; key } -> open_sort catalog block env ~join ~input ~key
+  | Plan.Filter { input; preds } ->
+    let inner = open_plan catalog block env ~join input in
+    let layout = layout_of block input in
+    let rec pull () =
+      match inner () with
+      | None -> None
+      | Some tuple ->
+        if List.for_all (Eval.pred env { Eval.layout; tuple }) preds then Some tuple
+        else pull ()
+    in
+    pull
+
+and open_scan _catalog block env ~join ~tab ~access ~sargs ~residual =
+  let tr = List.nth block.Semant.tables tab in
+  let rel = tr.Semant.rel in
+  let rel_id = rel.Catalog.rel_id in
+  (* Factors compiled into RSS search arguments; any that fail to compile
+     (a dynamic value unavailable in this context) fall back to residuals. *)
+  let compiled, fallback =
+    List.fold_left
+      (fun (sarg_acc, resid) p ->
+        match Eval.compile_sarg env join ~tab p with
+        | Some s -> (Rss.Sarg.conjoin sarg_acc s, resid)
+        | None -> (sarg_acc, p :: resid))
+      (Rss.Sarg.always_true, []) sargs
+  in
+  let residual = residual @ List.rev fallback in
+  let scan =
+    match access with
+    | Plan.Seg_scan ->
+      Rss.Scan.open_segment_scan rel.Catalog.segment ~rel_id ~sargs:compiled ()
+    | Plan.Idx_scan { index; lo; hi; dir; _ } ->
+      let lo = Option.map (Eval.bound_key env join) lo in
+      let hi = Option.map (Eval.bound_key env join) hi in
+      let dir = match dir with Ast.Asc -> `Asc | Ast.Desc -> `Desc in
+      Rss.Scan.open_index_scan rel.Catalog.segment ~rel_id ~index:index.Catalog.btree
+        ?lo ?hi ~dir ~sargs:compiled ()
+  in
+  let self_layout = Layout.of_tables block [ tab ] in
+  let combined_layout =
+    match join with
+    | Some f -> Layout.concat f.Eval.layout self_layout
+    | None -> self_layout
+  in
+  let rec pull () =
+    match Rss.Scan.next scan with
+    | None -> None
+    | Some (_tid, tuple) ->
+      let combined =
+        match join with
+        | Some f -> Rel.Tuple.concat f.Eval.tuple tuple
+        | None -> tuple
+      in
+      if
+        List.for_all
+          (Eval.pred env { Eval.layout = combined_layout; tuple = combined })
+          residual
+      then Some tuple
+      else pull ()
+  in
+  pull
+
+and open_nl catalog block env ~outer ~inner =
+  let outer_cur = open_plan catalog block env ~join:None outer in
+  let outer_layout = layout_of block outer in
+  let state = ref None in
+  let rec pull () =
+    match !state with
+    | Some (outer_tuple, inner_cur) ->
+      (match inner_cur () with
+       | Some inner_tuple -> Some (Rel.Tuple.concat outer_tuple inner_tuple)
+       | None ->
+         state := None;
+         pull ())
+    | None ->
+      (match outer_cur () with
+       | None -> None
+       | Some outer_tuple ->
+         let jframe = { Eval.layout = outer_layout; tuple = outer_tuple } in
+         let inner_cur = open_plan catalog block env ~join:(Some jframe) inner in
+         state := Some (outer_tuple, inner_cur);
+         pull ())
+  in
+  pull
+
+and open_merge catalog block env ~outer ~inner ~outer_col ~inner_col ~residual =
+  let outer_cur = open_plan catalog block env ~join:None outer in
+  let inner_cur = open_plan catalog block env ~join:None inner in
+  let outer_layout = layout_of block outer in
+  let inner_layout = layout_of block inner in
+  let combined_layout = Layout.concat outer_layout inner_layout in
+  let opos = Layout.pos outer_layout outer_col in
+  let ipos = Layout.pos inner_layout inner_col in
+  (* The inner scan is synchronized with the outer: the current group of
+     equal-keyed inner tuples is remembered so equal consecutive outer keys
+     rejoin it without rescanning ("remembering where matching join groups
+     are located"). *)
+  let inner_ahead = ref None in
+  let next_inner () =
+    match !inner_ahead with
+    | Some t ->
+      inner_ahead := None;
+      Some t
+    | None -> inner_cur ()
+  in
+  let group = ref [||] in
+  let group_key = ref None in
+  let load_group key =
+    (* advance the inner scan to [key]'s group, buffering it *)
+    let rec skip () =
+      match next_inner () with
+      | None -> None
+      | Some t ->
+        let k = Rel.Tuple.get t ipos in
+        if Rel.Value.is_null k then skip ()
+        else if Rel.Value.compare k key < 0 then skip ()
+        else Some (t, k)
+    in
+    match skip () with
+    | None ->
+      group := [||];
+      group_key := Some key
+    | Some (t, k) ->
+      if Rel.Value.compare k key > 0 then begin
+        inner_ahead := Some t;
+        group := [||];
+        group_key := Some key
+      end
+      else begin
+        let acc = ref [ t ] in
+        let rec collect () =
+          match next_inner () with
+          | None -> ()
+          | Some t' ->
+            if Rel.Value.equal (Rel.Tuple.get t' ipos) key then begin
+              acc := t' :: !acc;
+              collect ()
+            end
+            else inner_ahead := Some t'
+        in
+        collect ();
+        group := Array.of_list (List.rev !acc);
+        group_key := Some key
+      end
+  in
+  let cur_outer = ref None in
+  let group_idx = ref 0 in
+  let rec pull () =
+    match !cur_outer with
+    | Some outer_tuple when !group_idx < Array.length !group ->
+      let inner_tuple = !group.(!group_idx) in
+      incr group_idx;
+      let combined = Rel.Tuple.concat outer_tuple inner_tuple in
+      if
+        List.for_all
+          (Eval.pred env { Eval.layout = combined_layout; tuple = combined })
+          residual
+      then Some combined
+      else pull ()
+    | _ ->
+      (match outer_cur () with
+       | None -> None
+       | Some outer_tuple ->
+         let key = Rel.Tuple.get outer_tuple opos in
+         if Rel.Value.is_null key then begin
+           cur_outer := None;
+           pull ()
+         end
+         else begin
+           (match !group_key with
+            | Some k when Rel.Value.equal k key -> ()  (* rejoin same group *)
+            | _ -> load_group key);
+           cur_outer := Some outer_tuple;
+           group_idx := 0;
+           pull ()
+         end)
+  in
+  pull
+
+and open_sort catalog block env ~join ~input ~key =
+  let input_cur = open_plan catalog block env ~join input in
+  let layout = layout_of block input in
+  let sort_key =
+    List.map
+      (fun (c, d) ->
+        ( Layout.pos layout c,
+          match d with Ast.Asc -> Rss.Sort.Asc | Ast.Desc -> Rss.Sort.Desc ))
+      key
+  in
+  let pager = Catalog.pager catalog in
+  let seq = Seq.of_dispenser input_cur in
+  let sorted = Rss.Sort.sort pager ~key:sort_key seq in
+  let out = ref (Rss.Temp_list.read sorted) in
+  fun () ->
+    match !out () with
+    | Seq.Nil -> None
+    | Seq.Cons (t, rest) ->
+      out := rest;
+      Some t

@@ -1,0 +1,24 @@
+(** Plan execution as tuple-at-a-time cursors (the generated code's scan
+    loops, as a Volcano-style interpreter — see DESIGN.md for the
+    substitution note).
+
+    A cursor yields the composite tuples of a plan node. Nested-loop inners
+    are re-opened per outer tuple with the outer composite as join context,
+    turning dynamic index bounds and dynamically-bound SARGs into constants
+    for that opening. All page fetches and RSI calls incurred flow through
+    the catalog's pager counters. *)
+
+type t = unit -> Rel.Tuple.t option
+
+val open_plan :
+  Catalog.t ->
+  Semant.block ->
+  Eval.env ->
+  join:Eval.frame option ->
+  Plan.t ->
+  t
+
+val layout_of : Semant.block -> Plan.t -> Layout.t
+(** Layout of the composite tuples the plan produces. *)
+
+val drain : t -> Rel.Tuple.t list

@@ -1,0 +1,181 @@
+type frame = {
+  layout : Layout.t;
+  tuple : Rel.Tuple.t;
+}
+
+type env = {
+  blocks : frame list;
+  params : Rel.Value.t array;  (* ? placeholder bindings, by position *)
+  subquery : env -> Semant.block -> Rel.Value.t list;
+}
+
+let rec expr env frame (e : Semant.sexpr) =
+  match e with
+  | Semant.E_const v -> v
+  | Semant.E_param i ->
+    if i < Array.length env.params then env.params.(i)
+    else invalid_arg (Printf.sprintf "Eval.expr: unbound parameter ?%d" i)
+  | Semant.E_col c -> Rel.Tuple.get frame.tuple (Layout.pos frame.layout c)
+  | Semant.E_outer { levels_up; tab; col } ->
+    (match List.nth_opt env.blocks (levels_up - 1) with
+     | Some outer ->
+       Rel.Tuple.get outer.tuple (Layout.pos outer.layout { Semant.tab; col })
+     | None -> invalid_arg "Eval.expr: outer reference beyond block stack")
+  | Semant.E_binop (op, a, b) ->
+    let va = expr env frame a and vb = expr env frame b in
+    (match op with
+     | Ast.Add -> Rel.Value.add va vb
+     | Ast.Sub -> Rel.Value.sub va vb
+     | Ast.Mul -> Rel.Value.mul va vb
+     | Ast.Div -> Rel.Value.div va vb)
+  | Semant.E_agg _ -> invalid_arg "Eval.expr: aggregate outside Exec_agg"
+
+let cmp_op (c : Ast.comparison) =
+  match c with
+  | Ast.Eq -> Rss.Sarg.Eq
+  | Ast.Ne -> Rss.Sarg.Ne
+  | Ast.Lt -> Rss.Sarg.Lt
+  | Ast.Le -> Rss.Sarg.Le
+  | Ast.Gt -> Rss.Sarg.Gt
+  | Ast.Ge -> Rss.Sarg.Ge
+
+(* SQL three-valued (Kleene) logic: comparisons involving NULL are Unknown
+   ([None]); a WHERE keeps only rows evaluating to true. Three-valued
+   semantics make the normalizer's NOT-elimination rewrites sound in the
+   presence of NULLs, which classical negation would not be. *)
+let cmp3 op a b : bool option =
+  if Rel.Value.is_null a || Rel.Value.is_null b then None
+  else Some (Rss.Sarg.eval_op op a b)
+
+let and3 a b =
+  match a, b with
+  | Some false, _ | _, Some false -> Some false
+  | Some true, Some true -> Some true
+  | _ -> None
+
+let or3 a b =
+  match a, b with
+  | Some true, _ | _, Some true -> Some true
+  | Some false, Some false -> Some false
+  | _ -> None
+
+let not3 = Option.map not
+
+let rec pred3 env frame (p : Semant.spred) : bool option =
+  match p with
+  | Semant.P_cmp (a, c, b) -> cmp3 (cmp_op c) (expr env frame a) (expr env frame b)
+  | Semant.P_between (e, lo, hi) ->
+    let v = expr env frame e in
+    and3
+      (cmp3 Rss.Sarg.Ge v (expr env frame lo))
+      (cmp3 Rss.Sarg.Le v (expr env frame hi))
+  | Semant.P_in_list (e, vs) ->
+    let v = expr env frame e in
+    if Rel.Value.is_null v then None
+    else if List.exists (Rel.Value.equal v) vs then Some true
+    else if List.exists Rel.Value.is_null vs then None
+    else Some false
+  | Semant.P_in_sub { e; block; negated } ->
+    let v = expr env frame e in
+    let base =
+      if Rel.Value.is_null v then None
+      else begin
+        let vs = env.subquery { env with blocks = frame :: env.blocks } block in
+        if List.exists (Rel.Value.equal v) vs then Some true
+        else if List.exists Rel.Value.is_null vs then None
+        else Some false
+      end
+    in
+    if negated then not3 base else base
+  | Semant.P_cmp_sub (e, c, block) ->
+    let v = expr env frame e in
+    (match env.subquery { env with blocks = frame :: env.blocks } block with
+     | [] -> None  (* an empty scalar subquery yields NULL *)
+     | [ sv ] -> cmp3 (cmp_op c) v sv
+     | _ :: _ :: _ -> invalid_arg "scalar subquery returned more than one value")
+  | Semant.P_and (a, b) -> and3 (pred3 env frame a) (pred3 env frame b)
+  | Semant.P_or (a, b) -> or3 (pred3 env frame a) (pred3 env frame b)
+  | Semant.P_not a -> not3 (pred3 env frame a)
+
+let pred env frame p = pred3 env frame p = Some true
+
+(* --- SARG compilation -------------------------------------------------- *)
+
+(* Resolve an expression to a constant using the join context and outer
+   blocks only; a reference to relation [tab] itself is not constant. *)
+let resolve_const env join ~tab (e : Semant.sexpr) =
+  match e with
+  | Semant.E_col c when c.Semant.tab <> tab ->
+    Option.bind join (fun f ->
+        match Layout.pos f.layout c with
+        | p -> Some (Rel.Tuple.get f.tuple p)
+        | exception Not_found -> None)
+  | Semant.E_const v -> Some v
+  | Semant.E_param i ->
+    if i < Array.length env.params then Some env.params.(i) else None
+  | Semant.E_outer { levels_up; tab = t; col } ->
+    Option.map
+      (fun (outer : frame) ->
+        Rel.Tuple.get outer.tuple (Layout.pos outer.layout { Semant.tab = t; col }))
+      (List.nth_opt env.blocks (levels_up - 1))
+  | Semant.E_col _ | Semant.E_binop _ | Semant.E_agg _ -> None
+
+let flip_op = function
+  | Rss.Sarg.Eq -> Rss.Sarg.Eq
+  | Rss.Sarg.Ne -> Rss.Sarg.Ne
+  | Rss.Sarg.Lt -> Rss.Sarg.Gt
+  | Rss.Sarg.Le -> Rss.Sarg.Ge
+  | Rss.Sarg.Gt -> Rss.Sarg.Lt
+  | Rss.Sarg.Ge -> Rss.Sarg.Le
+
+let rec compile_sarg env join ~tab (p : Semant.spred) : Rss.Sarg.t option =
+  match p with
+  | Semant.P_cmp (Semant.E_col c, op, rhs) when c.Semant.tab = tab ->
+    Option.map
+      (fun v -> [ [ { Rss.Sarg.col = c.Semant.col; op = cmp_op op; value = v } ] ])
+      (resolve_const env join ~tab rhs)
+  | Semant.P_cmp (lhs, op, Semant.E_col c) when c.Semant.tab = tab ->
+    Option.map
+      (fun v ->
+        [ [ { Rss.Sarg.col = c.Semant.col; op = flip_op (cmp_op op); value = v } ] ])
+      (resolve_const env join ~tab lhs)
+  | Semant.P_between (Semant.E_col c, lo, hi) when c.Semant.tab = tab ->
+    (match resolve_const env join ~tab lo, resolve_const env join ~tab hi with
+     | Some vlo, Some vhi ->
+       Some
+         [ [ { Rss.Sarg.col = c.Semant.col; op = Rss.Sarg.Ge; value = vlo };
+             { Rss.Sarg.col = c.Semant.col; op = Rss.Sarg.Le; value = vhi } ] ]
+     | _ -> None)
+  | Semant.P_in_list (Semant.E_col c, vs) when c.Semant.tab = tab ->
+    Some
+      (List.map
+         (fun v -> [ { Rss.Sarg.col = c.Semant.col; op = Rss.Sarg.Eq; value = v } ])
+         vs)
+  | Semant.P_or (a, b) ->
+    (match compile_sarg env join ~tab a, compile_sarg env join ~tab b with
+     | Some sa, Some sb -> Some (sa @ sb)
+     | _ -> None)
+  | Semant.P_and (a, b) ->
+    (match compile_sarg env join ~tab a, compile_sarg env join ~tab b with
+     | Some sa, Some sb -> Some (Rss.Sarg.conjoin sa sb)
+     | _ -> None)
+  | Semant.P_cmp _ | Semant.P_between _ | Semant.P_in_list _ | Semant.P_in_sub _
+  | Semant.P_cmp_sub _ | Semant.P_not _ -> None
+
+let bound_key env join (b : Plan.key_bound) : Rss.Btree.bound =
+  let values =
+    List.map
+      (fun (bv : Plan.bound_value) ->
+        match bv with
+        | Plan.Bv_const v -> v
+        | Plan.Bv_param i ->
+          if i < Array.length env.params then env.params.(i)
+          else invalid_arg (Printf.sprintf "Eval.bound_key: unbound parameter ?%d" i)
+        | Plan.Bv_outer c ->
+          (match join with
+           | Some f -> Rel.Tuple.get f.tuple (Layout.pos f.layout c)
+           | None ->
+             invalid_arg "Eval.bound_key: dynamic bound without join context"))
+      b.Plan.values
+  in
+  (Array.of_list values, if b.Plan.inclusive then `Inclusive else `Exclusive)

@@ -1,0 +1,42 @@
+(** Scalar expression and predicate evaluation.
+
+    Evaluation happens against: the current composite tuple of the block (via
+    its layout), the stack of enclosing blocks' current tuples (for
+    correlation references), and a subquery evaluator supplied by the
+    executor (nested blocks are "subroutines which return values to the
+    predicates in which they occur"). Predicates follow SQL three-valued
+    (Kleene) logic — comparisons involving NULL are Unknown, and only rows
+    evaluating to true qualify — which keeps the normalizer's NOT-elimination
+    rewrites sound in the presence of NULLs. *)
+
+type frame = {
+  layout : Layout.t;
+  tuple : Rel.Tuple.t;
+}
+
+type env = {
+  blocks : frame list;
+      (** enclosing blocks' current candidate tuples, innermost first *)
+  params : Rel.Value.t array;
+      (** bindings for [?] placeholders, by position (prepared statements) *)
+  subquery : env -> Semant.block -> Rel.Value.t list;
+      (** first-column values of the nested block's result, evaluated in the
+          environment current at the call *)
+}
+
+val expr : env -> frame -> Semant.sexpr -> Rel.Value.t
+(** @raise Invalid_argument on an aggregate (those are computed by
+    {!Exec_agg}, never inline). *)
+
+val pred : env -> frame -> Semant.spred -> bool
+
+val compile_sarg :
+  env -> frame option -> tab:int -> Semant.spred -> Rss.Sarg.t option
+(** Render a sargable predicate on relation [tab] as an RSS search argument,
+    resolving any outer-relation or outer-block column to its current value
+    ([frame option] is the join context: the outer composite of a nested-loop
+    inner). [None] when the predicate is not expressible as a SARG. *)
+
+val bound_key :
+  env -> frame option -> Plan.key_bound -> Rss.Btree.bound
+(** Resolve an index key bound's values against the current context. *)

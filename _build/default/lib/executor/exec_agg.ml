@@ -1,0 +1,72 @@
+(* Evaluate a select expression over a set of tuples, computing aggregate
+   subexpressions over the set and everything else on a representative tuple
+   (valid because non-aggregate parts are grouping columns or constants,
+   enforced by Semant). *)
+
+let eval_agg env layout (f : Ast.agg_fn) inner tuples =
+  let values =
+    List.filter_map
+      (fun tuple ->
+        let v = Eval.expr env { Eval.layout; tuple } inner in
+        if Rel.Value.is_null v then None else Some v)
+      tuples
+  in
+  match f, values with
+  | Ast.Count, vs -> Rel.Value.Int (List.length vs)
+  | (Ast.Avg | Ast.Sum | Ast.Min | Ast.Max), [] -> Rel.Value.Null
+  | Ast.Sum, v :: vs -> List.fold_left Rel.Value.add v vs
+  | Ast.Avg, v :: vs ->
+    let sum = List.fold_left Rel.Value.add v vs in
+    let n = List.length values in
+    (match Rel.Value.to_float sum with
+     | Some s -> Rel.Value.Float (s /. float_of_int n)
+     | None -> Rel.Value.Null)
+  | Ast.Min, v :: vs ->
+    List.fold_left (fun a b -> if Rel.Value.compare b a < 0 then b else a) v vs
+  | Ast.Max, v :: vs ->
+    List.fold_left (fun a b -> if Rel.Value.compare b a > 0 then b else a) v vs
+
+let rec eval_over env layout (e : Semant.sexpr) tuples rep =
+  match e with
+  | Semant.E_agg (f, inner) -> eval_agg env layout f inner tuples
+  | Semant.E_binop (op, a, b) ->
+    let va = eval_over env layout a tuples rep in
+    let vb = eval_over env layout b tuples rep in
+    (match op with
+     | Ast.Add -> Rel.Value.add va vb
+     | Ast.Sub -> Rel.Value.sub va vb
+     | Ast.Mul -> Rel.Value.mul va vb
+     | Ast.Div -> Rel.Value.div va vb)
+  | Semant.E_col _ | Semant.E_outer _ | Semant.E_const _ | Semant.E_param _ ->
+    (match rep with
+     | Some tuple -> Eval.expr env { Eval.layout; tuple } e
+     | None -> Rel.Value.Null)
+
+let project env layout (block : Semant.block) tuples =
+  List.map
+    (fun tuple ->
+      Array.of_list
+        (List.map
+           (fun (e, _) -> Eval.expr env { Eval.layout; tuple } e)
+           block.Semant.select))
+    tuples
+
+let row_over env layout (block : Semant.block) tuples =
+  let rep = match tuples with [] -> None | t :: _ -> Some t in
+  Array.of_list
+    (List.map (fun (e, _) -> eval_over env layout e tuples rep) block.Semant.select)
+
+let scalar_aggregate env layout block tuples = row_over env layout block tuples
+
+let group_aggregate env layout (block : Semant.block) tuples =
+  let key_pos = List.map (Layout.pos layout) block.Semant.group_by in
+  let same a b = Rel.Tuple.compare_on key_pos a b = 0 in
+  let rec groups acc current = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | t :: rest ->
+      (match current with
+       | [] -> groups acc [ t ] rest
+       | c :: _ when same c t -> groups acc (t :: current) rest
+       | _ -> groups (List.rev current :: acc) [ t ] rest)
+  in
+  List.map (row_over env layout block) (groups [] [] tuples)

@@ -1,0 +1,18 @@
+(** Aggregation and select-list projection over a block's composite tuples.
+
+    Handles the three result shapes: plain projection, scalar aggregates
+    (single row, as required of subqueries like SELECT AVG(SALARY)), and
+    GROUP BY over group-ordered input. *)
+
+val project :
+  Eval.env -> Layout.t -> Semant.block -> Rel.Tuple.t list -> Rel.Tuple.t list
+(** Evaluate the select list per tuple (no aggregates). *)
+
+val scalar_aggregate :
+  Eval.env -> Layout.t -> Semant.block -> Rel.Tuple.t list -> Rel.Tuple.t
+(** One output row; aggregates over the whole input (COUNT of empty input is
+    0, other aggregates NULL). *)
+
+val group_aggregate :
+  Eval.env -> Layout.t -> Semant.block -> Rel.Tuple.t list -> Rel.Tuple.t list
+(** Input must arrive ordered on the GROUP BY columns; one row per group. *)

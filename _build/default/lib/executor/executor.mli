@@ -1,0 +1,46 @@
+(** Top-level plan execution.
+
+    Runs an optimized query block: opens the plan's cursor tree, aggregates
+    and projects, and evaluates nested blocks on demand. Uncorrelated
+    subqueries are evaluated once and their value reused; correlated
+    subqueries are re-evaluated per candidate tuple, with results cached by
+    the referenced outer values — the generalization of the paper's
+    "if the referenced value is the same as in the previous candidate tuple,
+    the previous result can be used again" optimization (and it also covers
+    the ordered-relation and intermediate-block cases of section 6). *)
+
+type output = {
+  columns : string list;
+  rows : Rel.Tuple.t list;
+}
+
+type stats = {
+  mutable subquery_calls : int;  (** predicate-level subquery invocations *)
+  mutable subquery_evals : int;  (** nested blocks actually executed *)
+}
+
+val run :
+  ?use_subquery_cache:bool ->
+  ?params:Rel.Value.t array ->
+  Catalog.t ->
+  Optimizer.result ->
+  output
+(** @raise Invalid_argument when a scalar subquery returns several rows or an
+    ORDER BY column of a grouped query is absent from its select list. *)
+
+val run_with_stats :
+  ?use_subquery_cache:bool ->
+  ?params:Rel.Value.t array ->
+  Catalog.t ->
+  Optimizer.result ->
+  output * stats
+
+val run_measured :
+  ?use_subquery_cache:bool ->
+  ?params:Rel.Value.t array ->
+  Catalog.t ->
+  Optimizer.result ->
+  output * Rss.Counters.t
+(** Execute with the pager counters snapshotted around the run (the buffer
+    pool is NOT cleared; callers wanting cold-cache numbers should call
+    {!Rss.Pager.evict_all} first). *)

@@ -1,0 +1,37 @@
+type t = {
+  offsets : (int * int) list;  (* FROM position -> offset, in layout order *)
+  width : int;
+}
+
+let empty = { offsets = []; width = 0 }
+
+let table_width (block : Semant.block) tab =
+  let tr = List.nth block.Semant.tables tab in
+  Rel.Schema.arity tr.Semant.rel.Catalog.schema
+
+let of_tables block tabs =
+  let offsets, width =
+    List.fold_left
+      (fun (acc, off) tab -> ((tab, off) :: acc, off + table_width block tab))
+      ([], 0) tabs
+  in
+  { offsets = List.rev offsets; width }
+
+let concat a b =
+  List.iter
+    (fun (tab, _) ->
+      if List.mem_assoc tab a.offsets then
+        invalid_arg (Printf.sprintf "Layout.concat: table %d on both sides" tab))
+    b.offsets;
+  { offsets = a.offsets @ List.map (fun (t, o) -> (t, o + a.width)) b.offsets;
+    width = a.width + b.width }
+
+let width t = t.width
+let mem t tab = List.mem_assoc tab t.offsets
+
+let pos t (c : Semant.col_ref) =
+  match List.assoc_opt c.tab t.offsets with
+  | Some off -> off + c.col
+  | None -> raise Not_found
+
+let tables t = List.map fst t.offsets

@@ -1,0 +1,22 @@
+(** Composite-tuple layouts.
+
+    A join composite concatenates the tuples of the joined relations in plan
+    order; a layout maps a block's FROM position to its offset within the
+    composite so resolved column references (tab, col) become positions. *)
+
+type t
+
+val empty : t
+val of_tables : Semant.block -> int list -> t
+(** Layout of a composite holding the given FROM positions in order. *)
+
+val concat : t -> t -> t
+(** Right operand's tables follow the left's (join output layout).
+    @raise Invalid_argument when a table appears in both. *)
+
+val width : t -> int
+val mem : t -> int -> bool
+val pos : t -> Semant.col_ref -> int
+(** @raise Not_found when the table is not part of this layout. *)
+
+val tables : t -> int list

@@ -1,0 +1,1 @@
+lib/optimizer/access_path.ml: Ast Catalog Cost_model Ctx List Normalize Option Plan Rss Selectivity Semant

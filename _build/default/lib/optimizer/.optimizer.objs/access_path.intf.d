@@ -1,0 +1,1 @@
+lib/optimizer/access_path.mli: Ctx Normalize Plan Semant

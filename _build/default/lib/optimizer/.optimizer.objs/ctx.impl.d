@@ -1,0 +1,1 @@
+lib/optimizer/ctx.ml: Catalog List Option Rel Rss Semant Stats

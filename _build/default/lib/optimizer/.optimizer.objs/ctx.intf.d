@@ -1,0 +1,1 @@
+lib/optimizer/ctx.mli: Catalog Rel Semant

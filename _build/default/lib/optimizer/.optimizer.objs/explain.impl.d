@@ -1,0 +1,1 @@
+lib/optimizer/explain.ml: Buffer Cost_model Float Format Int Interesting_order Join_enum List Optimizer Plan Printf Semant String

@@ -1,0 +1,1 @@
+lib/optimizer/explain.mli: Join_enum Optimizer Semant

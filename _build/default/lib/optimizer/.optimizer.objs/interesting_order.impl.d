@@ -1,0 +1,1 @@
+lib/optimizer/interesting_order.ml: Ast Format Hashtbl List Normalize Semant

@@ -1,0 +1,1 @@
+lib/optimizer/interesting_order.mli: Ast Format Normalize Semant

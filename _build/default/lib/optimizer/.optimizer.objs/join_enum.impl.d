@@ -1,0 +1,1 @@
+lib/optimizer/join_enum.ml: Access_path Array Ast Cost_model Ctx Float Fun Hashtbl Int Interesting_order List Normalize Option Plan Selectivity Semant

@@ -1,0 +1,1 @@
+lib/optimizer/join_enum.mli: Ctx Interesting_order Normalize Plan Semant

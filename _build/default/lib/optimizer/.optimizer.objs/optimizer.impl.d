@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.ml: Cost_model Ctx Interesting_order Join_enum List Normalize Plan Selectivity Semant

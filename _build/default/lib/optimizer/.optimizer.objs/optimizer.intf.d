@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.mli: Ctx Join_enum Plan Semant

@@ -1,0 +1,1 @@
+lib/optimizer/plan.ml: Ast Catalog Cost_model Format Interesting_order List Printf Rel Semant String

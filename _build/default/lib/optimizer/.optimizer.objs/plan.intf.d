@@ -1,0 +1,1 @@
+lib/optimizer/plan.mli: Ast Catalog Cost_model Format Interesting_order Rel Semant

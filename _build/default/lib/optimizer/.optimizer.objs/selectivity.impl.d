@@ -1,0 +1,1 @@
+lib/optimizer/selectivity.ml: Ast Ctx Float List Normalize Rel Semant

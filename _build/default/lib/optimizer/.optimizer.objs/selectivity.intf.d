@@ -1,0 +1,1 @@
+lib/optimizer/selectivity.mli: Ctx Normalize Semant

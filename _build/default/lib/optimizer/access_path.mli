@@ -1,0 +1,33 @@
+(** Single-relation access path enumeration and costing (section 4).
+
+    For one relation of a block, produce every reasonable access path — the
+    segment scan plus one path per index — each with: the boolean factors it
+    applies as SARGs, the factors it matches with index key bounds, its
+    residual factors, its TABLE 2 cost, the tuple order it produces, and its
+    expected output cardinality.
+
+    When [outer] relations are supplied (the scan will run as the inner of a
+    join), equi-join factors linking this relation to them become available:
+    their outer-side value is known at each opening, so they act as
+    dynamically-bound SARGs and can match indexes exactly like "column =
+    value" factors — this is how a join predicate turns an index on the join
+    column into an efficient inner path. *)
+
+val paths :
+  Ctx.t ->
+  Semant.block ->
+  factors:Normalize.factor list ->
+  tab:int ->
+  outer:int list ->
+  Plan.t list
+(** All candidate scans of the relation at FROM position [tab]. [factors]
+    are the block's boolean factors (subquery-bearing factors are ignored
+    here; the optimizer applies them above the joins). Every applicable
+    factor appears in exactly one of the returned plans' [sargs] or
+    [residual] lists. *)
+
+val rsicard :
+  Ctx.t -> Semant.block -> factors:Normalize.factor list -> tab:int ->
+  outer:int list -> float
+(** Expected RSI calls per opening: NCARD times the selectivities of the
+    sargable (including dynamically-bound) factors. *)

@@ -1,0 +1,110 @@
+type t = {
+  catalog : Catalog.t;
+  w : float;
+  buffer_pages : int;
+  use_heuristic : bool;
+  use_interesting_orders : bool;
+  refined_pages : bool;
+}
+
+type rel_stats = {
+  ncard : float;
+  tcard : float;
+  p : float;
+}
+
+type idx_stats = {
+  icard : float;
+  nindx : float;
+  low : Rel.Value.t option;
+  high : Rel.Value.t option;
+  clustered : bool;
+  unique : bool;
+}
+
+let default_w = 0.5
+
+let create ?(w = default_w) ?buffer_pages ?(use_heuristic = true)
+    ?(use_interesting_orders = true) ?(refined_pages = false) catalog =
+  let buffer_pages =
+    Option.value buffer_pages
+      ~default:(Rss.Pager.buffer_pages (Catalog.pager catalog))
+  in
+  { catalog; w; buffer_pages; use_heuristic; use_interesting_orders;
+    refined_pages }
+
+(* "We assume that a lack of statistics implies that the relation is small,
+   so an arbitrary factor is chosen." *)
+let default_rel_stats = { ncard = 30.; tcard = 3.; p = 1.0 }
+
+let rel_stats _t (rel : Catalog.relation) =
+  match rel.rstats with
+  | None -> default_rel_stats
+  | Some s ->
+    { ncard = float_of_int s.Stats.ncard;
+      tcard = float_of_int (max 1 s.Stats.tcard);
+      p = (if s.Stats.p <= 0. then 1.0 else s.Stats.p) }
+
+let idx_stats t (idx : Catalog.index) =
+  let r = rel_stats t idx.rel in
+  match idx.istats with
+  | None ->
+    { icard = 10.;
+      nindx = 1.;
+      low = None;
+      high = None;
+      clustered = idx.clustered;
+      unique = false }
+  | Some s ->
+    let icard = float_of_int (max 1 s.Stats.icard) in
+    { icard;
+      nindx = float_of_int (max 1 s.Stats.nindx);
+      low = s.Stats.low_key;
+      high = s.Stats.high_key;
+      clustered = idx.clustered;
+      unique = icard >= r.ncard && r.ncard > 0. }
+
+let indexes_of t rel = Catalog.indexes_on t.catalog rel
+
+let table_rel (block : Semant.block) tab =
+  (List.nth block.tables tab).Semant.rel
+
+(* Indexes on the referenced column, leading-column first. Prefer a
+   single-column index (its ICARD is exactly the column's cardinality);
+   otherwise accept a multi-column index led by the column, whose composite
+   ICARD overestimates the column's. *)
+let leading_indexes t block (c : Semant.col_ref) =
+  let rel = table_rel block c.tab in
+  List.filter
+    (fun (idx : Catalog.index) ->
+      match idx.key_cols with lead :: _ -> lead = c.col | [] -> false)
+    (indexes_of t rel)
+
+let column_icard t block c =
+  let candidates = leading_indexes t block c in
+  let with_stats =
+    List.filter (fun (i : Catalog.index) -> i.istats <> None) candidates
+  in
+  let single =
+    List.find_opt (fun (i : Catalog.index) -> List.length i.key_cols = 1) with_stats
+  in
+  match single, with_stats with
+  | Some i, _ | None, i :: _ -> Some (idx_stats t i).icard
+  | None, [] -> None
+
+let column_range t block c =
+  let to_float v = Rel.Value.to_float v in
+  List.find_map
+    (fun (i : Catalog.index) ->
+      let s = idx_stats t i in
+      match s.low, s.high with
+      | Some lo, Some hi ->
+        (match to_float lo, to_float hi with
+         | Some lo, Some hi when hi > lo -> Some (lo, hi)
+         | _ -> None)
+      | _ -> None)
+    (leading_indexes t block c)
+
+let tuples_per_page t rel =
+  let s = rel_stats t rel in
+  if s.tcard <= 0. then s.ncard else max 1. (s.ncard /. s.tcard)

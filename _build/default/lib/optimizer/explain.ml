@@ -1,0 +1,61 @@
+let table_names (block : Semant.block) tab =
+  match List.nth_opt block.tables tab with
+  | Some tr -> tr.Semant.alias
+  | None -> Printf.sprintf "t%d" tab
+
+let plan (r : Optimizer.result) =
+  let buf = Buffer.create 256 in
+  let rec emit prefix (r : Optimizer.result) =
+    let names = table_names r.block in
+    Buffer.add_string buf
+      (Format.asprintf "%s%a" prefix (Plan.pp ~names) r.plan);
+    List.iteri
+      (fun i (b, sub) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%ssubquery %d (%s):\n" prefix (i + 1)
+             (if b.Semant.correlated then "correlated" else "evaluated once"));
+        emit (prefix ^ "  ") sub)
+      r.subresults
+  in
+  emit "" r;
+  Buffer.contents buf
+
+let search_tree (block : Semant.block) (stats : Join_enum.stats) =
+  let names = table_names block in
+  let buf = Buffer.create 1024 in
+  let by_size =
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare (List.length a) (List.length b))
+      stats.dp_table
+  in
+  let current_size = ref 0 in
+  List.iter
+    (fun (tabs, plans) ->
+      let size = List.length tabs in
+      if size <> !current_size then begin
+        current_size := size;
+        Buffer.add_string buf
+          (Printf.sprintf "--- solutions for %d relation%s ---\n" size
+             (if size = 1 then "" else "s"));
+      end;
+      Buffer.add_string buf
+        (Printf.sprintf "{%s}:\n" (String.concat ", " (List.map names tabs)));
+      let sorted =
+        List.sort
+          (fun (a : Plan.t) (b : Plan.t) ->
+            Float.compare a.cost.Cost_model.pages b.cost.Cost_model.pages)
+          plans
+      in
+      List.iter
+        (fun (p : Plan.t) ->
+          Buffer.add_string buf
+            (Format.asprintf "  %-60s order=[%a] cost=%a card=%.1f\n"
+               (Plan.describe ~names p) Interesting_order.pp_order p.order
+               Cost_model.pp p.cost p.out_card))
+        sorted)
+    by_size;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "plans considered: %d; solutions stored: %d; subsets examined: %d\n"
+       stats.plans_considered stats.solutions_stored stats.subsets_examined);
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Human-readable renderings: EXPLAIN output and the search-tree dumps that
+    regenerate Figures 2–6. *)
+
+val table_names : Semant.block -> int -> string
+(** Display name (alias) for a FROM position. *)
+
+val plan : Optimizer.result -> string
+(** Indented plan tree with predicted costs, including subquery plans. *)
+
+val search_tree : Semant.block -> Join_enum.stats -> string
+(** The retained solutions for every subset of relations, grouped by subset
+    size — single relations first (Fig. 2–3), then pairs (Fig. 4–5), then
+    triples (Fig. 6), each line showing access/join structure, produced
+    order, predicted cost and cardinality. *)

@@ -1,0 +1,98 @@
+type order = (Semant.col_ref * Ast.order_dir) list
+
+(* Union-find over column references, keyed by (tab, col). *)
+type env = {
+  parent : (Semant.col_ref, Semant.col_ref) Hashtbl.t;
+}
+
+let rec find env (c : Semant.col_ref) =
+  match Hashtbl.find_opt env.parent c with
+  | None -> c
+  | Some p when p = c -> c
+  | Some p ->
+    let root = find env p in
+    Hashtbl.replace env.parent c root;
+    root
+
+let union env a b =
+  let ra = find env a and rb = find env b in
+  if ra <> rb then Hashtbl.replace env.parent ra rb
+
+let build _block factors =
+  let env = { parent = Hashtbl.create 16 } in
+  List.iter
+    (fun (f : Normalize.factor) ->
+      match f.equi_join with
+      | Some (a, b) -> union env a b
+      | None -> ())
+    factors;
+  env
+
+let canon env c = find env c
+
+let canonical_order env o = List.map (fun (c, d) -> (canon env c, d)) o
+
+let equivalent env a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ca, da) (cb, db) -> canon env ca = canon env cb && da = db)
+       a b
+
+let satisfies env ~produced ~required =
+  let produced = canonical_order env produced in
+  let required = canonical_order env required in
+  let rec go p r =
+    match p, r with
+    | _, [] -> true
+    | [], _ :: _ -> false
+    | (pc, pd) :: p', (rc, rd) :: r' -> pc = rc && pd = rd && go p' r'
+  in
+  go produced required
+
+(* Grouping imposes its order on the plan (the executor aggregates over
+   group-ordered streams); an ORDER BY over grouped output is applied to the
+   few result rows after aggregation. *)
+let satisfies_grouping env ~produced ~cols =
+  let want = List.sort_uniq compare (List.map (canon env) cols) in
+  let produced = canonical_order env produced in
+  let rec eat want produced =
+    match want, produced with
+    | [], _ -> true
+    | _, [] -> false
+    | _, (c, _) :: rest ->
+      if List.mem c want then eat (List.filter (( <> ) c) want) rest else false
+  in
+  eat want produced
+
+let required_order (block : Semant.block) =
+  match block.group_by with
+  | _ :: _ as cols -> List.map (fun c -> (c, Ast.Asc)) cols
+  | [] -> block.order_by
+
+let interesting_columns env block factors =
+  let join_cols =
+    List.concat_map
+      (fun (f : Normalize.factor) ->
+        match f.equi_join with Some (a, b) -> [ a; b ] | None -> [])
+      factors
+  in
+  let req = List.map fst (required_order block) in
+  List.sort_uniq compare (List.map (canon env) (join_cols @ req))
+
+let truncate_interesting env block factors o =
+  let interesting = interesting_columns env block factors in
+  let rec go = function
+    | [] -> []
+    | (c, d) :: rest ->
+      let c = canon env c in
+      if List.mem c interesting then (c, d) :: go rest else []
+  in
+  go o
+
+let pp_order ppf o =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf ((c : Semant.col_ref), d) ->
+      Format.fprintf ppf "t%d.c%d%s" c.tab c.col
+        (match d with Ast.Asc -> "" | Ast.Desc -> " DESC"))
+    ppf o

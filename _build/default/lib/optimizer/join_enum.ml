@@ -1,0 +1,320 @@
+type stats = {
+  plans_considered : int;
+  solutions_stored : int;
+  subsets_examined : int;
+  dp_table : (int list * Plan.t list) list;
+}
+
+type search = {
+  ctx : Ctx.t;
+  block : Semant.block;
+  factors : Normalize.factor list;
+  env : Interesting_order.env;
+  mutable considered : int;
+  solutions : (int, Plan.t list) Hashtbl.t;  (* mask -> retained plans *)
+}
+
+let mask_tables mask =
+  let rec go i acc =
+    if 1 lsl i > mask then List.rev acc
+    else go (i + 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc)
+  in
+  go 0 []
+
+(* Composite rows get wider as relations join; tuples-per-page of the
+   composite follows 1/tpp = sum(1/tpp_i). *)
+let tuples_per_page_of s tabs =
+  let inv =
+    List.fold_left
+      (fun acc tab ->
+        let rel = Ctx.table_rel s.block tab in
+        acc +. (1. /. Ctx.tuples_per_page s.ctx rel))
+      0. tabs
+  in
+  if inv <= 0. then 50. else Float.max 1. (1. /. inv)
+
+(* --- solution retention ---------------------------------------------- *)
+
+(* "To minimize the number of different interesting orders (and hence of
+   solutions in the tree) equivalence classes are computed and only the best
+   solution for each is saved" — plus the cheapest solution overall (the
+   'unordered' champion). *)
+let prune s plans =
+  let w = s.ctx.Ctx.w in
+  let key (p : Plan.t) =
+    if s.ctx.Ctx.use_interesting_orders then
+      Interesting_order.truncate_interesting s.env s.block s.factors p.order
+    else []
+  in
+  let best = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Plan.t) ->
+      let k = key p in
+      match Hashtbl.find_opt best k with
+      | Some (q : Plan.t) when Cost_model.compare_total ~w q.cost p.cost <= 0 -> ()
+      | _ -> Hashtbl.replace best k p)
+    plans;
+  (* Drop ordered entries that cost no less than the cheapest unordered one
+     only if their order adds nothing (same truncated key handles that); an
+     ordered plan cheaper than the unordered champion also serves as champion. *)
+  Hashtbl.fold (fun _ p acc -> p :: acc) best []
+
+let cheapest s plans =
+  let w = s.ctx.Ctx.w in
+  match plans with
+  | [] -> None
+  | p :: rest ->
+    Some
+      (List.fold_left
+         (fun (a : Plan.t) (b : Plan.t) ->
+           if Cost_model.compare_total ~w a.cost b.cost <= 0 then a else b)
+         p rest)
+
+(* --- factor bookkeeping ----------------------------------------------- *)
+
+let subset tables mask_tabs = List.for_all (fun t -> List.mem t mask_tabs) tables
+
+(* Factors applied when relation [j] joins composite [mask]: they reference j
+   plus only available tables, and at least one outer table (purely local
+   factors were applied at j's scan). *)
+let cross_factors s ~j ~outer_tabs =
+  List.filter
+    (fun (f : Normalize.factor) ->
+      (not f.has_subquery)
+      && List.mem j f.tables
+      && List.exists (fun t -> t <> j) f.tables
+      && subset f.tables (j :: outer_tabs))
+    s.factors
+
+let connected s ~j ~mask_tabs =
+  List.exists
+    (fun (f : Normalize.factor) ->
+      List.mem j f.tables && List.exists (fun t -> List.mem t mask_tabs) f.tables)
+    s.factors
+
+(* --- join construction ------------------------------------------------ *)
+
+let note s (p : Plan.t) =
+  s.considered <- s.considered + 1;
+  p
+
+let nl_join s ~outer ~inner =
+  let cost =
+    Cost_model.nested_loop_join ~outer:outer.Plan.cost ~outer_card:outer.Plan.out_card
+      ~inner_per_open:inner.Plan.cost
+  in
+  note s
+    { Plan.node = Plan.Nl_join { outer; inner };
+      tables = outer.Plan.tables @ inner.Plan.tables;
+      order = outer.Plan.order;  (* the outer major order survives *)
+      cost;
+      out_card = outer.Plan.out_card *. inner.Plan.out_card }
+
+let sort_plan s (input : Plan.t) key =
+  let tpp = tuples_per_page_of s input.tables in
+  let sc = Cost_model.sort_cost s.ctx ~tuples:input.out_card ~tuples_per_page:tpp in
+  note s
+    { Plan.node = Plan.Sort { input; key };
+      tables = input.tables;
+      order = key;
+      cost = Cost_model.add input.cost sc;
+      out_card = input.out_card }
+
+let merge_join s ~outer ~inner ~outer_col ~inner_col ~merge_factor ~others =
+  let cross_sel =
+    List.fold_left
+      (fun acc (f : Normalize.factor) -> acc *. Selectivity.factor s.ctx s.block f.pred)
+      (Selectivity.factor s.ctx s.block merge_factor.Normalize.pred)
+      others
+  in
+  let out_card = outer.Plan.out_card *. inner.Plan.out_card *. cross_sel in
+  let matches =
+    (* inner tuples surfaced during the merge, before residual filtering *)
+    outer.Plan.out_card *. inner.Plan.out_card
+    *. Selectivity.factor s.ctx s.block merge_factor.Normalize.pred
+  in
+  let cost =
+    match inner.Plan.node with
+    | Plan.Sort _ ->
+      let tpp = tuples_per_page_of s inner.Plan.tables in
+      let temppages =
+        Cost_model.temp_pages ~tuples:inner.Plan.out_card ~tuples_per_page:tpp
+      in
+      Cost_model.merge_join_sorted_inner s.ctx ~outer:outer.Plan.cost
+        ~inner_build:inner.Plan.cost ~temppages ~matches
+    | Plan.Scan _ | Plan.Nl_join _ | Plan.Merge_join _ | Plan.Filter _ ->
+      Cost_model.merge_join_ordered_inner ~outer:outer.Plan.cost
+        ~inner_whole:inner.Plan.cost ~matches
+  in
+  note s
+    { Plan.node =
+        Plan.Merge_join
+          { outer;
+            inner;
+            outer_col;
+            inner_col;
+            residual = List.map (fun (f : Normalize.factor) -> f.pred) others };
+      tables = outer.Plan.tables @ inner.Plan.tables;
+      order = outer.Plan.order;
+      cost;
+      out_card }
+
+(* Extensions of [mask]'s solutions by joining in relation [j]. *)
+let extend s ~mask ~j =
+  let mask_tabs = mask_tables mask in
+  let outer_plans = Option.value (Hashtbl.find_opt s.solutions mask) ~default:[] in
+  if outer_plans = [] then []
+  else begin
+    (* Nested loops: every retained outer × every inner access path that can
+       exploit the join predicates dynamically. *)
+    let inner_paths =
+      Access_path.paths s.ctx s.block ~factors:s.factors ~tab:j ~outer:mask_tabs
+    in
+    List.iter (fun p -> ignore (note s p)) inner_paths;
+    let nl =
+      List.concat_map
+        (fun outer -> List.map (fun inner -> nl_join s ~outer ~inner) inner_paths)
+        outer_plans
+    in
+    (* Merging scans: one per applicable equi-join factor. *)
+    let cross = cross_factors s ~j ~outer_tabs:mask_tabs in
+    let merge =
+      List.concat_map
+        (fun (f : Normalize.factor) ->
+          match f.equi_join with
+          | Some (a, b)
+            when (a.Semant.tab = j && List.mem b.Semant.tab mask_tabs)
+                 || (b.Semant.tab = j && List.mem a.Semant.tab mask_tabs) ->
+            let inner_col, outer_col = if a.Semant.tab = j then (a, b) else (b, a) in
+            let others = List.filter (fun g -> g != f) cross in
+            let inner_order = [ (inner_col, Ast.Asc) ] in
+            (* local-only inner paths: the merge scans the inner on its own *)
+            let local_inner =
+              Access_path.paths s.ctx s.block ~factors:s.factors ~tab:j ~outer:[]
+            in
+            List.iter (fun p -> ignore (note s p)) local_inner;
+            let ordered_inners =
+              List.filter
+                (fun (p : Plan.t) ->
+                  Interesting_order.satisfies s.env ~produced:p.order
+                    ~required:inner_order)
+                local_inner
+            in
+            let sorted_inner =
+              Option.map
+                (fun best -> sort_plan s best inner_order)
+                (cheapest s local_inner)
+            in
+            let inners = ordered_inners @ Option.to_list sorted_inner in
+            let outer_order = [ (outer_col, Ast.Asc) ] in
+            let ordered_outers =
+              List.filter
+                (fun (p : Plan.t) ->
+                  Interesting_order.satisfies s.env ~produced:p.order
+                    ~required:outer_order)
+                outer_plans
+            in
+            let sorted_outer =
+              Option.map
+                (fun best -> sort_plan s best outer_order)
+                (cheapest s outer_plans)
+            in
+            let outers = ordered_outers @ Option.to_list sorted_outer in
+            List.concat_map
+              (fun outer ->
+                List.map
+                  (fun inner ->
+                    merge_join s ~outer ~inner ~outer_col ~inner_col
+                      ~merge_factor:f ~others)
+                  inners)
+              outers
+          | Some _ | None -> [])
+        cross
+    in
+    nl @ merge
+  end
+
+(* --- driver ------------------------------------------------------------ *)
+
+let plan_block ctx block ?required ~factors ~env () =
+  let s = { ctx; block; factors; env; considered = 0; solutions = Hashtbl.create 64 } in
+  let n = List.length block.Semant.tables in
+  let required =
+    Option.value required ~default:(Interesting_order.required_order block)
+  in
+  let subsets = ref 0 in
+  (* size-1 subsets: access paths with local predicates only *)
+  for tab = 0 to n - 1 do
+    incr subsets;
+    let paths = Access_path.paths ctx block ~factors ~tab ~outer:[] in
+    List.iter (fun p -> ignore (note s p)) paths;
+    Hashtbl.replace s.solutions (1 lsl tab) (prune s paths)
+  done;
+  (* grow subsets *)
+  let masks_of_size = Array.make (n + 1) [] in
+  for tab = 0 to n - 1 do
+    masks_of_size.(1) <- (1 lsl tab) :: masks_of_size.(1)
+  done;
+  for size = 2 to n do
+    let acc : (int, Plan.t list) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun mask ->
+        let mask_tabs = mask_tables mask in
+        let candidates = List.filter (fun j -> mask land (1 lsl j) = 0) (List.init n Fun.id) in
+        let joinable =
+          if not ctx.Ctx.use_heuristic then candidates
+          else begin
+            let conn = List.filter (fun j -> connected s ~j ~mask_tabs) candidates in
+            (* defer Cartesian products as late as possible *)
+            if conn <> [] then conn else candidates
+          end
+        in
+        List.iter
+          (fun j ->
+            let exts = extend s ~mask ~j in
+            let key = mask lor (1 lsl j) in
+            let prev = Option.value (Hashtbl.find_opt acc key) ~default:[] in
+            Hashtbl.replace acc key (exts @ prev))
+          joinable)
+      masks_of_size.(size - 1);
+    Hashtbl.iter
+      (fun mask plans ->
+        incr subsets;
+        Hashtbl.replace s.solutions mask (prune s plans);
+        masks_of_size.(size) <- mask :: masks_of_size.(size))
+      acc
+  done;
+  let full = (1 lsl n) - 1 in
+  let finals = Option.value (Hashtbl.find_opt s.solutions full) ~default:[] in
+  (if finals = [] then
+     invalid_arg "Join_enum.plan_block: no complete solution (empty FROM?)");
+  let w = ctx.Ctx.w in
+  let best =
+    if required = [] then Option.get (cheapest s finals)
+    else begin
+      (* grouping accepts any permutation of the grouping columns (equal
+         keys end up adjacent either way); ORDER BY is positional *)
+      let order_ok (p : Plan.t) =
+        match block.Semant.group_by with
+        | [] -> Interesting_order.satisfies env ~produced:p.order ~required
+        | cols -> Interesting_order.satisfies_grouping env ~produced:p.order ~cols
+      in
+      let ordered = List.filter order_ok finals in
+      let sorted_alt = sort_plan s (Option.get (cheapest s finals)) required in
+      Option.get (cheapest s (sorted_alt :: ordered))
+    end
+  in
+  ignore w;
+  let stored = Hashtbl.fold (fun _ ps acc -> acc + List.length ps) s.solutions 0 in
+  let dp_table =
+    Hashtbl.fold (fun mask ps acc -> (mask_tables mask, ps) :: acc) s.solutions []
+    |> List.sort (fun (a, _) (b, _) ->
+           match Int.compare (List.length a) (List.length b) with
+           | 0 -> compare a b
+           | d -> d)
+  in
+  ( best,
+    { plans_considered = s.considered;
+      solutions_stored = stored;
+      subsets_examined = !subsets;
+      dp_table } )

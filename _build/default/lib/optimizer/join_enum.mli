@@ -1,0 +1,31 @@
+(** Join order and method search (section 5).
+
+    The optimal plan for joining n relations is found by building best
+    solutions for successively larger subsets of the FROM list. For each
+    subset the solutions kept are the cheapest for each interesting-order
+    equivalence class plus the cheapest unordered one; a heuristic considers
+    only join orders whose inner relation is connected by a join predicate to
+    the relations already joined, deferring Cartesian products as long as
+    possible. Plans are left-deep; nested-loop and merging-scan joins may mix
+    freely within one plan. *)
+
+type stats = {
+  plans_considered : int;   (** candidate (sub)plans generated *)
+  solutions_stored : int;   (** plans retained across all subsets *)
+  subsets_examined : int;
+  dp_table : (int list * Plan.t list) list;
+      (** relations of each subset (FROM positions) with the retained
+          solutions — the search tree of Figures 3–6 *)
+}
+
+val plan_block :
+  Ctx.t ->
+  Semant.block ->
+  ?required:Interesting_order.order ->
+  factors:Normalize.factor list ->
+  env:Interesting_order.env ->
+  unit ->
+  Plan.t * stats
+(** Best plan joining all relations of the block, including a final sort
+    when [required] (default: the block's ORDER BY / GROUP BY order) is not
+    produced naturally. [factors] should exclude subquery-bearing factors. *)

@@ -1,0 +1,135 @@
+open Semant
+
+let clamp f = if f < 0. then 0. else if f > 1. then 1. else f
+
+(* --- TABLE 1, case by case ------------------------------------------- *)
+
+(* column = value *)
+let eq_selectivity ctx block c =
+  match Ctx.column_icard ctx block c with
+  | Some icard -> 1. /. icard  (* even distribution among key values *)
+  | None -> 1. /. 10.
+
+(* column1 = column2 *)
+let col_eq_col ctx block c1 c2 =
+  match Ctx.column_icard ctx block c1, Ctx.column_icard ctx block c2 with
+  | Some i1, Some i2 -> 1. /. Float.max i1 i2
+  | Some i, None | None, Some i -> 1. /. i
+  | None, None -> 1. /. 10.
+
+(* column > value (or any other open comparison): linear interpolation when
+   the column is arithmetic and the value known at access path selection. *)
+let range_selectivity ctx block c op (v : Rel.Value.t) =
+  match Ctx.column_range ctx block c, Rel.Value.to_float v with
+  | Some (low, high), Some value when high > low ->
+    let f =
+      match op with
+      | Ast.Gt | Ast.Ge -> (high -. value) /. (high -. low)
+      | Ast.Lt | Ast.Le -> (value -. low) /. (high -. low)
+      | Ast.Eq | Ast.Ne -> assert false
+    in
+    clamp f
+  | _ -> 1. /. 3.
+
+let between_selectivity ctx block c lo hi =
+  match
+    Ctx.column_range ctx block c, Rel.Value.to_float lo, Rel.Value.to_float hi
+  with
+  | Some (low, high), Some v1, Some v2 when high > low ->
+    clamp ((v2 -. v1) /. (high -. low))
+  | _ -> 1. /. 4.
+
+let rec factor ctx block (p : spred) =
+  let f =
+    match p with
+    | P_cmp (E_col c, Ast.Eq, (E_const _ | E_param _))
+    | P_cmp ((E_const _ | E_param _), Ast.Eq, E_col c) ->
+      (* the 1/ICARD estimate needs only the index, not the value, so it
+         also covers ? placeholders *)
+      eq_selectivity ctx block c
+    | P_cmp (E_col c, Ast.Ne, (E_const _ | E_param _))
+    | P_cmp ((E_const _ | E_param _), Ast.Ne, E_col c) ->
+      1. -. eq_selectivity ctx block c
+    | P_cmp (E_col c1, Ast.Eq, E_col c2) -> col_eq_col ctx block c1 c2
+    | P_cmp (E_col c1, Ast.Ne, E_col c2) -> 1. -. col_eq_col ctx block c1 c2
+    | P_cmp (E_col c, ((Ast.Gt | Ast.Ge | Ast.Lt | Ast.Le) as op), E_const v) ->
+      range_selectivity ctx block c op v
+    | P_cmp (E_const v, ((Ast.Gt | Ast.Ge | Ast.Lt | Ast.Le) as op), E_col c) ->
+      let flipped =
+        match op with
+        | Ast.Gt -> Ast.Lt | Ast.Ge -> Ast.Le
+        | Ast.Lt -> Ast.Gt | Ast.Le -> Ast.Ge
+        | Ast.Eq | Ast.Ne -> assert false
+      in
+      range_selectivity ctx block c flipped v
+    | P_cmp (_, Ast.Eq, _) -> 1. /. 10.
+    | P_cmp (_, Ast.Ne, _) -> 1. -. (1. /. 10.)
+    | P_cmp (_, (Ast.Gt | Ast.Ge | Ast.Lt | Ast.Le), _) -> 1. /. 3.
+    | P_between (E_col c, E_const lo, E_const hi) ->
+      between_selectivity ctx block c lo hi
+    | P_between _ -> 1. /. 4.
+    | P_in_list (e, vs) ->
+      let per =
+        match e with
+        | E_col c -> eq_selectivity ctx block c
+        | _ -> 1. /. 10.
+      in
+      (* "allowed to be no more than 1/2" *)
+      Float.min 0.5 (float_of_int (List.length vs) *. per)
+    | P_in_sub { block = sub; negated; _ } ->
+      (* F = (expected cardinality of the subquery result) /
+             (product of the cardinalities of all the relations in the
+              subquery's FROM-list) *)
+      let f = clamp (block_qcard ctx sub /. cardinality_product ctx sub) in
+      if negated then 1. -. f else f
+    | P_cmp_sub (e, op, _) ->
+      (* Scalar subquery compared to an expression: the value is unknown at
+         access path selection, so use the no-index defaults of TABLE 1. *)
+      (match op, e with
+       | Ast.Eq, E_col c -> eq_selectivity ctx block c
+       | Ast.Eq, _ -> 1. /. 10.
+       | Ast.Ne, E_col c -> 1. -. eq_selectivity ctx block c
+       | Ast.Ne, _ -> 1. -. (1. /. 10.)
+       | (Ast.Gt | Ast.Ge | Ast.Lt | Ast.Le), _ -> 1. /. 3.)
+    | P_or (a, b) ->
+      let fa = factor ctx block a and fb = factor ctx block b in
+      fa +. fb -. (fa *. fb)
+    | P_and (a, b) ->
+      (* assumes column values are independent *)
+      factor ctx block a *. factor ctx block b
+    | P_not a -> 1. -. factor ctx block a
+  in
+  clamp f
+
+and cardinality_product ctx (block : block) =
+  List.fold_left
+    (fun acc (tr : table_ref) -> acc *. (Ctx.rel_stats ctx tr.rel).ncard)
+    1. block.tables
+
+and block_qcard ctx (block : block) =
+  let factors = Normalize.factors_of_block block in
+  let sel =
+    List.fold_left (fun acc f -> acc *. factor ctx block f.Normalize.pred) 1. factors
+  in
+  let base = cardinality_product ctx block *. sel in
+  if block.scalar_agg then 1.
+  else
+    match block.group_by with
+    | [] -> base
+    | cols ->
+      (* distinct-group estimate: product of grouping-column cardinalities
+         when indexes provide them, bounded by the pre-grouping cardinality *)
+      let groups =
+        List.fold_left
+          (fun acc c ->
+            match Ctx.column_icard ctx block c with
+            | Some icard -> acc *. icard
+            | None -> acc *. 10.)
+          1. cols
+      in
+      Float.min base groups
+
+let factors_product ctx block factors =
+  List.fold_left
+    (fun acc (f : Normalize.factor) -> acc *. factor ctx block f.pred)
+    1. factors

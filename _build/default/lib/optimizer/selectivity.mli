@@ -1,0 +1,21 @@
+(** Selectivity factors — TABLE 1 of the paper, verbatim.
+
+    F is the expected fraction of tuples satisfying a predicate; query
+    cardinality QCARD is the product of FROM-list cardinalities times the
+    product of the boolean factors' selectivities; RSICARD multiplies only
+    the sargable factors' selectivities. *)
+
+val factor : Ctx.t -> Semant.block -> Semant.spred -> float
+(** Selectivity of one boolean factor, per TABLE 1. Always in [0, 1]. *)
+
+val factors_product : Ctx.t -> Semant.block -> Normalize.factor list -> float
+
+val block_qcard : Ctx.t -> Semant.block -> float
+(** Estimated result cardinality of a whole block: cardinalities times
+    selectivities, then 1 for a scalar aggregate and a distinct-groups
+    estimate under GROUP BY. Used both for top blocks and for the
+    "expected cardinality of the subquery result" in TABLE 1's
+    [columnA IN subquery] rule. *)
+
+val cardinality_product : Ctx.t -> Semant.block -> float
+(** Product of the cardinalities of all relations in the block's FROM list. *)

@@ -1,0 +1,1 @@
+lib/rel/schema.ml: Array Format Hashtbl Printf String Value

@@ -1,0 +1,1 @@
+lib/rel/schema.mli: Format Value

@@ -1,0 +1,1 @@
+lib/rel/tuple.ml: Array Buffer Bytes Format List Schema Value

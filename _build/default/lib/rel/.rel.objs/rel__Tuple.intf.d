@@ -1,0 +1,1 @@
+lib/rel/tuple.mli: Buffer Format Schema Value

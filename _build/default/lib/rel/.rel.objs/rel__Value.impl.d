@@ -1,0 +1,1 @@
+lib/rel/value.ml: Buffer Bytes Char Format Int64 Printf Stdlib String

@@ -1,0 +1,52 @@
+type column = {
+  name : string;
+  ty : Value.ty;
+}
+
+type t = {
+  cols : column array;
+  by_name : (string, int) Hashtbl.t;
+  composite : bool;
+}
+
+let norm s = String.lowercase_ascii s
+
+let of_array ~composite cols =
+  if Array.length cols = 0 then invalid_arg "Schema.make: empty schema";
+  let by_name = Hashtbl.create (Array.length cols) in
+  Array.iteri
+    (fun i c ->
+      let key = norm c.name in
+      if Hashtbl.mem by_name key then begin
+        if not composite then
+          invalid_arg (Printf.sprintf "Schema.make: duplicate column %S" c.name)
+      end
+      else Hashtbl.add by_name key i)
+    cols;
+  { cols; by_name; composite }
+
+let make cols = of_array ~composite:false (Array.of_list cols)
+
+let columns t = Array.to_list t.cols
+let arity t = Array.length t.cols
+
+let column t i =
+  if i < 0 || i >= Array.length t.cols then
+    invalid_arg (Printf.sprintf "Schema.column: index %d out of range" i);
+  t.cols.(i)
+
+let index_of t name = Hashtbl.find_opt t.by_name (norm name)
+let mem t name = Hashtbl.mem t.by_name (norm name)
+
+let append a b = of_array ~composite:true (Array.append a.cols b.cols)
+
+let equal a b =
+  Array.length a.cols = Array.length b.cols
+  && Array.for_all2 (fun x y -> norm x.name = norm y.name && x.ty = y.ty) a.cols b.cols
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf c -> Format.fprintf ppf "%s %s" c.name (Value.ty_to_string c.ty)))
+    (columns t)

@@ -1,0 +1,27 @@
+(** Relation schemas: ordered lists of named, typed columns. *)
+
+type column = {
+  name : string;
+  ty : Value.ty;
+}
+
+type t
+
+val make : column list -> t
+(** @raise Invalid_argument on duplicate column names or an empty list. *)
+
+val columns : t -> column list
+val arity : t -> int
+val column : t -> int -> column
+(** @raise Invalid_argument when the index is out of range. *)
+
+val index_of : t -> string -> int option
+(** Position of the column with the given (case-insensitive) name. *)
+
+val mem : t -> string -> bool
+val append : t -> t -> t
+(** Concatenate two schemas; used for composite (join-result) relations.
+    Duplicate names are allowed in composites and are resolved by position. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+type t = Value.t array
+
+let make vs = Array.of_list vs
+let arity = Array.length
+let get (t : t) i = t.(i)
+
+let project (t : t) cols = Array.of_list (List.map (fun i -> t.(i)) cols)
+
+let concat = Array.append
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let compare_on cols a b =
+  let rec go = function
+    | [] -> 0
+    | c :: rest ->
+      let d = Value.compare a.(c) b.(c) in
+      if d <> 0 then d else go rest
+  in
+  go cols
+
+let conforms schema t =
+  arity t = Schema.arity schema
+  && Array.for_all2
+       (fun v (c : Schema.column) ->
+         match Value.type_of v with None -> true | Some ty -> ty = c.ty)
+       t (Array.of_list (Schema.columns schema))
+
+(* A tuple is encoded as a 2-byte arity followed by its values. *)
+
+let serialized_size t =
+  Array.fold_left (fun acc v -> acc + Value.serialized_size v) 2 t
+
+let write buf t =
+  Buffer.add_uint16_le buf (Array.length t);
+  Array.iter (Value.write buf) t
+
+let read b off =
+  let n = Bytes.get_uint16_le b off in
+  let vs = Array.make n Value.Null in
+  let off = ref (off + 2) in
+  for i = 0 to n - 1 do
+    let v, next = Value.read b !off in
+    vs.(i) <- v;
+    off := next
+  done;
+  vs, !off
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (Array.to_list t)
+
+let to_string t = Format.asprintf "%a" pp t

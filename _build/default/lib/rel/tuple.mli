@@ -1,0 +1,23 @@
+(** Tuples: immutable arrays of values conforming to a schema. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val arity : t -> int
+val get : t -> int -> Value.t
+val project : t -> int list -> t
+val concat : t -> t -> t
+val equal : t -> t -> bool
+val compare_on : int list -> t -> t -> int
+(** Lexicographic comparison on the given column positions; the sort and
+    merge-join machinery key on this. *)
+
+val conforms : Schema.t -> t -> bool
+(** Arity matches and every non-null value has the column's datatype. *)
+
+val serialized_size : t -> int
+val write : Buffer.t -> t -> unit
+val read : bytes -> int -> t * int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

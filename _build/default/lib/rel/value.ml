@@ -1,0 +1,102 @@
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Null
+
+type ty = Tint | Tfloat | Tstr
+
+let type_of = function
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | Str _ -> Some Tstr
+  | Null -> None
+
+(* Rank used only to keep the order total when types are mixed; the semantic
+   checker prevents mixed-type comparisons in well-typed queries. *)
+let rank = function Null -> 0 | Int _ -> 1 | Float _ -> 1 | Str _ -> 2
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Str x, Str y -> Stdlib.compare x y
+  | (Null | Int _ | Float _ | Str _), _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ -> false
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Str _ | Null -> None
+
+let arith name int_op float_op a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (int_op x y)
+  | Float x, Float y -> Float (float_op x y)
+  | Int x, Float y -> Float (float_op (float_of_int x) y)
+  | Float x, Int y -> Float (float_op x (float_of_int y))
+  | Str _, _ | _, Str _ -> invalid_arg ("Value." ^ name ^ ": string operand")
+
+let add a b = arith "add" ( + ) ( +. ) a b
+let sub a b = arith "sub" ( - ) ( -. ) a b
+let mul a b = arith "mul" ( * ) ( *. ) a b
+
+let div a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> if y = 0 then Null else Int (x / y)
+  | _ ->
+    (match to_float a, to_float b with
+     | Some x, Some y -> if y = 0. then Null else Float (x /. y)
+     | _ -> invalid_arg "Value.div: string operand")
+
+(* Serialization: 1 tag byte, then a fixed 8-byte payload for numerics or a
+   2-byte length prefix plus bytes for strings. Tuples never span a page, so
+   sizes must be computed exactly for page-space accounting. *)
+
+let serialized_size = function
+  | Null -> 1
+  | Int _ | Float _ -> 9
+  | Str s -> 3 + String.length s
+
+let write buf v =
+  match v with
+  | Null -> Buffer.add_char buf '\000'
+  | Int i ->
+    Buffer.add_char buf '\001';
+    Buffer.add_int64_le buf (Int64.of_int i)
+  | Float f ->
+    Buffer.add_char buf '\002';
+    Buffer.add_int64_le buf (Int64.bits_of_float f)
+  | Str s ->
+    if String.length s > 0xffff then invalid_arg "Value.write: string too long";
+    Buffer.add_char buf '\003';
+    Buffer.add_uint16_le buf (String.length s);
+    Buffer.add_string buf s
+
+let read b off =
+  match Bytes.get b off with
+  | '\000' -> Null, off + 1
+  | '\001' -> Int (Int64.to_int (Bytes.get_int64_le b (off + 1))), off + 9
+  | '\002' -> Float (Int64.float_of_bits (Bytes.get_int64_le b (off + 1))), off + 9
+  | '\003' ->
+    let len = Bytes.get_uint16_le b (off + 1) in
+    Str (Bytes.sub_string b (off + 3) len), off + 3 + len
+  | c -> invalid_arg (Printf.sprintf "Value.read: bad tag %d" (Char.code c))
+
+let pp ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Null -> Format.pp_print_string ppf "NULL"
+
+let to_string v = Format.asprintf "%a" pp v
+
+let ty_to_string = function Tint -> "INT" | Tfloat -> "FLOAT" | Tstr -> "STRING"

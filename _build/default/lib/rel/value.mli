@@ -1,0 +1,51 @@
+(** Typed column values.
+
+    System R stored columns of a handful of scalar datatypes. We model the
+    three the paper's examples use (integers, floating decimals, character
+    strings) plus SQL NULL. Values are totally ordered within a type;
+    comparisons across types follow a fixed type precedence so that sorting a
+    heterogeneous column is deterministic (the engine's semantic checker
+    rejects cross-type comparisons before they reach the storage layer). *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Null
+
+type ty = Tint | Tfloat | Tstr
+
+val type_of : t -> ty option
+(** [type_of v] is the datatype of [v], or [None] for [Null]. *)
+
+val compare : t -> t -> int
+(** Total order: [Null] sorts lowest; numerics compare numerically even across
+    [Int]/[Float]; strings compare lexicographically. *)
+
+val equal : t -> t -> bool
+
+val is_null : t -> bool
+
+val to_float : t -> float option
+(** Numeric view of a value, used by the optimizer's linear-interpolation
+    selectivity estimate for range predicates on arithmetic columns. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Arithmetic on numeric values. [Null] propagates; mixing [Int] and
+    [Float] promotes to [Float].
+    @raise Invalid_argument on string operands. *)
+
+val serialized_size : t -> int
+(** Number of bytes [write] will produce, including the tag byte. *)
+
+val write : Buffer.t -> t -> unit
+val read : bytes -> int -> t * int
+(** [read b off] decodes one value at [off], returning it and the offset just
+    past it. Inverse of [write]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val ty_to_string : ty -> string

@@ -1,0 +1,1 @@
+lib/rss/btree.ml: Array Format Int List Option Pager Rel Result Seq Tid

@@ -1,0 +1,1 @@
+lib/rss/btree.mli: Pager Rel Seq Tid

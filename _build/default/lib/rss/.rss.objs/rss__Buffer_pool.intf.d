@@ -1,0 +1,1 @@
+lib/rss/buffer_pool.mli:

@@ -1,0 +1,1 @@
+lib/rss/counters.ml: Format

@@ -1,0 +1,1 @@
+lib/rss/lock_table.ml: Hashtbl List Option Tid

@@ -1,0 +1,1 @@
+lib/rss/lock_table.mli: Tid

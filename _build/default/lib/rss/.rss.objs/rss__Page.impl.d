@@ -1,0 +1,1 @@
+lib/rss/page.ml: Array Printf Rel

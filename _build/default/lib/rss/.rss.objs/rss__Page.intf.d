@@ -1,0 +1,1 @@
+lib/rss/page.mli: Rel

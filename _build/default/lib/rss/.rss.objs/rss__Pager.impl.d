@@ -1,0 +1,1 @@
+lib/rss/pager.ml: Buffer_pool Counters Hashtbl Page

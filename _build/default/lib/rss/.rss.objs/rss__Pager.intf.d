@@ -1,0 +1,1 @@
+lib/rss/pager.mli: Counters Page

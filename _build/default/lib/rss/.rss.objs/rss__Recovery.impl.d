@@ -1,0 +1,1 @@
+lib/rss/recovery.ml: Hashtbl Int List Rel Segment Set Tid Wal

@@ -1,0 +1,1 @@
+lib/rss/recovery.mli: Pager Segment Wal

@@ -1,0 +1,1 @@
+lib/rss/sarg.ml: Format List Rel

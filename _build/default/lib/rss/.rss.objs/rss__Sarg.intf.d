@@ -1,0 +1,1 @@
+lib/rss/sarg.mli: Format Rel

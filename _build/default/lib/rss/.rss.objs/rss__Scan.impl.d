@@ -1,0 +1,1 @@
+lib/rss/scan.ml: Btree List Page Pager Rel Sarg Segment Seq Tid

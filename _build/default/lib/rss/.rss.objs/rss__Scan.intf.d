@@ -1,0 +1,1 @@
+lib/rss/scan.mli: Btree Rel Sarg Segment Tid

@@ -1,0 +1,1 @@
+lib/rss/segment.ml: Hashtbl List Page Pager Tid

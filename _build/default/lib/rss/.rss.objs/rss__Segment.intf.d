@@ -1,0 +1,1 @@
+lib/rss/segment.mli: Pager Rel Tid

@@ -1,0 +1,1 @@
+lib/rss/sort.ml: List Option Page Pager Rel Seq Temp_list

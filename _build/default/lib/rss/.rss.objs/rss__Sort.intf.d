@@ -1,0 +1,1 @@
+lib/rss/sort.mli: Pager Rel Seq Temp_list

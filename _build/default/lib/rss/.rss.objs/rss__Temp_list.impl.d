@@ -1,0 +1,1 @@
+lib/rss/temp_list.ml: Array List Page Pager Rel Seq

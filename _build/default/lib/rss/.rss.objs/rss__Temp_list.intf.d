@@ -1,0 +1,1 @@
+lib/rss/temp_list.mli: Pager Rel Seq

@@ -1,0 +1,1 @@
+lib/rss/tid.mli: Format

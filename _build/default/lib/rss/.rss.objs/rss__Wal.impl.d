@@ -1,0 +1,1 @@
+lib/rss/wal.ml: Buffer Bytes Format Int64 List Printf Rel String Tid

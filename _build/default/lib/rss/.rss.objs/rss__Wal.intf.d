@@ -1,0 +1,1 @@
+lib/rss/wal.mli: Format Rel Tid

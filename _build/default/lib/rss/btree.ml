@@ -1,0 +1,427 @@
+type key = Rel.Value.t array
+
+let compare_key (a : key) (b : key) =
+  let la = Array.length a and lb = Array.length b in
+  let n = min la lb in
+  let rec go i =
+    if i = n then Int.compare la lb
+    else
+      let d = Rel.Value.compare a.(i) b.(i) in
+      if d <> 0 then d else go (i + 1)
+  in
+  go 0
+
+(* Prefix comparison for bounds: a bound shorter than the stored key compares
+   only on its own length, so an index on (NAME, LOCATION) can be scanned with
+   a bound on NAME alone ("initial substring" matching from section 4). *)
+let compare_prefix (bound : key) (k : key) =
+  let n = min (Array.length bound) (Array.length k) in
+  let rec go i =
+    if i = n then 0
+    else
+      let d = Rel.Value.compare bound.(i) k.(i) in
+      if d <> 0 then d else go (i + 1)
+  in
+  go 0
+
+type entry = key * Tid.t
+
+(* Entries are totally ordered by (key, TID); separators are full entries so
+   duplicate keys route deterministically. *)
+let compare_entry ((k1, t1) : entry) ((k2, t2) : entry) =
+  let d = compare_key k1 k2 in
+  if d <> 0 then d else Tid.compare t1 t2
+
+type leaf = {
+  lpage : int;
+  mutable entries : entry array;
+  mutable next : leaf option;
+  mutable prev : leaf option;
+}
+
+type internal = {
+  ipage : int;
+  (* children.(i) covers entries e with seps.(i-1) <= e < seps.(i) *)
+  mutable seps : entry array;
+  mutable children : node array;
+}
+
+and node =
+  | Leaf of leaf
+  | Internal of internal
+
+type t = {
+  pgr : Pager.t;
+  order : int;
+  mutable root : node;
+}
+
+
+let create ?(order = 128) pgr =
+  if order < 4 then invalid_arg "Btree.create: order < 4";
+  let root =
+    Leaf { lpage = Pager.alloc_page_id pgr; entries = [||]; next = None; prev = None }
+  in
+  { pgr; order; root }
+
+let pager t = t.pgr
+
+(* Child covering [e]: the number of separators <= e. *)
+let child_index (n : internal) (e : entry) =
+  let lo = ref 0 and hi = ref (Array.length n.seps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_entry n.seps.(mid) e <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First index in [arr] whose element is not less than the probe per [cmp]. *)
+let lower_bound arr cmp =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp arr.(mid) < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let insert_at arr i x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr i out (i + 1) (n - i);
+  out
+
+let remove_at arr i =
+  let n = Array.length arr in
+  let out = Array.make (n - 1) arr.(0) in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr (i + 1) out i (n - 1 - i);
+  out
+
+type split = (entry * node) option
+
+let rec insert_node t node entry : split =
+  match node with
+  | Leaf l ->
+    let i = lower_bound l.entries (fun e -> compare_entry e entry) in
+    l.entries <- insert_at l.entries i entry;
+    if Array.length l.entries <= t.order then None
+    else begin
+      let n = Array.length l.entries in
+      let mid = n / 2 in
+      let right_entries = Array.sub l.entries mid (n - mid) in
+      l.entries <- Array.sub l.entries 0 mid;
+      let right =
+        { lpage = Pager.alloc_page_id t.pgr; entries = right_entries;
+          next = l.next; prev = Some l }
+      in
+      (match l.next with Some n -> n.prev <- Some right | None -> ());
+      l.next <- Some right;
+      Some (right_entries.(0), Leaf right)
+    end
+  | Internal n ->
+    let i = child_index n entry in
+    (match insert_node t n.children.(i) entry with
+     | None -> None
+     | Some (sep, right_child) ->
+       n.seps <- insert_at n.seps i sep;
+       n.children <- insert_at n.children (i + 1) right_child;
+       if Array.length n.children <= t.order then None
+       else begin
+         let c = Array.length n.children in
+         let mid = c / 2 in
+         (* separator promoted to the parent, not kept in either half *)
+         let up = n.seps.(mid - 1) in
+         let right =
+           { ipage = Pager.alloc_page_id t.pgr;
+             seps = Array.sub n.seps mid (Array.length n.seps - mid);
+             children = Array.sub n.children mid (c - mid) }
+         in
+         n.seps <- Array.sub n.seps 0 (mid - 1);
+         n.children <- Array.sub n.children 0 mid;
+         Some (up, Internal right)
+       end)
+
+let insert t k tid =
+  match insert_node t t.root (k, tid) with
+  | None -> ()
+  | Some (sep, right) ->
+    let root =
+      Internal
+        { ipage = Pager.alloc_page_id t.pgr;
+          seps = [| sep |];
+          children = [| t.root; right |] }
+    in
+    t.root <- root
+
+let rec delete_node node entry =
+  match node with
+  | Leaf l ->
+    let i = lower_bound l.entries (fun e -> compare_entry e entry) in
+    if i < Array.length l.entries && compare_entry l.entries.(i) entry = 0 then begin
+      l.entries <- remove_at l.entries i;
+      true
+    end
+    else false
+  | Internal n ->
+    (* Exact-duplicate entries may straddle a separator equal to them; step
+       left across equal separators until found. *)
+    let rec try_from i =
+      if i < 0 then false
+      else if delete_node n.children.(i) entry then true
+      else if i > 0 && compare_entry n.seps.(i - 1) entry = 0 then try_from (i - 1)
+      else false
+    in
+    try_from (child_index n entry)
+
+let delete t k tid = delete_node t.root (k, tid)
+
+(* Leftmost leaf that may contain entries whose key is >= the bound, touching
+   each node on the descent when [accounted]. [lo_cmp sep_key] compares the
+   bound against a separator's key part. *)
+let rec descend t ~accounted node lo_cmp =
+  (* Only leaf pages are charged: the paper's cost formulas count NINDX leaf
+     pages and assume the few upper index levels stay buffer-resident
+     (cf. the 1-index-page term of the unique-index formula). *)
+  (match node with
+   | Leaf l -> if accounted then Pager.touch t.pgr l.lpage
+   | Internal _ -> ());
+  match node with
+  | Leaf l -> l
+  | Internal n ->
+    let i =
+      match lo_cmp with
+      | None -> 0
+      | Some cmp ->
+        (* Skip child i while everything under it is below the bound, i.e.
+           while the bound is strictly greater than separator i's key (a
+           separator sharing the bound's prefix may still have matches to
+           its left). *)
+        let rec find i =
+          if i >= Array.length n.seps then i
+          else if cmp (fst n.seps.(i)) > 0 then find (i + 1)
+          else i
+        in
+        find 0
+    in
+    descend t ~accounted n.children.(i) lo_cmp
+
+(* Rightmost leaf that may contain entries whose key is <= the bound
+   (or the rightmost leaf when unbounded). *)
+let rec descend_hi t ~accounted node hi_cmp =
+  (match node with
+   | Leaf l -> if accounted then Pager.touch t.pgr l.lpage
+   | Internal _ -> ());
+  match node with
+  | Leaf l -> l
+  | Internal n ->
+    let i =
+      match hi_cmp with
+      | None -> Array.length n.children - 1
+      | Some cmp ->
+        (* Step left from the last child while its lower separator is
+           strictly above the bound. *)
+        let rec find i =
+          if i = 0 then 0
+          else if cmp (fst n.seps.(i - 1)) < 0 then find (i - 1)
+          else i
+        in
+        find (Array.length n.children - 1)
+    in
+    descend_hi t ~accounted n.children.(i) hi_cmp
+
+let bound_cmp_lo = function
+  | None -> fun _ -> true
+  | Some (k, `Inclusive) -> fun key -> compare_prefix k key <= 0
+  | Some (k, `Exclusive) -> fun key -> compare_prefix k key < 0
+
+let bound_cmp_hi = function
+  | None -> fun _ -> true
+  | Some (k, `Inclusive) -> fun key -> compare_prefix k key >= 0
+  | Some (k, `Exclusive) -> fun key -> compare_prefix k key > 0
+
+type bound = Rel.Value.t array * [ `Inclusive | `Exclusive ]
+
+let range_scan_gen ~accounted ?lo ?hi t =
+  let lo_ok = bound_cmp_lo lo and hi_ok = bound_cmp_hi hi in
+  let lo_probe = Option.map (fun (k, _) -> fun sep -> compare_prefix k sep) lo in
+  let start = descend t ~accounted t.root lo_probe in
+  (* Stream entries leaf by leaf; each leaf page is charged when first
+     entered (the start leaf was charged by the descent). *)
+  let rec entries_from leaf i () =
+    if i >= Array.length leaf.entries then
+      match leaf.next with
+      | None -> Seq.Nil
+      | Some next ->
+        if accounted then Pager.touch t.pgr next.lpage;
+        entries_from next 0 ()
+    else
+      let k, tid = leaf.entries.(i) in
+      if not (hi_ok k) then Seq.Nil
+      else if lo_ok k then Seq.Cons ((k, tid), entries_from leaf (i + 1))
+      else entries_from leaf (i + 1) ()
+  in
+  entries_from start 0
+
+let range_scan ?lo ?hi t = range_scan_gen ~accounted:true ?lo ?hi t
+let range_scan_unaccounted ?lo ?hi t = range_scan_gen ~accounted:false ?lo ?hi t
+
+(* Descending scan: start at the rightmost candidate leaf for [hi] and walk
+   the [prev] chain, yielding entries in reverse key order. *)
+let range_scan_desc_gen ~accounted ?lo ?hi t =
+  let lo_ok = bound_cmp_lo lo and hi_ok = bound_cmp_hi hi in
+  let hi_probe = Option.map (fun (k, _) -> fun sep -> compare_prefix k sep) hi in
+  let start = descend_hi t ~accounted t.root hi_probe in
+  let rec entries_from leaf i () =
+    if i < 0 then
+      match leaf.prev with
+      | None -> Seq.Nil
+      | Some prev ->
+        if accounted then Pager.touch t.pgr prev.lpage;
+        entries_from prev (Array.length prev.entries - 1) ()
+    else
+      let k, tid = leaf.entries.(i) in
+      if not (lo_ok k) then Seq.Nil  (* descending: below the low bound *)
+      else if hi_ok k then Seq.Cons ((k, tid), entries_from leaf (i - 1))
+      else entries_from leaf (i - 1) ()
+  in
+  entries_from start (Array.length start.entries - 1)
+
+let range_scan_desc ?lo ?hi t = range_scan_desc_gen ~accounted:true ?lo ?hi t
+let range_scan_desc_unaccounted ?lo ?hi t =
+  range_scan_desc_gen ~accounted:false ?lo ?hi t
+
+let lookup t k =
+  range_scan ~lo:(k, `Inclusive) ~hi:(k, `Inclusive) t
+  |> Seq.map snd |> List.of_seq
+
+let rec fold_leaves f acc node =
+  match node with
+  | Leaf l -> f acc l
+  | Internal n -> Array.fold_left (fun acc c -> fold_leaves f acc c) acc n.children
+
+let entry_count t = fold_leaves (fun acc l -> acc + Array.length l.entries) 0 t.root
+
+let distinct_keys t =
+  let count, _ =
+    fold_leaves
+      (fun (count, prev) l ->
+        Array.fold_left
+          (fun (count, prev) (k, _) ->
+            match prev with
+            | Some p when compare_key p k = 0 -> count, prev
+            | _ -> count + 1, Some k)
+          (count, prev) l.entries)
+      (0, None) t.root
+  in
+  count
+
+let leaf_pages t = fold_leaves (fun acc _ -> acc + 1) 0 t.root
+
+let rec height_node = function
+  | Leaf _ -> 1
+  | Internal n -> 1 + height_node n.children.(0)
+
+let height t = height_node t.root
+
+let min_key t =
+  let l = descend t ~accounted:false t.root None in
+  let rec first l =
+    if Array.length l.entries > 0 then Some (fst l.entries.(0))
+    else match l.next with None -> None | Some n -> first n
+  in
+  first l
+
+let max_key t =
+  (* Lazy deletion can leave trailing leaves empty; walk all leaves. *)
+  fold_leaves
+    (fun acc l ->
+      if Array.length l.entries > 0 then Some (fst l.entries.(Array.length l.entries - 1))
+      else acc)
+    None t.root
+
+let check_invariants t =
+  let ( let* ) = Result.bind in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  (* 1. entries sorted within every leaf *)
+  let* () =
+    fold_leaves
+      (fun acc l ->
+        let* () = acc in
+        let rec go i =
+          if i + 1 >= Array.length l.entries then Ok ()
+          else if compare_entry l.entries.(i) l.entries.(i + 1) > 0 then
+            err "leaf %d not sorted at %d" l.lpage i
+          else go (i + 1)
+        in
+        go 0)
+      (Ok ()) t.root
+  in
+  (* 2. entries sorted across the whole leaf chain *)
+  let* () =
+    let all =
+      fold_leaves
+        (fun acc l -> Array.fold_left (fun a e -> e :: a) acc l.entries)
+        [] t.root
+      |> List.rev
+    in
+    let rec sorted = function
+      | a :: (b :: _ as rest) ->
+        if compare_entry a b > 0 then Error "entries not globally sorted"
+        else sorted rest
+      | [ _ ] | [] -> Ok ()
+    in
+    sorted all
+  in
+  (* 3. separators bound their subtrees; an entry may equal the upper
+     separator only when it is an exact duplicate of it (duplicates of one
+     (key, TID) pair can straddle their separator) *)
+  let rec check_sep node lo hi =
+    let in_range e =
+      (match lo with None -> true | Some b -> compare_entry b e <= 0)
+      && match hi with None -> true | Some b -> compare_entry e b <= 0
+    in
+    match node with
+    | Leaf l ->
+      if Array.for_all in_range l.entries then Ok ()
+      else err "leaf %d violates separator bounds" l.lpage
+    | Internal n ->
+      if Array.length n.children <> Array.length n.seps + 1 then
+        err "internal %d: %d children, %d seps" n.ipage
+          (Array.length n.children) (Array.length n.seps)
+      else
+        let rec go i acc =
+          if i >= Array.length n.children then acc
+          else
+            let lo_i = if i = 0 then lo else Some n.seps.(i - 1) in
+            let hi_i = if i = Array.length n.seps then hi else Some n.seps.(i) in
+            let* () = acc in
+            go (i + 1) (check_sep n.children.(i) lo_i hi_i)
+        in
+        go 0 (Ok ())
+  in
+  let* () = check_sep t.root None None in
+  (* 4. the leaf chain visits exactly the leaves, in order *)
+  let leaves_in_tree = fold_leaves (fun acc l -> l :: acc) [] t.root |> List.rev in
+  let rec chain l acc =
+    match l.next with None -> List.rev (l :: acc) | Some n -> chain n (l :: acc)
+  in
+  let leftmost = descend t ~accounted:false t.root None in
+  let chained = chain leftmost [] in
+  if List.length chained <> List.length leaves_in_tree then
+    err "leaf chain has %d leaves, tree has %d" (List.length chained)
+      (List.length leaves_in_tree)
+  else if List.exists2 (fun a b -> a.lpage <> b.lpage) chained leaves_in_tree then
+    Error "leaf chain order differs from tree order"
+  else begin
+    (* 5. the prev chain mirrors the next chain *)
+    let rec back l acc = match l.prev with None -> l :: acc | Some p -> back p (l :: acc) in
+    let rightmost = List.nth chained (List.length chained - 1) in
+    let backward = back rightmost [] in
+    if List.length backward <> List.length chained then
+      err "prev chain has %d leaves, next chain %d" (List.length backward)
+        (List.length chained)
+    else if List.exists2 (fun a b -> a.lpage <> b.lpage) backward chained then
+      Error "prev chain order differs from next chain"
+    else Ok ()
+  end

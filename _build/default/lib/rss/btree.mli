@@ -1,0 +1,62 @@
+(** B-tree indexes (B+-tree variant, as in Bayer-McCreight ref <3>).
+
+    An index maps composite keys — one or more column values — to the TIDs of
+    the tuples containing them. Leaf pages hold (key, TID) sets and are
+    chained so a sequential scan of a key range never revisits upper levels.
+    Index pages live in the same pager/buffer pool as data pages; a range
+    scan charges one buffered access per node it descends plus one per leaf
+    page it walks, which is what TABLE 2's NINDX terms predict.
+
+    Deletion is lazy (entries are removed but underfull nodes are not merged),
+    the strategy production B-trees such as PostgreSQL's use; NINDX can
+    therefore only be reduced by rebuilding, which UPDATE STATISTICS notes. *)
+
+type key = Rel.Value.t array
+
+type t
+
+val create : ?order:int -> Pager.t -> t
+(** [order] is the maximum number of entries per node (default 128, a 4K
+    page of ~32-byte entries). @raise Invalid_argument when [order < 4]. *)
+
+val pager : t -> Pager.t
+val compare_key : key -> key -> int
+
+val insert : t -> key -> Tid.t -> unit
+val delete : t -> key -> Tid.t -> bool
+(** Remove one (key, TID) entry; [false] when absent. *)
+
+type bound = Rel.Value.t array * [ `Inclusive | `Exclusive ]
+
+val range_scan : ?lo:bound -> ?hi:bound -> t -> (key * Tid.t) Seq.t
+(** Entries with [lo <= key <= hi] in key order, charging buffered accesses
+    as described above. Bounds may be prefixes of the full key. *)
+
+val range_scan_unaccounted : ?lo:bound -> ?hi:bound -> t -> (key * Tid.t) Seq.t
+
+val range_scan_desc : ?lo:bound -> ?hi:bound -> t -> (key * Tid.t) Seq.t
+(** Entries with [lo <= key <= hi] in {e descending} key order, walking the
+    leaf chain backwards (leaves are doubly linked). Same accounting as
+    {!range_scan}. *)
+
+val range_scan_desc_unaccounted :
+  ?lo:bound -> ?hi:bound -> t -> (key * Tid.t) Seq.t
+
+val lookup : t -> key -> Tid.t list
+(** All TIDs for an exact key (accounted). *)
+
+val entry_count : t -> int
+
+val distinct_keys : t -> int
+(** ICARD(I): number of distinct keys in the index. *)
+
+val leaf_pages : t -> int
+(** NINDX(I): number of (leaf) pages in the index. *)
+
+val height : t -> int
+val min_key : t -> key option
+val max_key : t -> key option
+
+val check_invariants : t -> (unit, string) result
+(** Structural validation used by the property tests: sortedness within and
+    across leaves, separator consistency, and leaf-chain completeness. *)

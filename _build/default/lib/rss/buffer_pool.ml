@@ -1,0 +1,59 @@
+(* Classic O(1) LRU: hash table from page id to an intrusive doubly-linked
+   node; the list is kept in recency order with [head] most recent. *)
+
+type node = {
+  page_id : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  cap : int;
+  table : (int, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  { cap = capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+
+let capacity t = t.cap
+let resident t = Hashtbl.length t.table
+let contains t id = Hashtbl.mem t.table id
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t id =
+  match Hashtbl.find_opt t.table id with
+  | Some n ->
+    unlink t n;
+    push_front t n;
+    `Hit
+  | None ->
+    if Hashtbl.length t.table >= t.cap then begin
+      match t.tail with
+      | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.table victim.page_id
+      | None -> assert false
+    end;
+    let n = { page_id = id; prev = None; next = None } in
+    Hashtbl.replace t.table id n;
+    push_front t n;
+    `Miss
+
+let evict_all t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

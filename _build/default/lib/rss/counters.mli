@@ -1,0 +1,25 @@
+(** I/O and CPU accounting.
+
+    The optimizer's cost model predicts COST = PAGE_FETCHES + W * RSI_CALLS;
+    these counters measure the same two quantities during execution so
+    predictions can be validated (bench T2, S7b). A page fetch is a buffer
+    pool miss; a buffer hit costs nothing. *)
+
+type t = {
+  mutable page_fetches : int;  (** buffer pool misses *)
+  mutable buffer_hits : int;
+  mutable rsi_calls : int;     (** tuples returned across the RSS interface *)
+  mutable pages_written : int; (** temp-list / sort output pages *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val snapshot : t -> t
+val diff : after:t -> before:t -> t
+(** Component-wise difference; for measuring one operation. *)
+
+val cost : w:float -> t -> float
+(** [page_fetches + pages_written + w * rsi_calls] — the paper's cost metric
+    applied to measured counts. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(** Slotted 4K data pages.
+
+    A page holds serialized tuples, each tagged with the identifier of the
+    relation it belongs to (tuples from several relations may share a page,
+    exactly as in the RSS). No tuple spans a page. Deleting a slot leaves a
+    tombstone so that TIDs of surviving tuples stay stable. *)
+
+type t
+
+val size : int
+(** Page capacity in bytes (4096). *)
+
+val create : id:int -> t
+val id : t -> int
+
+val free_space : t -> int
+(** Bytes still available for one more record (slot overhead included). *)
+
+val record_bytes : Rel.Tuple.t -> int
+(** Bytes the given tuple would consume on a page, overhead included. *)
+
+val insert : t -> rel_id:int -> Rel.Tuple.t -> int option
+(** [insert p ~rel_id tup] stores the tuple, returning its slot number, or
+    [None] when the page lacks space. *)
+
+val get : t -> slot:int -> (int * Rel.Tuple.t) option
+(** [get p ~slot] is [(rel_id, tuple)] for a live slot, [None] for a
+    tombstone. @raise Invalid_argument on an out-of-range slot. *)
+
+val delete : t -> slot:int -> bool
+(** Tombstone a slot; [false] when it was already dead. *)
+
+val slots : t -> int
+(** Number of slots ever allocated (live or dead). *)
+
+val live_tuples : t -> (int * int * Rel.Tuple.t) list
+(** [(slot, rel_id, tuple)] for every live slot, in slot order. *)
+
+val is_empty : t -> bool
+(** No live tuples on the page. *)
+
+val used_bytes : t -> int

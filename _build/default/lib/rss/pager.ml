@@ -1,0 +1,45 @@
+type t = {
+  mutable next_id : int;
+  data_pages : (int, Page.t) Hashtbl.t;
+  pool : Buffer_pool.t;
+  counters : Counters.t;
+  buffer_pages : int;
+}
+
+let create ?(buffer_pages = 64) () =
+  { next_id = 0;
+    data_pages = Hashtbl.create 1024;
+    pool = Buffer_pool.create ~capacity:buffer_pages;
+    counters = Counters.create ();
+    buffer_pages }
+
+let counters t = t.counters
+let buffer_pages t = t.buffer_pages
+
+let alloc_page_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let alloc_data_page t =
+  let id = alloc_page_id t in
+  let p = Page.create ~id in
+  Hashtbl.replace t.data_pages id p;
+  p
+
+let data_page t id = Hashtbl.find t.data_pages id
+
+let touch t id =
+  match Buffer_pool.touch t.pool id with
+  | `Hit -> t.counters.buffer_hits <- t.counters.buffer_hits + 1
+  | `Miss -> t.counters.page_fetches <- t.counters.page_fetches + 1
+
+let read_data_page t id =
+  touch t id;
+  data_page t id
+
+let note_page_written t = t.counters.pages_written <- t.counters.pages_written + 1
+
+let note_rsi_call t = t.counters.rsi_calls <- t.counters.rsi_calls + 1
+
+let evict_all t = Buffer_pool.evict_all t.pool

@@ -1,0 +1,37 @@
+(** The pager owns every page in the store — data pages (slotted tuple pages
+    inside segments), index pages (B-tree nodes) and temporary-list pages —
+    under one page-id namespace, and routes every access through one buffer
+    pool so that page-fetch accounting covers all page kinds uniformly. *)
+
+type t
+
+val create : ?buffer_pages:int -> unit -> t
+(** [buffer_pages] defaults to 64 ("effective buffer pool per user"). *)
+
+val counters : t -> Counters.t
+val buffer_pages : t -> int
+
+val alloc_data_page : t -> Page.t
+(** Allocate a fresh slotted data page. *)
+
+val alloc_page_id : t -> int
+(** Allocate a page id with no slotted contents (B-tree nodes and temp pages
+    keep their own in-memory representation but still occupy buffer slots). *)
+
+val data_page : t -> int -> Page.t
+(** Direct access without I/O accounting (page maintenance, recovery).
+    @raise Not_found when the id is not a data page. *)
+
+val read_data_page : t -> int -> Page.t
+(** Buffered access: counts a fetch on miss, a hit otherwise. *)
+
+val touch : t -> int -> unit
+(** Buffered access to a non-data page (index node, temp page). *)
+
+val note_page_written : t -> unit
+(** Record one page written to a temporary list or sort output. *)
+
+val note_rsi_call : t -> unit
+
+val evict_all : t -> unit
+(** Cold the cache (bench harness between runs). *)

@@ -1,0 +1,50 @@
+type result = {
+  segment : Segment.t;
+  committed : Wal.txn list;
+  discarded : Wal.txn list;
+  tuples_restored : int;
+}
+
+module Int_set = Set.Make (Int)
+
+let replay pager wal =
+  let recs = Wal.records wal in
+  let committed =
+    List.fold_left
+      (fun acc r -> match r with Wal.Commit tx -> Int_set.add tx acc | _ -> acc)
+      Int_set.empty recs
+  in
+  let started =
+    List.fold_left
+      (fun acc r -> match r with Wal.Begin tx -> Int_set.add tx acc | _ -> acc)
+      Int_set.empty recs
+  in
+  let segment = Segment.create pager in
+  (* Logical REDO keyed by original TID: inserts register the tuple, deletes
+     retract it; survivors are loaded into the fresh segment in log order. *)
+  let live : (Tid.t * int, int * Rel.Tuple.t) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      match r with
+      | Wal.Insert { txn; rel_id; tid; tuple } when Int_set.mem txn committed ->
+        Hashtbl.replace live (tid, rel_id) (rel_id, tuple);
+        order := (tid, rel_id) :: !order
+      | Wal.Delete { txn; rel_id; tid; _ } when Int_set.mem txn committed ->
+        Hashtbl.remove live (tid, rel_id)
+      | Wal.Insert _ | Wal.Delete _ | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ -> ())
+    recs;
+  let restored = ref 0 in
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt live key with
+      | Some (rel_id, tuple) ->
+        ignore (Segment.insert segment ~rel_id tuple);
+        incr restored;
+        Hashtbl.remove live key
+      | None -> ())
+    (List.rev !order);
+  { segment;
+    committed = Int_set.elements committed;
+    discarded = Int_set.elements (Int_set.diff started committed);
+    tuples_restored = !restored }

@@ -1,0 +1,16 @@
+(** Crash recovery by log replay.
+
+    REDO-only recovery: the effects of committed transactions are replayed
+    into a fresh segment; records of transactions with no COMMIT (aborted or
+    in flight at the crash) are discarded. Original TIDs are not preserved —
+    tuples are re-inserted — so indexes must be rebuilt afterwards, which the
+    engine's recovery path does. *)
+
+type result = {
+  segment : Segment.t;
+  committed : Wal.txn list;
+  discarded : Wal.txn list;
+  tuples_restored : int;
+}
+
+val replay : Pager.t -> Wal.t -> result

@@ -1,0 +1,53 @@
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+type simple = {
+  col : int;
+  op : op;
+  value : Rel.Value.t;
+}
+
+type t = simple list list
+
+let always_true : t = [ [] ]
+
+let eval_op op a b =
+  if Rel.Value.is_null a || Rel.Value.is_null b then false
+  else
+    let d = Rel.Value.compare a b in
+    match op with
+    | Eq -> d = 0
+    | Ne -> d <> 0
+    | Lt -> d < 0
+    | Le -> d <= 0
+    | Gt -> d > 0
+    | Ge -> d >= 0
+
+let matches_simple s tuple = eval_op s.op (Rel.Tuple.get tuple s.col) s.value
+
+let matches t tuple =
+  List.exists (fun conj -> List.for_all (fun s -> matches_simple s tuple) conj) t
+
+let conjoin a b =
+  List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) b) a
+
+let op_to_string = function
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let pp ppf t =
+  let pp_simple ppf s =
+    Format.fprintf ppf "#%d %s %a" s.col (op_to_string s.op) Rel.Value.pp s.value
+  in
+  let pp_conj ppf c =
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " AND ")
+         pp_simple)
+      c
+  in
+  match t with
+  | [ [] ] -> Format.pp_print_string ppf "TRUE"
+  | [] -> Format.pp_print_string ppf "FALSE"
+  | _ ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " OR ")
+      pp_conj ppf t

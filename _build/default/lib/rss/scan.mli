@@ -1,0 +1,38 @@
+(** RSS scans — the tuple-at-a-time access paths (RSI: OPEN, NEXT, CLOSE).
+
+    Two kinds exist, matching the paper:
+    - a {b segment scan} touches every non-empty page of the segment (each
+      exactly once) and returns tuples of the requested relation;
+    - an {b index scan} walks a B-tree key range, fetching data tuples by TID
+      in key order; a data page may be re-fetched when consecutive index
+      entries are not physically close (the non-clustered penalty).
+
+    Both accept SARGs applied before a tuple is returned; every returned
+    tuple counts one RSI call. *)
+
+type t
+
+val open_segment_scan :
+  Segment.t -> rel_id:int -> ?sargs:Sarg.t -> unit -> t
+
+val open_index_scan :
+  Segment.t ->
+  rel_id:int ->
+  index:Btree.t ->
+  ?lo:Btree.bound ->
+  ?hi:Btree.bound ->
+  ?dir:[ `Asc | `Desc ] ->
+  ?sargs:Sarg.t ->
+  unit ->
+  t
+(** [dir] (default [`Asc]) selects forward or backward leaf-chain traversal:
+    tuples come back in ascending or descending key order. *)
+
+val next : t -> (Tid.t * Rel.Tuple.t) option
+(** The next qualifying tuple, or [None] at end of scan.
+    @raise Invalid_argument on a closed scan. *)
+
+val close : t -> unit
+
+val to_list : t -> (Tid.t * Rel.Tuple.t) list
+(** Drain the scan and close it. *)

@@ -1,0 +1,42 @@
+(** Segments: logical units of data pages.
+
+    A segment may hold tuples of several relations; no relation spans a
+    segment. A segment scan must touch every non-empty page of the segment
+    regardless of which relation's tuples it wants — that is what makes
+    TCARD/P the segment-scan cost in TABLE 2. *)
+
+type fill_policy =
+  | Per_relation
+      (** Each relation fills its own current page before a new one is
+          allocated, so pages stay homogeneous (P(T) close to
+          TCARD(T)/segment pages only when relations share the segment). *)
+  | First_fit
+      (** Any page with room is used, interleaving relations on shared pages
+          (drives P(T) below 1 even for a lone relation's pages). *)
+
+type t
+
+val create : ?policy:fill_policy -> Pager.t -> t
+val pager : t -> Pager.t
+
+val insert : t -> rel_id:int -> Rel.Tuple.t -> Tid.t
+(** Store a tuple, allocating pages as needed. No I/O is charged: loading is
+    not part of any measured query. *)
+
+val delete : t -> Tid.t -> bool
+
+val fetch : t -> Tid.t -> (int * Rel.Tuple.t) option
+(** Buffered tuple fetch (charges a page access): [(rel_id, tuple)]. *)
+
+val fetch_unaccounted : t -> Tid.t -> (int * Rel.Tuple.t) option
+
+val page_ids : t -> int list
+(** All pages of the segment, in allocation order. *)
+
+val nonempty_page_count : t -> int
+
+val pages_holding : t -> rel_id:int -> int
+(** TCARD(T): pages of this segment holding at least one tuple of [rel_id]. *)
+
+val tuple_count : t -> rel_id:int -> int
+(** NCARD(T) computed by walking the segment (UPDATE STATISTICS uses it). *)

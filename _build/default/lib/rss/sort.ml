@@ -1,0 +1,102 @@
+type direction = Asc | Desc
+
+type key = (int * direction) list
+
+let compare_tuples key a b =
+  let rec go = function
+    | [] -> 0
+    | (c, dir) :: rest ->
+      let d = Rel.Value.compare (Rel.Tuple.get a c) (Rel.Tuple.get b c) in
+      if d <> 0 then (match dir with Asc -> d | Desc -> -d) else go rest
+  in
+  go key
+
+(* Stable in-memory sort of one run. *)
+let sort_run key tuples = List.stable_sort (compare_tuples key) tuples
+
+let approx_tuple_bytes = 4
+
+let take_run ~bytes_budget seq =
+  let rec go acc used seq =
+    match seq () with
+    | Seq.Nil -> List.rev acc, Seq.empty
+    | Seq.Cons (t, rest) ->
+      let used = used + Rel.Tuple.serialized_size t + approx_tuple_bytes in
+      if used > bytes_budget && acc <> [] then List.rev acc, fun () -> Seq.Cons (t, rest)
+      else go (t :: acc) used rest
+  in
+  go [] 0 seq
+
+let merge_two key a b =
+  let rec go a b () =
+    match a (), b () with
+    | Seq.Nil, r -> r
+    | l, Seq.Nil -> l
+    | Seq.Cons (x, a') as l, (Seq.Cons (y, b') as r) ->
+      if compare_tuples key x y <= 0 then Seq.Cons (x, go a' (fun () -> r))
+      else Seq.Cons (y, go (fun () -> l) b')
+  in
+  go a b
+
+(* K-way merge built as a balanced tree of 2-way merges; stability holds
+   because earlier runs win ties. *)
+let rec merge_many key = function
+  | [] -> Seq.empty
+  | [ s ] -> s
+  | ss ->
+    let rec pair = function
+      | a :: b :: rest -> merge_two key a b :: pair rest
+      | rest -> rest
+    in
+    merge_many key (pair ss)
+
+let sort ?run_pages ?fan_in pager ~key seq =
+  let buffer = Pager.buffer_pages pager in
+  let run_pages = Option.value run_pages ~default:(max 1 buffer) in
+  let fan_in = max 2 (Option.value fan_in ~default:(max 2 (buffer - 1))) in
+  (* Phase 1: sorted runs. *)
+  let rec make_runs acc seq =
+    let run, rest = take_run ~bytes_budget:(run_pages * Page.size) seq in
+    match run with
+    | [] -> List.rev acc
+    | _ ->
+      let sorted = sort_run key run in
+      let tl = Temp_list.of_seq pager (List.to_seq sorted) in
+      make_runs (tl :: acc) rest
+  in
+  let runs = make_runs [] seq in
+  (* Phase 2: repeated fan-in-way merges until one run remains. *)
+  let rec merge_phase = function
+    | [] -> Temp_list.of_seq pager Seq.empty
+    | [ tl ] -> tl
+    | runs ->
+      let rec batch acc current n = function
+        | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+        | r :: rest ->
+          if n = fan_in then batch (List.rev current :: acc) [ r ] 1 rest
+          else batch acc (r :: current) (n + 1) rest
+      in
+      let groups = batch [] [] 0 runs in
+      let merged =
+        List.map
+          (fun group ->
+            match group with
+            | [ tl ] -> tl
+            | _ ->
+              let inputs = List.map Temp_list.read group in
+              Temp_list.of_seq pager (merge_many key inputs))
+          groups
+      in
+      merge_phase merged
+  in
+  merge_phase runs
+
+let passes ?run_pages ?fan_in ~buffer_pages ~tuples ~tuples_per_page () =
+  let run_pages = Option.value run_pages ~default:(max 1 buffer_pages) in
+  let fan_in = max 2 (Option.value fan_in ~default:(max 2 (buffer_pages - 1))) in
+  if tuples = 0 then 0
+  else
+    let pages = ceil (float_of_int tuples /. tuples_per_page) in
+    let runs = ceil (pages /. float_of_int run_pages) in
+    let rec go n runs = if runs <= 1. then n else go (n + 1) (ceil (runs /. float_of_int fan_in)) in
+    go 1 runs

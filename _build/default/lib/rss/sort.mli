@@ -1,0 +1,39 @@
+(** External merge sort into a temporary list.
+
+    C-sort(path) in the paper covers: retrieving the data via the chosen
+    access path, sorting (possibly several passes), and writing the result
+    into a temporary list. The retrieval cost is charged by whatever scan
+    feeds [sort]; this module charges the run writes, the merge-pass reads
+    and writes, and the final output pages, all through the pager counters.
+
+    After a sort on the join column the output is clustered on it — one page
+    access retrieves several matching tuples — which is exactly why the merge
+    join's inner-scan formula (TEMPPAGES/N per opening) beats re-scanning. *)
+
+type direction = Asc | Desc
+
+type key = (int * direction) list
+(** Column positions with per-column direction. *)
+
+val compare_tuples : key -> Rel.Tuple.t -> Rel.Tuple.t -> int
+
+val sort :
+  ?run_pages:int ->
+  ?fan_in:int ->
+  Pager.t ->
+  key:key ->
+  Rel.Tuple.t Seq.t ->
+  Temp_list.t
+(** [run_pages] is the in-memory run size in pages (default: the pager's
+    buffer size); [fan_in] the merge width (default: buffer size - 1). The
+    sort is stable. *)
+
+val passes :
+  ?run_pages:int ->
+  ?fan_in:int ->
+  buffer_pages:int ->
+  tuples:int ->
+  tuples_per_page:float ->
+  unit ->
+  int
+(** Predicted number of merge passes for the cost model. *)

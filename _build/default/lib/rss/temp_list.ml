@@ -1,0 +1,75 @@
+type chunk = {
+  page_id : int;
+  mutable tuples : Rel.Tuple.t list;  (* reverse order while filling *)
+  mutable bytes : int;
+}
+
+type t = {
+  pager : Pager.t;
+  mutable chunks : chunk list;  (* reverse order while filling *)
+  mutable sealed : Rel.Tuple.t array array option;  (* per page, fill order *)
+  mutable len : int;
+}
+
+let create pager = { pager; chunks = []; sealed = None; len = 0 }
+
+let new_chunk t =
+  let c = { page_id = Pager.alloc_page_id t.pager; tuples = []; bytes = 16 } in
+  Pager.note_page_written t.pager;
+  t.chunks <- c :: t.chunks;
+  c
+
+let append t tuple =
+  if t.sealed <> None then invalid_arg "Temp_list.append: list is frozen";
+  let sz = Rel.Tuple.serialized_size tuple + 4 in
+  let chunk =
+    match t.chunks with
+    | c :: _ when c.bytes + sz <= Page.size -> c
+    | _ -> new_chunk t
+  in
+  chunk.tuples <- tuple :: chunk.tuples;
+  chunk.bytes <- chunk.bytes + sz;
+  t.len <- t.len + 1
+
+let freeze t =
+  match t.sealed with
+  | Some _ -> ()
+  | None ->
+    (* chunks are kept newest-first; rev_map restores fill order *)
+    let pages =
+      t.chunks
+      |> List.rev_map (fun c -> Array.of_list (List.rev c.tuples))
+      |> Array.of_list
+    in
+    t.sealed <- Some pages
+
+let of_seq pager seq =
+  let t = create pager in
+  Seq.iter (append t) seq;
+  freeze t;
+  t
+
+let length t = t.len
+let page_count t = List.length t.chunks
+
+let sealed_pages t =
+  freeze t;
+  match t.sealed with Some p -> p | None -> assert false
+
+let page_ids_in_order t = List.rev_map (fun c -> c.page_id) t.chunks |> Array.of_list
+
+let read_gen ~accounted t =
+  let pages = sealed_pages t in
+  let ids = page_ids_in_order t in
+  let rec from_page pi ti () =
+    if pi >= Array.length pages then Seq.Nil
+    else if ti >= Array.length pages.(pi) then from_page (pi + 1) 0 ()
+    else begin
+      if ti = 0 && accounted then Pager.touch t.pager ids.(pi);
+      Seq.Cons (pages.(pi).(ti), from_page pi (ti + 1))
+    end
+  in
+  from_page 0 0
+
+let read t = read_gen ~accounted:true t
+let read_unaccounted t = read_gen ~accounted:false t

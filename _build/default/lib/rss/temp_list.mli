@@ -1,0 +1,28 @@
+(** Temporary lists.
+
+    An internal tuple container that is cheaper than a relation but can only
+    be accessed sequentially — the form subquery results and sort outputs
+    take. Contents are materialized on temp pages; writing charges page
+    writes, reading charges one buffered access per page. *)
+
+type t
+
+val create : Pager.t -> t
+
+val append : t -> Rel.Tuple.t -> unit
+(** @raise Invalid_argument after [freeze]. *)
+
+val freeze : t -> unit
+(** Mark the list complete; appends are rejected afterwards. Idempotent. *)
+
+val of_seq : Pager.t -> Rel.Tuple.t Seq.t -> t
+(** Materialize and freeze. *)
+
+val length : t -> int
+val page_count : t -> int  (** TEMPPAGES *)
+
+val read : t -> Rel.Tuple.t Seq.t
+(** Sequential read with page-access accounting. Restartable: each
+    application of the sequence re-reads (and re-charges) from the start. *)
+
+val read_unaccounted : t -> Rel.Tuple.t Seq.t

@@ -1,0 +1,12 @@
+type t = {
+  page : int;
+  slot : int;
+}
+
+let compare a b =
+  let d = Int.compare a.page b.page in
+  if d <> 0 then d else Int.compare a.slot b.slot
+
+let equal a b = compare a b = 0
+
+let pp ppf t = Format.fprintf ppf "%d.%d" t.page t.slot

@@ -1,0 +1,11 @@
+(** Tuple identifiers: the RSS addresses a tuple by the page that holds it and
+    its slot within that page. B-tree leaves store TIDs. *)
+
+type t = {
+  page : int;
+  slot : int;
+}
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

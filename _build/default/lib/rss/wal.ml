@@ -1,0 +1,114 @@
+type txn = int
+
+type record =
+  | Begin of txn
+  | Insert of { txn : txn; rel_id : int; tid : Tid.t; tuple : Rel.Tuple.t }
+  | Delete of { txn : txn; rel_id : int; tid : Tid.t; tuple : Rel.Tuple.t }
+  | Commit of txn
+  | Abort of txn
+
+type t = {
+  mutable recs : record list;  (* newest first *)
+  mutable count : int;
+  mutable bytes : int;
+}
+
+let create () = { recs = []; count = 0; bytes = 0 }
+
+let add_int buf i = Buffer.add_int64_le buf (Int64.of_int i)
+
+let encode r =
+  let buf = Buffer.create 64 in
+  (match r with
+   | Begin tx ->
+     Buffer.add_char buf 'B';
+     add_int buf tx
+   | Commit tx ->
+     Buffer.add_char buf 'C';
+     add_int buf tx
+   | Abort tx ->
+     Buffer.add_char buf 'A';
+     add_int buf tx
+   | Insert { txn; rel_id; tid; tuple } | Delete { txn; rel_id; tid; tuple } ->
+     Buffer.add_char buf (match r with Insert _ -> 'I' | _ -> 'D');
+     add_int buf txn;
+     add_int buf rel_id;
+     add_int buf tid.Tid.page;
+     add_int buf tid.Tid.slot;
+     Rel.Tuple.write buf tuple);
+  Buffer.contents buf
+
+let get_int b off = Int64.to_int (Bytes.get_int64_le b off), off + 8
+
+let decode s off =
+  let b = Bytes.unsafe_of_string s in
+  if off >= String.length s then invalid_arg "Wal.decode: past end";
+  let tag = Bytes.get b off in
+  let off = off + 1 in
+  match tag with
+  | 'B' | 'C' | 'A' ->
+    let tx, off = get_int b off in
+    (match tag with
+     | 'B' -> Begin tx, off
+     | 'C' -> Commit tx, off
+     | _ -> Abort tx, off)
+  | 'I' | 'D' ->
+    let txn, off = get_int b off in
+    let rel_id, off = get_int b off in
+    let page, off = get_int b off in
+    let slot, off = get_int b off in
+    let tuple, off = Rel.Tuple.read b off in
+    let tid = { Tid.page; slot } in
+    if tag = 'I' then Insert { txn; rel_id; tid; tuple }, off
+    else Delete { txn; rel_id; tid; tuple }, off
+  | c -> invalid_arg (Printf.sprintf "Wal.decode: bad tag %C" c)
+
+let append t r =
+  t.recs <- r :: t.recs;
+  t.count <- t.count + 1;
+  t.bytes <- t.bytes + String.length (encode r)
+
+let records t = List.rev t.recs
+
+let byte_size t = t.bytes
+
+let to_bytes t =
+  let buf = Buffer.create (t.bytes + 16) in
+  List.iter (fun r -> Buffer.add_string buf (encode r)) (records t);
+  Buffer.contents buf
+
+let of_bytes s =
+  let t = create () in
+  let rec go off =
+    if off >= String.length s then ()
+    else
+      match decode s off with
+      | r, next ->
+        append t r;
+        go next
+      | exception Invalid_argument _ -> ()  (* torn tail *)
+  in
+  go 0;
+  t
+
+let equal_record a b =
+  match a, b with
+  | Begin x, Begin y | Commit x, Commit y | Abort x, Abort y -> x = y
+  | Insert x, Insert y ->
+    x.txn = y.txn && x.rel_id = y.rel_id && Tid.equal x.tid y.tid
+    && Rel.Tuple.equal x.tuple y.tuple
+  | Delete x, Delete y ->
+    x.txn = y.txn && x.rel_id = y.rel_id && Tid.equal x.tid y.tid
+    && Rel.Tuple.equal x.tuple y.tuple
+  | (Begin _ | Commit _ | Abort _ | Insert _ | Delete _), _ -> false
+
+let pp_record ppf = function
+  | Begin tx -> Format.fprintf ppf "BEGIN %d" tx
+  | Commit tx -> Format.fprintf ppf "COMMIT %d" tx
+  | Abort tx -> Format.fprintf ppf "ABORT %d" tx
+  | Insert { txn; rel_id; tid; tuple } ->
+    Format.fprintf ppf "INSERT txn=%d rel=%d tid=%a %a" txn rel_id Tid.pp tid
+      Rel.Tuple.pp tuple
+  | Delete { txn; rel_id; tid; tuple } ->
+    Format.fprintf ppf "DELETE txn=%d rel=%d tid=%a %a" txn rel_id Tid.pp tid
+      Rel.Tuple.pp tuple

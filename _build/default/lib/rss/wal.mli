@@ -1,0 +1,38 @@
+(** Write-ahead log.
+
+    The RSS provides logging and recovery. The log is an append-only record
+    stream with a byte-level codec (round-trip tested); [Recovery] replays it
+    to rebuild segment contents after a crash, redoing the effects of
+    committed transactions and discarding the rest. *)
+
+type txn = int
+
+type record =
+  | Begin of txn
+  | Insert of { txn : txn; rel_id : int; tid : Tid.t; tuple : Rel.Tuple.t }
+  | Delete of { txn : txn; rel_id : int; tid : Tid.t; tuple : Rel.Tuple.t }
+      (** the pre-image, so a REDO of the delete needs no page read *)
+  | Commit of txn
+  | Abort of txn
+
+type t
+
+val create : unit -> t
+val append : t -> record -> unit
+val records : t -> record list
+(** In append order. *)
+
+val byte_size : t -> int
+
+val encode : record -> string
+val decode : string -> int -> record * int
+(** [decode s off] reads one record at [off]; inverse of [encode].
+    @raise Invalid_argument on a corrupt record. *)
+
+val to_bytes : t -> string
+val of_bytes : string -> t
+(** Decode an entire serialized log. Trailing garbage (a torn final write)
+    is ignored, as a real recovery would. *)
+
+val equal_record : record -> record -> bool
+val pp_record : Format.formatter -> record -> unit

@@ -1,0 +1,1 @@
+lib/sql/normalize.ml: Ast List Option Rel Rss Semant

@@ -1,0 +1,1 @@
+lib/sql/normalize.mli: Ast Rel Rss Semant

@@ -1,0 +1,1 @@
+lib/sql/semant.ml: Ast Catalog Format Int List Option Rel Set String

@@ -1,0 +1,1 @@
+lib/sql/semant.mli: Ast Catalog Format Rel

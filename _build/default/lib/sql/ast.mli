@@ -1,0 +1,82 @@
+(** Abstract syntax for the SQL subset the paper exercises.
+
+    A query block is a SELECT list, a FROM list and a WHERE tree; a statement
+    may contain many blocks because a predicate operand may itself be a query
+    (nested and correlated subqueries, section 6). DDL/DML statements cover
+    what the examples need: CREATE TABLE / INDEX, INSERT, DELETE,
+    UPDATE STATISTICS, EXPLAIN. *)
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type arith = Add | Sub | Mul | Div
+
+type agg_fn = Avg | Min | Max | Sum | Count
+
+type order_dir = Asc | Desc
+
+type expr =
+  | Col of { table : string option; column : string }
+  | Const of Rel.Value.t
+  | Param of int
+      (** [?] placeholder, numbered left to right from 0; bound at
+          execution (prepared statements: compile once, run many times) *)
+  | Binop of arith * expr * expr
+  | Agg of agg_fn * expr
+
+type predicate =
+  | Cmp of expr * comparison * expr
+  | Between of expr * expr * expr      (** e BETWEEN lo AND hi *)
+  | In_list of expr * Rel.Value.t list
+  | In_subquery of expr * query * bool (** [true] = NOT IN *)
+  | Cmp_subquery of expr * comparison * query
+  | And of predicate * predicate
+  | Or of predicate * predicate
+  | Not of predicate
+
+and select_item =
+  | Star
+  | Sel_expr of expr * string option  (** expression with optional alias *)
+
+and query = {
+  select : select_item list;
+  from : (string * string option) list;  (** table name, optional alias *)
+  where : predicate option;
+  group_by : expr list;
+  order_by : (expr * order_dir) list;
+}
+
+type column_def = {
+  col_name : string;
+  col_ty : Rel.Value.ty;
+}
+
+type statement =
+  | Select of query
+  | Explain of { search : bool; q : query }
+      (** EXPLAIN [SEARCH]: plan only, or the whole solution tree *)
+  | Create_table of { table : string; columns : column_def list }
+  | Create_index of {
+      index : string;
+      table : string;
+      columns : string list;
+      clustered : bool;
+    }
+  | Insert of { table : string; values : Rel.Value.t list list }
+  | Delete of { table : string; where : predicate option }
+  | Update of {
+      table : string;
+      sets : (string * expr) list;  (** column := expression *)
+      where : predicate option;
+    }
+  | Drop_table of string
+  | Drop_index of string
+  | Update_statistics
+  | Begin_transaction
+  | Commit
+  | Rollback
+
+val pp_comparison : Format.formatter -> comparison -> unit
+val pp_expr : Format.formatter -> expr -> unit
+val pp_predicate : Format.formatter -> predicate -> unit
+val pp_query : Format.formatter -> query -> unit
+val pp_statement : Format.formatter -> statement -> unit

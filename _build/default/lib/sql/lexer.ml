@@ -1,0 +1,99 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Kw of string
+  | Sym of string
+  | Eof
+
+exception Error of string * int
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "IN"; "BETWEEN"; "GROUP";
+    "ORDER"; "BY"; "ASC"; "DESC"; "AS"; "CREATE"; "TABLE"; "INDEX"; "CLUSTERED";
+    "ON"; "INSERT"; "INTO"; "VALUES"; "DELETE"; "UPDATE"; "SET"; "STATISTICS"; "SEARCH";
+    "BEGIN"; "TRANSACTION"; "COMMIT"; "ROLLBACK"; "EXPLAIN"; "DROP"; "INT"; "FLOAT";
+    "STRING"; "NULL"; "AVG"; "MIN"; "MAX"; "SUM"; "COUNT" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit tok off = toks := (tok, off) :: !toks in
+  let rec go i =
+    if i >= n then emit Eof i
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' ->
+        (* SQL line comment *)
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip (i + 2))
+      | '\'' ->
+        (* string literal; '' escapes a quote *)
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then raise (Error ("unterminated string literal", i))
+          else if src.[j] = '\'' then
+            if j + 1 < n && src.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              scan (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            scan (j + 1)
+          end
+        in
+        let next = scan (i + 1) in
+        emit (Str_lit (Buffer.contents buf)) i;
+        go next
+      | c when is_digit c ->
+        let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
+        let int_end = scan i in
+        if int_end < n && src.[int_end] = '.' && int_end + 1 < n && is_digit src.[int_end + 1]
+        then begin
+          let frac_end = scan (int_end + 1) in
+          emit (Float_lit (float_of_string (String.sub src i (frac_end - i)))) i;
+          go frac_end
+        end
+        else begin
+          emit (Int_lit (int_of_string (String.sub src i (int_end - i)))) i;
+          go int_end
+        end
+      | c when is_ident_start c ->
+        let rec scan j = if j < n && is_ident_char src.[j] then scan (j + 1) else j in
+        let e = scan i in
+        let word = String.sub src i (e - i) in
+        let up = String.uppercase_ascii word in
+        if List.mem up keywords then emit (Kw up) i else emit (Ident word) i;
+        go e
+      | '<' when i + 1 < n && (src.[i + 1] = '=' || src.[i + 1] = '>') ->
+        emit (Sym (String.sub src i 2)) i;
+        go (i + 2)
+      | '>' when i + 1 < n && src.[i + 1] = '=' ->
+        emit (Sym ">=") i;
+        go (i + 2)
+      | '!' when i + 1 < n && src.[i + 1] = '=' ->
+        emit (Sym "<>") i;
+        go (i + 2)
+      | ('=' | '<' | '>' | '(' | ')' | ',' | '.' | '*' | '+' | '-' | '/' | ';' | '?') as c ->
+        emit (Sym (String.make 1 c)) i;
+        go (i + 1)
+      | c -> raise (Error (Printf.sprintf "illegal character %C" c, i))
+  in
+  go 0;
+  List.rev !toks
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %S" s
+  | Int_lit i -> Format.fprintf ppf "integer %d" i
+  | Float_lit f -> Format.fprintf ppf "float %g" f
+  | Str_lit s -> Format.fprintf ppf "string %S" s
+  | Kw k -> Format.fprintf ppf "keyword %s" k
+  | Sym s -> Format.fprintf ppf "%S" s
+  | Eof -> Format.pp_print_string ppf "end of input"

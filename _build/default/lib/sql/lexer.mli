@@ -1,0 +1,19 @@
+(** Hand-written SQL lexer. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Kw of string        (** uppercased keyword *)
+  | Sym of string       (** punctuation / operator *)
+  | Eof
+
+exception Error of string * int  (** message, character offset *)
+
+val tokenize : string -> (token * int) list
+(** All tokens with their start offsets, ending with [Eof].
+    @raise Error on an unterminated string or illegal character. *)
+
+val keywords : string list
+val pp_token : Format.formatter -> token -> unit

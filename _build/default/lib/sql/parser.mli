@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the SQL subset.
+
+    Checks syntax only (the paper's "parsing" phase); name resolution and
+    type checking happen in {!Semant}. *)
+
+exception Error of string * int  (** message, character offset *)
+
+val parse_statement : string -> Ast.statement
+(** @raise Error on a syntax error. *)
+
+val parse_query : string -> Ast.query
+(** Parse a bare SELECT. *)
+
+val parse_script : string -> Ast.statement list
+(** Semicolon-separated statements; a trailing semicolon is allowed. *)

@@ -1,0 +1,1 @@
+test/naive_eval.ml: Array Ast Catalog Hashtbl List Option Rel Rss Semant

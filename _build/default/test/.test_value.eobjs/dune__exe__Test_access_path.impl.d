@@ -1,0 +1,1 @@
+test/test_access_path.ml: Access_path Alcotest Ast Catalog Cost_model Database List Normalize Option Plan Rel Semant

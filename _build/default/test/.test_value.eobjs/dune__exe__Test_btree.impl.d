@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Hashtbl List Option Printf QCheck QCheck_alcotest Rel Rss Seq String

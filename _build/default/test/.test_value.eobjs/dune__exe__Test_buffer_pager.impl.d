@@ -1,0 +1,1 @@
+test/test_buffer_pager.ml: Alcotest List QCheck QCheck_alcotest Rss

@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Catalog Cost_model Ctx Float

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Catalog Database Executor Filename List Naive_eval Optimizer Option Plan Printf Random Rel Rss Snapshot String Sys Workload

@@ -1,0 +1,1 @@
+test/test_eval_layout.ml: Alcotest Catalog Eval Layout List Option Parser Plan Rel Rss Semant

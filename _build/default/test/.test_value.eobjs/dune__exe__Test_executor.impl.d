@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Ast Catalog Ctx Database Executor Fun List Naive_eval Optimizer Plan Printf Random Rel Rss String Workload

@@ -1,0 +1,1 @@
+test/test_interesting_order.ml: Alcotest Ast Catalog Interesting_order List Normalize Parser Rel Semant

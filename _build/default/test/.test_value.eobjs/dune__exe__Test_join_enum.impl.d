@@ -1,0 +1,1 @@
+test/test_join_enum.ml: Alcotest Catalog Cost_model Ctx Database Executor Format Join_enum List Naive_eval Normalize Optimizer Plan Printf Rel Semant String Unix

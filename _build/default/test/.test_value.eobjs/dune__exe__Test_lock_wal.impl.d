@@ -1,0 +1,1 @@
+test/test_lock_wal.ml: Alcotest Array Format List QCheck QCheck_alcotest Rel Rss String

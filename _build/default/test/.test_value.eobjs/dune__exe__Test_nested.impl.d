@@ -1,0 +1,1 @@
+test/test_nested.ml: Alcotest Catalog Database Executor Fun List Naive_eval Optimizer Plan Printf Rel String

@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Ast Catalog List Normalize Parser Printf QCheck QCheck_alcotest Rel Rss Semant

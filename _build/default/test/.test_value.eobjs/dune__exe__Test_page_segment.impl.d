@@ -1,0 +1,1 @@
+test/test_page_segment.ml: Alcotest List Option Printf Rel Rss String

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Format Lexer List Parser Printf QCheck QCheck_alcotest Rel

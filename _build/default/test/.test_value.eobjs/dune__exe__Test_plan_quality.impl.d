@@ -1,0 +1,1 @@
+test/test_plan_quality.ml: Access_path Alcotest Catalog Cost_model Ctx Cursor Database Eval Float Fun Join_enum List Normalize Optimizer Plan Printf Rel Rss Semant Workload

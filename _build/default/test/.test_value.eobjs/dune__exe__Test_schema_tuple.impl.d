@@ -1,0 +1,1 @@
+test/test_schema_tuple.ml: Alcotest Array Buffer List QCheck QCheck_alcotest Rel

@@ -1,0 +1,1 @@
+test/test_selectivity.ml: Alcotest Catalog Database Float List Option Printf Rel Selectivity Semant Stats String Workload

@@ -1,0 +1,1 @@
+test/test_semant.ml: Alcotest Ast Catalog List Parser Printf Rel Semant String

@@ -1,0 +1,1 @@
+test/test_sort_temp.ml: Alcotest Array List Printf QCheck QCheck_alcotest Random Rel Rss Seq

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Buffer Bytes List QCheck QCheck_alcotest Rel String

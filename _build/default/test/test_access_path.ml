@@ -1,0 +1,206 @@
+module V = Rel.Value
+module P = Plan
+
+(* Fixture: R(K, A, B) with 1000 rows, K unique (0..999).
+   - R_K   : clustered unique index on K
+   - R_A   : non-clustered index on A (50 distinct)
+   - R_AB  : non-clustered composite index on (A, B)
+   U(A, D) : 100 rows, index U_A on A. *)
+let setup () =
+  let db = Database.create ~buffer_pages:16 () in
+  let cat = Database.catalog db in
+  let schema cols =
+    Rel.Schema.make (List.map (fun n -> { Rel.Schema.name = n; ty = V.Tint }) cols)
+  in
+  let r = Catalog.create_relation cat ~name:"R" ~schema:(schema [ "K"; "A"; "B" ]) in
+  for k = 0 to 999 do
+    ignore
+      (Catalog.insert_tuple cat r
+         (Rel.Tuple.make [ V.Int k; V.Int (k mod 50); V.Int (k mod 20) ]))
+  done;
+  ignore (Catalog.create_index cat ~name:"R_K" ~rel:r ~columns:[ "K" ] ~clustered:true);
+  ignore (Catalog.create_index cat ~name:"R_A" ~rel:r ~columns:[ "A" ] ~clustered:false);
+  ignore
+    (Catalog.create_index cat ~name:"R_AB" ~rel:r ~columns:[ "A"; "B" ] ~clustered:false);
+  let u = Catalog.create_relation cat ~name:"U" ~schema:(schema [ "A"; "D" ]) in
+  for i = 0 to 99 do
+    ignore (Catalog.insert_tuple cat u (Rel.Tuple.make [ V.Int (i mod 50); V.Int i ]))
+  done;
+  ignore (Catalog.create_index cat ~name:"U_A" ~rel:u ~columns:[ "A" ] ~clustered:false);
+  Catalog.update_statistics cat;
+  db
+
+let paths db ?(outer = []) ~tab sql =
+  let block = Database.resolve db sql in
+  let factors =
+    List.filter
+      (fun (f : Normalize.factor) -> not f.Normalize.has_subquery)
+      (Normalize.factors_of_block block)
+  in
+  (Access_path.paths (Database.ctx db) block ~factors ~tab ~outer, block)
+
+let find_index_path name plans =
+  List.find_opt
+    (fun (p : P.t) ->
+      match p.P.node with
+      | P.Scan { access = P.Idx_scan { index; _ }; _ } ->
+        index.Catalog.idx_name = name
+      | _ -> false)
+    plans
+
+let seg_path plans =
+  List.find
+    (fun (p : P.t) ->
+      match p.P.node with P.Scan { access = P.Seg_scan; _ } -> true | _ -> false)
+    plans
+
+let test_one_path_per_index_plus_segment () =
+  let db = setup () in
+  let plans, _ = paths db ~tab:0 "SELECT K FROM R" in
+  Alcotest.(check int) "3 indexes + segment" 4 (List.length plans);
+  Alcotest.(check bool) "has segment scan" true (ignore (seg_path plans); true)
+
+let test_unique_index_eq_cost () =
+  let db = setup () in
+  let plans, _ = paths db ~tab:0 "SELECT K FROM R WHERE K = 123" in
+  let p = Option.get (find_index_path "R_K" plans) in
+  (* 1 + 1 + W: two page fetches, one RSI call *)
+  Alcotest.(check (float 1e-6)) "pages" 2. p.P.cost.Cost_model.pages;
+  Alcotest.(check (float 1e-6)) "rsi" 1. p.P.cost.Cost_model.rsi;
+  (* and it is the cheapest choice *)
+  let w = 0.5 in
+  List.iter
+    (fun (q : P.t) ->
+      Alcotest.(check bool) "unique eq is minimal" true
+        (Cost_model.compare_total ~w p.P.cost q.P.cost <= 0))
+    plans
+
+let test_matching_bounds () =
+  let db = setup () in
+  let plans, _ = paths db ~tab:0 "SELECT K FROM R WHERE A = 7" in
+  let p = Option.get (find_index_path "R_A" plans) in
+  (match p.P.node with
+   | P.Scan { access = P.Idx_scan { lo = Some lo; hi = Some hi; matching = true; _ }; _ } ->
+     Alcotest.(check bool) "lo = hi = [7]" true
+       (lo.P.values = [ P.Bv_const (V.Int 7) ]
+        && hi.P.values = [ P.Bv_const (V.Int 7) ]
+        && lo.P.inclusive && hi.P.inclusive)
+   | _ -> Alcotest.fail "expected matching index scan");
+  (* the other index on K does not match A = 7 *)
+  let k = Option.get (find_index_path "R_K" plans) in
+  (match k.P.node with
+   | P.Scan { access = P.Idx_scan { matching = false; lo = None; hi = None; _ }; _ } -> ()
+   | _ -> Alcotest.fail "R_K should be non-matching")
+
+let test_range_bounds () =
+  let db = setup () in
+  let plans, _ = paths db ~tab:0 "SELECT K FROM R WHERE K > 100 AND K <= 200" in
+  let p = Option.get (find_index_path "R_K" plans) in
+  (match p.P.node with
+   | P.Scan { access = P.Idx_scan { lo = Some lo; hi = Some hi; _ }; _ } ->
+     Alcotest.(check bool) "lo exclusive 100" true
+       (lo.P.values = [ P.Bv_const (V.Int 100) ] && not lo.P.inclusive);
+     Alcotest.(check bool) "hi inclusive 200" true
+       (hi.P.values = [ P.Bv_const (V.Int 200) ] && hi.P.inclusive)
+   | _ -> Alcotest.fail "range bounds")
+
+let test_composite_prefix_matching () =
+  let db = setup () in
+  (* eq on A (first key col) + range on B (second): both matched by R_AB *)
+  let plans, _ = paths db ~tab:0 "SELECT K FROM R WHERE A = 3 AND B > 10" in
+  let p = Option.get (find_index_path "R_AB" plans) in
+  (match p.P.node with
+   | P.Scan { access = P.Idx_scan { lo = Some lo; hi = Some hi; matching = true; _ }; _ } ->
+     Alcotest.(check int) "lo has eq + range" 2 (List.length lo.P.values);
+     Alcotest.(check int) "hi is eq prefix" 1 (List.length hi.P.values)
+   | _ -> Alcotest.fail "composite prefix");
+  (* B alone does not match R_AB (not an initial substring) *)
+  let plans2, _ = paths db ~tab:0 "SELECT K FROM R WHERE B = 5" in
+  let p2 = Option.get (find_index_path "R_AB" plans2) in
+  (match p2.P.node with
+   | P.Scan { access = P.Idx_scan { matching = false; _ }; _ } -> ()
+   | _ -> Alcotest.fail "B alone must not match (A,B) index")
+
+let test_sargs_vs_residual () =
+  let db = setup () in
+  let plans, _ = paths db ~tab:0 "SELECT K FROM R WHERE A = 3 AND K + 1 = 10" in
+  let p = seg_path plans in
+  (match p.P.node with
+   | P.Scan { sargs; residual; _ } ->
+     Alcotest.(check int) "one sarg" 1 (List.length sargs);
+     Alcotest.(check int) "one residual" 1 (List.length residual)
+   | _ -> Alcotest.fail "scan expected")
+
+let test_order_produced () =
+  let db = setup () in
+  let plans, _ = paths db ~tab:0 "SELECT K FROM R" in
+  let p = Option.get (find_index_path "R_AB" plans) in
+  (match p.P.order with
+   | [ ({ Semant.tab = 0; col = 1 }, Ast.Asc); ({ Semant.tab = 0; col = 2 }, Ast.Asc) ] ->
+     ()
+   | _ -> Alcotest.fail "order = key columns");
+  Alcotest.(check bool) "segment scan unordered" true ((seg_path plans).P.order = [])
+
+let test_dynamic_join_bound () =
+  let db = setup () in
+  (* R as inner of a join with U: R.A = U.A becomes a dynamic eq bound *)
+  let plans, _ =
+    paths db ~tab:0 ~outer:[ 1 ] "SELECT K FROM R, U WHERE R.A = U.A AND D = 5"
+  in
+  let p = Option.get (find_index_path "R_A" plans) in
+  (match p.P.node with
+   | P.Scan { access = P.Idx_scan { lo = Some lo; matching = true; _ }; sargs; _ } ->
+     (match lo.P.values with
+      | [ P.Bv_outer { Semant.tab = 1; col = 0 } ] -> ()
+      | _ -> Alcotest.fail "expected Bv_outer(U.A)");
+     (* the join factor is dynamically sargable *)
+     Alcotest.(check int) "join pred as sarg" 1 (List.length sargs)
+   | _ -> Alcotest.fail "dynamic bound expected");
+  (* out_card is per opening: NCARD(R) * F(join) = 1000 / 50 = 20 *)
+  Alcotest.(check (float 0.5)) "per-open card" 20. p.P.out_card
+
+let test_rsicard () =
+  let db = setup () in
+  let block = Database.resolve db "SELECT K FROM R WHERE A = 3 AND K + 1 = 10" in
+  let factors = Normalize.factors_of_block block in
+  let r = Access_path.rsicard (Database.ctx db) block ~factors ~tab:0 ~outer:[] in
+  (* only the sargable factor A = 3 filters below the RSI: 1000/50 = 20 *)
+  Alcotest.(check (float 0.5)) "rsicard" 20. r
+
+let test_clustered_vs_nonclustered_cost () =
+  (* with a buffer smaller than the qualifying data pages, the non-clustered
+     index pays a page fetch per tuple (the NCARD form) while the clustered
+     one reads each data page once *)
+  let db = Database.create ~buffer_pages:4 () in
+  let cat = Database.catalog db in
+  let schema cols =
+    Rel.Schema.make (List.map (fun n -> { Rel.Schema.name = n; ty = V.Tint }) cols)
+  in
+  let r = Catalog.create_relation cat ~name:"R" ~schema:(schema [ "K"; "A" ]) in
+  for k = 0 to 4999 do
+    ignore (Catalog.insert_tuple cat r (Rel.Tuple.make [ V.Int k; V.Int (k mod 50) ]))
+  done;
+  ignore (Catalog.create_index cat ~name:"R_K" ~rel:r ~columns:[ "K" ] ~clustered:true);
+  ignore (Catalog.create_index cat ~name:"R_A" ~rel:r ~columns:[ "A" ] ~clustered:false);
+  Catalog.update_statistics cat;
+  let plans, _ = paths db ~tab:0 "SELECT K FROM R WHERE K < 2500 AND A < 25" in
+  let ck = Option.get (find_index_path "R_K" plans) in
+  let ca = Option.get (find_index_path "R_A" plans) in
+  Alcotest.(check bool) "clustered cheaper" true
+    (ck.P.cost.Cost_model.pages < ca.P.cost.Cost_model.pages)
+
+let () =
+  Alcotest.run "access_path"
+    [ ( "paths",
+        [ Alcotest.test_case "one per index + segment" `Quick
+            test_one_path_per_index_plus_segment;
+          Alcotest.test_case "unique index eq" `Quick test_unique_index_eq_cost;
+          Alcotest.test_case "matching bounds" `Quick test_matching_bounds;
+          Alcotest.test_case "range bounds" `Quick test_range_bounds;
+          Alcotest.test_case "composite prefix" `Quick test_composite_prefix_matching;
+          Alcotest.test_case "sargs vs residual" `Quick test_sargs_vs_residual;
+          Alcotest.test_case "order produced" `Quick test_order_produced;
+          Alcotest.test_case "dynamic join bound" `Quick test_dynamic_join_bound;
+          Alcotest.test_case "rsicard" `Quick test_rsicard;
+          Alcotest.test_case "clustered vs non-clustered" `Quick
+            test_clustered_vs_nonclustered_cost ] ) ]

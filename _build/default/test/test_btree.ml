@@ -1,0 +1,272 @@
+module V = Rel.Value
+module B = Rss.Btree
+
+let key i : B.key = [| V.Int i |]
+let tid i = { Rss.Tid.page = i; slot = i mod 7 }
+
+let fresh ?order () =
+  let pager = Rss.Pager.create () in
+  (B.create ?order pager, pager)
+
+let ok = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("invariant violated: " ^ msg)
+
+let test_insert_lookup () =
+  let t, _ = fresh ~order:4 () in
+  for i = 0 to 199 do
+    B.insert t (key i) (tid i)
+  done;
+  ok (B.check_invariants t);
+  for i = 0 to 199 do
+    match B.lookup t (key i) with
+    | [ x ] -> if not (Rss.Tid.equal x (tid i)) then Alcotest.fail "wrong tid"
+    | l -> Alcotest.fail (Printf.sprintf "key %d: %d tids" i (List.length l))
+  done;
+  Alcotest.(check (list Alcotest.reject)) "missing key" []
+    (List.map (fun _ -> ()) (B.lookup t (key 999)));
+  Alcotest.(check int) "entries" 200 (B.entry_count t);
+  Alcotest.(check int) "distinct" 200 (B.distinct_keys t);
+  Alcotest.(check bool) "height grew" true (B.height t > 1)
+
+let test_duplicates () =
+  let t, _ = fresh ~order:4 () in
+  for i = 0 to 9 do
+    for j = 0 to 4 do
+      B.insert t (key i) (tid (100 * i + j))
+    done
+  done;
+  ok (B.check_invariants t);
+  Alcotest.(check int) "entries" 50 (B.entry_count t);
+  Alcotest.(check int) "distinct" 10 (B.distinct_keys t);
+  Alcotest.(check int) "dup tids" 5 (List.length (B.lookup t (key 3)))
+
+let test_range_scan () =
+  let t, _ = fresh ~order:6 () in
+  List.iter (fun i -> B.insert t (key i) (tid i)) [ 5; 1; 9; 3; 7; 2; 8; 4; 6; 0 ];
+  let got lo hi =
+    B.range_scan_unaccounted
+      ?lo:(Option.map (fun (v, k) -> ([| V.Int v |], k)) lo)
+      ?hi:(Option.map (fun (v, k) -> ([| V.Int v |], k)) hi)
+      t
+    |> Seq.map (fun (k, _) -> match k.(0) with V.Int i -> i | _ -> -1)
+    |> List.of_seq
+  in
+  Alcotest.(check (list int)) "full" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (got None None);
+  Alcotest.(check (list int)) "closed" [ 3; 4; 5; 6 ]
+    (got (Some (3, `Inclusive)) (Some (6, `Inclusive)));
+  Alcotest.(check (list int)) "open lo" [ 4; 5; 6 ]
+    (got (Some (3, `Exclusive)) (Some (6, `Inclusive)));
+  Alcotest.(check (list int)) "open hi" [ 3; 4; 5 ]
+    (got (Some (3, `Inclusive)) (Some (6, `Exclusive)));
+  Alcotest.(check (list int)) "empty range" []
+    (got (Some (7, `Exclusive)) (Some (7, `Exclusive)))
+
+let test_composite_prefix_bounds () =
+  let t, _ = fresh ~order:4 () in
+  (* key = (NAME, LOCATION) *)
+  List.iter
+    (fun (a, b) -> B.insert t [| V.Str a; V.Str b |] (tid (Hashtbl.hash (a, b))))
+    [ ("SMITH", "SAN JOSE"); ("SMITH", "DENVER"); ("JONES", "DENVER");
+      ("ADAMS", "BOSTON"); ("SMITH", "AUSTIN"); ("YOUNG", "DENVER") ];
+  let smiths =
+    B.range_scan_unaccounted
+      ~lo:([| V.Str "SMITH" |], `Inclusive)
+      ~hi:([| V.Str "SMITH" |], `Inclusive)
+      t
+    |> List.of_seq
+  in
+  Alcotest.(check int) "prefix matches all SMITH" 3 (List.length smiths);
+  (* full-key bound *)
+  let exact =
+    B.range_scan_unaccounted
+      ~lo:([| V.Str "SMITH"; V.Str "DENVER" |], `Inclusive)
+      ~hi:([| V.Str "SMITH"; V.Str "DENVER" |], `Inclusive)
+      t
+    |> List.of_seq
+  in
+  Alcotest.(check int) "exact composite" 1 (List.length exact)
+
+let test_delete () =
+  let t, _ = fresh ~order:4 () in
+  for i = 0 to 99 do
+    B.insert t (key i) (tid i)
+  done;
+  for i = 0 to 99 do
+    if i mod 2 = 0 then
+      Alcotest.(check bool) "delete ok" true (B.delete t (key i) (tid i))
+  done;
+  Alcotest.(check bool) "absent delete" false (B.delete t (key 0) (tid 0));
+  ok (B.check_invariants t);
+  Alcotest.(check int) "entries" 50 (B.entry_count t);
+  for i = 0 to 99 do
+    let expect = if i mod 2 = 0 then 0 else 1 in
+    Alcotest.(check int)
+      (Printf.sprintf "lookup %d" i)
+      expect
+      (List.length (B.lookup t (key i)))
+  done
+
+let test_min_max () =
+  let t, _ = fresh () in
+  Alcotest.(check bool) "empty min" true (B.min_key t = None);
+  List.iter (fun i -> B.insert t (key i) (tid i)) [ 42; 7; 99; 13 ];
+  Alcotest.(check bool) "min" true (B.min_key t = Some [| V.Int 7 |]);
+  Alcotest.(check bool) "max" true (B.max_key t = Some [| V.Int 99 |])
+
+let test_leaf_pages_grow () =
+  let t, _ = fresh ~order:4 () in
+  Alcotest.(check int) "one leaf initially" 1 (B.leaf_pages t);
+  for i = 0 to 99 do
+    B.insert t (key i) (tid i)
+  done;
+  Alcotest.(check bool) "many leaves" true (B.leaf_pages t > 10)
+
+let test_scan_accounting () =
+  let pager = Rss.Pager.create ~buffer_pages:4 () in
+  let t = B.create ~order:4 pager in
+  for i = 0 to 199 do
+    B.insert t (key i) (tid i)
+  done;
+  let c = Rss.Pager.counters pager in
+  Rss.Counters.reset c;
+  Rss.Pager.evict_all pager;
+  let n = Seq.length (B.range_scan t) in
+  Alcotest.(check int) "all entries" 200 n;
+  (* a full scan touches the descent path once plus every leaf page *)
+  let leaves = B.leaf_pages t in
+  Alcotest.(check bool) "fetches cover leaves" true
+    (c.Rss.Counters.page_fetches >= leaves);
+  Alcotest.(check bool) "fetches bounded" true
+    (c.Rss.Counters.page_fetches <= leaves + B.height t);
+  Rss.Counters.reset c;
+  let m = Seq.length (B.range_scan_unaccounted t) in
+  Alcotest.(check int) "unaccounted same entries" 200 m;
+  Alcotest.(check int) "unaccounted free" 0 c.Rss.Counters.page_fetches
+
+let test_desc_scan () =
+  let t, _ = fresh ~order:4 () in
+  List.iter (fun i -> B.insert t (key i) (tid i)) [ 5; 1; 9; 3; 7; 2; 8; 4; 6; 0 ];
+  let got lo hi =
+    B.range_scan_desc_unaccounted
+      ?lo:(Option.map (fun (v, k) -> ([| V.Int v |], k)) lo)
+      ?hi:(Option.map (fun (v, k) -> ([| V.Int v |], k)) hi)
+      t
+    |> Seq.map (fun (k, _) -> match k.(0) with V.Int i -> i | _ -> -1)
+    |> List.of_seq
+  in
+  Alcotest.(check (list int)) "full desc" [ 9; 8; 7; 6; 5; 4; 3; 2; 1; 0 ]
+    (got None None);
+  Alcotest.(check (list int)) "bounded desc" [ 6; 5; 4; 3 ]
+    (got (Some (3, `Inclusive)) (Some (6, `Inclusive)));
+  Alcotest.(check (list int)) "exclusive hi" [ 5; 4 ]
+    (got (Some (4, `Inclusive)) (Some (6, `Exclusive)));
+  Alcotest.(check (list int)) "empty" [] (got (Some (11, `Inclusive)) None)
+
+let prop_desc_is_reverse_of_asc =
+  QCheck.Test.make ~name:"desc scan reverses asc scan" ~count:150
+    QCheck.(pair (list (int_bound 60)) (pair (int_bound 60) (int_bound 60)))
+    (fun (keys, (a, b)) ->
+      let t, _ = fresh ~order:4 () in
+      List.iteri (fun i k -> B.insert t (key k) (tid i)) keys;
+      let lo = ([| V.Int (min a b) |], `Inclusive) in
+      let hi = ([| V.Int (max a b) |], `Inclusive) in
+      let asc = List.of_seq (B.range_scan_unaccounted ~lo ~hi t) in
+      let desc = List.of_seq (B.range_scan_desc_unaccounted ~lo ~hi t) in
+      (* same multiset; desc keys non-increasing (TID order within a key
+         group may differ between directions) *)
+      let ks =
+        List.map (fun (k, _) -> match k.(0) with V.Int i -> i | _ -> -1) desc
+      in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+        | [ _ ] | [] -> true
+      in
+      List.length asc = List.length desc
+      && List.sort compare asc = List.sort compare desc
+      && non_increasing ks)
+
+let test_bad_order () =
+  let pager = Rss.Pager.create () in
+  Alcotest.check_raises "order" (Invalid_argument "Btree.create: order < 4")
+    (fun () -> ignore (B.create ~order:2 pager))
+
+(* --- model-based property --------------------------------------------- *)
+
+type op =
+  | Ins of int * int
+  | Del of int * int
+
+let op_gen =
+  QCheck.Gen.(
+    oneof
+      [ map2 (fun k t -> Ins (k, t)) (int_bound 50) (int_bound 20);
+        map2 (fun k t -> Del (k, t)) (int_bound 50) (int_bound 20) ])
+
+let show_op = function
+  | Ins (k, t) -> Printf.sprintf "Ins(%d,%d)" k t
+  | Del (k, t) -> Printf.sprintf "Del(%d,%d)" k t
+
+let prop_model =
+  QCheck.Test.make ~name:"btree matches sorted-list model" ~count:200
+    (QCheck.make
+       ~print:(fun ops -> String.concat ";" (List.map show_op ops))
+       QCheck.Gen.(list_size (int_range 0 120) op_gen))
+    (fun ops ->
+      let t, _ = fresh ~order:4 () in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | Ins (k, x) ->
+            B.insert t (key k) (tid x);
+            model := (k, x) :: !model
+          | Del (k, x) ->
+            let present = List.mem (k, x) !model in
+            let deleted = B.delete t (key k) (tid x) in
+            if deleted <> present then failwith "delete mismatch";
+            if present then begin
+              let removed = ref false in
+              model :=
+                List.filter
+                  (fun e ->
+                    if e = (k, x) && not !removed then begin
+                      removed := true;
+                      false
+                    end
+                    else true)
+                  !model
+            end)
+        ops;
+      (match B.check_invariants t with
+       | Ok () -> ()
+       | Error m -> failwith m);
+      let expected =
+        List.sort compare (List.map (fun (k, x) -> (k, (tid x).Rss.Tid.page, (tid x).Rss.Tid.slot)) !model)
+      in
+      let actual =
+        B.range_scan_unaccounted t
+        |> Seq.map (fun (k, t) ->
+               ( (match k.(0) with V.Int i -> i | _ -> -1),
+                 t.Rss.Tid.page, t.Rss.Tid.slot ))
+        |> List.of_seq |> List.sort compare
+      in
+      expected = actual)
+
+let () =
+  Alcotest.run "btree"
+    [ ( "unit",
+        [ Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
+          Alcotest.test_case "duplicates" `Quick test_duplicates;
+          Alcotest.test_case "range scan" `Quick test_range_scan;
+          Alcotest.test_case "composite prefix bounds" `Quick test_composite_prefix_bounds;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "leaf pages grow" `Quick test_leaf_pages_grow;
+          Alcotest.test_case "scan accounting" `Quick test_scan_accounting;
+          Alcotest.test_case "descending scan" `Quick test_desc_scan;
+          Alcotest.test_case "bad order" `Quick test_bad_order ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_model; prop_desc_is_reverse_of_asc ] ) ]

@@ -1,0 +1,208 @@
+(* TABLE 2 cost formulas, asserted numerically. *)
+
+let feq = Alcotest.(check (float 1e-6))
+
+let ctx buffer_pages =
+  let cat = Catalog.create ~buffer_pages () in
+  Ctx.create ~w:0.5 ~buffer_pages cat
+
+let rel ncard tcard p = { Ctx.ncard; tcard; p }
+
+let idx ?(clustered = false) ?(unique = false) icard nindx =
+  { Ctx.icard; nindx; low = None; high = None; clustered; unique }
+
+let total c = Cost_model.total ~w:0.5 c
+
+let test_unique_index_eq () =
+  let c =
+    Cost_model.single_relation (ctx 20) ~rel:(rel 1000. 100. 1.)
+      ~idx:(Some (idx ~unique:true 1000. 20.))
+      ~situation:Cost_model.Unique_index_eq ~rsicard:1.
+  in
+  (* 1 + 1 + W *)
+  feq "pages" 2. c.Cost_model.pages;
+  feq "rsi" 1. c.Cost_model.rsi;
+  feq "total" 2.5 (total c)
+
+let test_clustered_matching () =
+  let c =
+    Cost_model.single_relation (ctx 20) ~rel:(rel 1000. 100. 1.)
+      ~idx:(Some (idx ~clustered:true 50. 10.))
+      ~situation:(Cost_model.Clustered_matching 0.02) ~rsicard:20.
+  in
+  (* F(preds) * (NINDX + TCARD) + W * RSICARD *)
+  feq "pages" (0.02 *. (10. +. 100.)) c.Cost_model.pages;
+  feq "rsi" 20. c.Cost_model.rsi
+
+let test_nonclustered_matching_large () =
+  (* F*TCARD = 50 pages > buffer 20: the NCARD form applies *)
+  let c =
+    Cost_model.single_relation (ctx 20) ~rel:(rel 1000. 100. 1.)
+      ~idx:(Some (idx 50. 10.))
+      ~situation:(Cost_model.Nonclustered_matching 0.5) ~rsicard:500.
+  in
+  feq "pages = F*(NINDX+NCARD)" (0.5 *. (10. +. 1000.)) c.Cost_model.pages
+
+let test_nonclustered_matching_fits_buffer () =
+  (* F*TCARD = 2 pages <= buffer 20: each data page fetched once *)
+  let c =
+    Cost_model.single_relation (ctx 20) ~rel:(rel 1000. 100. 1.)
+      ~idx:(Some (idx 50. 10.))
+      ~situation:(Cost_model.Nonclustered_matching 0.02) ~rsicard:20.
+  in
+  feq "pages = F*(NINDX+TCARD)" (0.02 *. (10. +. 100.)) c.Cost_model.pages
+
+let test_clustered_nonmatching () =
+  let c =
+    Cost_model.single_relation (ctx 20) ~rel:(rel 1000. 100. 1.)
+      ~idx:(Some (idx ~clustered:true 50. 10.))
+      ~situation:Cost_model.Clustered_nonmatching ~rsicard:1000.
+  in
+  feq "pages = NINDX + TCARD" 110. c.Cost_model.pages
+
+let test_nonclustered_nonmatching () =
+  let big =
+    Cost_model.single_relation (ctx 20) ~rel:(rel 1000. 100. 1.)
+      ~idx:(Some (idx 50. 10.))
+      ~situation:Cost_model.Nonclustered_nonmatching ~rsicard:1000.
+  in
+  feq "pages = NINDX + NCARD" 1010. big.Cost_model.pages;
+  let fits =
+    Cost_model.single_relation (ctx 200) ~rel:(rel 1000. 100. 1.)
+      ~idx:(Some (idx 50. 10.))
+      ~situation:Cost_model.Nonclustered_nonmatching ~rsicard:1000.
+  in
+  feq "fits: NINDX + TCARD" 110. fits.Cost_model.pages
+
+let test_segment_scan () =
+  let c =
+    Cost_model.single_relation (ctx 20) ~rel:(rel 1000. 80. 0.8) ~idx:None
+      ~situation:Cost_model.Segment_scan_cost ~rsicard:1000.
+  in
+  (* TCARD/P: the whole segment is examined *)
+  feq "pages = TCARD/P" 100. c.Cost_model.pages;
+  feq "rsi" 1000. c.Cost_model.rsi
+
+let test_index_situation_requires_idx () =
+  Alcotest.check_raises "missing idx"
+    (Invalid_argument "Cost_model.single_relation: index situation without index")
+    (fun () ->
+      ignore
+        (Cost_model.single_relation (ctx 20) ~rel:(rel 10. 1. 1.) ~idx:None
+           ~situation:Cost_model.Clustered_nonmatching ~rsicard:1.))
+
+(* --- combinators -------------------------------------------------------- *)
+
+let test_cost_algebra () =
+  let a = { Cost_model.pages = 2.; rsi = 3. } in
+  let b = { Cost_model.pages = 1.; rsi = 5. } in
+  feq "add pages" 3. (Cost_model.add a b).Cost_model.pages;
+  feq "scale rsi" 6. (Cost_model.scale 2. a).Cost_model.rsi;
+  feq "total w=0" 2. (Cost_model.total ~w:0. a);
+  feq "total w=1" 5. (Cost_model.total ~w:1. a);
+  (* both total 3.5 at w = 0.5 *)
+  Alcotest.(check int) "compare equal totals" 0 (Cost_model.compare_total ~w:0.5 a b);
+  Alcotest.(check bool) "compare at w=0" true (Cost_model.compare_total ~w:0. a b > 0)
+
+let test_nested_loop_formula () =
+  let outer = { Cost_model.pages = 10.; rsi = 100. } in
+  let inner = { Cost_model.pages = 2.; rsi = 4. } in
+  let c = Cost_model.nested_loop_join ~outer ~outer_card:50. ~inner_per_open:inner in
+  (* C-outer + N * C-inner *)
+  feq "pages" (10. +. (50. *. 2.)) c.Cost_model.pages;
+  feq "rsi" (100. +. (50. *. 4.)) c.Cost_model.rsi
+
+let test_merge_sorted_inner_formula () =
+  let outer = { Cost_model.pages = 10.; rsi = 100. } in
+  let build = { Cost_model.pages = 30.; rsi = 200. } in
+  let c =
+    Cost_model.merge_join_sorted_inner (ctx 20) ~outer ~inner_build:build
+      ~temppages:25. ~matches:400.
+  in
+  (* outer + build + TEMPPAGES (each temp page fetched once) + W-weighted
+     matches *)
+  feq "pages" (10. +. 30. +. 25.) c.Cost_model.pages;
+  feq "rsi" (100. +. 200. +. 400.) c.Cost_model.rsi
+
+let test_merge_ordered_inner_formula () =
+  let outer = { Cost_model.pages = 10.; rsi = 100. } in
+  let inner = { Cost_model.pages = 40.; rsi = 300. } in
+  let c = Cost_model.merge_join_ordered_inner ~outer ~inner_whole:inner ~matches:500. in
+  feq "pages" 50. c.Cost_model.pages;
+  (* inner walked once; extra matches beyond its own RSI are re-returns *)
+  feq "rsi" (100. +. 300. +. 200.) c.Cost_model.rsi
+
+let test_temp_pages () =
+  feq "basic" 10. (Cost_model.temp_pages ~tuples:500. ~tuples_per_page:50.);
+  feq "round up" 11. (Cost_model.temp_pages ~tuples:501. ~tuples_per_page:50.);
+  feq "empty" 0. (Cost_model.temp_pages ~tuples:0. ~tuples_per_page:50.);
+  feq "at least one" 1. (Cost_model.temp_pages ~tuples:3. ~tuples_per_page:50.)
+
+let test_distinct_pages () =
+  (* one tuple touches about one page *)
+  feq "one tuple" 1.0 (Float.round (Cost_model.distinct_pages ~tuples:1. ~pages:50.));
+  (* saturates at the page count *)
+  Alcotest.(check bool) "saturates" true
+    (Cost_model.distinct_pages ~tuples:1e6 ~pages:50. > 49.9);
+  (* monotone in tuples *)
+  Alcotest.(check bool) "monotone" true
+    (Cost_model.distinct_pages ~tuples:10. ~pages:50.
+     < Cost_model.distinct_pages ~tuples:20. ~pages:50.);
+  feq "empty" 0. (Cost_model.distinct_pages ~tuples:0. ~pages:50.)
+
+let test_refined_pages_mode () =
+  (* buffer large enough that TABLE 2 takes its optimistic TCARD branch *)
+  let cat = Catalog.create ~buffer_pages:64 () in
+  let refined = Ctx.create ~w:0.5 ~buffer_pages:64 ~refined_pages:true cat in
+  let table2 = Ctx.create ~w:0.5 ~buffer_pages:64 cat in
+  let r = rel 5000. 45. 1. and i = Some (idx 50. 40.) in
+  let situation = Cost_model.Nonclustered_matching (1. /. 50.) in
+  let c_ref =
+    Cost_model.single_relation refined ~rel:r ~idx:i ~situation ~rsicard:100.
+  in
+  let c_t2 =
+    Cost_model.single_relation table2 ~rel:r ~idx:i ~situation ~rsicard:100.
+  in
+  (* 100 scattered tuples over 45 pages: ~40 distinct pages; TABLE 2's
+     buffer-fit branch predicts under 2 pages — the refined estimate sits
+     between the paper's optimistic and pessimistic brackets *)
+  Alcotest.(check bool) "refined above TABLE 2 optimistic branch" true
+    (c_ref.Cost_model.pages > c_t2.Cost_model.pages);
+  Alcotest.(check bool) "refined below page-per-tuple" true
+    (c_ref.Cost_model.pages < (1. /. 50.) *. (40. +. 5000.))
+
+let test_sort_cost_monotone () =
+  let c = ctx 10 in
+  let small = Cost_model.sort_cost c ~tuples:100. ~tuples_per_page:50. in
+  let large = Cost_model.sort_cost c ~tuples:100000. ~tuples_per_page:50. in
+  Alcotest.(check bool) "more tuples cost more" true
+    (total large > total small);
+  feq "empty free" 0. (total (Cost_model.sort_cost c ~tuples:0. ~tuples_per_page:50.));
+  (* multi-pass kicks in when runs exceed the buffer *)
+  let tiny_buf = Cost_model.sort_cost (ctx 2) ~tuples:100000. ~tuples_per_page:50. in
+  Alcotest.(check bool) "small buffer costs more" true (total tiny_buf > total large)
+
+let () =
+  Alcotest.run "cost_model"
+    [ ( "table2",
+        [ Alcotest.test_case "unique index eq" `Quick test_unique_index_eq;
+          Alcotest.test_case "clustered matching" `Quick test_clustered_matching;
+          Alcotest.test_case "nonclustered matching (large)" `Quick
+            test_nonclustered_matching_large;
+          Alcotest.test_case "nonclustered matching (fits)" `Quick
+            test_nonclustered_matching_fits_buffer;
+          Alcotest.test_case "clustered nonmatching" `Quick test_clustered_nonmatching;
+          Alcotest.test_case "nonclustered nonmatching" `Quick
+            test_nonclustered_nonmatching;
+          Alcotest.test_case "segment scan" `Quick test_segment_scan;
+          Alcotest.test_case "index situation guard" `Quick
+            test_index_situation_requires_idx ] );
+      ( "joins_sorts",
+        [ Alcotest.test_case "algebra" `Quick test_cost_algebra;
+          Alcotest.test_case "nested loop" `Quick test_nested_loop_formula;
+          Alcotest.test_case "merge sorted inner" `Quick test_merge_sorted_inner_formula;
+          Alcotest.test_case "merge ordered inner" `Quick test_merge_ordered_inner_formula;
+          Alcotest.test_case "temp pages" `Quick test_temp_pages;
+          Alcotest.test_case "distinct pages (Cardenas)" `Quick test_distinct_pages;
+          Alcotest.test_case "refined pages mode" `Quick test_refined_pages_mode;
+          Alcotest.test_case "sort cost" `Quick test_sort_cost_monotone ] ) ]

@@ -1,0 +1,528 @@
+(* Engine facade: SQL DDL/DML end to end, the Figure 1 database, EXPLAIN
+   output, error paths, and the WAL/recovery integration. *)
+
+module V = Rel.Value
+module T = Rel.Tuple
+
+let rows out = out.Executor.rows
+
+let test_ddl_dml_roundtrip () =
+  let db = Database.create () in
+  let results =
+    Database.exec_script db
+      "CREATE TABLE T (A INT, B STRING);\n\
+       CREATE INDEX T_A ON T (A);\n\
+       INSERT INTO T VALUES (1, 'one'), (2, 'two'), (3, 'three');\n\
+       UPDATE STATISTICS;"
+  in
+  Alcotest.(check int) "four statements" 4 (List.length results);
+  let out = Database.query db "SELECT B FROM T WHERE A = 2" in
+  (match rows out with
+   | [ [| V.Str "two" |] ] -> ()
+   | _ -> Alcotest.fail "wrong result");
+  (match Database.exec db "DELETE FROM T WHERE A > 1" with
+   | Database.Done msg -> Alcotest.(check string) "count" "2 rows deleted" msg
+   | _ -> Alcotest.fail "delete result");
+  let out2 = Database.query db "SELECT COUNT(*) FROM T" in
+  (match rows out2 with
+   | [ [| V.Int 1 |] ] -> ()
+   | _ -> Alcotest.fail "count after delete");
+  (* the index no longer returns deleted tuples *)
+  let out3 = Database.query db "SELECT B FROM T WHERE A = 3" in
+  Alcotest.(check int) "deleted not indexed" 0 (List.length (rows out3))
+
+let test_error_paths () =
+  let db = Database.create () in
+  let expect_err sql =
+    match Database.exec db sql with
+    | _ -> Alcotest.fail ("accepted: " ^ sql)
+    | exception Database.Error _ -> ()
+  in
+  expect_err "SELECT * FROM NOWHERE";
+  expect_err "SELECT * FROM";
+  expect_err "INSERT INTO NOWHERE VALUES (1)";
+  expect_err "CREATE TABLE T (A INT, A INT)";
+  ignore (Database.exec db "CREATE TABLE T (A INT)");
+  expect_err "CREATE TABLE T (A INT)";
+  expect_err "INSERT INTO T VALUES ('wrong type')";
+  (* query on a non-SELECT *)
+  (match Database.query db "UPDATE STATISTICS" with
+   | _ -> Alcotest.fail "query accepted DDL"
+   | exception Database.Error _ -> ())
+
+let test_fig1_database () =
+  let db = Database.create () in
+  Workload.load_emp_dept_job db;
+  let out = Database.query db Workload.fig1_query in
+  Alcotest.(check (list string)) "columns" [ "NAME"; "TITLE"; "SAL"; "DNAME" ]
+    out.Executor.columns;
+  (* every returned row is a Denver clerk *)
+  List.iter
+    (fun row ->
+      match row with
+      | [| V.Str _; V.Str title; V.Int _; V.Str _ |] ->
+        Alcotest.(check string) "clerk" "CLERK" title
+      | _ -> Alcotest.fail "row shape")
+    (rows out);
+  (* cross-check the count against a manual predicate evaluation *)
+  let block = Database.resolve db Workload.fig1_query in
+  let expected = Naive_eval.query (Database.catalog db) block in
+  Alcotest.(check int) "count matches naive" (List.length expected)
+    (List.length (rows out));
+  Alcotest.(check bool) "non-empty" true (rows out <> [])
+
+let test_explain_output () =
+  let db = Database.create () in
+  Workload.load_emp_dept_job db;
+  let text = Database.explain db Workload.fig1_query in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains text needle))
+    [ "JOIN"; "SCAN"; "cost" ]
+
+let test_exec_script_mixed () =
+  let db = Database.create () in
+  let results =
+    Database.exec_script db
+      "CREATE TABLE S (X INT);\n\
+       INSERT INTO S VALUES (5), (6);\n\
+       SELECT X FROM S WHERE X = 5;\n\
+       EXPLAIN SELECT X FROM S"
+  in
+  (match results with
+   | [ Database.Done _; Database.Done _; Database.Rows out; Database.Text _ ] ->
+     Alcotest.(check int) "select row" 1 (List.length (rows out))
+   | _ -> Alcotest.fail "result shapes")
+
+let test_w_affects_plans () =
+  let db = Database.create ~buffer_pages:8 () in
+  Workload.load_emp_dept_job db
+    ~config:{ Workload.default_emp_config with n_emp = 3000 };
+  (* identical query, same answer regardless of W *)
+  let sql = "SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND SAL > 29000" in
+  Database.set_w db 0.0;
+  let a = List.length (rows (Database.query db sql)) in
+  Database.set_w db 10.0;
+  let b = List.length (rows (Database.query db sql)) in
+  Alcotest.(check int) "same rows" a b
+
+(* --- WAL / recovery integration ----------------------------------------- *)
+
+let test_logged_workload_recovers () =
+  (* mirror a catalog-loading workload into a WAL, "crash", replay, rebuild
+     an index, and run the same query on the recovered store *)
+  let wal = Rss.Wal.create () in
+  let db = Database.create () in
+  let cat = Database.catalog db in
+  let schema =
+    Rel.Schema.make
+      [ { Rel.Schema.name = "K"; ty = V.Tint };
+        { Rel.Schema.name = "VAL"; ty = V.Tint } ]
+  in
+  let r = Catalog.create_relation cat ~name:"R" ~schema in
+  Rss.Wal.append wal (Rss.Wal.Begin 1);
+  for k = 0 to 199 do
+    let t = T.make [ V.Int k; V.Int (k * k mod 97) ] in
+    let tid = Catalog.insert_tuple cat r t in
+    Rss.Wal.append wal (Rss.Wal.Insert { txn = 1; rel_id = r.Catalog.rel_id; tid; tuple = t })
+  done;
+  Rss.Wal.append wal (Rss.Wal.Commit 1);
+  (* a transaction in flight at the crash *)
+  Rss.Wal.append wal (Rss.Wal.Begin 2);
+  Rss.Wal.append wal
+    (Rss.Wal.Insert
+       { txn = 2; rel_id = r.Catalog.rel_id;
+         tid = { Rss.Tid.page = 0; slot = 0 };
+         tuple = T.make [ V.Int 999; V.Int 999 ] });
+  (* crash: recover from the serialized log into a fresh database *)
+  let log_bytes = Rss.Wal.to_bytes wal in
+  let db2 = Database.create () in
+  let cat2 = Database.catalog db2 in
+  let result = Rss.Recovery.replay (Catalog.pager cat2) (Rss.Wal.of_bytes log_bytes) in
+  Alcotest.(check int) "restored" 200 result.Rss.Recovery.tuples_restored;
+  (* register the recovered segment as a relation and index it *)
+  let r2 =
+    Catalog.create_relation ~segment:result.Rss.Recovery.segment cat2 ~name:"R"
+      ~schema
+  in
+  Alcotest.(check int) "rel id preserved by replay order" r.Catalog.rel_id
+    r2.Catalog.rel_id;
+  ignore (Catalog.create_index cat2 ~name:"R_K" ~rel:r2 ~columns:[ "K" ] ~clustered:true);
+  Catalog.update_statistics cat2;
+  let out = Database.query db2 "SELECT VAL FROM R WHERE K = 144" in
+  (match rows out with
+   | [ [| V.Int v |] ] -> Alcotest.(check int) "value" (144 * 144 mod 97) v
+   | _ -> Alcotest.fail "recovered query");
+  (* the uncommitted tuple is gone *)
+  let out2 = Database.query db2 "SELECT VAL FROM R WHERE K = 999" in
+  Alcotest.(check int) "uncommitted discarded" 0 (List.length (rows out2))
+
+(* --- UPDATE ---------------------------------------------------------- *)
+
+let test_update_statement () =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       "CREATE TABLE T (A INT, B INT, NAME STRING);\n\
+        CREATE INDEX T_B ON T (B);\n\
+        INSERT INTO T VALUES (1, 10, 'one'), (2, 20, 'two'), (3, 30, 'three');\n\
+        UPDATE STATISTICS;");
+  (match Database.exec db "UPDATE T SET B = B + 100, NAME = 'bumped' WHERE A > 1" with
+   | Database.Done msg -> Alcotest.(check string) "count" "2 rows updated" msg
+   | _ -> Alcotest.fail "update result");
+  let out = Database.query db "SELECT B, NAME FROM T WHERE A = 3" in
+  (match rows out with
+   | [ [| V.Int 130; V.Str "bumped" |] ] -> ()
+   | _ -> Alcotest.fail "updated values");
+  (* indexes follow the update *)
+  let via_index = Database.query db "SELECT A FROM T WHERE B = 120" in
+  Alcotest.(check int) "index sees new value" 1 (List.length (rows via_index));
+  let stale = Database.query db "SELECT A FROM T WHERE B = 20" in
+  Alcotest.(check int) "old value gone" 0 (List.length (rows stale));
+  (* self-referential update has no Halloween problem *)
+  ignore (Database.exec db "UPDATE T SET A = A + 1");
+  let total = Database.query db "SELECT COUNT(*) FROM T" in
+  (match rows total with
+   | [ [| V.Int 3 |] ] -> ()
+   | _ -> Alcotest.fail "row count preserved");
+  (* errors *)
+  (match Database.exec db "UPDATE T SET NOPE = 1" with
+   | _ -> Alcotest.fail "unknown column accepted"
+   | exception Database.Error _ -> ());
+  (match Database.exec db "UPDATE T SET A = 'str'" with
+   | _ -> Alcotest.fail "type mismatch accepted"
+   | exception Database.Error _ -> ())
+
+(* --- prepared statements ------------------------------------------------ *)
+
+let test_prepared_statements () =
+  let db = Database.create () in
+  Workload.load_emp_dept_job db;
+  let p = Database.prepare db "SELECT NAME, SAL FROM EMP WHERE DNO = ?" in
+  Alcotest.(check int) "one param" 1 (Database.prepared_param_count p);
+  (* the placeholder predicate matches the DNO index with a dynamic bound *)
+  let rec idx_bound (pl : Plan.t) =
+    match pl.Plan.node with
+    | Plan.Scan { access = Plan.Idx_scan { lo = Some lo; _ }; _ } ->
+      List.exists (function Plan.Bv_param 0 -> true | _ -> false) lo.Plan.values
+    | Plan.Scan _ -> false
+    | Plan.Nl_join { outer; inner } | Plan.Merge_join { outer; inner; _ } ->
+      idx_bound outer || idx_bound inner
+    | Plan.Sort { input; _ } | Plan.Filter { input; _ } -> idx_bound input
+  in
+  Alcotest.(check bool) "param used as index bound" true
+    (idx_bound (Database.prepared_plan p).Optimizer.plan);
+  (* executing with different bindings matches the literal queries *)
+  List.iter
+    (fun dno ->
+      let got = Database.execute_prepared db p [ V.Int dno ] in
+      let expect =
+        Database.query db (Printf.sprintf "SELECT NAME, SAL FROM EMP WHERE DNO = %d" dno)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "rows for DNO=%d" dno)
+        (List.length (rows expect))
+        (List.length (rows got)))
+    [ 1; 7; 23; 50 ];
+  (* range params *)
+  let p2 = Database.prepare db "SELECT COUNT(*) FROM EMP WHERE SAL > ? AND DNO BETWEEN ? AND ?" in
+  Alcotest.(check int) "three params" 3 (Database.prepared_param_count p2);
+  let got = Database.execute_prepared db p2 [ V.Int 20000; V.Int 5; V.Int 10 ] in
+  let expect =
+    Database.query db
+      "SELECT COUNT(*) FROM EMP WHERE SAL > 20000 AND DNO BETWEEN 5 AND 10"
+  in
+  Alcotest.(check bool) "counts equal" true
+    (rows got = rows expect);
+  (* wrong arity *)
+  (match Database.execute_prepared db p [] with
+   | _ -> Alcotest.fail "missing binding accepted"
+   | exception Database.Error _ -> ());
+  (* join with a param on each side *)
+  let p3 =
+    Database.prepare db
+      "SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND LOC = ? AND SAL > ?"
+  in
+  let got = Database.execute_prepared db p3 [ V.Str "DENVER"; V.Int 15000 ] in
+  let expect =
+    Database.query db
+      "SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND LOC = 'DENVER' \
+       AND SAL > 15000"
+  in
+  Alcotest.(check int) "join rows" (List.length (rows expect)) (List.length (rows got))
+
+(* --- transactions ------------------------------------------------------ *)
+
+let count db sql =
+  match rows (Database.query db sql) with
+  | [ [| V.Int n |] ] -> n
+  | _ -> Alcotest.fail "count query"
+
+let test_transaction_commit_rollback () =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       "CREATE TABLE T (A INT);\nINSERT INTO T VALUES (1), (2), (3);");
+  (* rollback undoes inserts, deletes and updates *)
+  ignore (Database.exec db "BEGIN");
+  Alcotest.(check bool) "active" true (Database.in_transaction db);
+  ignore (Database.exec db "INSERT INTO T VALUES (4)");
+  ignore (Database.exec db "DELETE FROM T WHERE A = 1");
+  ignore (Database.exec db "UPDATE T SET A = 20 WHERE A = 2");
+  Alcotest.(check int) "mid-txn visible" 1 (count db "SELECT COUNT(*) FROM T WHERE A = 20");
+  ignore (Database.exec db "ROLLBACK");
+  Alcotest.(check bool) "inactive" false (Database.in_transaction db);
+  Alcotest.(check int) "all restored" 3 (count db "SELECT COUNT(*) FROM T");
+  Alcotest.(check int) "1 back" 1 (count db "SELECT COUNT(*) FROM T WHERE A = 1");
+  Alcotest.(check int) "2 back" 1 (count db "SELECT COUNT(*) FROM T WHERE A = 2");
+  Alcotest.(check int) "4 gone" 0 (count db "SELECT COUNT(*) FROM T WHERE A = 4");
+  (* commit keeps *)
+  ignore (Database.exec db "BEGIN");
+  ignore (Database.exec db "INSERT INTO T VALUES (9)");
+  ignore (Database.exec db "COMMIT");
+  Alcotest.(check int) "committed" 1 (count db "SELECT COUNT(*) FROM T WHERE A = 9");
+  (* protocol errors *)
+  (match Database.exec db "COMMIT" with
+   | _ -> Alcotest.fail "commit without begin"
+   | exception Database.Error _ -> ());
+  ignore (Database.exec db "BEGIN");
+  (match Database.exec db "BEGIN" with
+   | _ -> Alcotest.fail "nested begin"
+   | exception Database.Error _ -> ());
+  ignore (Database.exec db "ROLLBACK")
+
+let test_wal_records_dml () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE T (A INT)");
+  ignore (Database.exec db "INSERT INTO T VALUES (1), (2)");
+  ignore (Database.exec db "DELETE FROM T WHERE A = 1");
+  let recs = Rss.Wal.records (Database.wal db) in
+  let count p = List.length (List.filter p recs) in
+  Alcotest.(check int) "begins" 2 (count (function Rss.Wal.Begin _ -> true | _ -> false));
+  Alcotest.(check int) "commits" 2 (count (function Rss.Wal.Commit _ -> true | _ -> false));
+  Alcotest.(check int) "inserts" 2 (count (function Rss.Wal.Insert _ -> true | _ -> false));
+  Alcotest.(check int) "deletes" 1 (count (function Rss.Wal.Delete _ -> true | _ -> false));
+  (* replaying the engine's own log restores exactly the committed state *)
+  let pager = Rss.Pager.create () in
+  let result = Rss.Recovery.replay pager (Rss.Wal.of_bytes (Rss.Wal.to_bytes (Database.wal db))) in
+  Alcotest.(check int) "replay survivors" 1 result.Rss.Recovery.tuples_restored
+
+let test_wal_discards_rolled_back () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE T (A INT)");
+  ignore (Database.exec db "BEGIN");
+  ignore (Database.exec db "INSERT INTO T VALUES (7)");
+  ignore (Database.exec db "ROLLBACK");
+  ignore (Database.exec db "INSERT INTO T VALUES (8)");
+  let pager = Rss.Pager.create () in
+  let result = Rss.Recovery.replay pager (Database.wal db) in
+  Alcotest.(check int) "only committed row" 1 result.Rss.Recovery.tuples_restored;
+  Alcotest.(check int) "one aborted txn discarded" 1
+    (List.length result.Rss.Recovery.discarded)
+
+let test_drop_statements () =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       "CREATE TABLE T (A INT);\nCREATE INDEX T_A ON T (A);\n\
+        INSERT INTO T VALUES (1), (2), (3);");
+  (match Database.exec db "DROP INDEX T_A" with
+   | Database.Done _ -> ()
+   | _ -> Alcotest.fail "drop index");
+  Alcotest.(check bool) "index gone" true
+    (Catalog.find_index (Database.catalog db) "T_A" = None);
+  (match Database.exec db "DROP TABLE T" with
+   | Database.Done _ -> ()
+   | _ -> Alcotest.fail "drop table");
+  (match Database.query db "SELECT A FROM T" with
+   | _ -> Alcotest.fail "dropped table queryable"
+   | exception Database.Error _ -> ());
+  (* re-creating with the same name works and starts empty *)
+  ignore (Database.exec db "CREATE TABLE T (A INT)");
+  (match rows (Database.query db "SELECT COUNT(*) FROM T") with
+   | [ [| V.Int 0 |] ] -> ()
+   | _ -> Alcotest.fail "recreated table not empty");
+  (match Database.exec db "DROP TABLE NOPE" with
+   | _ -> Alcotest.fail "unknown drop accepted"
+   | exception Database.Error _ -> ())
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+let test_snapshot_roundtrip () =
+  let db = Database.create () in
+  Workload.load_emp_dept_job db
+    ~config:{ Workload.default_emp_config with n_emp = 500 };
+  ignore (Database.exec db "DELETE FROM EMP WHERE SAL > 29000");
+  let before = rows (Database.query db Workload.fig1_query) in
+  let bytes = Snapshot.save db in
+  let db2 = Snapshot.load bytes in
+  (* identical schemas, contents and index behaviour after reload *)
+  let after = rows (Database.query db2 Workload.fig1_query) in
+  Alcotest.(check int) "same query result" (List.length before) (List.length after);
+  let c1 = rows (Database.query db "SELECT COUNT(*) FROM EMP") in
+  let c2 = rows (Database.query db2 "SELECT COUNT(*) FROM EMP") in
+  Alcotest.(check bool) "same cardinality" true (c1 = c2);
+  (* indexes were rebuilt: an indexed plan exists and works *)
+  let r = Database.optimize db2 "SELECT NAME FROM EMP WHERE DNO = 5" in
+  (match r.Optimizer.plan.Plan.node with
+   | Plan.Scan { access = Plan.Idx_scan _; _ } -> ()
+   | _ -> Alcotest.fail "index not rebuilt");
+  (* statistics were recollected *)
+  let emp = Option.get (Catalog.find_relation (Database.catalog db2) "EMP") in
+  Alcotest.(check bool) "stats present" true (emp.Catalog.rstats <> None);
+  (* corrupt input rejected *)
+  (match Snapshot.load "garbage" with
+   | _ -> Alcotest.fail "garbage accepted"
+   | exception Invalid_argument _ -> ());
+  (match Snapshot.load (bytes ^ "x") with
+   | _ -> Alcotest.fail "trailing bytes accepted"
+   | exception Invalid_argument _ -> ());
+  (* file roundtrip *)
+  let path = Filename.temp_file "systemr" ".snap" in
+  Snapshot.save_to_file db path;
+  let db3 = Snapshot.load_from_file path in
+  Sys.remove path;
+  let c3 = rows (Database.query db3 "SELECT COUNT(*) FROM EMP") in
+  Alcotest.(check bool) "file roundtrip" true (c1 = c3)
+
+let test_zipf_workload () =
+  (* the sampler is properly skewed and the loader produces usable stats *)
+  let rng = Workload.rand_init 9 in
+  let sample = Workload.zipf_sampler rng ~n:20 ~s:1.5 in
+  let counts = Array.make 20 0 in
+  for _ = 1 to 5000 do
+    let k = sample () in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 20);
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "head heavier than tail" true (counts.(0) > 5 * counts.(10));
+  Alcotest.(check bool) "monotone-ish" true (counts.(0) > counts.(3));
+  (* s = 0 is uniform *)
+  let u = Workload.zipf_sampler rng ~n:10 ~s:0. in
+  let uc = Array.make 10 0 in
+  for _ = 1 to 10000 do
+    let k = u () in
+    uc.(k) <- uc.(k) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 700 && c < 1300))
+    uc;
+  let db = Database.create () in
+  Workload.load_zipf db ~name:"Z" ~rows:500
+    ~cols:[ ("K", 10, 1.0); ("V", 100, 0.) ]
+    ~indexes:[ ("Z_K", [ "K" ], false) ]
+    ~seed:3 ();
+  let out = Database.query db "SELECT COUNT(*) FROM Z" in
+  (match out.Executor.rows with
+   | [ [| V.Int 500 |] ] -> ()
+   | _ -> Alcotest.fail "row count")
+
+(* --- model-based DML stress --------------------------------------------- *)
+
+(* Random INSERT / DELETE / UPDATE / transaction sequences are applied both
+   to the engine and to a trivial in-memory multiset model; after every
+   statement the full table contents must agree, and at the end the indexed
+   lookups must agree with the model too. *)
+let test_random_dml_against_model () =
+  let rng = Random.State.make [| 424242 |] in
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE M (K INT, V INT)");
+  ignore (Database.exec db "CREATE INDEX M_K ON M (K)");
+  let model : (int * int) list ref = ref [] in
+  let saved = ref [] in
+  let in_txn = ref false in
+  let apply_stmt () =
+    match Random.State.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+      let k = Random.State.int rng 10 and v = Random.State.int rng 100 in
+      ignore (Database.exec db (Printf.sprintf "INSERT INTO M VALUES (%d, %d)" k v));
+      model := (k, v) :: !model
+    | 4 | 5 ->
+      let k = Random.State.int rng 10 in
+      ignore (Database.exec db (Printf.sprintf "DELETE FROM M WHERE K = %d" k));
+      model := List.filter (fun (k', _) -> k' <> k) !model
+    | 6 | 7 ->
+      let k = Random.State.int rng 10 and dv = Random.State.int rng 5 in
+      ignore
+        (Database.exec db
+           (Printf.sprintf "UPDATE M SET V = V + %d WHERE K = %d" dv k));
+      model := List.map (fun (k', v) -> if k' = k then (k', v + dv) else (k', v)) !model
+    | 8 when not !in_txn ->
+      ignore (Database.exec db "BEGIN");
+      in_txn := true;
+      saved := !model
+    | 8 | 9 when !in_txn ->
+      if Random.State.bool rng then begin
+        ignore (Database.exec db "COMMIT");
+        in_txn := false
+      end
+      else begin
+        ignore (Database.exec db "ROLLBACK");
+        in_txn := false;
+        model := !saved
+      end
+    | _ -> ()
+  in
+  let agree what =
+    let got =
+      List.map
+        (fun row ->
+          match row with
+          | [| V.Int k; V.Int v |] -> (k, v)
+          | _ -> Alcotest.fail "row shape")
+        (rows (Database.query db "SELECT K, V FROM M"))
+      |> List.sort compare
+    in
+    let expect = List.sort compare !model in
+    if got <> expect then
+      Alcotest.fail
+        (Printf.sprintf "%s: engine has %d rows, model %d" what (List.length got)
+           (List.length expect))
+  in
+  for step = 1 to 300 do
+    apply_stmt ();
+    if step mod 25 = 0 then agree (Printf.sprintf "step %d" step)
+  done;
+  if !in_txn then ignore (Database.exec db "COMMIT");
+  agree "final";
+  (* indexed point lookups agree with the model *)
+  for k = 0 to 9 do
+    let got = List.length (rows (Database.query db (Printf.sprintf "SELECT V FROM M WHERE K = %d" k))) in
+    let expect = List.length (List.filter (fun (k', _) -> k' = k) !model) in
+    Alcotest.(check int) (Printf.sprintf "lookup K=%d" k) expect got
+  done
+
+let () =
+  Alcotest.run "engine"
+    [ ( "sql",
+        [ Alcotest.test_case "DDL/DML roundtrip" `Quick test_ddl_dml_roundtrip;
+          Alcotest.test_case "error paths" `Quick test_error_paths;
+          Alcotest.test_case "Figure 1 database" `Quick test_fig1_database;
+          Alcotest.test_case "EXPLAIN output" `Quick test_explain_output;
+          Alcotest.test_case "script execution" `Quick test_exec_script_mixed;
+          Alcotest.test_case "W invariance" `Quick test_w_affects_plans ] );
+      ( "dml",
+        [ Alcotest.test_case "UPDATE statement" `Quick test_update_statement;
+          Alcotest.test_case "DROP statements" `Quick test_drop_statements ] );
+      ( "prepared",
+        [ Alcotest.test_case "prepared statements" `Quick test_prepared_statements ] );
+      ( "transactions",
+        [ Alcotest.test_case "commit/rollback" `Quick test_transaction_commit_rollback;
+          Alcotest.test_case "WAL records DML" `Quick test_wal_records_dml;
+          Alcotest.test_case "WAL discards rolled back" `Quick
+            test_wal_discards_rolled_back ] );
+      ( "recovery",
+        [ Alcotest.test_case "logged workload recovers" `Quick
+            test_logged_workload_recovers ] );
+      ( "workload",
+        [ Alcotest.test_case "zipf generator" `Quick test_zipf_workload ] );
+      ( "snapshot",
+        [ Alcotest.test_case "save/load roundtrip" `Quick test_snapshot_roundtrip ] );
+      ( "model",
+        [ Alcotest.test_case "random DML vs model" `Slow
+            test_random_dml_against_model ] ) ]

@@ -1,0 +1,251 @@
+(* End-to-end execution correctness: every query is run through the full
+   pipeline (parse -> resolve -> optimize -> execute) and its result compared
+   against the naive cross-product evaluator in Naive_eval. *)
+
+module V = Rel.Value
+module T = Rel.Tuple
+
+let schema cols =
+  Rel.Schema.make (List.map (fun n -> { Rel.Schema.name = n; ty = V.Tint }) cols)
+
+(* P(A,B,C): 200 rows, some NULLs in B; indexes on A (clustered) and B.
+   Q(A,D):   60 rows, index on A.
+   R3(C,E):  40 rows, no indexes. *)
+let setup () =
+  let db = Database.create ~buffer_pages:16 () in
+  let cat = Database.catalog db in
+  let p = Catalog.create_relation cat ~name:"P" ~schema:(schema [ "A"; "B"; "C" ]) in
+  for i = 0 to 199 do
+    let b = if i mod 17 = 0 then V.Null else V.Int (i mod 12) in
+    ignore
+      (Catalog.insert_tuple cat p
+         (T.make [ V.Int (i mod 10); b; V.Int (i mod 5) ]))
+  done;
+  ignore (Catalog.create_index cat ~name:"P_A" ~rel:p ~columns:[ "A" ] ~clustered:true);
+  ignore (Catalog.create_index cat ~name:"P_B" ~rel:p ~columns:[ "B" ] ~clustered:false);
+  let q = Catalog.create_relation cat ~name:"Q" ~schema:(schema [ "A"; "D" ]) in
+  for i = 0 to 59 do
+    ignore (Catalog.insert_tuple cat q (T.make [ V.Int (i mod 15); V.Int i ]))
+  done;
+  ignore (Catalog.create_index cat ~name:"Q_A" ~rel:q ~columns:[ "A" ] ~clustered:false);
+  let r3 = Catalog.create_relation cat ~name:"R3" ~schema:(schema [ "C"; "E" ]) in
+  for i = 0 to 39 do
+    ignore (Catalog.insert_tuple cat r3 (T.make [ V.Int (i mod 5); V.Int (100 + i) ]))
+  done;
+  Catalog.update_statistics cat;
+  db
+
+let canon rows =
+  List.sort
+    (fun a b ->
+      let n = min (T.arity a) (T.arity b) in
+      T.compare_on (List.init n Fun.id) a b)
+    rows
+
+let pp_rows rows =
+  String.concat "; " (List.map T.to_string rows)
+
+let check_query ?(w = Ctx.default_w) db sql =
+  let block = Database.resolve db sql in
+  let ctx = Ctx.create ~w (Database.catalog db) in
+  let r = Optimizer.optimize ctx block in
+  let got = (Executor.run (Database.catalog db) r).Executor.rows in
+  let expected = Naive_eval.query (Database.catalog db) block in
+  let g = canon got and e = canon expected in
+  if not (List.length g = List.length e && List.for_all2 T.equal g e) then
+    Alcotest.fail
+      (Printf.sprintf "%s\n  plan: %s\n  got      %d: %s\n  expected %d: %s" sql
+         (Plan.describe r.Optimizer.plan)
+         (List.length g) (pp_rows g) (List.length e) (pp_rows e))
+
+let sorted_on rows keys =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      let cmp =
+        List.fold_left
+          (fun acc (i, dir) ->
+            if acc <> 0 then acc
+            else
+              let d = V.compare (T.get a i) (T.get b i) in
+              match dir with Ast.Asc -> d | Ast.Desc -> -d)
+          0 keys
+      in
+      cmp <= 0 && go rest
+    | [ _ ] | [] -> true
+  in
+  go rows
+
+let corpus_single =
+  [ "SELECT A, B, C FROM P";
+    "SELECT A FROM P WHERE A = 3";
+    "SELECT A, B FROM P WHERE A = 3 AND B = 7";
+    "SELECT A FROM P WHERE B = 5";             (* non-clustered index *)
+    "SELECT A FROM P WHERE A > 7";
+    "SELECT A FROM P WHERE A >= 7 AND A < 9";
+    "SELECT A FROM P WHERE A BETWEEN 2 AND 4";
+    "SELECT A FROM P WHERE A IN (1, 5, 9)";
+    "SELECT A FROM P WHERE A = 1 OR B = 2";
+    "SELECT A FROM P WHERE NOT (A = 1 OR A = 2)";
+    "SELECT A FROM P WHERE A + 1 = 5";          (* residual arithmetic *)
+    "SELECT A FROM P WHERE B <> 3";             (* NULLs never qualify *)
+    "SELECT A FROM P WHERE A = B";              (* same-table column cmp *)
+    "SELECT A * 2 + C FROM P WHERE C = 4";
+    "SELECT A FROM P WHERE 2 < A";              (* value op column *)
+    "SELECT A FROM P WHERE A = 99";             (* empty result *)
+    "SELECT A, B, C FROM P ORDER BY A DESC";    (* backward index scan *)
+    "SELECT A FROM P WHERE A BETWEEN 3 AND 6 ORDER BY A DESC";
+    "SELECT A FROM P WHERE A IN (SELECT A FROM Q WHERE D < 30)" ]
+
+let corpus_join =
+  [ "SELECT P.A, D FROM P, Q WHERE P.A = Q.A";
+    "SELECT P.A, D FROM P, Q WHERE P.A = Q.A AND D < 10";
+    "SELECT P.A, D FROM P, Q WHERE P.A = Q.A AND P.C = 2 AND Q.D > 30";
+    "SELECT B, E FROM P, R3 WHERE P.C = R3.C";  (* unindexed join cols *)
+    "SELECT P.A, E FROM P, Q, R3 WHERE P.A = Q.A AND P.C = R3.C AND D = 7";
+    "SELECT P.A, Q.D FROM P, Q WHERE P.A = 3 AND Q.D = 3";  (* Cartesian *)
+    "SELECT P.A FROM P, Q WHERE P.A < Q.A AND Q.D = 1";     (* non-equi join *)
+    "SELECT X.A, Y.A FROM P X, P Y WHERE X.A = Y.B AND Y.C = 1" ]  (* self join *)
+
+let corpus_agg =
+  [ "SELECT AVG(C), COUNT(*), MIN(B), MAX(B), SUM(A) FROM P";
+    "SELECT COUNT(*) FROM P WHERE A = 42";      (* empty input *)
+    "SELECT A, COUNT(*) FROM P GROUP BY A";
+    "SELECT A, AVG(C), COUNT(*) FROM P WHERE A > 2 GROUP BY A";
+    "SELECT C, A, MAX(B) FROM P GROUP BY C, A";
+    "SELECT COUNT(B) FROM P" ]                  (* NULLs not counted *)
+
+let test_corpus corpus () =
+  let db = setup () in
+  List.iter (check_query db) corpus
+
+let test_order_by () =
+  let db = setup () in
+  let sql = "SELECT A, B, C FROM P WHERE C = 2 ORDER BY A DESC, B" in
+  check_query db sql;
+  let out = Database.query db sql in
+  Alcotest.(check bool) "sorted" true
+    (sorted_on out.Executor.rows [ (0, Ast.Desc); (1, Ast.Asc) ]);
+  (* ORDER BY on a grouped query *)
+  let sql2 = "SELECT A, COUNT(*) FROM P GROUP BY A ORDER BY A DESC" in
+  check_query db sql2;
+  let out2 = Database.query db sql2 in
+  Alcotest.(check bool) "grouped sorted" true
+    (sorted_on out2.Executor.rows [ (0, Ast.Desc) ])
+
+let test_all_w_values () =
+  (* plan choices change with W; results must not *)
+  let db = setup () in
+  List.iter
+    (fun w ->
+      List.iter (check_query ~w db)
+        [ "SELECT P.A, D FROM P, Q WHERE P.A = Q.A AND P.C = 2";
+          "SELECT B, E FROM P, R3 WHERE P.C = R3.C AND B < 6" ])
+    [ 0.0; 0.1; 0.5; 1.0; 5.0 ]
+
+let test_tiny_buffer () =
+  (* tiny buffer pool: multi-pass external sorts inside merge joins *)
+  let db = Database.create ~buffer_pages:2 () in
+  let cat = Database.catalog db in
+  let a = Catalog.create_relation cat ~name:"BIGA" ~schema:(schema [ "K"; "X" ]) in
+  let b = Catalog.create_relation cat ~name:"BIGB" ~schema:(schema [ "K"; "Y" ]) in
+  for i = 0 to 999 do
+    ignore (Catalog.insert_tuple cat a (T.make [ V.Int (i * 7 mod 100); V.Int i ]));
+    ignore (Catalog.insert_tuple cat b (T.make [ V.Int (i * 13 mod 100); V.Int i ]))
+  done;
+  Catalog.update_statistics cat;
+  check_query db "SELECT X, Y FROM BIGA, BIGB WHERE BIGA.K = BIGB.K AND X < 50 AND Y < 50"
+
+let test_empty_tables () =
+  let db = Database.create () in
+  let cat = Database.catalog db in
+  ignore (Catalog.create_relation cat ~name:"E1" ~schema:(schema [ "A" ]));
+  ignore (Catalog.create_relation cat ~name:"E2" ~schema:(schema [ "A" ]));
+  Catalog.update_statistics cat;
+  check_query db "SELECT E1.A FROM E1, E2 WHERE E1.A = E2.A";
+  check_query db "SELECT COUNT(*) FROM E1"
+
+let test_measured_counters_move () =
+  let db = setup () in
+  let r = Database.optimize db "SELECT P.A, D FROM P, Q WHERE P.A = Q.A" in
+  let _, counters = Executor.run_measured (Database.catalog db) r in
+  Alcotest.(check bool) "pages fetched" true (counters.Rss.Counters.page_fetches > 0);
+  Alcotest.(check bool) "rsi counted" true (counters.Rss.Counters.rsi_calls > 0)
+
+let test_sales_workload_correctness () =
+  (* a tiny instance of the 4-relation analytical schema, checked against the
+     naive oracle across joins, grouping and nesting *)
+  let db = Database.create ~buffer_pages:16 () in
+  Workload.load_sales db
+    ~config:
+      { Workload.customers = 20; products = 15; orders = 60;
+        lines_per_order = 2; sales_seed = 13 };
+  List.iter (check_query db)
+    [ "SELECT REGION FROM CUSTOMER WHERE CUSTKEY = 7";
+      "SELECT ORDKEY, REGION FROM ORDERS, CUSTOMER WHERE ORDERS.CUSTKEY = \
+       CUSTOMER.CUSTKEY AND REGION = 'WEST'";
+      "SELECT AMOUNT FROM LINEITEM, PRODUCT WHERE LINEITEM.PRODKEY = \
+       PRODUCT.PRODKEY AND CATEGORY = 'TOYS'";
+      "SELECT REGION, AMOUNT FROM CUSTOMER, ORDERS, LINEITEM WHERE \
+       CUSTOMER.CUSTKEY = ORDERS.CUSTKEY AND ORDERS.ORDKEY = LINEITEM.ORDKEY \
+       AND AMOUNT > 2000";
+      "SELECT CUSTKEY, COUNT(*), SUM(AMOUNT) FROM ORDERS, LINEITEM WHERE \
+       ORDERS.ORDKEY = LINEITEM.ORDKEY GROUP BY CUSTKEY";
+      "SELECT CUSTKEY FROM ORDERS WHERE ORDKEY IN (SELECT ORDKEY FROM \
+       LINEITEM WHERE AMOUNT > (SELECT AVG(AMOUNT) FROM LINEITEM))" ]
+
+(* --- randomized single- and two-table queries -------------------------- *)
+
+let rand_pred_sql ?(prefix = "") rng =
+  let col () = prefix ^ List.nth [ "A"; "B"; "C" ] (Random.State.int rng 3) in
+  let v () = string_of_int (Random.State.int rng 14) in
+  let base () =
+    match Random.State.int rng 6 with
+    | 0 -> Printf.sprintf "%s = %s" (col ()) (v ())
+    | 1 -> Printf.sprintf "%s > %s" (col ()) (v ())
+    | 2 -> Printf.sprintf "%s <= %s" (col ()) (v ())
+    | 3 -> Printf.sprintf "%s BETWEEN %s AND %s" (col ()) (v ()) (v ())
+    | 4 -> Printf.sprintf "%s IN (%s, %s)" (col ()) (v ()) (v ())
+    | _ -> Printf.sprintf "%s <> %s" (col ()) (v ())
+  in
+  let rec pred depth =
+    if depth = 0 then base ()
+    else
+      match Random.State.int rng 4 with
+      | 0 -> Printf.sprintf "(%s AND %s)" (pred (depth - 1)) (pred (depth - 1))
+      | 1 -> Printf.sprintf "(%s OR %s)" (pred (depth - 1)) (pred (depth - 1))
+      | 2 -> Printf.sprintf "NOT (%s)" (pred (depth - 1))
+      | _ -> base ()
+  in
+  pred (1 + Random.State.int rng 2)
+
+let test_random_single_table () =
+  let db = setup () in
+  let rng = Random.State.make [| 2024 |] in
+  for _ = 1 to 60 do
+    check_query db (Printf.sprintf "SELECT A, B, C FROM P WHERE %s" (rand_pred_sql rng))
+  done
+
+let test_random_joins () =
+  let db = setup () in
+  let rng = Random.State.make [| 77 |] in
+  for _ = 1 to 40 do
+    let extra = rand_pred_sql ~prefix:"P." rng in
+    check_query db
+      (Printf.sprintf "SELECT P.A, Q.D FROM P, Q WHERE P.A = Q.A AND %s" extra)
+  done
+
+let () =
+  Alcotest.run "executor"
+    [ ( "corpus",
+        [ Alcotest.test_case "single table" `Quick (test_corpus corpus_single);
+          Alcotest.test_case "joins" `Quick (test_corpus corpus_join);
+          Alcotest.test_case "aggregates" `Quick (test_corpus corpus_agg);
+          Alcotest.test_case "order by" `Quick test_order_by;
+          Alcotest.test_case "W sweep" `Quick test_all_w_values;
+          Alcotest.test_case "tiny buffer" `Quick test_tiny_buffer;
+          Alcotest.test_case "empty tables" `Quick test_empty_tables;
+          Alcotest.test_case "counters move" `Quick test_measured_counters_move;
+          Alcotest.test_case "sales workload" `Quick test_sales_workload_correctness ] );
+      ( "random",
+        [ Alcotest.test_case "single table" `Slow test_random_single_table;
+          Alcotest.test_case "joins" `Slow test_random_joins ] ) ]

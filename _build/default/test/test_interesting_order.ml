@@ -1,0 +1,123 @@
+module V = Rel.Value
+module IO = Interesting_order
+module S = Semant
+
+let schema cols =
+  Rel.Schema.make (List.map (fun n -> { Rel.Schema.name = n; ty = V.Tint }) cols)
+
+(* E(DNO, X) , D(DNO, Z), F(DNO, W): E.DNO = D.DNO and D.DNO = F.DNO chain
+   the three DNO columns into one equivalence class. *)
+let setup () =
+  let cat = Catalog.create () in
+  ignore (Catalog.create_relation cat ~name:"E" ~schema:(schema [ "DNO"; "X" ]));
+  ignore (Catalog.create_relation cat ~name:"D" ~schema:(schema [ "DNO"; "Z" ]));
+  ignore (Catalog.create_relation cat ~name:"F" ~schema:(schema [ "DNO"; "W" ]));
+  cat
+
+let block_and_env cat sql =
+  let block = S.resolve cat (Parser.parse_query sql) in
+  let factors = Normalize.factors_of_block block in
+  (block, factors, IO.build block factors)
+
+let c tab col = { S.tab; col }
+
+let test_equivalence_classes () =
+  let cat = setup () in
+  let _, _, env =
+    block_and_env cat
+      "SELECT X FROM E, D, F WHERE E.DNO = D.DNO AND D.DNO = F.DNO"
+  in
+  (* the paper's example: all three DNO columns in one class *)
+  Alcotest.(check bool) "E~D" true (IO.canon env (c 0 0) = IO.canon env (c 1 0));
+  Alcotest.(check bool) "D~F" true (IO.canon env (c 1 0) = IO.canon env (c 2 0));
+  Alcotest.(check bool) "X alone" true (IO.canon env (c 0 1) <> IO.canon env (c 0 0))
+
+let test_satisfies () =
+  let cat = setup () in
+  let _, _, env =
+    block_and_env cat "SELECT X FROM E, D WHERE E.DNO = D.DNO"
+  in
+  let e_dno = (c 0 0, Ast.Asc) and d_dno = (c 1 0, Ast.Asc) in
+  let x = (c 0 1, Ast.Asc) in
+  (* prefix semantics *)
+  Alcotest.(check bool) "exact" true
+    (IO.satisfies env ~produced:[ e_dno ] ~required:[ e_dno ]);
+  Alcotest.(check bool) "longer produced" true
+    (IO.satisfies env ~produced:[ e_dno; x ] ~required:[ e_dno ]);
+  Alcotest.(check bool) "shorter produced" false
+    (IO.satisfies env ~produced:[ e_dno ] ~required:[ e_dno; x ]);
+  Alcotest.(check bool) "empty required" true
+    (IO.satisfies env ~produced:[] ~required:[]);
+  (* equivalence transfers across the join predicate *)
+  Alcotest.(check bool) "class member satisfies" true
+    (IO.satisfies env ~produced:[ e_dno ] ~required:[ d_dno ]);
+  (* direction matters *)
+  Alcotest.(check bool) "desc vs asc" false
+    (IO.satisfies env ~produced:[ (c 0 0, Ast.Desc) ] ~required:[ e_dno ]);
+  Alcotest.(check bool) "desc vs desc" true
+    (IO.satisfies env ~produced:[ (c 0 0, Ast.Desc) ]
+       ~required:[ (c 1 0, Ast.Desc) ])
+
+let test_satisfies_grouping () =
+  let cat = setup () in
+  let _, _, env = block_and_env cat "SELECT X FROM E" in
+  let dno = c 0 0 and x = c 0 1 in
+  Alcotest.(check bool) "permutation ok" true
+    (IO.satisfies_grouping env
+       ~produced:[ (x, Ast.Asc); (dno, Ast.Asc) ]
+       ~cols:[ dno; x ]);
+  Alcotest.(check bool) "direction irrelevant" true
+    (IO.satisfies_grouping env
+       ~produced:[ (x, Ast.Desc); (dno, Ast.Asc) ]
+       ~cols:[ dno; x ]);
+  Alcotest.(check bool) "missing col" false
+    (IO.satisfies_grouping env ~produced:[ (x, Ast.Asc) ] ~cols:[ dno; x ]);
+  Alcotest.(check bool) "foreign col first" false
+    (IO.satisfies_grouping env
+       ~produced:[ (x, Ast.Asc); (x, Ast.Asc) ]
+       ~cols:[ dno ])
+
+let test_required_order () =
+  let cat = setup () in
+  let block, _, _ = block_and_env cat "SELECT X FROM E ORDER BY X DESC" in
+  Alcotest.(check bool) "order by" true
+    (IO.required_order block = [ (c 0 1, Ast.Desc) ]);
+  let block2, _, _ = block_and_env cat "SELECT DNO, COUNT(*) FROM E GROUP BY DNO" in
+  Alcotest.(check bool) "group by wins" true
+    (IO.required_order block2 = [ (c 0 0, Ast.Asc) ])
+
+let test_interesting_columns_and_truncation () =
+  let cat = setup () in
+  let block, factors, env =
+    block_and_env cat "SELECT X FROM E, D WHERE E.DNO = D.DNO ORDER BY E.X"
+  in
+  let interesting = IO.interesting_columns env block factors in
+  (* join column class + ORDER BY column *)
+  Alcotest.(check int) "two interesting classes" 2 (List.length interesting);
+  (* truncation cuts at the first uninteresting column *)
+  let z = (c 1 1, Ast.Asc) in
+  let t =
+    IO.truncate_interesting env block factors [ (c 0 0, Ast.Asc); z; (c 0 1, Ast.Asc) ]
+  in
+  Alcotest.(check int) "cut after join col" 1 (List.length t)
+
+let test_equivalent () =
+  let cat = setup () in
+  let _, _, env = block_and_env cat "SELECT X FROM E, D WHERE E.DNO = D.DNO" in
+  Alcotest.(check bool) "same class same dir" true
+    (IO.equivalent env [ (c 0 0, Ast.Asc) ] [ (c 1 0, Ast.Asc) ]);
+  Alcotest.(check bool) "different dir" false
+    (IO.equivalent env [ (c 0 0, Ast.Asc) ] [ (c 1 0, Ast.Desc) ]);
+  Alcotest.(check bool) "different length" false
+    (IO.equivalent env [ (c 0 0, Ast.Asc) ] [])
+
+let () =
+  Alcotest.run "interesting_order"
+    [ ( "classes",
+        [ Alcotest.test_case "equivalence classes" `Quick test_equivalence_classes;
+          Alcotest.test_case "satisfies" `Quick test_satisfies;
+          Alcotest.test_case "grouping permutations" `Quick test_satisfies_grouping;
+          Alcotest.test_case "required order" `Quick test_required_order;
+          Alcotest.test_case "interesting columns + truncation" `Quick
+            test_interesting_columns_and_truncation;
+          Alcotest.test_case "equivalent" `Quick test_equivalent ] ) ]

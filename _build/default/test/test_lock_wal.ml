@@ -1,0 +1,207 @@
+module L = Rss.Lock_table
+module W = Rss.Wal
+module V = Rel.Value
+module T = Rel.Tuple
+
+let rel r = L.Relation r
+
+(* --- lock table ---------------------------------------------------------- *)
+
+let test_shared_compatible () =
+  let lt = L.create () in
+  Alcotest.(check bool) "t1 S" true (L.acquire lt 1 (rel 0) L.Shared = L.Granted);
+  Alcotest.(check bool) "t2 S" true (L.acquire lt 2 (rel 0) L.Shared = L.Granted);
+  Alcotest.(check int) "two holders" 2 (List.length (L.holders lt (rel 0)))
+
+let test_exclusive_conflicts () =
+  let lt = L.create () in
+  ignore (L.acquire lt 1 (rel 0) L.Exclusive);
+  (match L.acquire lt 2 (rel 0) L.Shared with
+   | L.Blocked [ 1 ] -> ()
+   | _ -> Alcotest.fail "expected Blocked by t1");
+  (match L.acquire lt 3 (rel 0) L.Exclusive with
+   | L.Blocked _ -> ()
+   | _ -> Alcotest.fail "expected Blocked");
+  Alcotest.(check int) "queue" 2 (List.length (L.waiting lt (rel 0)))
+
+let test_reacquire_and_upgrade () =
+  let lt = L.create () in
+  ignore (L.acquire lt 1 (rel 0) L.Shared);
+  Alcotest.(check bool) "re-S" true (L.acquire lt 1 (rel 0) L.Shared = L.Granted);
+  Alcotest.(check bool) "upgrade alone" true
+    (L.acquire lt 1 (rel 0) L.Exclusive = L.Granted);
+  Alcotest.(check bool) "holds X" true (L.holds lt 1 (rel 0) L.Exclusive);
+  Alcotest.(check bool) "X covers S" true (L.holds lt 1 (rel 0) L.Shared);
+  (* upgrade with another holder blocks *)
+  let lt2 = L.create () in
+  ignore (L.acquire lt2 1 (rel 0) L.Shared);
+  ignore (L.acquire lt2 2 (rel 0) L.Shared);
+  (match L.acquire lt2 1 (rel 0) L.Exclusive with
+   | L.Blocked [ 2 ] -> ()
+   | _ -> Alcotest.fail "upgrade should block on t2")
+
+let test_release_grants_queue () =
+  let lt = L.create () in
+  ignore (L.acquire lt 1 (rel 0) L.Exclusive);
+  ignore (L.acquire lt 2 (rel 0) L.Shared);
+  ignore (L.acquire lt 3 (rel 0) L.Shared);
+  L.release_all lt 1;
+  Alcotest.(check bool) "t2 granted" true (L.holds lt 2 (rel 0) L.Shared);
+  Alcotest.(check bool) "t3 granted" true (L.holds lt 3 (rel 0) L.Shared);
+  Alcotest.(check int) "granted events" 2 (List.length (L.granted_since lt 1));
+  Alcotest.(check int) "queue empty" 0 (List.length (L.waiting lt (rel 0)))
+
+let test_fair_queue_no_jumping () =
+  let lt = L.create () in
+  ignore (L.acquire lt 1 (rel 0) L.Shared);
+  ignore (L.acquire lt 2 (rel 0) L.Exclusive);  (* queued behind t1 *)
+  (* t3's S would be compatible with t1's S but must not jump over t2 *)
+  (match L.acquire lt 3 (rel 0) L.Shared with
+   | L.Blocked _ -> ()
+   | _ -> Alcotest.fail "t3 must queue behind t2");
+  L.release_all lt 1;
+  Alcotest.(check bool) "t2 got X" true (L.holds lt 2 (rel 0) L.Exclusive);
+  Alcotest.(check bool) "t3 still waits" false (L.holds lt 3 (rel 0) L.Shared)
+
+let test_deadlock_detection () =
+  let lt = L.create () in
+  ignore (L.acquire lt 1 (rel 0) L.Exclusive);
+  ignore (L.acquire lt 2 (rel 1) L.Exclusive);
+  (match L.acquire lt 1 (rel 1) L.Exclusive with
+   | L.Blocked [ 2 ] -> ()
+   | _ -> Alcotest.fail "t1 should block on t2");
+  (match L.acquire lt 2 (rel 0) L.Exclusive with
+   | L.Deadlock cycle ->
+     Alcotest.(check bool) "cycle mentions both" true
+       (List.mem 1 cycle || List.mem 2 cycle)
+   | _ -> Alcotest.fail "expected Deadlock")
+
+let test_tuple_granularity () =
+  let lt = L.create () in
+  let r1 = L.Tuple_of (0, { Rss.Tid.page = 1; slot = 0 }) in
+  let r2 = L.Tuple_of (0, { Rss.Tid.page = 1; slot = 1 }) in
+  ignore (L.acquire lt 1 r1 L.Exclusive);
+  Alcotest.(check bool) "different tuples independent" true
+    (L.acquire lt 2 r2 L.Exclusive = L.Granted)
+
+(* --- WAL ------------------------------------------------------------------ *)
+
+let tid p s = { Rss.Tid.page = p; slot = s }
+
+let sample_records =
+  [ W.Begin 1;
+    W.Insert { txn = 1; rel_id = 4; tid = tid 2 0; tuple = T.make [ V.Int 7; V.Str "x" ] };
+    W.Delete { txn = 1; rel_id = 4; tid = tid 2 0; tuple = T.make [ V.Int 7; V.Str "x" ] };
+    W.Commit 1;
+    W.Begin 2;
+    W.Abort 2 ]
+
+let test_wal_roundtrip () =
+  let wal = W.create () in
+  List.iter (W.append wal) sample_records;
+  let bytes = W.to_bytes wal in
+  Alcotest.(check int) "byte size" (String.length bytes) (W.byte_size wal);
+  let wal2 = W.of_bytes bytes in
+  let r1 = W.records wal and r2 = W.records wal2 in
+  Alcotest.(check int) "count" (List.length r1) (List.length r2);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "record equal" true (W.equal_record a b))
+    r1 r2
+
+let test_wal_torn_tail_ignored () =
+  let wal = W.create () in
+  List.iter (W.append wal) sample_records;
+  let bytes = W.to_bytes wal in
+  (* cut the last record in half *)
+  let torn = String.sub bytes 0 (String.length bytes - 4) in
+  let wal2 = W.of_bytes torn in
+  Alcotest.(check int) "one record dropped"
+    (List.length sample_records - 1)
+    (List.length (W.records wal2))
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [ map (fun i -> V.Int i) int;
+        map (fun f -> V.Float f) (float_bound_inclusive 1e6);
+        map (fun s -> V.Str s) (string_size (int_bound 30));
+        return V.Null ])
+
+let record_gen =
+  QCheck.Gen.(
+    let tuple = map Array.of_list (list_size (int_range 1 5) value_gen) in
+    oneof
+      [ map (fun t -> W.Begin t) (int_bound 100);
+        map (fun t -> W.Commit t) (int_bound 100);
+        map (fun t -> W.Abort t) (int_bound 100);
+        map2
+          (fun (t, r) (p, (s, tu)) ->
+            W.Insert { txn = t; rel_id = r; tid = tid p s; tuple = tu })
+          (pair (int_bound 50) (int_bound 10))
+          (pair (int_bound 500) (pair (int_bound 50) tuple));
+        map2
+          (fun (t, r) (p, (s, tu)) ->
+            W.Delete { txn = t; rel_id = r; tid = tid p s; tuple = tu })
+          (pair (int_bound 50) (int_bound 10))
+          (pair (int_bound 500) (pair (int_bound 50) tuple)) ])
+
+let prop_record_roundtrip =
+  QCheck.Test.make ~name:"record codec roundtrip" ~count:300
+    (QCheck.make ~print:(Format.asprintf "%a" W.pp_record) record_gen)
+    (fun r ->
+      let s = W.encode r in
+      let r', off = W.decode s 0 in
+      off = String.length s && W.equal_record r r')
+
+(* --- recovery -------------------------------------------------------------- *)
+
+let test_recovery_redo_committed_only () =
+  let wal = W.create () in
+  let t1 = T.make [ V.Int 1; V.Str "keep" ] in
+  let t2 = T.make [ V.Int 2; V.Str "discard" ] in
+  let t3 = T.make [ V.Int 3; V.Str "deleted" ] in
+  List.iter (W.append wal)
+    [ W.Begin 1;
+      W.Insert { txn = 1; rel_id = 0; tid = tid 0 0; tuple = t1 };
+      W.Insert { txn = 1; rel_id = 0; tid = tid 0 1; tuple = t3 };
+      W.Delete { txn = 1; rel_id = 0; tid = tid 0 1; tuple = t3 };
+      W.Commit 1;
+      W.Begin 2;
+      W.Insert { txn = 2; rel_id = 0; tid = tid 1 0; tuple = t2 } ];
+  (* txn 2 never committed: crash *)
+  let pager = Rss.Pager.create () in
+  let result = Rss.Recovery.replay pager wal in
+  Alcotest.(check (list int)) "committed" [ 1 ] result.Rss.Recovery.committed;
+  Alcotest.(check (list int)) "discarded" [ 2 ] result.Rss.Recovery.discarded;
+  Alcotest.(check int) "one survivor" 1 result.Rss.Recovery.tuples_restored;
+  let rows =
+    Rss.Scan.to_list
+      (Rss.Scan.open_segment_scan result.Rss.Recovery.segment ~rel_id:0 ())
+  in
+  (match rows with
+   | [ (_, t) ] -> Alcotest.(check bool) "kept tuple" true (T.equal t t1)
+   | _ -> Alcotest.fail "expected exactly the committed insert")
+
+let test_recovery_empty_log () =
+  let pager = Rss.Pager.create () in
+  let result = Rss.Recovery.replay pager (W.create ()) in
+  Alcotest.(check int) "nothing" 0 result.Rss.Recovery.tuples_restored
+
+let () =
+  Alcotest.run "lock_wal"
+    [ ( "lock",
+        [ Alcotest.test_case "shared compatible" `Quick test_shared_compatible;
+          Alcotest.test_case "exclusive conflicts" `Quick test_exclusive_conflicts;
+          Alcotest.test_case "reacquire/upgrade" `Quick test_reacquire_and_upgrade;
+          Alcotest.test_case "release grants queue" `Quick test_release_grants_queue;
+          Alcotest.test_case "fair queue" `Quick test_fair_queue_no_jumping;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "tuple granularity" `Quick test_tuple_granularity ] );
+      ( "wal",
+        [ Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail_ignored ] );
+      ( "recovery",
+        [ Alcotest.test_case "redo committed only" `Quick
+            test_recovery_redo_committed_only;
+          Alcotest.test_case "empty log" `Quick test_recovery_empty_log ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_record_roundtrip ]) ]

@@ -1,0 +1,282 @@
+module A = Ast
+module V = Rel.Value
+
+let parse = Parser.parse_query
+let parse_stmt = Parser.parse_statement
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "SELECT x, 42, 3.5, 'it''s' FROM t -- comment\n;" in
+  let kinds = List.map fst toks in
+  Alcotest.(check bool) "keyword" true (List.mem (Lexer.Kw "SELECT") kinds);
+  Alcotest.(check bool) "ident" true (List.mem (Lexer.Ident "x") kinds);
+  Alcotest.(check bool) "int" true (List.mem (Lexer.Int_lit 42) kinds);
+  Alcotest.(check bool) "float" true (List.mem (Lexer.Float_lit 3.5) kinds);
+  Alcotest.(check bool) "escaped quote" true (List.mem (Lexer.Str_lit "it's") kinds);
+  Alcotest.(check bool) "comment skipped" true
+    (not (List.exists (function Lexer.Ident "comment" -> true | _ -> false) kinds));
+  Alcotest.(check bool) "eof last" true (List.rev kinds |> List.hd = Lexer.Eof)
+
+let test_lexer_operators () =
+  let ops s = List.filter_map (function Lexer.Sym x, _ -> Some x | _ -> None) (Lexer.tokenize s) in
+  Alcotest.(check (list string)) "comparison ops" [ "<="; ">="; "<>"; "<>"; "<"; ">"; "=" ]
+    (ops "<= >= <> != < > =")
+
+let test_lexer_errors () =
+  (match Lexer.tokenize "SELECT 'unterminated" with
+   | _ -> Alcotest.fail "unterminated accepted"
+   | exception Lexer.Error _ -> ());
+  (match Lexer.tokenize "a @ b" with
+   | _ -> Alcotest.fail "illegal char accepted"
+   | exception Lexer.Error _ -> ())
+
+let test_simple_select () =
+  let q = parse "SELECT NAME, SAL FROM EMP WHERE SAL > 100" in
+  Alcotest.(check int) "two items" 2 (List.length q.A.select);
+  Alcotest.(check int) "one table" 1 (List.length q.A.from);
+  (match q.A.where with
+   | Some (A.Cmp (A.Col { column = "SAL"; _ }, A.Gt, A.Const (V.Int 100))) -> ()
+   | _ -> Alcotest.fail "where shape")
+
+let test_star_and_aliases () =
+  let q = parse "SELECT * FROM EMP E, DEPT" in
+  Alcotest.(check bool) "star" true (q.A.select = [ A.Star ]);
+  Alcotest.(check bool) "alias" true (q.A.from = [ ("EMP", Some "E"); ("DEPT", None) ]);
+  let q2 = parse "SELECT SAL + 1 AS BUMP, SAL TOTAL FROM EMP" in
+  (match q2.A.select with
+   | [ A.Sel_expr (_, Some "BUMP"); A.Sel_expr (_, Some "TOTAL") ] -> ()
+   | _ -> Alcotest.fail "aliases")
+
+let test_precedence_and_or_not () =
+  (* NOT binds tighter than AND, AND tighter than OR *)
+  let q = parse "SELECT * FROM T WHERE NOT A = 1 AND B = 2 OR C = 3" in
+  (match q.A.where with
+   | Some (A.Or (A.And (A.Not _, _), A.Cmp (A.Col { column = "C"; _ }, A.Eq, _))) -> ()
+   | _ -> Alcotest.fail "precedence shape")
+
+let test_arith_precedence () =
+  let q = parse "SELECT A + B * C FROM T" in
+  (match q.A.select with
+   | [ A.Sel_expr (A.Binop (A.Add, _, A.Binop (A.Mul, _, _)), None) ] -> ()
+   | _ -> Alcotest.fail "mul binds tighter");
+  let q2 = parse "SELECT (A + B) * C FROM T" in
+  (match q2.A.select with
+   | [ A.Sel_expr (A.Binop (A.Mul, A.Binop (A.Add, _, _), _), None) ] -> ()
+   | _ -> Alcotest.fail "parens")
+
+let test_between_in () =
+  let q = parse "SELECT * FROM T WHERE A BETWEEN 1 AND 10 AND B IN (1, 2, 3)" in
+  (match q.A.where with
+   | Some (A.And (A.Between _, A.In_list (_, [ V.Int 1; V.Int 2; V.Int 3 ]))) -> ()
+   | _ -> Alcotest.fail "between/in shape")
+
+let test_subqueries () =
+  let q =
+    parse
+      "SELECT NAME FROM EMPLOYEE WHERE SALARY = (SELECT AVG(SALARY) FROM EMPLOYEE)"
+  in
+  (match q.A.where with
+   | Some (A.Cmp_subquery (_, A.Eq, sub)) ->
+     (match sub.A.select with
+      | [ A.Sel_expr (A.Agg (A.Avg, _), None) ] -> ()
+      | _ -> Alcotest.fail "subquery agg")
+   | _ -> Alcotest.fail "scalar subquery");
+  let q2 =
+    parse
+      "SELECT NAME FROM EMPLOYEE WHERE DNO IN (SELECT DNO FROM DEPT WHERE \
+       LOC = 'DENVER')"
+  in
+  (match q2.A.where with
+   | Some (A.In_subquery (_, _, false)) -> ()
+   | _ -> Alcotest.fail "IN subquery");
+  let q3 = parse "SELECT NAME FROM E WHERE DNO NOT IN (SELECT DNO FROM D)" in
+  (match q3.A.where with
+   | Some (A.In_subquery (_, _, true)) -> ()
+   | _ -> Alcotest.fail "NOT IN subquery")
+
+let test_group_order () =
+  let q =
+    parse "SELECT DNO, AVG(SAL) FROM EMP GROUP BY DNO ORDER BY DNO DESC, SAL"
+  in
+  Alcotest.(check int) "group cols" 1 (List.length q.A.group_by);
+  (match q.A.order_by with
+   | [ (_, A.Desc); (_, A.Asc) ] -> ()
+   | _ -> Alcotest.fail "order dirs")
+
+let test_count_star_and_negatives () =
+  let q = parse "SELECT COUNT(*) FROM T WHERE A = -5 AND B > -2.5" in
+  (match q.A.select with
+   | [ A.Sel_expr (A.Agg (A.Count, _), None) ] -> ()
+   | _ -> Alcotest.fail "count(*)");
+  (match q.A.where with
+   | Some (A.And (A.Cmp (_, A.Eq, A.Const (V.Int (-5))), A.Cmp (_, A.Gt, A.Const (V.Float -2.5)))) -> ()
+   | _ -> Alcotest.fail "negative literals")
+
+let test_parenthesized_predicates () =
+  let q = parse "SELECT * FROM T WHERE (A = 1 OR B = 2) AND C = 3" in
+  (match q.A.where with
+   | Some (A.And (A.Or _, A.Cmp _)) -> ()
+   | _ -> Alcotest.fail "paren pred");
+  (* parenthesized expression on the left of a comparison still works *)
+  let q2 = parse "SELECT * FROM T WHERE (A + B) > 3" in
+  (match q2.A.where with
+   | Some (A.Cmp (A.Binop (A.Add, _, _), A.Gt, _)) -> ()
+   | _ -> Alcotest.fail "paren expr")
+
+let test_statements () =
+  (match parse_stmt "CREATE TABLE T (A INT, B STRING, C FLOAT)" with
+   | A.Create_table { table = "T"; columns } ->
+     Alcotest.(check int) "cols" 3 (List.length columns)
+   | _ -> Alcotest.fail "create table");
+  (match parse_stmt "CREATE CLUSTERED INDEX I ON T (A, B)" with
+   | A.Create_index { clustered = true; columns = [ "A"; "B" ]; _ } -> ()
+   | _ -> Alcotest.fail "create index");
+  (match parse_stmt "INSERT INTO T VALUES (1, 'x'), (2, NULL)" with
+   | A.Insert { values = [ [ V.Int 1; V.Str "x" ]; [ V.Int 2; V.Null ] ]; _ } -> ()
+   | _ -> Alcotest.fail "insert");
+  (match parse_stmt "DELETE FROM T WHERE A = 1" with
+   | A.Delete { where = Some _; _ } -> ()
+   | _ -> Alcotest.fail "delete");
+  (match parse_stmt "UPDATE STATISTICS" with
+   | A.Update_statistics -> ()
+   | _ -> Alcotest.fail "update statistics");
+  (match parse_stmt "UPDATE T SET A = A + 1, B = 'x' WHERE A > 3" with
+   | A.Update { table = "T"; sets = [ ("A", A.Binop _); ("B", A.Const _) ];
+                where = Some _ } -> ()
+   | _ -> Alcotest.fail "update");
+  (match parse_stmt "BEGIN TRANSACTION" with
+   | A.Begin_transaction -> ()
+   | _ -> Alcotest.fail "begin");
+  (match parse_stmt "COMMIT" with
+   | A.Commit -> ()
+   | _ -> Alcotest.fail "commit");
+  (match parse_stmt "ROLLBACK" with
+   | A.Rollback -> ()
+   | _ -> Alcotest.fail "rollback");
+  (match parse_stmt "EXPLAIN SELECT * FROM T" with
+   | A.Explain _ -> ()
+   | _ -> Alcotest.fail "explain")
+
+let test_script () =
+  let stmts = Parser.parse_script "CREATE TABLE T (A INT); INSERT INTO T VALUES (1);" in
+  Alcotest.(check int) "two statements" 2 (List.length stmts)
+
+let test_syntax_errors () =
+  let bad s =
+    match parse_stmt s with
+    | _ -> Alcotest.fail ("accepted: " ^ s)
+    | exception Parser.Error _ -> ()
+  in
+  bad "SELECT";
+  bad "SELECT * FROM";
+  bad "SELECT * FROM T WHERE";
+  bad "SELECT * FROM T WHERE A >";
+  bad "SELECT * FROM T GROUP DNO";
+  bad "CREATE TABLE T ()";
+  bad "INSERT INTO T VALUES (A)";
+  bad "SELECT * FROM T; garbage"
+
+(* --- pretty-print / re-parse roundtrip -------------------------------- *)
+
+let ident_gen = QCheck.Gen.(map (fun i -> Printf.sprintf "C%d" i) (int_bound 5))
+
+let expr_gen =
+  QCheck.Gen.(
+    sized (fun n ->
+        fix
+          (fun self n ->
+            if n = 0 then
+              oneof
+                [ map (fun c -> A.Col { table = None; column = c }) ident_gen;
+                  map (fun i -> A.Const (V.Int i)) (int_bound 100) ]
+            else
+              frequency
+                [ (2, map (fun c -> A.Col { table = None; column = c }) ident_gen);
+                  ( 1,
+                    map3
+                      (fun op a b -> A.Binop (op, a, b))
+                      (oneofl [ A.Add; A.Sub; A.Mul ])
+                      (self (n / 2)) (self (n / 2)) ) ])
+          (min n 4)))
+
+let pred_gen =
+  QCheck.Gen.(
+    sized (fun n ->
+        fix
+          (fun self n ->
+            if n = 0 then
+              map3
+                (fun a c b -> A.Cmp (a, c, b))
+                expr_gen
+                (oneofl [ A.Eq; A.Ne; A.Lt; A.Le; A.Gt; A.Ge ])
+                expr_gen
+            else
+              frequency
+                [ ( 2,
+                    map3
+                      (fun a c b -> A.Cmp (a, c, b))
+                      expr_gen
+                      (oneofl [ A.Eq; A.Lt; A.Gt ])
+                      expr_gen );
+                  (1, map2 (fun a b -> A.And (a, b)) (self (n / 2)) (self (n / 2)));
+                  (1, map2 (fun a b -> A.Or (a, b)) (self (n / 2)) (self (n / 2)));
+                  (1, map (fun a -> A.Not a) (self (n / 2))) ])
+          (min n 5)))
+
+let query_of_pred p =
+  { A.select = [ A.Star ];
+    from = [ ("T", None) ];
+    where = Some p;
+    group_by = [];
+    order_by = [] }
+
+let rec expr_equal a b =
+  match a, b with
+  | A.Col { table = t1; column = c1 }, A.Col { table = t2; column = c2 } ->
+    t1 = t2 && c1 = c2
+  | A.Const x, A.Const y -> V.equal x y
+  | A.Binop (o1, a1, b1), A.Binop (o2, a2, b2) ->
+    o1 = o2 && expr_equal a1 a2 && expr_equal b1 b2
+  | A.Agg (f1, e1), A.Agg (f2, e2) -> f1 = f2 && expr_equal e1 e2
+  | A.Param i, A.Param j -> i = j
+  | (A.Col _ | A.Const _ | A.Binop _ | A.Agg _ | A.Param _), _ -> false
+
+let rec pred_equal a b =
+  match a, b with
+  | A.Cmp (a1, c1, b1), A.Cmp (a2, c2, b2) ->
+    c1 = c2 && expr_equal a1 a2 && expr_equal b1 b2
+  | A.And (a1, b1), A.And (a2, b2) | A.Or (a1, b1), A.Or (a2, b2) ->
+    pred_equal a1 a2 && pred_equal b1 b2
+  | A.Not a1, A.Not a2 -> pred_equal a1 a2
+  | _ -> false
+
+let prop_pp_roundtrip =
+  QCheck.Test.make ~name:"pp then parse is identity" ~count:300
+    (QCheck.make
+       ~print:(fun p -> Format.asprintf "%a" A.pp_predicate p)
+       pred_gen)
+    (fun p ->
+      let sql = Format.asprintf "%a" A.pp_query (query_of_pred p) in
+      match (parse sql).A.where with
+      | Some p' -> pred_equal p p'
+      | None -> false)
+
+let () =
+  Alcotest.run "parser"
+    [ ( "lexer",
+        [ Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "errors" `Quick test_lexer_errors ] );
+      ( "parser",
+        [ Alcotest.test_case "simple select" `Quick test_simple_select;
+          Alcotest.test_case "star and aliases" `Quick test_star_and_aliases;
+          Alcotest.test_case "boolean precedence" `Quick test_precedence_and_or_not;
+          Alcotest.test_case "arith precedence" `Quick test_arith_precedence;
+          Alcotest.test_case "between/in" `Quick test_between_in;
+          Alcotest.test_case "subqueries" `Quick test_subqueries;
+          Alcotest.test_case "group/order" `Quick test_group_order;
+          Alcotest.test_case "count(*) and negatives" `Quick test_count_star_and_negatives;
+          Alcotest.test_case "parenthesized predicates" `Quick test_parenthesized_predicates;
+          Alcotest.test_case "statements" `Quick test_statements;
+          Alcotest.test_case "script" `Quick test_script;
+          Alcotest.test_case "syntax errors" `Quick test_syntax_errors ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_pp_roundtrip ]) ]

@@ -1,0 +1,154 @@
+module V = Rel.Value
+module T = Rel.Tuple
+module Sg = Rss.Sarg
+
+let t vals = T.make vals
+
+(* --- SARG evaluation --------------------------------------------------- *)
+
+let s col op value = { Sg.col; op; value }
+
+let test_eval_op () =
+  Alcotest.(check bool) "eq" true (Sg.eval_op Sg.Eq (V.Int 5) (V.Int 5));
+  Alcotest.(check bool) "ne" true (Sg.eval_op Sg.Ne (V.Int 5) (V.Int 6));
+  Alcotest.(check bool) "lt" true (Sg.eval_op Sg.Lt (V.Int 5) (V.Int 6));
+  Alcotest.(check bool) "le" true (Sg.eval_op Sg.Le (V.Int 5) (V.Int 5));
+  Alcotest.(check bool) "gt" false (Sg.eval_op Sg.Gt (V.Int 5) (V.Int 6));
+  Alcotest.(check bool) "ge str" true (Sg.eval_op Sg.Ge (V.Str "b") (V.Str "a"));
+  (* NULL comparisons are false, including NE *)
+  Alcotest.(check bool) "null eq" false (Sg.eval_op Sg.Eq V.Null V.Null);
+  Alcotest.(check bool) "null ne" false (Sg.eval_op Sg.Ne (V.Int 1) V.Null)
+
+let test_dnf_matching () =
+  (* (c0 = 5 AND c1 > 10) OR (c0 = 7) *)
+  let sarg = [ [ s 0 Sg.Eq (V.Int 5); s 1 Sg.Gt (V.Int 10) ]; [ s 0 Sg.Eq (V.Int 7) ] ] in
+  Alcotest.(check bool) "first conjunct" true
+    (Sg.matches sarg (t [ V.Int 5; V.Int 11 ]));
+  Alcotest.(check bool) "conjunct fails" false
+    (Sg.matches sarg (t [ V.Int 5; V.Int 10 ]));
+  Alcotest.(check bool) "second disjunct" true
+    (Sg.matches sarg (t [ V.Int 7; V.Int 0 ]));
+  Alcotest.(check bool) "no disjunct" false
+    (Sg.matches sarg (t [ V.Int 6; V.Int 99 ]));
+  Alcotest.(check bool) "always true" true (Sg.matches Sg.always_true (t [ V.Null ]));
+  Alcotest.(check bool) "reject all" false (Sg.matches [] (t [ V.Int 1 ]))
+
+let test_conjoin () =
+  let a = [ [ s 0 Sg.Eq (V.Int 1) ]; [ s 0 Sg.Eq (V.Int 2) ] ] in
+  let b = [ [ s 1 Sg.Gt (V.Int 0) ] ] in
+  let c = Sg.conjoin a b in
+  Alcotest.(check int) "disjunct count" 2 (List.length c);
+  Alcotest.(check bool) "semantics" true
+    (Sg.matches c (t [ V.Int 2; V.Int 5 ]) && not (Sg.matches c (t [ V.Int 2; V.Int 0 ])))
+
+(* --- scans -------------------------------------------------------------- *)
+
+let setup () =
+  let pager = Rss.Pager.create ~buffer_pages:100 () in
+  let seg = Rss.Segment.create pager in
+  (* two relations share the segment *)
+  for i = 0 to 299 do
+    ignore
+      (Rss.Segment.insert seg ~rel_id:1
+         (t [ V.Int i; V.Int (i mod 10); V.Str (Printf.sprintf "n%03d" i) ]))
+  done;
+  for i = 0 to 49 do
+    ignore (Rss.Segment.insert seg ~rel_id:2 (t [ V.Int i; V.Int 0; V.Str "other" ]))
+  done;
+  (pager, seg)
+
+let test_segment_scan_returns_own_relation () =
+  let _, seg = setup () in
+  let rows = Rss.Scan.to_list (Rss.Scan.open_segment_scan seg ~rel_id:1 ()) in
+  Alcotest.(check int) "rel 1 rows" 300 (List.length rows);
+  let rows2 = Rss.Scan.to_list (Rss.Scan.open_segment_scan seg ~rel_id:2 ()) in
+  Alcotest.(check int) "rel 2 rows" 50 (List.length rows2)
+
+let test_segment_scan_touches_every_page_once () =
+  let pager, seg = setup () in
+  let c = Rss.Pager.counters pager in
+  Rss.Counters.reset c;
+  Rss.Pager.evict_all pager;
+  ignore (Rss.Scan.to_list (Rss.Scan.open_segment_scan seg ~rel_id:2 ()));
+  (* all non-empty pages of the segment are touched, each exactly once, even
+     though relation 2 occupies only a few *)
+  Alcotest.(check int) "fetches = nonempty pages"
+    (Rss.Segment.nonempty_page_count seg)
+    c.Rss.Counters.page_fetches;
+  Alcotest.(check int) "no rescans" 0 c.Rss.Counters.buffer_hits
+
+let test_segment_scan_sargs_cut_rsi () =
+  let pager, seg = setup () in
+  let c = Rss.Pager.counters pager in
+  Rss.Counters.reset c;
+  let sargs = [ [ s 1 Sg.Eq (V.Int 3) ] ] in
+  let rows = Rss.Scan.to_list (Rss.Scan.open_segment_scan seg ~rel_id:1 ~sargs ()) in
+  Alcotest.(check int) "filtered rows" 30 (List.length rows);
+  (* SARG-rejected tuples never cross the RSI *)
+  Alcotest.(check int) "rsi calls = returned" 30 c.Rss.Counters.rsi_calls
+
+let test_index_scan_range_and_order () =
+  let pager, seg = setup () in
+  let bt = Rss.Btree.create ~order:8 pager in
+  (* index rel 1 on column 0 *)
+  let all = Rss.Scan.to_list (Rss.Scan.open_segment_scan seg ~rel_id:1 ()) in
+  List.iter (fun (tid, tu) -> Rss.Btree.insert bt [| T.get tu 0 |] tid) all;
+  let scan =
+    Rss.Scan.open_index_scan seg ~rel_id:1 ~index:bt
+      ~lo:([| V.Int 100 |], `Inclusive)
+      ~hi:([| V.Int 109 |], `Inclusive)
+      ()
+  in
+  let rows = Rss.Scan.to_list scan in
+  Alcotest.(check int) "range size" 10 (List.length rows);
+  let keys = List.map (fun (_, tu) -> T.get tu 0) rows in
+  let sorted = List.sort V.compare keys in
+  Alcotest.(check bool) "key order" true (List.for_all2 V.equal keys sorted)
+
+let test_index_scan_with_sargs () =
+  let pager, seg = setup () in
+  let bt = Rss.Btree.create pager in
+  let all = Rss.Scan.to_list (Rss.Scan.open_segment_scan seg ~rel_id:1 ()) in
+  List.iter (fun (tid, tu) -> Rss.Btree.insert bt [| T.get tu 0 |] tid) all;
+  let c = Rss.Pager.counters pager in
+  Rss.Counters.reset c;
+  let scan =
+    Rss.Scan.open_index_scan seg ~rel_id:1 ~index:bt
+      ~lo:([| V.Int 0 |], `Inclusive)
+      ~hi:([| V.Int 99 |], `Inclusive)
+      ~sargs:[ [ s 1 Sg.Eq (V.Int 7) ] ]
+      ()
+  in
+  let rows = Rss.Scan.to_list scan in
+  Alcotest.(check int) "rows" 10 (List.length rows);
+  Alcotest.(check int) "rsi" 10 c.Rss.Counters.rsi_calls
+
+let test_scan_protocol () =
+  let _, seg = setup () in
+  let scan = Rss.Scan.open_segment_scan seg ~rel_id:1 () in
+  ignore (Rss.Scan.next scan);
+  Rss.Scan.close scan;
+  Alcotest.check_raises "next after close"
+    (Invalid_argument "Scan.next: scan is closed") (fun () ->
+      ignore (Rss.Scan.next scan));
+  (* a drained scan keeps returning None *)
+  let scan2 = Rss.Scan.open_segment_scan seg ~rel_id:2 () in
+  ignore (Rss.Scan.to_list scan2)
+
+let () =
+  Alcotest.run "sarg_scan"
+    [ ( "sarg",
+        [ Alcotest.test_case "eval_op" `Quick test_eval_op;
+          Alcotest.test_case "DNF matching" `Quick test_dnf_matching;
+          Alcotest.test_case "conjoin" `Quick test_conjoin ] );
+      ( "scan",
+        [ Alcotest.test_case "segment scan filters relation" `Quick
+            test_segment_scan_returns_own_relation;
+          Alcotest.test_case "segment scan page accounting" `Quick
+            test_segment_scan_touches_every_page_once;
+          Alcotest.test_case "sargs reduce RSI calls" `Quick
+            test_segment_scan_sargs_cut_rsi;
+          Alcotest.test_case "index scan range+order" `Quick
+            test_index_scan_range_and_order;
+          Alcotest.test_case "index scan with sargs" `Quick test_index_scan_with_sargs;
+          Alcotest.test_case "protocol" `Quick test_scan_protocol ] ) ]

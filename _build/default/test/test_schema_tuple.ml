@@ -1,0 +1,105 @@
+module V = Rel.Value
+module S = Rel.Schema
+module T = Rel.Tuple
+
+let col name ty = { S.name; ty }
+
+let emp_schema =
+  S.make [ col "NAME" V.Tstr; col "DNO" V.Tint; col "SAL" V.Tfloat ]
+
+let test_schema_basics () =
+  Alcotest.(check int) "arity" 3 (S.arity emp_schema);
+  Alcotest.(check (option int)) "index_of" (Some 1) (S.index_of emp_schema "DNO");
+  Alcotest.(check (option int)) "case insensitive" (Some 1) (S.index_of emp_schema "dno");
+  Alcotest.(check (option int)) "missing" None (S.index_of emp_schema "NOPE");
+  Alcotest.(check bool) "mem" true (S.mem emp_schema "SAL");
+  Alcotest.(check string) "column name" "NAME" (S.column emp_schema 0).S.name
+
+let test_schema_duplicate_rejected () =
+  match S.make [ col "A" V.Tint; col "a" V.Tint ] with
+  | _ -> Alcotest.fail "duplicate column accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_schema_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Schema.make: empty schema")
+    (fun () -> ignore (S.make []))
+
+let test_schema_append () =
+  let s2 = S.make [ col "DNO" V.Tint; col "LOC" V.Tstr ] in
+  let joined = S.append emp_schema s2 in
+  Alcotest.(check int) "composite arity" 5 (S.arity joined);
+  (* duplicate names allowed in composites; first wins for name lookup *)
+  Alcotest.(check (option int)) "first DNO" (Some 1) (S.index_of joined "DNO")
+
+let test_schema_column_out_of_range () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Schema.column: index 9 out of range") (fun () ->
+      ignore (S.column emp_schema 9))
+
+let t1 = T.make [ V.Str "SMITH"; V.Int 50; V.Float 12000. ]
+
+let test_tuple_basics () =
+  Alcotest.(check int) "arity" 3 (T.arity t1);
+  Alcotest.(check bool) "get" true (V.equal (T.get t1 1) (V.Int 50));
+  let p = T.project t1 [ 2; 0 ] in
+  Alcotest.(check bool) "project" true
+    (T.equal p (T.make [ V.Float 12000.; V.Str "SMITH" ]));
+  let c = T.concat t1 (T.make [ V.Int 7 ]) in
+  Alcotest.(check int) "concat arity" 4 (T.arity c);
+  Alcotest.(check bool) "conforms" true (T.conforms emp_schema t1);
+  Alcotest.(check bool) "null conforms" true
+    (T.conforms emp_schema (T.make [ V.Null; V.Null; V.Null ]));
+  Alcotest.(check bool) "bad type" false
+    (T.conforms emp_schema (T.make [ V.Int 1; V.Int 2; V.Float 3. ]))
+
+let test_compare_on () =
+  let a = T.make [ V.Int 1; V.Int 5 ] and b = T.make [ V.Int 1; V.Int 7 ] in
+  Alcotest.(check bool) "first col ties" true (T.compare_on [ 0 ] a b = 0);
+  Alcotest.(check bool) "second col breaks" true (T.compare_on [ 0; 1 ] a b < 0);
+  Alcotest.(check bool) "desc-ish reverse" true (T.compare_on [ 1 ] b a > 0)
+
+let test_tuple_roundtrip () =
+  let buf = Buffer.create 64 in
+  T.write buf t1;
+  Alcotest.(check int) "size" (Buffer.length buf) (T.serialized_size t1);
+  let t', off = T.read (Buffer.to_bytes buf) 0 in
+  Alcotest.(check bool) "roundtrip" true (T.equal t1 t');
+  Alcotest.(check int) "offset" (Buffer.length buf) off
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [ map (fun i -> V.Int i) small_signed_int;
+        map (fun f -> V.Float f) (float_bound_inclusive 1e6);
+        map (fun s -> V.Str s) (string_size (int_bound 20));
+        return V.Null ])
+
+let tuple_gen = QCheck.Gen.(map Array.of_list (list_size (int_range 1 8) value_gen))
+
+let arb_tuple = QCheck.make ~print:T.to_string tuple_gen
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"tuple roundtrip" ~count:300 arb_tuple (fun t ->
+      let buf = Buffer.create 64 in
+      T.write buf t;
+      let t', _ = T.read (Buffer.to_bytes buf) 0 in
+      T.equal t t')
+
+let prop_concat_arity =
+  QCheck.Test.make ~name:"concat arity" ~count:300 (QCheck.pair arb_tuple arb_tuple)
+    (fun (a, b) -> T.arity (T.concat a b) = T.arity a + T.arity b)
+
+let () =
+  Alcotest.run "schema_tuple"
+    [ ( "schema",
+        [ Alcotest.test_case "basics" `Quick test_schema_basics;
+          Alcotest.test_case "duplicate rejected" `Quick test_schema_duplicate_rejected;
+          Alcotest.test_case "empty rejected" `Quick test_schema_empty_rejected;
+          Alcotest.test_case "append" `Quick test_schema_append;
+          Alcotest.test_case "column out of range" `Quick test_schema_column_out_of_range ] );
+      ( "tuple",
+        [ Alcotest.test_case "basics" `Quick test_tuple_basics;
+          Alcotest.test_case "compare_on" `Quick test_compare_on;
+          Alcotest.test_case "roundtrip" `Quick test_tuple_roundtrip ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_concat_arity ] ) ]

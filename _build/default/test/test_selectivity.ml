@@ -1,0 +1,177 @@
+(* TABLE 1 selectivity factors, asserted case by case on a catalog with known
+   statistics:
+     R(A, B, S):  1000 rows; index R_A on A with ICARD = 50, keys 0..999
+                  (via values A = (i*20) mod 1000 ... we load A in [0,1000)
+                  with exactly 50 distinct values); S has no index.
+     U(A, D):     200 rows; index U_A on A with ICARD = 20. *)
+
+module V = Rel.Value
+
+let feq = Alcotest.(check (float 1e-6))
+
+let setup () =
+  let db = Database.create () in
+  Workload.load_uniform db ~name:"R" ~rows:1000
+    ~cols:
+      [ { Workload.col = "A"; distinct = 50 };
+        { Workload.col = "B"; distinct = 100 };
+        { Workload.col = "S"; distinct = 400 } ]
+    ~indexes:[ ("R_A", [ "A" ], true) ]
+    ~seed:1 ();
+  Workload.load_uniform db ~name:"U" ~rows:200
+    ~cols:[ { Workload.col = "A"; distinct = 20 }; { Workload.col = "D"; distinct = 5 } ]
+    ~indexes:[ ("U_A", [ "A" ], false) ]
+    ~seed:2 ();
+  db
+
+let ctx_block db sql =
+  let block = Database.resolve db sql in
+  (Database.ctx db, block)
+
+let sel db sql =
+  let ctx, block = ctx_block db sql in
+  match block.Semant.where with
+  | Some w -> Selectivity.factor ctx block w
+  | None -> Alcotest.fail "no where"
+
+(* exact ICARD values depend on the random draw: read them from the catalog *)
+let icard db idx_name =
+  let idx = Option.get (Catalog.find_index (Database.catalog db) idx_name) in
+  float_of_int (Option.get idx.Catalog.istats).Stats.icard
+
+let low_high db idx_name =
+  let idx = Option.get (Catalog.find_index (Database.catalog db) idx_name) in
+  let s = Option.get idx.Catalog.istats in
+  match s.Stats.low_key, s.Stats.high_key with
+  | Some (V.Int lo), Some (V.Int hi) -> (float_of_int lo, float_of_int hi)
+  | _ -> Alcotest.fail "no key range"
+
+let test_eq_with_index () =
+  let db = setup () in
+  feq "F = 1/ICARD" (1. /. icard db "R_A") (sel db "SELECT A FROM R WHERE A = 7")
+
+let test_eq_without_index () =
+  let db = setup () in
+  feq "F = 1/10" 0.1 (sel db "SELECT A FROM R WHERE B = 7")
+
+let test_col_eq_col_both_indexed () =
+  let db = setup () in
+  let expected = 1. /. Float.max (icard db "R_A") (icard db "U_A") in
+  feq "F = 1/max(ICARDs)" expected (sel db "SELECT R.A FROM R, U WHERE R.A = U.A")
+
+let test_col_eq_col_one_indexed () =
+  let db = setup () in
+  feq "F = 1/ICARD(U_A)" (1. /. icard db "U_A")
+    (sel db "SELECT R.B FROM R, U WHERE R.B = U.A")
+
+let test_col_eq_col_none_indexed () =
+  let db = setup () in
+  feq "F = 1/10" 0.1 (sel db "SELECT R.B FROM R, U WHERE R.B = U.D")
+
+let test_range_interpolation () =
+  let db = setup () in
+  let lo, hi = low_high db "R_A" in
+  let v = Float.round ((lo +. hi) /. 2.) in
+  feq "col > value interpolates" ((hi -. v) /. (hi -. lo))
+    (sel db (Printf.sprintf "SELECT A FROM R WHERE A > %.0f" v));
+  feq "col < value interpolates" ((v -. lo) /. (hi -. lo))
+    (sel db (Printf.sprintf "SELECT A FROM R WHERE A < %.0f" v));
+  (* clamped at the extremes *)
+  feq "beyond high" 0. (sel db (Printf.sprintf "SELECT A FROM R WHERE A > %.0f" (hi +. 5.)));
+  feq "below low" 1. (sel db (Printf.sprintf "SELECT A FROM R WHERE A > %.0f" (lo -. 5.)))
+
+let test_range_no_index () =
+  let db = setup () in
+  feq "F = 1/3" (1. /. 3.) (sel db "SELECT A FROM R WHERE B > 17")
+
+let test_between_interpolation () =
+  let db = setup () in
+  let lo, hi = low_high db "R_A" in
+  let v1 = Float.round (lo +. ((hi -. lo) /. 4.)) in
+  let v2 = Float.round (lo +. ((hi -. lo) /. 2.)) in
+  (* BETWEEN is one boolean factor with TABLE 1's own interpolation *)
+  let expected = (v2 -. v1) /. (hi -. lo) in
+  feq "between interpolation" expected
+    (sel db (Printf.sprintf "SELECT A FROM R WHERE A BETWEEN %.0f AND %.0f" v1 v2))
+
+let test_between_no_index () =
+  let db = setup () in
+  feq "F = 1/4" 0.25 (sel db "SELECT A FROM R WHERE B BETWEEN 3 AND 9")
+
+let test_in_list () =
+  let db = setup () in
+  feq "n * F(eq)" (3. /. icard db "R_A")
+    (sel db "SELECT A FROM R WHERE A IN (1, 2, 3)");
+  (* capped at 1/2 *)
+  let many = String.concat ", " (List.init 40 string_of_int) in
+  feq "capped" 0.5 (sel db (Printf.sprintf "SELECT A FROM R WHERE B IN (%s)" many))
+
+let test_in_subquery () =
+  let db = setup () in
+  (* F = qcard(sub) / product(cardinalities of sub's FROM);
+     sub = SELECT A FROM U WHERE D = 0: qcard = 200 * 1/10 (D unindexed) *)
+  feq "subquery ratio" (200. *. 0.1 /. 200.)
+    (sel db "SELECT A FROM R WHERE A IN (SELECT A FROM U WHERE D = 0)")
+
+let test_or_and_not () =
+  let db = setup () in
+  let fa = 1. /. icard db "R_A" in
+  feq "OR: f1+f2-f1f2" (fa +. 0.1 -. (fa *. 0.1))
+    (sel db "SELECT A FROM R WHERE A = 1 OR B = 2");
+  feq "NOT" (1. -. fa) (sel db "SELECT A FROM R WHERE NOT A = 1");
+  (* AND inside one boolean factor (under an OR so it is not split) *)
+  let f_and = sel db "SELECT A FROM R WHERE (A = 1 AND B = 2) OR (A = 1 AND B = 2)" in
+  let expected = (fa *. 0.1) +. (fa *. 0.1) -. (fa *. 0.1 *. fa *. 0.1) in
+  feq "AND under OR" expected f_and
+
+let test_scalar_subquery_defaults () =
+  let db = setup () in
+  feq "eq unknown value -> 1/ICARD"
+    (1. /. icard db "R_A")
+    (sel db "SELECT A FROM R WHERE A = (SELECT MIN(A) FROM U)");
+  feq "range unknown value -> 1/3" (1. /. 3.)
+    (sel db "SELECT A FROM R WHERE S > (SELECT MIN(A) FROM U)")
+
+let test_qcard () =
+  let db = setup () in
+  let ctx, block = ctx_block db "SELECT R.A FROM R, U WHERE R.A = U.A AND R.B = 1" in
+  let expected =
+    1000. *. 200.
+    *. (1. /. Float.max (icard db "R_A") (icard db "U_A"))
+    *. 0.1
+  in
+  feq "QCARD = product(NCARD) * product(F)" expected
+    (Selectivity.block_qcard ctx block);
+  (* scalar aggregate block: QCARD = 1 *)
+  let _, b2 = ctx_block db "SELECT AVG(A) FROM R" in
+  feq "scalar agg" 1.0 (Selectivity.block_qcard ctx b2)
+
+let test_default_stats_when_missing () =
+  let db = Database.create () in
+  ignore
+    (Catalog.create_relation (Database.catalog db) ~name:"FRESH"
+       ~schema:(Rel.Schema.make [ { Rel.Schema.name = "X"; ty = V.Tint } ]));
+  (* never loaded, never analyzed: "assume the relation is small" *)
+  feq "eq default" 0.1 (sel db "SELECT X FROM FRESH WHERE X = 1");
+  feq "range default" (1. /. 3.) (sel db "SELECT X FROM FRESH WHERE X > 1")
+
+let () =
+  Alcotest.run "selectivity"
+    [ ( "table1",
+        [ Alcotest.test_case "col = value, index" `Quick test_eq_with_index;
+          Alcotest.test_case "col = value, no index" `Quick test_eq_without_index;
+          Alcotest.test_case "col = col, both indexed" `Quick test_col_eq_col_both_indexed;
+          Alcotest.test_case "col = col, one indexed" `Quick test_col_eq_col_one_indexed;
+          Alcotest.test_case "col = col, none indexed" `Quick test_col_eq_col_none_indexed;
+          Alcotest.test_case "range interpolation" `Quick test_range_interpolation;
+          Alcotest.test_case "range default" `Quick test_range_no_index;
+          Alcotest.test_case "between interpolation" `Quick test_between_interpolation;
+          Alcotest.test_case "between default" `Quick test_between_no_index;
+          Alcotest.test_case "IN list" `Quick test_in_list;
+          Alcotest.test_case "IN subquery" `Quick test_in_subquery;
+          Alcotest.test_case "OR/AND/NOT" `Quick test_or_and_not;
+          Alcotest.test_case "scalar subquery defaults" `Quick test_scalar_subquery_defaults ] );
+      ( "qcard",
+        [ Alcotest.test_case "query cardinality" `Quick test_qcard;
+          Alcotest.test_case "missing statistics defaults" `Quick
+            test_default_stats_when_missing ] ) ]

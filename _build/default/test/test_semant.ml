@@ -1,0 +1,218 @@
+module V = Rel.Value
+module S = Semant
+
+let schema cols =
+  Rel.Schema.make (List.map (fun (name, ty) -> { Rel.Schema.name; ty }) cols)
+
+let setup () =
+  let cat = Catalog.create () in
+  ignore
+    (Catalog.create_relation cat ~name:"EMP"
+       ~schema:
+         (schema
+            [ ("NAME", V.Tstr); ("DNO", V.Tint); ("JOB", V.Tint);
+              ("SAL", V.Tint); ("MANAGER", V.Tint); ("EMPNO", V.Tint) ]));
+  ignore
+    (Catalog.create_relation cat ~name:"DEPT"
+       ~schema:(schema [ ("DNO", V.Tint); ("DNAME", V.Tstr); ("LOC", V.Tstr) ]));
+  cat
+
+let resolve cat sql = S.resolve cat (Parser.parse_query sql)
+
+let expect_error cat sql substr =
+  match resolve cat sql with
+  | _ -> Alcotest.fail ("accepted: " ^ sql)
+  | exception S.Error msg ->
+    if
+      not
+        (String.lowercase_ascii msg |> fun m ->
+         String.length m >= String.length substr
+         &&
+         let rec find i =
+           i + String.length substr <= String.length m
+           && (String.sub m i (String.length substr) = substr || find (i + 1))
+         in
+         find 0)
+    then Alcotest.fail (Printf.sprintf "wrong error %S for %s" msg sql)
+
+let test_column_resolution () =
+  let cat = setup () in
+  let b = resolve cat "SELECT EMP.NAME, SAL FROM EMP" in
+  (match b.S.select with
+   | [ (S.E_col { tab = 0; col = 0 }, "NAME"); (S.E_col { tab = 0; col = 3 }, "SAL") ] -> ()
+   | _ -> Alcotest.fail "positions");
+  Alcotest.(check bool) "not correlated" false b.S.correlated
+
+let test_alias_resolution () =
+  let cat = setup () in
+  let b = resolve cat "SELECT X.DNO, Y.DNO FROM EMP X, DEPT Y WHERE X.DNO = Y.DNO" in
+  (match b.S.select with
+   | [ (S.E_col { tab = 0; col = 1 }, _); (S.E_col { tab = 1; col = 0 }, _) ] -> ()
+   | _ -> Alcotest.fail "alias positions")
+
+let test_star_expansion () =
+  let cat = setup () in
+  let b = resolve cat "SELECT * FROM EMP, DEPT" in
+  Alcotest.(check int) "all columns" 9 (List.length b.S.select);
+  (* names follow schema order *)
+  Alcotest.(check string) "first" "NAME" (snd (List.hd b.S.select))
+
+let test_ambiguity_and_unknowns () =
+  let cat = setup () in
+  expect_error cat "SELECT DNO FROM EMP, DEPT" "ambiguous";
+  expect_error cat "SELECT NOPE FROM EMP" "unknown column";
+  expect_error cat "SELECT NAME FROM NOPE" "unknown table";
+  expect_error cat "SELECT E.NOPE FROM EMP E" "no column";
+  expect_error cat "SELECT X.NAME FROM EMP E" "unknown column";
+  expect_error cat "SELECT NAME FROM EMP E, DEPT E" "duplicate table alias"
+
+let test_type_checking () =
+  let cat = setup () in
+  expect_error cat "SELECT NAME FROM EMP WHERE NAME > 5" "type mismatch";
+  expect_error cat "SELECT NAME + 1 FROM EMP" "arithmetic";
+  expect_error cat "SELECT AVG(NAME) FROM EMP" "avg";
+  (* numeric comparisons across int/float are fine *)
+  ignore (resolve cat "SELECT NAME FROM EMP WHERE SAL > 1.5")
+
+let test_aggregate_rules () =
+  let cat = setup () in
+  (* scalar aggregate *)
+  let b = resolve cat "SELECT AVG(SAL), COUNT(*) FROM EMP" in
+  Alcotest.(check bool) "scalar agg" true b.S.scalar_agg;
+  (* mixing bare column with aggregate is rejected *)
+  expect_error cat "SELECT NAME, AVG(SAL) FROM EMP" "group by";
+  (* grouped: bare columns must be grouping columns *)
+  ignore (resolve cat "SELECT DNO, AVG(SAL) FROM EMP GROUP BY DNO");
+  expect_error cat "SELECT JOB, AVG(SAL) FROM EMP GROUP BY DNO" "group by";
+  (* aggregates not allowed in WHERE *)
+  expect_error cat "SELECT NAME FROM EMP WHERE AVG(SAL) > 5" "aggregate"
+
+let test_group_order_must_be_columns () =
+  let cat = setup () in
+  expect_error cat "SELECT SAL FROM EMP GROUP BY SAL + 1" "must name a column";
+  expect_error cat "SELECT SAL FROM EMP ORDER BY SAL + 1" "must name a column";
+  let b = resolve cat "SELECT SAL FROM EMP ORDER BY SAL DESC" in
+  (match b.S.order_by with
+   | [ ({ S.tab = 0; col = 3 }, Ast.Desc) ] -> ()
+   | _ -> Alcotest.fail "order by resolution")
+
+let test_uncorrelated_subquery () =
+  let cat = setup () in
+  let b =
+    resolve cat
+      "SELECT NAME FROM EMP WHERE SAL = (SELECT AVG(SAL) FROM EMP)"
+  in
+  (match b.S.where with
+   | Some (S.P_cmp_sub (_, Ast.Eq, sub)) ->
+     Alcotest.(check bool) "sub not correlated" false sub.S.correlated;
+     Alcotest.(check bool) "sub scalar agg" true sub.S.scalar_agg
+   | _ -> Alcotest.fail "shape");
+  Alcotest.(check bool) "parent not correlated" false b.S.correlated
+
+let test_correlated_subquery () =
+  let cat = setup () in
+  (* the paper's example: employees earning more than their manager *)
+  let b =
+    resolve cat
+      "SELECT NAME FROM EMP X WHERE SAL > (SELECT SAL FROM EMP WHERE EMPNO = \
+       X.MANAGER)"
+  in
+  (match b.S.where with
+   | Some (S.P_cmp_sub (_, Ast.Gt, sub)) ->
+     Alcotest.(check bool) "sub correlated" true sub.S.correlated;
+     (match sub.S.where with
+      | Some (S.P_cmp (S.E_col { tab = 0; col = 5 }, Ast.Eq,
+                        S.E_outer { levels_up = 1; tab = 0; col = 4 })) -> ()
+      | _ -> Alcotest.fail "outer ref shape")
+   | _ -> Alcotest.fail "shape")
+
+let test_two_level_correlation () =
+  let cat = setup () in
+  (* level-3 block references level 1 directly: the intermediate level-2
+     block is marked correlated too (its evaluation depends on level 1) *)
+  let b =
+    resolve cat
+      "SELECT NAME FROM EMP X WHERE SAL > (SELECT SAL FROM EMP WHERE EMPNO = \
+       (SELECT MANAGER FROM EMP WHERE EMPNO = X.MANAGER))"
+  in
+  (match b.S.where with
+   | Some (S.P_cmp_sub (_, _, level2)) ->
+     Alcotest.(check bool) "level2 correlated" true level2.S.correlated;
+     (match level2.S.where with
+      | Some (S.P_cmp_sub (_, _, level3)) ->
+        Alcotest.(check bool) "level3 correlated" true level3.S.correlated;
+        (match level3.S.where with
+         | Some (S.P_cmp (_, _, S.E_outer { levels_up = 2; _ })) -> ()
+         | _ -> Alcotest.fail "levels_up = 2 expected")
+      | _ -> Alcotest.fail "level3 shape")
+   | _ -> Alcotest.fail "level2 shape")
+
+let test_in_subquery_arity () =
+  let cat = setup () in
+  expect_error cat
+    "SELECT NAME FROM EMP WHERE DNO IN (SELECT DNO, DNAME FROM DEPT)"
+    "exactly one column"
+
+let test_pred_helpers () =
+  let cat = setup () in
+  let b =
+    resolve cat
+      "SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND SAL > 10"
+  in
+  (match b.S.where with
+   | Some (S.P_and (join, local)) ->
+     Alcotest.(check (list int)) "join references both" [ 0; 1 ] (S.pred_tables join);
+     Alcotest.(check (list int)) "local references EMP" [ 0 ] (S.pred_tables local);
+     Alcotest.(check bool) "no subquery" false (S.pred_has_subquery join)
+   | _ -> Alcotest.fail "shape")
+
+let test_correlated_pred_tables () =
+  let cat = setup () in
+  (* the subquery references EMP's MANAGER: the predicate "uses" table 0 *)
+  let b =
+    resolve cat
+      "SELECT NAME FROM EMP X WHERE SAL > (SELECT SAL FROM EMP WHERE EMPNO = \
+       X.MANAGER)"
+  in
+  (match b.S.where with
+   | Some p ->
+     Alcotest.(check (list int)) "correlation uses table" [ 0 ] (S.pred_tables p);
+     Alcotest.(check bool) "correlated" true (S.pred_correlated p);
+     Alcotest.(check bool) "has subquery" true (S.pred_has_subquery p)
+   | None -> Alcotest.fail "where missing")
+
+let test_type_of_expr () =
+  let cat = setup () in
+  let b = resolve cat "SELECT NAME, SAL + 1 FROM EMP" in
+  (match b.S.select with
+   | [ (e1, _); (e2, _) ] ->
+     Alcotest.(check bool) "str" true (S.type_of_expr b e1 = Some V.Tstr);
+     Alcotest.(check bool) "int" true (S.type_of_expr b e2 = Some V.Tint)
+   | _ -> Alcotest.fail "select shape");
+  let b2 = resolve cat "SELECT AVG(SAL), COUNT(*) FROM EMP" in
+  (match b2.S.select with
+   | [ (e3, _); (e4, _) ] ->
+     Alcotest.(check bool) "avg float" true (S.type_of_expr b2 e3 = Some V.Tfloat);
+     Alcotest.(check bool) "count int" true (S.type_of_expr b2 e4 = Some V.Tint)
+   | _ -> Alcotest.fail "select shape 2")
+
+let () =
+  Alcotest.run "semant"
+    [ ( "resolution",
+        [ Alcotest.test_case "columns" `Quick test_column_resolution;
+          Alcotest.test_case "aliases" `Quick test_alias_resolution;
+          Alcotest.test_case "star expansion" `Quick test_star_expansion;
+          Alcotest.test_case "errors" `Quick test_ambiguity_and_unknowns ] );
+      ( "typing",
+        [ Alcotest.test_case "type checking" `Quick test_type_checking;
+          Alcotest.test_case "aggregate rules" `Quick test_aggregate_rules;
+          Alcotest.test_case "group/order columns" `Quick test_group_order_must_be_columns;
+          Alcotest.test_case "type_of_expr" `Quick test_type_of_expr ] );
+      ( "subqueries",
+        [ Alcotest.test_case "uncorrelated" `Quick test_uncorrelated_subquery;
+          Alcotest.test_case "correlated" `Quick test_correlated_subquery;
+          Alcotest.test_case "two-level correlation" `Quick test_two_level_correlation;
+          Alcotest.test_case "IN arity" `Quick test_in_subquery_arity ] );
+      ( "helpers",
+        [ Alcotest.test_case "pred tables" `Quick test_pred_helpers;
+          Alcotest.test_case "correlated pred tables" `Quick test_correlated_pred_tables ] ) ]

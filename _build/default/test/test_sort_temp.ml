@@ -1,0 +1,167 @@
+module V = Rel.Value
+module T = Rel.Tuple
+
+let tup i j = T.make [ V.Int i; V.Int j; V.Str (Printf.sprintf "pad-%06d" (i * 1000 + j)) ]
+
+(* --- temp lists --------------------------------------------------------- *)
+
+let test_temp_roundtrip () =
+  let pager = Rss.Pager.create () in
+  let tl = Rss.Temp_list.create pager in
+  for i = 0 to 499 do
+    Rss.Temp_list.append tl (tup i 0)
+  done;
+  Rss.Temp_list.freeze tl;
+  Alcotest.(check int) "length" 500 (Rss.Temp_list.length tl);
+  Alcotest.(check bool) "TEMPPAGES > 1" true (Rss.Temp_list.page_count tl > 1);
+  let back = List.of_seq (Rss.Temp_list.read_unaccounted tl) in
+  Alcotest.(check int) "all back" 500 (List.length back);
+  List.iteri
+    (fun i t -> if not (T.equal t (tup i 0)) then Alcotest.fail "order broken")
+    back
+
+let test_temp_append_after_freeze () =
+  let pager = Rss.Pager.create () in
+  let tl = Rss.Temp_list.create pager in
+  Rss.Temp_list.append tl (tup 0 0);
+  Rss.Temp_list.freeze tl;
+  Alcotest.check_raises "frozen" (Invalid_argument "Temp_list.append: list is frozen")
+    (fun () -> Rss.Temp_list.append tl (tup 1 0))
+
+let test_temp_accounting () =
+  let pager = Rss.Pager.create ~buffer_pages:200 () in
+  let c = Rss.Pager.counters pager in
+  let tl = Rss.Temp_list.of_seq pager (Seq.init 500 (fun i -> tup i 0)) in
+  let written = c.Rss.Counters.pages_written in
+  Alcotest.(check int) "writes = TEMPPAGES" (Rss.Temp_list.page_count tl) written;
+  Rss.Counters.reset c;
+  Rss.Pager.evict_all pager;
+  ignore (List.of_seq (Rss.Temp_list.read tl));
+  Alcotest.(check int) "reads = TEMPPAGES" (Rss.Temp_list.page_count tl)
+    c.Rss.Counters.page_fetches
+
+let test_temp_empty () =
+  let pager = Rss.Pager.create () in
+  let tl = Rss.Temp_list.of_seq pager Seq.empty in
+  Alcotest.(check int) "empty length" 0 (Rss.Temp_list.length tl);
+  Alcotest.(check int) "no pages" 0 (Rss.Temp_list.page_count tl);
+  Alcotest.(check bool) "empty read" true (List.of_seq (Rss.Temp_list.read tl) = [])
+
+(* --- sort ---------------------------------------------------------------- *)
+
+let ints_of tl =
+  Rss.Temp_list.read_unaccounted tl
+  |> Seq.map (fun t -> match T.get t 0 with V.Int i -> i | _ -> -1)
+  |> List.of_seq
+
+let test_sort_basic () =
+  let pager = Rss.Pager.create ~buffer_pages:4 () in
+  let input = [ 5; 3; 9; 1; 4; 1; 8; 0; 7 ] in
+  let tl =
+    Rss.Sort.sort pager ~key:[ (0, Rss.Sort.Asc) ]
+      (List.to_seq (List.map (fun i -> tup i 0) input))
+  in
+  Alcotest.(check (list int)) "sorted" (List.sort compare input) (ints_of tl)
+
+let test_sort_desc_and_multikey () =
+  let pager = Rss.Pager.create () in
+  let input = [ (1, 2); (0, 9); (1, 1); (0, 3); (2, 0) ] in
+  let tl =
+    Rss.Sort.sort pager
+      ~key:[ (0, Rss.Sort.Asc); (1, Rss.Sort.Desc) ]
+      (List.to_seq (List.map (fun (i, j) -> tup i j) input))
+  in
+  let got =
+    Rss.Temp_list.read_unaccounted tl
+    |> Seq.map (fun t ->
+           match T.get t 0, T.get t 1 with
+           | V.Int a, V.Int b -> (a, b)
+           | _ -> (-1, -1))
+    |> List.of_seq
+  in
+  Alcotest.(check (list (pair int int))) "multi-key"
+    [ (0, 9); (0, 3); (1, 2); (1, 1); (2, 0) ]
+    got
+
+let test_sort_stability () =
+  let pager = Rss.Pager.create ~buffer_pages:2 () in
+  (* many equal keys; payload column records input order *)
+  let n = 1000 in
+  let tl =
+    Rss.Sort.sort pager ~key:[ (0, Rss.Sort.Asc) ]
+      (Seq.init n (fun i -> tup (i mod 3) i))
+  in
+  let got =
+    Rss.Temp_list.read_unaccounted tl
+    |> Seq.map (fun t ->
+           match T.get t 0, T.get t 1 with
+           | V.Int a, V.Int b -> (a, b)
+           | _ -> (-1, -1))
+    |> List.of_seq
+  in
+  (* within each key the payload must be increasing *)
+  let rec check prev = function
+    | [] -> true
+    | (k, p) :: rest ->
+      (match List.assoc_opt k prev with
+       | Some last when last > p -> false
+       | _ -> check ((k, p) :: List.remove_assoc k prev) rest)
+  in
+  Alcotest.(check bool) "stable" true (check [] got);
+  Alcotest.(check int) "all present" n (List.length got)
+
+let test_sort_external_multipass () =
+  (* tiny buffer forces runs + merge passes *)
+  let pager = Rss.Pager.create ~buffer_pages:2 () in
+  let n = 3000 in
+  let rng = Random.State.make [| 7 |] in
+  let data = Array.init n (fun _ -> Random.State.int rng 10000) in
+  let tl =
+    Rss.Sort.sort ~run_pages:1 ~fan_in:2 pager ~key:[ (0, Rss.Sort.Asc) ]
+      (Seq.init n (fun i -> tup data.(i) i))
+  in
+  let got = ints_of tl in
+  Alcotest.(check int) "count" n (List.length got);
+  Alcotest.(check (list int)) "sorted" (List.sort compare (Array.to_list data)) got
+
+let test_sort_empty_and_single () =
+  let pager = Rss.Pager.create () in
+  let e = Rss.Sort.sort pager ~key:[ (0, Rss.Sort.Asc) ] Seq.empty in
+  Alcotest.(check int) "empty" 0 (Rss.Temp_list.length e);
+  let s = Rss.Sort.sort pager ~key:[ (0, Rss.Sort.Asc) ] (Seq.return (tup 1 1)) in
+  Alcotest.(check (list int)) "single" [ 1 ] (ints_of s)
+
+let test_passes_estimate () =
+  Alcotest.(check int) "zero tuples" 0
+    (Rss.Sort.passes ~buffer_pages:10 ~tuples:0 ~tuples_per_page:50. ());
+  Alcotest.(check int) "fits one run" 1
+    (Rss.Sort.passes ~buffer_pages:10 ~tuples:400 ~tuples_per_page:50. ());
+  let p = Rss.Sort.passes ~run_pages:1 ~fan_in:2 ~buffer_pages:2 ~tuples:400 ~tuples_per_page:50. () in
+  Alcotest.(check bool) "multi pass" true (p >= 3)
+
+let prop_sort_matches_list_sort =
+  QCheck.Test.make ~name:"external sort = List.sort" ~count:100
+    QCheck.(list (int_bound 1000))
+    (fun xs ->
+      let pager = Rss.Pager.create ~buffer_pages:2 () in
+      let tl =
+        Rss.Sort.sort ~run_pages:1 pager ~key:[ (0, Rss.Sort.Asc) ]
+          (List.to_seq (List.map (fun i -> tup i 0) xs))
+      in
+      ints_of tl = List.sort compare xs)
+
+let () =
+  Alcotest.run "sort_temp"
+    [ ( "temp_list",
+        [ Alcotest.test_case "roundtrip" `Quick test_temp_roundtrip;
+          Alcotest.test_case "append after freeze" `Quick test_temp_append_after_freeze;
+          Alcotest.test_case "accounting" `Quick test_temp_accounting;
+          Alcotest.test_case "empty" `Quick test_temp_empty ] );
+      ( "sort",
+        [ Alcotest.test_case "basic" `Quick test_sort_basic;
+          Alcotest.test_case "desc + multikey" `Quick test_sort_desc_and_multikey;
+          Alcotest.test_case "stability" `Quick test_sort_stability;
+          Alcotest.test_case "external multipass" `Quick test_sort_external_multipass;
+          Alcotest.test_case "empty/single" `Quick test_sort_empty_and_single;
+          Alcotest.test_case "passes estimate" `Quick test_passes_estimate ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_sort_matches_list_sort ]) ]

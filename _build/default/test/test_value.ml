@@ -1,0 +1,107 @@
+module V = Rel.Value
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- unit ------------------------------------------------------------- *)
+
+let test_compare_within_types () =
+  check "int lt" true (V.compare (V.Int 1) (V.Int 2) < 0);
+  check "int eq" true (V.compare (V.Int 5) (V.Int 5) = 0);
+  check "float" true (V.compare (V.Float 1.5) (V.Float 2.5) < 0);
+  check "str" true (V.compare (V.Str "ABC") (V.Str "ABD") < 0);
+  check "null eq" true (V.compare V.Null V.Null = 0)
+
+let test_compare_numeric_promotion () =
+  check "int vs float" true (V.compare (V.Int 2) (V.Float 2.0) = 0);
+  check "int lt float" true (V.compare (V.Int 2) (V.Float 2.5) < 0);
+  check "float gt int" true (V.compare (V.Float 3.1) (V.Int 3) > 0)
+
+let test_null_sorts_lowest () =
+  List.iter
+    (fun v -> check "null lowest" true (V.compare V.Null v < 0))
+    [ V.Int min_int; V.Float neg_infinity; V.Str "" ]
+
+let test_arith () =
+  check "add" true (V.equal (V.add (V.Int 2) (V.Int 3)) (V.Int 5));
+  check "mixed add" true (V.equal (V.add (V.Int 2) (V.Float 0.5)) (V.Float 2.5));
+  check "sub" true (V.equal (V.sub (V.Int 2) (V.Int 3)) (V.Int (-1)));
+  check "mul" true (V.equal (V.mul (V.Float 2.0) (V.Int 3)) (V.Float 6.0));
+  check "div int" true (V.equal (V.div (V.Int 7) (V.Int 2)) (V.Int 3));
+  check "div by zero is null" true (V.is_null (V.div (V.Int 7) (V.Int 0)));
+  check "null propagates" true (V.is_null (V.add V.Null (V.Int 1)))
+
+let test_arith_string_rejected () =
+  Alcotest.check_raises "string add" (Invalid_argument "Value.add: string operand")
+    (fun () -> ignore (V.add (V.Str "a") (V.Int 1)))
+
+let test_to_float () =
+  Alcotest.(check (option (float 1e-9))) "int" (Some 3.) (V.to_float (V.Int 3));
+  Alcotest.(check (option (float 1e-9))) "str" None (V.to_float (V.Str "x"));
+  Alcotest.(check (option (float 1e-9))) "null" None (V.to_float V.Null)
+
+let roundtrip v =
+  let buf = Buffer.create 16 in
+  V.write buf v;
+  let s = Buffer.to_bytes buf in
+  check_int "size" (Buffer.length buf) (V.serialized_size v);
+  let v', off = V.read s 0 in
+  check "roundtrip" true (V.equal v v' || (V.is_null v && V.is_null v'));
+  check_int "offset" (Bytes.length s) off
+
+let test_serialization () =
+  List.iter roundtrip
+    [ V.Int 0; V.Int max_int; V.Int min_int; V.Float 3.14; V.Float (-0.0);
+      V.Str ""; V.Str "hello world"; V.Null; V.Str (String.make 1000 'x') ]
+
+let test_type_of () =
+  Alcotest.(check bool) "int" true (V.type_of (V.Int 1) = Some V.Tint);
+  Alcotest.(check bool) "null" true (V.type_of V.Null = None)
+
+(* --- properties ------------------------------------------------------- *)
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [ map (fun i -> V.Int i) int;
+        map (fun f -> V.Float f) (float_bound_inclusive 1e9);
+        map (fun s -> V.Str s) (string_size (int_bound 40));
+        return V.Null ])
+
+let arb_value = QCheck.make ~print:V.to_string value_gen
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"serialize roundtrip" ~count:500 arb_value (fun v ->
+      let buf = Buffer.create 16 in
+      V.write buf v;
+      let v', _ = V.read (Buffer.to_bytes buf) 0 in
+      V.compare v v' = 0)
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:500
+    (QCheck.pair arb_value arb_value) (fun (a, b) ->
+      let c1 = compare (V.compare a b) 0 and c2 = compare (V.compare b a) 0 in
+      c1 = -c2)
+
+let prop_compare_trans =
+  QCheck.Test.make ~name:"compare transitive" ~count:500
+    (QCheck.triple arb_value arb_value arb_value) (fun (a, b, c) ->
+      let sorted = List.sort V.compare [ a; b; c ] in
+      match sorted with
+      | [ x; y; z ] -> V.compare x y <= 0 && V.compare y z <= 0 && V.compare x z <= 0
+      | _ -> false)
+
+let () =
+  Alcotest.run "value"
+    [ ( "unit",
+        [ Alcotest.test_case "compare within types" `Quick test_compare_within_types;
+          Alcotest.test_case "numeric promotion" `Quick test_compare_numeric_promotion;
+          Alcotest.test_case "null sorts lowest" `Quick test_null_sorts_lowest;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "string arithmetic rejected" `Quick test_arith_string_rejected;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+          Alcotest.test_case "serialization" `Quick test_serialization;
+          Alcotest.test_case "type_of" `Quick test_type_of ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_compare_antisym; prop_compare_trans ] ) ]
