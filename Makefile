@@ -1,0 +1,23 @@
+.PHONY: all build test check bench bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# tier-1 gate: everything CI runs on each change
+check: build test bench-smoke
+
+# full bench suite at paper-scale inputs (writes BENCH_*.json)
+bench:
+	dune exec bench/main.exe
+
+# same suite on tiny inputs (BENCH_SMOKE=1) — seconds, not minutes
+bench-smoke:
+	dune build @bench-smoke
+
+clean:
+	dune clean

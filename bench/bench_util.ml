@@ -33,6 +33,56 @@ let f1 x = Printf.sprintf "%.1f" x
 let f2 x = Printf.sprintf "%.2f" x
 let f4 x = Printf.sprintf "%.4f" x
 
+(* Minimal JSON writer for machine-readable BENCH_*.json artifacts — enough
+   for flat result records, no external dependency. *)
+type json =
+  | J_int of int
+  | J_float of float
+  | J_str of string
+  | J_bool of bool
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let rec render_json b = function
+  | J_int i -> Buffer.add_string b (string_of_int i)
+  | J_float f ->
+    (* JSON has no NaN/Infinity literals *)
+    if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
+    else Buffer.add_string b "null"
+  | J_str s -> Buffer.add_string b (Printf.sprintf "%S" s)
+  | J_bool v -> Buffer.add_string b (if v then "true" else "false")
+  | J_list xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ", ";
+        render_json b x)
+      xs;
+    Buffer.add_char b ']'
+  | J_obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_string b (Printf.sprintf "%S: " k);
+        render_json b v)
+      kvs;
+    Buffer.add_char b '}'
+
+let write_json ~file j =
+  let b = Buffer.create 1024 in
+  render_json b j;
+  Buffer.add_char b '\n';
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+(* Tiny-input mode for CI smoke runs (make bench-smoke / @bench-smoke):
+   benches with sizeable workloads shrink them so the whole suite stays
+   fast while every code path still executes. *)
+let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None
+
 let dummy_env =
   { Eval.blocks = [];
     params = [||];

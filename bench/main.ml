@@ -15,7 +15,8 @@ let benches =
     ("s7c", "nested loops vs merging scans crossover", Bench_join_methods.run);
     ("abl", "ablations A1-A3", Bench_ablation.run);
     ("n1", "nested queries: correlated caching", Bench_nested.run);
-    ("e2", "extension: selectivity under skew", Bench_skew.run) ]
+    ("e2", "extension: selectivity under skew", Bench_skew.run);
+    ("hot", "exec hot path: interpreted vs compiled evaluation", Bench_exec_hotpath.run) ]
 
 let () =
   let requested =

@@ -6,39 +6,52 @@ let drain c =
   let rec go acc = match c () with None -> List.rev acc | Some t -> go (t :: acc) in
   go []
 
-let rec open_plan catalog block (env : Eval.env) ~join (p : Plan.t) : t =
+(* A residual filter over the composite tuples of a node: compiled to a
+   position-resolved closure at open time, or left to the per-tuple AST
+   interpreter when [compiled] is off (the baseline the hot-path bench and
+   the differential test compare against). *)
+let residual_filter ~compiled env layout preds : Rel.Tuple.t -> bool =
+  match preds with
+  | [] -> fun _ -> true
+  | preds ->
+    if compiled then Eval.compile_preds env layout preds
+    else fun tuple ->
+      List.for_all (Eval.pred env { Eval.layout; tuple }) preds
+
+let rec open_plan catalog block (env : Eval.env) ?(compiled = true) ~join
+    (p : Plan.t) : t =
   match p.Plan.node with
   | Plan.Scan { tab; access; sargs; residual } ->
-    open_scan catalog block env ~join ~tab ~access ~sargs ~residual
+    open_scan catalog block env ~compiled ~join ~tab ~access ~sargs ~residual
   | Plan.Nl_join { outer; inner } ->
     (match join with
      | Some _ -> invalid_arg "Cursor: join node cannot itself be a join inner"
-     | None -> open_nl catalog block env ~outer ~inner)
+     | None -> open_nl catalog block env ~compiled ~outer ~inner)
   | Plan.Merge_join { outer; inner; outer_col; inner_col; residual } ->
     (match join with
      | Some _ -> invalid_arg "Cursor: join node cannot itself be a join inner"
      | None ->
-       open_merge catalog block env ~outer ~inner ~outer_col ~inner_col ~residual)
-  | Plan.Sort { input; key } -> open_sort catalog block env ~join ~input ~key
+       open_merge catalog block env ~compiled ~outer ~inner ~outer_col ~inner_col
+         ~residual)
+  | Plan.Sort { input; key } -> open_sort catalog block env ~compiled ~join ~input ~key
   | Plan.Filter { input; preds } ->
-    let inner = open_plan catalog block env ~join input in
+    let inner = open_plan catalog block env ~compiled ~join input in
     let layout = layout_of block input in
+    let keep = residual_filter ~compiled env layout preds in
     let rec pull () =
       match inner () with
       | None -> None
-      | Some tuple ->
-        if List.for_all (Eval.pred env { Eval.layout; tuple }) preds then Some tuple
-        else pull ()
+      | Some tuple -> if keep tuple then Some tuple else pull ()
     in
     pull
 
-and open_scan _catalog block env ~join ~tab ~access ~sargs ~residual =
+and open_scan _catalog block env ~compiled ~join ~tab ~access ~sargs ~residual =
   let tr = List.nth block.Semant.tables tab in
   let rel = tr.Semant.rel in
   let rel_id = rel.Catalog.rel_id in
   (* Factors compiled into RSS search arguments; any that fail to compile
      (a dynamic value unavailable in this context) fall back to residuals. *)
-  let compiled, fallback =
+  let compiled_sargs, fallback =
     List.fold_left
       (fun (sarg_acc, resid) p ->
         match Eval.compile_sarg env join ~tab p with
@@ -50,40 +63,66 @@ and open_scan _catalog block env ~join ~tab ~access ~sargs ~residual =
   let scan =
     match access with
     | Plan.Seg_scan ->
-      Rss.Scan.open_segment_scan rel.Catalog.segment ~rel_id ~sargs:compiled ()
+      Rss.Scan.open_segment_scan rel.Catalog.segment ~rel_id ~sargs:compiled_sargs ()
     | Plan.Idx_scan { index; lo; hi; dir; _ } ->
       let lo = Option.map (Eval.bound_key env join) lo in
       let hi = Option.map (Eval.bound_key env join) hi in
       let dir = match dir with Ast.Asc -> `Asc | Ast.Desc -> `Desc in
       Rss.Scan.open_index_scan rel.Catalog.segment ~rel_id ~index:index.Catalog.btree
-        ?lo ?hi ~dir ~sargs:compiled ()
+        ?lo ?hi ~dir ~sargs:compiled_sargs ()
   in
   let self_layout = Layout.of_tables block [ tab ] in
-  let combined_layout =
-    match join with
-    | Some f -> Layout.concat f.Eval.layout self_layout
-    | None -> self_layout
-  in
-  let rec pull () =
-    match Rss.Scan.next scan with
-    | None -> None
-    | Some (_tid, tuple) ->
-      let combined =
-        match join with
-        | Some f -> Rel.Tuple.concat f.Eval.tuple tuple
-        | None -> tuple
-      in
-      if
-        List.for_all
-          (Eval.pred env { Eval.layout = combined_layout; tuple = combined })
-          residual
-      then Some tuple
-      else pull ()
-  in
-  pull
+  match join with
+  | Some f when compiled ->
+    (* Pair-compiled residuals read the outer composite and the scanned tuple
+       directly — the combined tuple is never built (the scan's output is the
+       bare inner tuple). Subquery residuals still need a composite frame for
+       correlation, so they are materialized only when the plain conjuncts
+       already accepted the pair. *)
+    let plain, subq = List.partition (fun p -> not (Semant.pred_has_subquery p)) residual in
+    let keep_pair = Eval.compile_preds_pair env f.Eval.layout self_layout plain in
+    let keep_sub =
+      match subq with
+      | [] -> None
+      | _ ->
+        Some (Eval.compile_preds env (Layout.concat f.Eval.layout self_layout) subq)
+    in
+    let outer_tuple = f.Eval.tuple in
+    let rec pull () =
+      match Rss.Scan.next scan with
+      | None -> None
+      | Some (_tid, tuple) ->
+        if
+          keep_pair outer_tuple tuple
+          && (match keep_sub with
+              | None -> true
+              | Some k -> k (Rel.Tuple.concat outer_tuple tuple))
+        then Some tuple
+        else pull ()
+    in
+    pull
+  | _ ->
+    let combined_layout =
+      match join with
+      | Some f -> Layout.concat f.Eval.layout self_layout
+      | None -> self_layout
+    in
+    let keep = residual_filter ~compiled env combined_layout residual in
+    let rec pull () =
+      match Rss.Scan.next scan with
+      | None -> None
+      | Some (_tid, tuple) ->
+        let combined =
+          match join with
+          | Some f -> Rel.Tuple.concat f.Eval.tuple tuple
+          | None -> tuple
+        in
+        if keep combined then Some tuple else pull ()
+    in
+    pull
 
-and open_nl catalog block env ~outer ~inner =
-  let outer_cur = open_plan catalog block env ~join:None outer in
+and open_nl catalog block env ~compiled ~outer ~inner =
+  let outer_cur = open_plan catalog block env ~compiled ~join:None outer in
   let outer_layout = layout_of block outer in
   let state = ref None in
   let rec pull () =
@@ -99,20 +138,34 @@ and open_nl catalog block env ~outer ~inner =
        | None -> None
        | Some outer_tuple ->
          let jframe = { Eval.layout = outer_layout; tuple = outer_tuple } in
-         let inner_cur = open_plan catalog block env ~join:(Some jframe) inner in
+         let inner_cur =
+           open_plan catalog block env ~compiled ~join:(Some jframe) inner
+         in
          state := Some (outer_tuple, inner_cur);
          pull ())
   in
   pull
 
-and open_merge catalog block env ~outer ~inner ~outer_col ~inner_col ~residual =
-  let outer_cur = open_plan catalog block env ~join:None outer in
-  let inner_cur = open_plan catalog block env ~join:None inner in
+and open_merge catalog block env ~compiled ~outer ~inner ~outer_col ~inner_col
+    ~residual =
+  let outer_cur = open_plan catalog block env ~compiled ~join:None outer in
+  let inner_cur = open_plan catalog block env ~compiled ~join:None inner in
   let outer_layout = layout_of block outer in
   let inner_layout = layout_of block inner in
   let combined_layout = Layout.concat outer_layout inner_layout in
   let opos = Layout.pos outer_layout outer_col in
   let ipos = Layout.pos inner_layout inner_col in
+  (* Compiled mode checks residuals against the (outer, inner) pair before
+     building the output composite, so rejected pairs cost no concatenation;
+     subquery residuals (needing a composite frame) run after, on survivors.
+     Interpreted mode concatenates first, as the baseline always did. *)
+  let plain, subq =
+    if compiled then
+      List.partition (fun p -> not (Semant.pred_has_subquery p)) residual
+    else ([], residual)
+  in
+  let keep_pair = Eval.compile_preds_pair env outer_layout inner_layout plain in
+  let keep = residual_filter ~compiled env combined_layout subq in
   (* The inner scan is synchronized with the outer: the current group of
      equal-keyed inner tuples is remembered so equal consecutive outer keys
      rejoin it without rescanning ("remembering where matching join groups
@@ -172,12 +225,10 @@ and open_merge catalog block env ~outer ~inner ~outer_col ~inner_col ~residual =
     | Some outer_tuple when !group_idx < Array.length !group ->
       let inner_tuple = !group.(!group_idx) in
       incr group_idx;
-      let combined = Rel.Tuple.concat outer_tuple inner_tuple in
-      if
-        List.for_all
-          (Eval.pred env { Eval.layout = combined_layout; tuple = combined })
-          residual
-      then Some combined
+      if keep_pair outer_tuple inner_tuple then begin
+        let combined = Rel.Tuple.concat outer_tuple inner_tuple in
+        if keep combined then Some combined else pull ()
+      end
       else pull ()
     | _ ->
       (match outer_cur () with
@@ -199,8 +250,8 @@ and open_merge catalog block env ~outer ~inner ~outer_col ~inner_col ~residual =
   in
   pull
 
-and open_sort catalog block env ~join ~input ~key =
-  let input_cur = open_plan catalog block env ~join input in
+and open_sort catalog block env ~compiled ~join ~input ~key =
+  let input_cur = open_plan catalog block env ~compiled ~join input in
   let layout = layout_of block input in
   let sort_key =
     List.map
@@ -209,9 +260,10 @@ and open_sort catalog block env ~join ~input ~key =
           match d with Ast.Asc -> Rss.Sort.Asc | Ast.Desc -> Rss.Sort.Desc ))
       key
   in
+  let cmp = if compiled then Some (Eval.compile_cmp layout key) else None in
   let pager = Catalog.pager catalog in
   let seq = Seq.of_dispenser input_cur in
-  let sorted = Rss.Sort.sort pager ~key:sort_key seq in
+  let sorted = Rss.Sort.sort ?cmp pager ~key:sort_key seq in
   let out = ref (Rss.Temp_list.read sorted) in
   fun () ->
     match !out () with

@@ -6,7 +6,13 @@
     are re-opened per outer tuple with the outer composite as join context,
     turning dynamic index bounds and dynamically-bound SARGs into constants
     for that opening. All page fetches and RSI calls incurred flow through
-    the catalog's pager counters. *)
+    the catalog's pager counters.
+
+    By default, opening a node compiles its residual predicates and sort
+    comparator into position-resolved closures ({!Eval.compile_preds},
+    {!Eval.compile_cmp}) so the per-tuple path does no AST interpretation;
+    [~compiled:false] keeps the interpretive path — same semantics, used as
+    the baseline by the hot-path bench and the differential test. *)
 
 type t = unit -> Rel.Tuple.t option
 
@@ -14,6 +20,7 @@ val open_plan :
   Catalog.t ->
   Semant.block ->
   Eval.env ->
+  ?compiled:bool ->
   join:Eval.frame option ->
   Plan.t ->
   t

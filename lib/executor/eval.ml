@@ -9,6 +9,13 @@ type env = {
   subquery : env -> Semant.block -> Rel.Value.t list;
 }
 
+let arith_fn (op : Ast.arith) =
+  match op with
+  | Ast.Add -> Rel.Value.add
+  | Ast.Sub -> Rel.Value.sub
+  | Ast.Mul -> Rel.Value.mul
+  | Ast.Div -> Rel.Value.div
+
 let rec expr env frame (e : Semant.sexpr) =
   match e with
   | Semant.E_const v -> v
@@ -21,13 +28,7 @@ let rec expr env frame (e : Semant.sexpr) =
      | Some outer ->
        Rel.Tuple.get outer.tuple (Layout.pos outer.layout { Semant.tab; col })
      | None -> invalid_arg "Eval.expr: outer reference beyond block stack")
-  | Semant.E_binop (op, a, b) ->
-    let va = expr env frame a and vb = expr env frame b in
-    (match op with
-     | Ast.Add -> Rel.Value.add va vb
-     | Ast.Sub -> Rel.Value.sub va vb
-     | Ast.Mul -> Rel.Value.mul va vb
-     | Ast.Div -> Rel.Value.div va vb)
+  | Semant.E_binop (op, a, b) -> arith_fn op (expr env frame a) (expr env frame b)
   | Semant.E_agg _ -> invalid_arg "Eval.expr: aggregate outside Exec_agg"
 
 let cmp_op (c : Ast.comparison) =
@@ -98,6 +99,293 @@ let rec pred3 env frame (p : Semant.spred) : bool option =
   | Semant.P_not a -> not3 (pred3 env frame a)
 
 let pred env frame p = pred3 env frame p = Some true
+
+(* --- compiled evaluation ------------------------------------------------ *)
+
+(* Close an expression/predicate over its environment once, at plan-open
+   time: every Layout.pos lookup becomes a captured integer offset, every
+   parameter and outer-block reference a captured value, every operator a
+   direct function — the per-tuple path then runs zero AST traversal and
+   zero name resolution. Environment-dependent constants (params, outer
+   refs) are sound to bind at compile time because a cursor opening fixes
+   them: nested-loop inners are re-opened (hence re-compiled) per outer
+   tuple, and subquery plans per evaluation. Failures the interpreter would
+   raise per tuple (unbound parameter, outer ref beyond the stack) compile
+   to closures that raise when called, preserving behaviour on empty tuple
+   streams. *)
+
+let rec compile_expr env layout (e : Semant.sexpr) : Rel.Tuple.t -> Rel.Value.t =
+  match e with
+  | Semant.E_const v -> fun _ -> v
+  | Semant.E_param i ->
+    if i < Array.length env.params then
+      let v = env.params.(i) in
+      fun _ -> v
+    else fun _ -> invalid_arg (Printf.sprintf "Eval.expr: unbound parameter ?%d" i)
+  | Semant.E_col c ->
+    let p = Layout.pos layout c in
+    fun tuple -> Rel.Tuple.get tuple p
+  | Semant.E_outer { levels_up; tab; col } ->
+    (match List.nth_opt env.blocks (levels_up - 1) with
+     | Some outer ->
+       let v =
+         Rel.Tuple.get outer.tuple (Layout.pos outer.layout { Semant.tab; col })
+       in
+       fun _ -> v
+     | None -> fun _ -> invalid_arg "Eval.expr: outer reference beyond block stack")
+  | Semant.E_binop (op, a, b) ->
+    let fa = compile_expr env layout a and fb = compile_expr env layout b in
+    let f = arith_fn op in
+    fun tuple -> f (fa tuple) (fb tuple)
+  | Semant.E_agg _ -> fun _ -> invalid_arg "Eval.expr: aggregate outside Exec_agg"
+
+let rec compile_pred env layout (p : Semant.spred) : Rel.Tuple.t -> bool option =
+  match p with
+  | Semant.P_cmp (a, c, b) ->
+    let fa = compile_expr env layout a and fb = compile_expr env layout b in
+    let op = cmp_op c in
+    fun tuple -> cmp3 op (fa tuple) (fb tuple)
+  | Semant.P_between (e, lo, hi) ->
+    let fe = compile_expr env layout e in
+    let flo = compile_expr env layout lo and fhi = compile_expr env layout hi in
+    fun tuple ->
+      let v = fe tuple in
+      and3 (cmp3 Rss.Sarg.Ge v (flo tuple)) (cmp3 Rss.Sarg.Le v (fhi tuple))
+  | Semant.P_in_list (e, vs) ->
+    let fe = compile_expr env layout e in
+    let has_null = List.exists Rel.Value.is_null vs in
+    fun tuple ->
+      let v = fe tuple in
+      if Rel.Value.is_null v then None
+      else if List.exists (Rel.Value.equal v) vs then Some true
+      else if has_null then None
+      else Some false
+  | Semant.P_in_sub { e; block; negated } ->
+    let fe = compile_expr env layout e in
+    fun tuple ->
+      let v = fe tuple in
+      let base =
+        if Rel.Value.is_null v then None
+        else begin
+          let frame = { layout; tuple } in
+          let vs = env.subquery { env with blocks = frame :: env.blocks } block in
+          if List.exists (Rel.Value.equal v) vs then Some true
+          else if List.exists Rel.Value.is_null vs then None
+          else Some false
+        end
+      in
+      if negated then not3 base else base
+  | Semant.P_cmp_sub (e, c, block) ->
+    let fe = compile_expr env layout e in
+    let op = cmp_op c in
+    fun tuple ->
+      let v = fe tuple in
+      let frame = { layout; tuple } in
+      (match env.subquery { env with blocks = frame :: env.blocks } block with
+       | [] -> None
+       | [ sv ] -> cmp3 op v sv
+       | _ :: _ :: _ -> invalid_arg "scalar subquery returned more than one value")
+  | Semant.P_and (a, b) ->
+    let fa = compile_pred env layout a and fb = compile_pred env layout b in
+    fun tuple -> and3 (fa tuple) (fb tuple)
+  | Semant.P_or (a, b) ->
+    let fa = compile_pred env layout a and fb = compile_pred env layout b in
+    fun tuple -> or3 (fa tuple) (fb tuple)
+  | Semant.P_not a ->
+    let fa = compile_pred env layout a in
+    fun tuple -> not3 (fa tuple)
+
+let is_true = function Some true -> true | Some false | None -> false
+
+(* --- pair-compiled evaluation ------------------------------------------- *)
+
+(* Join residuals are conjuncts over an (outer composite, inner tuple) pair.
+   Interpreted evaluation must concatenate the pair into one composite before
+   each check — an allocation per candidate pair, mostly thrown away when the
+   residual rejects. The pair-compiled forms resolve each column reference to
+   (side, offset) at compile time and read the two tuples directly, so the
+   concatenation happens only for surviving pairs (or never, when the join
+   output is the bare inner tuple). Subquery predicates need a real composite
+   frame for correlation and are not pair-compilable — callers partition on
+   [Semant.pred_has_subquery] and route them through {!compile_pred}. *)
+
+let rec compile_expr_pair env left right (e : Semant.sexpr) :
+    Rel.Tuple.t -> Rel.Tuple.t -> Rel.Value.t =
+  match e with
+  | Semant.E_const v -> fun _ _ -> v
+  | Semant.E_param i ->
+    if i < Array.length env.params then
+      let v = env.params.(i) in
+      fun _ _ -> v
+    else
+      fun _ _ -> invalid_arg (Printf.sprintf "Eval.expr: unbound parameter ?%d" i)
+  | Semant.E_col c ->
+    if Layout.mem left c.Semant.tab then
+      let p = Layout.pos left c in
+      fun a _ -> Rel.Tuple.get a p
+    else
+      let p = Layout.pos right c in
+      fun _ b -> Rel.Tuple.get b p
+  | Semant.E_outer { levels_up; tab; col } ->
+    (match List.nth_opt env.blocks (levels_up - 1) with
+     | Some outer ->
+       let v =
+         Rel.Tuple.get outer.tuple (Layout.pos outer.layout { Semant.tab; col })
+       in
+       fun _ _ -> v
+     | None ->
+       fun _ _ -> invalid_arg "Eval.expr: outer reference beyond block stack")
+  | Semant.E_binop (op, a, b) ->
+    let fa = compile_expr_pair env left right a in
+    let fb = compile_expr_pair env left right b in
+    let f = arith_fn op in
+    fun a b -> f (fa a b) (fb a b)
+  | Semant.E_agg _ -> fun _ _ -> invalid_arg "Eval.expr: aggregate outside Exec_agg"
+
+(* Boolean-context compilation. A WHERE keeps a row iff the predicate
+   evaluates to [Some true], so conjuncts never need the three-valued result
+   materialized at every node: [compile_true_pair p] answers "does p evaluate
+   to true" and its dual [compile_false_pair p] "does p evaluate to false".
+   NOT swaps the two questions; AND/OR distribute over them by Kleene's
+   tables (and3 is true iff both operands are true, false iff either is;
+   dually for or3). NULL tests inline, so the per-tuple path allocates
+   nothing — no option cells, no frames. Unlike the three-valued forms, the
+   boolean forms may skip an operand once the answer is decided; expression
+   evaluation is pure, so this is unobservable in results (the RSS's sargs
+   already skip residual evaluation wholesale for non-qualifying tuples). *)
+
+let rec compile_true_pair env left right (p : Semant.spred) :
+    Rel.Tuple.t -> Rel.Tuple.t -> bool =
+  match p with
+  | Semant.P_cmp (a, c, b) ->
+    let fa = compile_expr_pair env left right a in
+    let fb = compile_expr_pair env left right b in
+    let op = cmp_op c in
+    fun a b ->
+      let va = fa a b in
+      (not (Rel.Value.is_null va))
+      &&
+      let vb = fb a b in
+      (not (Rel.Value.is_null vb)) && Rss.Sarg.eval_op op va vb
+  | Semant.P_between (e, lo, hi) ->
+    let fe = compile_expr_pair env left right e in
+    let flo = compile_expr_pair env left right lo in
+    let fhi = compile_expr_pair env left right hi in
+    fun a b ->
+      let v = fe a b in
+      (not (Rel.Value.is_null v))
+      && (let l = flo a b in
+          (not (Rel.Value.is_null l)) && Rel.Value.compare v l >= 0)
+      && (let h = fhi a b in
+          (not (Rel.Value.is_null h)) && Rel.Value.compare v h <= 0)
+  | Semant.P_in_list (e, vs) ->
+    let fe = compile_expr_pair env left right e in
+    fun a b ->
+      let v = fe a b in
+      (not (Rel.Value.is_null v)) && List.exists (Rel.Value.equal v) vs
+  | Semant.P_in_sub _ | Semant.P_cmp_sub _ ->
+    invalid_arg "Eval.compile_true_pair: subquery predicate (needs a composite)"
+  | Semant.P_and (a, b) ->
+    let fa = compile_true_pair env left right a in
+    let fb = compile_true_pair env left right b in
+    fun a b -> fa a b && fb a b
+  | Semant.P_or (a, b) ->
+    let fa = compile_true_pair env left right a in
+    let fb = compile_true_pair env left right b in
+    fun a b -> fa a b || fb a b
+  | Semant.P_not a -> compile_false_pair env left right a
+
+and compile_false_pair env left right (p : Semant.spred) :
+    Rel.Tuple.t -> Rel.Tuple.t -> bool =
+  match p with
+  | Semant.P_cmp (a, c, b) ->
+    let fa = compile_expr_pair env left right a in
+    let fb = compile_expr_pair env left right b in
+    let op = cmp_op c in
+    fun a b ->
+      let va = fa a b in
+      (not (Rel.Value.is_null va))
+      &&
+      let vb = fb a b in
+      (not (Rel.Value.is_null vb)) && not (Rss.Sarg.eval_op op va vb)
+  | Semant.P_between (e, lo, hi) ->
+    (* false iff either bound comparison is false — a NULL on the other
+       bound cannot rescue it (and3 with None is still Some false) *)
+    let fe = compile_expr_pair env left right e in
+    let flo = compile_expr_pair env left right lo in
+    let fhi = compile_expr_pair env left right hi in
+    fun a b ->
+      let v = fe a b in
+      (not (Rel.Value.is_null v))
+      && ((let l = flo a b in
+           (not (Rel.Value.is_null l)) && Rel.Value.compare v l < 0)
+          || (let h = fhi a b in
+              (not (Rel.Value.is_null h)) && Rel.Value.compare v h > 0))
+  | Semant.P_in_list (e, vs) ->
+    let fe = compile_expr_pair env left right e in
+    let has_null = List.exists Rel.Value.is_null vs in
+    fun a b ->
+      let v = fe a b in
+      (not (Rel.Value.is_null v))
+      && (not has_null)
+      && not (List.exists (Rel.Value.equal v) vs)
+  | Semant.P_in_sub _ | Semant.P_cmp_sub _ ->
+    invalid_arg "Eval.compile_false_pair: subquery predicate (needs a composite)"
+  | Semant.P_and (a, b) ->
+    let fa = compile_false_pair env left right a in
+    let fb = compile_false_pair env left right b in
+    fun a b -> fa a b || fb a b
+  | Semant.P_or (a, b) ->
+    let fa = compile_false_pair env left right a in
+    let fb = compile_false_pair env left right b in
+    fun a b -> fa a b && fb a b
+  | Semant.P_not a -> compile_true_pair env left right a
+
+let compile_preds_pair env left right preds : Rel.Tuple.t -> Rel.Tuple.t -> bool =
+  match List.map (compile_true_pair env left right) preds with
+  | [] -> fun _ _ -> true
+  | f :: fs -> List.fold_left (fun acc f a b -> acc a b && f a b) f fs
+
+(* Single-tuple conjunction: subquery predicates take the exact three-valued
+   path (they need a frame for correlation anyway); everything else reuses
+   the boolean-context pair compiler with an empty left side. *)
+let compile_preds env layout preds : Rel.Tuple.t -> bool =
+  let no_tuple = Rel.Tuple.make [] in
+  let fs =
+    List.map
+      (fun p ->
+        if Semant.pred_has_subquery p then
+          let f = compile_pred env layout p in
+          fun tuple -> is_true (f tuple)
+        else
+          let f = compile_true_pair env Layout.empty layout p in
+          fun tuple -> f no_tuple tuple)
+      preds
+  in
+  match fs with
+  | [] -> fun _ -> true
+  | f :: fs -> List.fold_left (fun acc f tuple -> acc tuple && f tuple) f fs
+
+let compile_cmp_pos (key : (int * Ast.order_dir) list) :
+    Rel.Tuple.t -> Rel.Tuple.t -> int =
+  match key with
+  | [ (p, Ast.Asc) ] ->
+    fun a b -> Rel.Value.compare (Rel.Tuple.get a p) (Rel.Tuple.get b p)
+  | [ (p, Ast.Desc) ] ->
+    fun a b -> Rel.Value.compare (Rel.Tuple.get b p) (Rel.Tuple.get a p)
+  | key ->
+    fun a b ->
+      let rec go = function
+        | [] -> 0
+        | (p, d) :: rest ->
+          let c = Rel.Value.compare (Rel.Tuple.get a p) (Rel.Tuple.get b p) in
+          let c = match d with Ast.Asc -> c | Ast.Desc -> -c in
+          if c <> 0 then c else go rest
+      in
+      go key
+
+let compile_cmp layout (key : (Semant.col_ref * Ast.order_dir) list) =
+  compile_cmp_pos (List.map (fun (c, d) -> (Layout.pos layout c, d)) key)
 
 (* --- SARG compilation -------------------------------------------------- *)
 

@@ -24,11 +24,78 @@ type env = {
           environment current at the call *)
 }
 
+val arith_fn : Ast.arith -> Rel.Value.t -> Rel.Value.t -> Rel.Value.t
+
 val expr : env -> frame -> Semant.sexpr -> Rel.Value.t
 (** @raise Invalid_argument on an aggregate (those are computed by
     {!Exec_agg}, never inline). *)
 
 val pred : env -> frame -> Semant.spred -> bool
+
+(** {2 Compiled evaluation}
+
+    The interpretive functions above re-walk the AST and re-resolve every
+    column reference per tuple. The [compile_*] family instead closes an
+    expression/predicate over its environment once, at plan-open time: column
+    references become captured integer offsets, parameters and outer-block
+    references captured values, operators direct functions. The returned
+    closures perform zero AST traversal and zero name resolution per tuple
+    while preserving three-valued NULL semantics exactly (see DESIGN.md,
+    "Compiled evaluation"). Binding environment-dependent values at compile
+    time is sound because a cursor opening fixes them: nested-loop inners are
+    re-opened (hence re-compiled) per outer tuple, subquery plans per
+    evaluation. *)
+
+val compile_expr : env -> Layout.t -> Semant.sexpr -> Rel.Tuple.t -> Rel.Value.t
+(** @raise Not_found at compile time when a column is not in the layout. *)
+
+val compile_pred : env -> Layout.t -> Semant.spred -> Rel.Tuple.t -> bool option
+(** Three-valued result, exactly as the interpreter's internal [pred3]. *)
+
+val compile_preds : env -> Layout.t -> Semant.spred list -> Rel.Tuple.t -> bool
+(** Conjunction of compiled predicates; [true] iff every one evaluates to
+    true. Non-subquery conjuncts are compiled in boolean context — the
+    closure decides "does this evaluate to true" directly, with NULL tests
+    inlined and no three-valued result materialized — and may short-circuit
+    an operand once the answer is decided (expression evaluation is pure, so
+    results are unaffected). Subquery conjuncts keep the exact three-valued
+    path of {!compile_pred}. *)
+
+val compile_expr_pair :
+  env ->
+  Layout.t ->
+  Layout.t ->
+  Semant.sexpr ->
+  Rel.Tuple.t ->
+  Rel.Tuple.t ->
+  Rel.Value.t
+(** Like {!compile_expr} but over an uncombined (left, right) tuple pair —
+    each column reference resolves to (side, offset) at compile time, so join
+    residuals evaluate without first concatenating the composite. *)
+
+val compile_preds_pair :
+  env ->
+  Layout.t ->
+  Layout.t ->
+  Semant.spred list ->
+  Rel.Tuple.t ->
+  Rel.Tuple.t ->
+  bool
+(** Boolean-context conjunction over the pair, as {!compile_preds}.
+    @raise Invalid_argument (at compile time) on subquery predicates — those
+    need a composite frame for correlation; partition on
+    {!Semant.pred_has_subquery} and route them through {!compile_pred}. *)
+
+val compile_cmp_pos :
+  (int * Ast.order_dir) list -> Rel.Tuple.t -> Rel.Tuple.t -> int
+(** Lexicographic comparator over resolved positions (sort keys, ORDER BY). *)
+
+val compile_cmp :
+  Layout.t ->
+  (Semant.col_ref * Ast.order_dir) list ->
+  Rel.Tuple.t ->
+  Rel.Tuple.t ->
+  int
 
 val compile_sarg :
   env -> frame option -> tab:int -> Semant.spred -> Rss.Sarg.t option

@@ -1,16 +1,15 @@
 (* Evaluate a select expression over a set of tuples, computing aggregate
    subexpressions over the set and everything else on a representative tuple
    (valid because non-aggregate parts are grouping columns or constants,
-   enforced by Semant). *)
+   enforced by Semant).
 
-let eval_agg env layout (f : Ast.agg_fn) inner tuples =
-  let values =
-    List.filter_map
-      (fun tuple ->
-        let v = Eval.expr env { Eval.layout; tuple } inner in
-        if Rel.Value.is_null v then None else Some v)
-      tuples
-  in
+   Two evaluation modes: the compiled one (default) closes each select
+   expression over the layout once — aggregate arguments, grouping keys and
+   representative-tuple parts all become position-resolved closures applied
+   per tuple/group — while the interpreted one re-walks the AST each time
+   (kept as the measurable baseline). *)
+
+let combine_agg (f : Ast.agg_fn) values =
   match f, values with
   | Ast.Count, vs -> Rel.Value.Int (List.length vs)
   | (Ast.Avg | Ast.Sum | Ast.Min | Ast.Max), [] -> Rel.Value.Null
@@ -26,39 +25,77 @@ let eval_agg env layout (f : Ast.agg_fn) inner tuples =
   | Ast.Max, v :: vs ->
     List.fold_left (fun a b -> if Rel.Value.compare b a > 0 then b else a) v vs
 
+let non_null_values per_tuple tuples =
+  List.filter_map
+    (fun tuple ->
+      let v = per_tuple tuple in
+      if Rel.Value.is_null v then None else Some v)
+    tuples
+
+let eval_agg env layout (f : Ast.agg_fn) inner tuples =
+  combine_agg f
+    (non_null_values (fun tuple -> Eval.expr env { Eval.layout; tuple } inner) tuples)
+
 let rec eval_over env layout (e : Semant.sexpr) tuples rep =
   match e with
   | Semant.E_agg (f, inner) -> eval_agg env layout f inner tuples
   | Semant.E_binop (op, a, b) ->
-    let va = eval_over env layout a tuples rep in
-    let vb = eval_over env layout b tuples rep in
-    (match op with
-     | Ast.Add -> Rel.Value.add va vb
-     | Ast.Sub -> Rel.Value.sub va vb
-     | Ast.Mul -> Rel.Value.mul va vb
-     | Ast.Div -> Rel.Value.div va vb)
+    Eval.arith_fn op (eval_over env layout a tuples rep)
+      (eval_over env layout b tuples rep)
   | Semant.E_col _ | Semant.E_outer _ | Semant.E_const _ | Semant.E_param _ ->
     (match rep with
      | Some tuple -> Eval.expr env { Eval.layout; tuple } e
      | None -> Rel.Value.Null)
 
-let project env layout (block : Semant.block) tuples =
-  List.map
-    (fun tuple ->
-      Array.of_list
-        (List.map
-           (fun (e, _) -> Eval.expr env { Eval.layout; tuple } e)
-           block.Semant.select))
-    tuples
+(* Compiled counterpart of [eval_over]: a closure from (group, representative)
+   to the output value, with every per-tuple subexpression pre-compiled. *)
+let rec compile_over env layout (e : Semant.sexpr) :
+    Rel.Tuple.t list -> Rel.Tuple.t option -> Rel.Value.t =
+  match e with
+  | Semant.E_agg (f, inner) ->
+    let fi = Eval.compile_expr env layout inner in
+    fun tuples _rep -> combine_agg f (non_null_values fi tuples)
+  | Semant.E_binop (op, a, b) ->
+    let fa = compile_over env layout a and fb = compile_over env layout b in
+    let f = Eval.arith_fn op in
+    fun tuples rep -> f (fa tuples rep) (fb tuples rep)
+  | Semant.E_col _ | Semant.E_outer _ | Semant.E_const _ | Semant.E_param _ ->
+    let fe = Eval.compile_expr env layout e in
+    fun _tuples rep ->
+      (match rep with Some tuple -> fe tuple | None -> Rel.Value.Null)
+
+let project ?(compiled = true) env layout (block : Semant.block) tuples =
+  if compiled then begin
+    let fs = List.map (fun (e, _) -> Eval.compile_expr env layout e) block.Semant.select in
+    List.map (fun tuple -> Array.of_list (List.map (fun f -> f tuple) fs)) tuples
+  end
+  else
+    List.map
+      (fun tuple ->
+        Array.of_list
+          (List.map
+             (fun (e, _) -> Eval.expr env { Eval.layout; tuple } e)
+             block.Semant.select))
+      tuples
 
 let row_over env layout (block : Semant.block) tuples =
   let rep = match tuples with [] -> None | t :: _ -> Some t in
   Array.of_list
     (List.map (fun (e, _) -> eval_over env layout e tuples rep) block.Semant.select)
 
-let scalar_aggregate env layout block tuples = row_over env layout block tuples
+let compiled_rows env layout (block : Semant.block) groups =
+  let fs = List.map (fun (e, _) -> compile_over env layout e) block.Semant.select in
+  List.map
+    (fun tuples ->
+      let rep = match tuples with [] -> None | t :: _ -> Some t in
+      Array.of_list (List.map (fun f -> f tuples rep) fs))
+    groups
 
-let group_aggregate env layout (block : Semant.block) tuples =
+let scalar_aggregate ?(compiled = true) env layout block tuples =
+  if compiled then List.hd (compiled_rows env layout block [ tuples ])
+  else row_over env layout block tuples
+
+let group_aggregate ?(compiled = true) env layout (block : Semant.block) tuples =
   let key_pos = List.map (Layout.pos layout) block.Semant.group_by in
   let same a b = Rel.Tuple.compare_on key_pos a b = 0 in
   let rec groups acc current = function
@@ -69,4 +106,6 @@ let group_aggregate env layout (block : Semant.block) tuples =
        | c :: _ when same c t -> groups acc (t :: current) rest
        | _ -> groups (List.rev current :: acc) [ t ] rest)
   in
-  List.map (row_over env layout block) (groups [] [] tuples)
+  let gs = groups [] [] tuples in
+  if compiled then compiled_rows env layout block gs
+  else List.map (row_over env layout block) gs

@@ -2,17 +2,37 @@
 
     Handles the three result shapes: plain projection, scalar aggregates
     (single row, as required of subqueries like SELECT AVG(SALARY)), and
-    GROUP BY over group-ordered input. *)
+    GROUP BY over group-ordered input.
+
+    [compiled] (default true) closes the select list over the layout once and
+    applies the resulting closures per tuple/group; [~compiled:false] keeps
+    the per-tuple AST interpretation as the measurable baseline. Both modes
+    produce identical results. *)
 
 val project :
-  Eval.env -> Layout.t -> Semant.block -> Rel.Tuple.t list -> Rel.Tuple.t list
+  ?compiled:bool ->
+  Eval.env ->
+  Layout.t ->
+  Semant.block ->
+  Rel.Tuple.t list ->
+  Rel.Tuple.t list
 (** Evaluate the select list per tuple (no aggregates). *)
 
 val scalar_aggregate :
-  Eval.env -> Layout.t -> Semant.block -> Rel.Tuple.t list -> Rel.Tuple.t
+  ?compiled:bool ->
+  Eval.env ->
+  Layout.t ->
+  Semant.block ->
+  Rel.Tuple.t list ->
+  Rel.Tuple.t
 (** One output row; aggregates over the whole input (COUNT of empty input is
     0, other aggregates NULL). *)
 
 val group_aggregate :
-  Eval.env -> Layout.t -> Semant.block -> Rel.Tuple.t list -> Rel.Tuple.t list
+  ?compiled:bool ->
+  Eval.env ->
+  Layout.t ->
+  Semant.block ->
+  Rel.Tuple.t list ->
+  Rel.Tuple.t list
 (** Input must arrive ordered on the GROUP BY columns; one row per group. *)

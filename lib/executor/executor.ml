@@ -11,6 +11,10 @@ type stats = {
 type state = {
   catalog : Catalog.t;
   use_cache : bool;
+  compiled : bool;
+      (* compile predicates/expressions/comparators into position-resolved
+         closures at plan-open time (default); false keeps the per-tuple AST
+         interpreter as a measurable baseline *)
   params : Rel.Value.t array;
   stats : stats;
   caches : (Semant.block * (Rel.Value.t list, Rel.Value.t list) Hashtbl.t) list ref;
@@ -83,12 +87,16 @@ let rec run_block st (r : Optimizer.result) (blocks_stack : Eval.frame list) =
       params = st.params;
       subquery = (fun env b -> eval_subquery st r env b) }
   in
-  let cur = Cursor.open_plan st.catalog block env ~join:None r.Optimizer.plan in
+  let compiled = st.compiled in
+  let cur =
+    Cursor.open_plan st.catalog block env ~compiled ~join:None r.Optimizer.plan
+  in
   let tuples = Cursor.drain cur in
   let layout = Cursor.layout_of block r.Optimizer.plan in
-  if block.Semant.scalar_agg then [ Exec_agg.scalar_aggregate env layout block tuples ]
+  if block.Semant.scalar_agg then
+    [ Exec_agg.scalar_aggregate ~compiled env layout block tuples ]
   else if block.Semant.group_by <> [] then begin
-    let rows = Exec_agg.group_aggregate env layout block tuples in
+    let rows = Exec_agg.group_aggregate ~compiled env layout block tuples in
     match block.Semant.order_by with
     | [] -> rows
     | obs ->
@@ -106,19 +114,21 @@ let rec run_block st (r : Optimizer.result) (blocks_stack : Eval.frame list) =
         find 0 block.Semant.select
       in
       let keys = List.map (fun (c, d) -> (pos_of c, d)) obs in
-      let compare_rows a b =
-        let rec go = function
-          | [] -> 0
-          | (p, d) :: rest ->
-            let cmp = Rel.Value.compare (Rel.Tuple.get a p) (Rel.Tuple.get b p) in
-            let cmp = match d with Ast.Asc -> cmp | Ast.Desc -> -cmp in
-            if cmp <> 0 then cmp else go rest
-        in
-        go keys
+      let compare_rows =
+        if compiled then Eval.compile_cmp_pos keys
+        else fun a b ->
+          let rec go = function
+            | [] -> 0
+            | (p, d) :: rest ->
+              let cmp = Rel.Value.compare (Rel.Tuple.get a p) (Rel.Tuple.get b p) in
+              let cmp = match d with Ast.Asc -> cmp | Ast.Desc -> -cmp in
+              if cmp <> 0 then cmp else go rest
+          in
+          go keys
       in
       List.stable_sort compare_rows rows
   end
-  else Exec_agg.project env layout block tuples
+  else Exec_agg.project ~compiled env layout block tuples
 
 and eval_subquery st (parent : Optimizer.result) (env : Eval.env) block =
   st.stats.subquery_calls <- st.stats.subquery_calls + 1;
@@ -141,11 +151,12 @@ and eval_subquery st (parent : Optimizer.result) (env : Eval.env) block =
     if st.use_cache then Hashtbl.replace tbl key vs;
     vs
 
-let run_with_stats ?(use_subquery_cache = true) ?(params = [||]) catalog
-    (r : Optimizer.result) =
+let run_with_stats ?(use_subquery_cache = true) ?(compiled = true) ?(params = [||])
+    catalog (r : Optimizer.result) =
   let st =
     { catalog;
       use_cache = use_subquery_cache;
+      compiled;
       params;
       stats = { subquery_calls = 0; subquery_evals = 0 };
       caches = ref [] }
@@ -154,12 +165,12 @@ let run_with_stats ?(use_subquery_cache = true) ?(params = [||]) catalog
   let columns = List.map snd r.Optimizer.block.Semant.select in
   ({ columns; rows }, st.stats)
 
-let run ?use_subquery_cache ?params catalog r =
-  fst (run_with_stats ?use_subquery_cache ?params catalog r)
+let run ?use_subquery_cache ?compiled ?params catalog r =
+  fst (run_with_stats ?use_subquery_cache ?compiled ?params catalog r)
 
-let run_measured ?use_subquery_cache ?params catalog r =
+let run_measured ?use_subquery_cache ?compiled ?params catalog r =
   let counters = Rss.Pager.counters (Catalog.pager catalog) in
   let before = Rss.Counters.snapshot counters in
-  let out = run ?use_subquery_cache ?params catalog r in
+  let out = run ?use_subquery_cache ?compiled ?params catalog r in
   let after = Rss.Counters.snapshot counters in
   (out, Rss.Counters.diff ~after ~before)

@@ -21,15 +21,23 @@ type stats = {
 
 val run :
   ?use_subquery_cache:bool ->
+  ?compiled:bool ->
   ?params:Rel.Value.t array ->
   Catalog.t ->
   Optimizer.result ->
   output
-(** @raise Invalid_argument when a scalar subquery returns several rows or an
+(** [compiled] (default true) selects closure-compiled evaluation: residual
+    predicates, select expressions, grouping keys and ORDER BY comparators
+    are closed into position-resolved closures at plan-open time (see
+    DESIGN.md, "Compiled evaluation"). [~compiled:false] runs the per-tuple
+    AST interpreter — identical semantics, used as the baseline by the
+    hot-path bench and differential test.
+    @raise Invalid_argument when a scalar subquery returns several rows or an
     ORDER BY column of a grouped query is absent from its select list. *)
 
 val run_with_stats :
   ?use_subquery_cache:bool ->
+  ?compiled:bool ->
   ?params:Rel.Value.t array ->
   Catalog.t ->
   Optimizer.result ->
@@ -37,6 +45,7 @@ val run_with_stats :
 
 val run_measured :
   ?use_subquery_cache:bool ->
+  ?compiled:bool ->
   ?params:Rel.Value.t array ->
   Catalog.t ->
   Optimizer.result ->

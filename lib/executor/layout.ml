@@ -1,37 +1,53 @@
+(* The offset table is dense: [offsets.(tab)] is the composite offset of FROM
+   position [tab], or -1 when the table is not part of this layout. Layouts
+   are built once per plan opening while [pos] runs on the per-tuple path, so
+   resolution must be O(1). *)
 type t = {
-  offsets : (int * int) list;  (* FROM position -> offset, in layout order *)
+  order : int list;    (* FROM positions in layout order *)
+  offsets : int array; (* indexed by FROM position; -1 = absent *)
   width : int;
 }
 
-let empty = { offsets = []; width = 0 }
+let empty = { order = []; offsets = [||]; width = 0 }
 
 let table_width (block : Semant.block) tab =
   let tr = List.nth block.Semant.tables tab in
   Rel.Schema.arity tr.Semant.rel.Catalog.schema
 
+let of_assoc order pairs width =
+  let size = List.fold_left (fun acc (tab, _) -> max acc (tab + 1)) 0 pairs in
+  let offsets = Array.make size (-1) in
+  List.iter (fun (tab, off) -> offsets.(tab) <- off) pairs;
+  { order; offsets; width }
+
 let of_tables block tabs =
-  let offsets, width =
+  let pairs, width =
     List.fold_left
       (fun (acc, off) tab -> ((tab, off) :: acc, off + table_width block tab))
       ([], 0) tabs
   in
-  { offsets = List.rev offsets; width }
+  of_assoc tabs (List.rev pairs) width
+
+let mem t tab = tab < Array.length t.offsets && t.offsets.(tab) >= 0
 
 let concat a b =
   List.iter
-    (fun (tab, _) ->
-      if List.mem_assoc tab a.offsets then
+    (fun tab ->
+      if mem a tab then
         invalid_arg (Printf.sprintf "Layout.concat: table %d on both sides" tab))
-    b.offsets;
-  { offsets = a.offsets @ List.map (fun (t, o) -> (t, o + a.width)) b.offsets;
-    width = a.width + b.width }
+    b.order;
+  let pairs =
+    List.map (fun tab -> (tab, a.offsets.(tab))) a.order
+    @ List.map (fun tab -> (tab, b.offsets.(tab) + a.width)) b.order
+  in
+  of_assoc (a.order @ b.order) pairs (a.width + b.width)
 
 let width t = t.width
-let mem t tab = List.mem_assoc tab t.offsets
 
 let pos t (c : Semant.col_ref) =
-  match List.assoc_opt c.tab t.offsets with
-  | Some off -> off + c.col
-  | None -> raise Not_found
+  if c.tab >= Array.length t.offsets then raise Not_found
+  else
+    let off = Array.unsafe_get t.offsets c.tab in
+    if off < 0 then raise Not_found else off + c.col
 
-let tables t = List.map fst t.offsets
+let tables t = t.order

@@ -2,7 +2,9 @@
 
     A join composite concatenates the tuples of the joined relations in plan
     order; a layout maps a block's FROM position to its offset within the
-    composite so resolved column references (tab, col) become positions. *)
+    composite so resolved column references (tab, col) become positions.
+    Internally the mapping is a dense int array indexed by FROM position, so
+    {!pos} is O(1) — it sits on the executor's per-tuple path. *)
 
 type t
 

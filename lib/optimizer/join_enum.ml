@@ -159,9 +159,9 @@ let merge_join s ~outer ~inner ~outer_col ~inner_col ~merge_factor ~others =
       cost;
       out_card }
 
-(* Extensions of [mask]'s solutions by joining in relation [j]. *)
-let extend s ~mask ~j =
-  let mask_tabs = mask_tables mask in
+(* Extensions of [mask]'s solutions by joining in relation [j]. [mask_tabs]
+   is [mask_tables mask], computed once by the driver and shared. *)
+let extend s ~mask ~mask_tabs ~j =
   let outer_plans = Option.value (Hashtbl.find_opt s.solutions mask) ~default:[] in
   if outer_plans = [] then []
   else begin
@@ -178,6 +178,17 @@ let extend s ~mask ~j =
     in
     (* Merging scans: one per applicable equi-join factor. *)
     let cross = cross_factors s ~j ~outer_tabs:mask_tabs in
+    (* local-only inner paths: the merge scans the inner on its own. The set
+       depends only on [j], not on the factor, so enumerate it once and share
+       it across every equi-join factor of this extension. *)
+    let local_inner =
+      lazy
+        (let ps =
+           Access_path.paths s.ctx s.block ~factors:s.factors ~tab:j ~outer:[]
+         in
+         List.iter (fun p -> ignore (note s p)) ps;
+         ps)
+    in
     let merge =
       List.concat_map
         (fun (f : Normalize.factor) ->
@@ -188,11 +199,7 @@ let extend s ~mask ~j =
             let inner_col, outer_col = if a.Semant.tab = j then (a, b) else (b, a) in
             let others = List.filter (fun g -> g != f) cross in
             let inner_order = [ (inner_col, Ast.Asc) ] in
-            (* local-only inner paths: the merge scans the inner on its own *)
-            let local_inner =
-              Access_path.paths s.ctx s.block ~factors:s.factors ~tab:j ~outer:[]
-            in
-            List.iter (fun p -> ignore (note s p)) local_inner;
+            let local_inner = Lazy.force local_inner in
             let ordered_inners =
               List.filter
                 (fun (p : Plan.t) ->
@@ -271,7 +278,7 @@ let plan_block ctx block ?required ~factors ~env () =
         in
         List.iter
           (fun j ->
-            let exts = extend s ~mask ~j in
+            let exts = extend s ~mask ~mask_tabs ~j in
             let key = mask lor (1 lsl j) in
             let prev = Option.value (Hashtbl.find_opt acc key) ~default:[] in
             Hashtbl.replace acc key (exts @ prev))

@@ -12,7 +12,7 @@ let compare_tuples key a b =
   go key
 
 (* Stable in-memory sort of one run. *)
-let sort_run key tuples = List.stable_sort (compare_tuples key) tuples
+let sort_run cmp tuples = List.stable_sort cmp tuples
 
 let approx_tuple_bytes = 4
 
@@ -27,30 +27,31 @@ let take_run ~bytes_budget seq =
   in
   go [] 0 seq
 
-let merge_two key a b =
+let merge_two cmp a b =
   let rec go a b () =
     match a (), b () with
     | Seq.Nil, r -> r
     | l, Seq.Nil -> l
     | Seq.Cons (x, a') as l, (Seq.Cons (y, b') as r) ->
-      if compare_tuples key x y <= 0 then Seq.Cons (x, go a' (fun () -> r))
+      if cmp x y <= 0 then Seq.Cons (x, go a' (fun () -> r))
       else Seq.Cons (y, go (fun () -> l) b')
   in
   go a b
 
 (* K-way merge built as a balanced tree of 2-way merges; stability holds
    because earlier runs win ties. *)
-let rec merge_many key = function
+let rec merge_many cmp = function
   | [] -> Seq.empty
   | [ s ] -> s
   | ss ->
     let rec pair = function
-      | a :: b :: rest -> merge_two key a b :: pair rest
+      | a :: b :: rest -> merge_two cmp a b :: pair rest
       | rest -> rest
     in
-    merge_many key (pair ss)
+    merge_many cmp (pair ss)
 
-let sort ?run_pages ?fan_in pager ~key seq =
+let sort ?run_pages ?fan_in ?cmp pager ~key seq =
+  let cmp = match cmp with Some c -> c | None -> compare_tuples key in
   let buffer = Pager.buffer_pages pager in
   let run_pages = Option.value run_pages ~default:(max 1 buffer) in
   let fan_in = max 2 (Option.value fan_in ~default:(max 2 (buffer - 1))) in
@@ -60,7 +61,7 @@ let sort ?run_pages ?fan_in pager ~key seq =
     match run with
     | [] -> List.rev acc
     | _ ->
-      let sorted = sort_run key run in
+      let sorted = sort_run cmp run in
       let tl = Temp_list.of_seq pager (List.to_seq sorted) in
       make_runs (tl :: acc) rest
   in
@@ -84,7 +85,7 @@ let sort ?run_pages ?fan_in pager ~key seq =
             | [ tl ] -> tl
             | _ ->
               let inputs = List.map Temp_list.read group in
-              Temp_list.of_seq pager (merge_many key inputs))
+              Temp_list.of_seq pager (merge_many cmp inputs))
           groups
       in
       merge_phase merged

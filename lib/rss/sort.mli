@@ -20,13 +20,17 @@ val compare_tuples : key -> Rel.Tuple.t -> Rel.Tuple.t -> int
 val sort :
   ?run_pages:int ->
   ?fan_in:int ->
+  ?cmp:(Rel.Tuple.t -> Rel.Tuple.t -> int) ->
   Pager.t ->
   key:key ->
   Rel.Tuple.t Seq.t ->
   Temp_list.t
 (** [run_pages] is the in-memory run size in pages (default: the pager's
     buffer size); [fan_in] the merge width (default: buffer size - 1). The
-    sort is stable. *)
+    sort is stable. [cmp] overrides the comparator (default:
+    [compare_tuples key]) — the executor passes a position-resolved compiled
+    comparator so the per-comparison path does no key-list interpretation;
+    it must order exactly as [key] or the clustering contract breaks. *)
 
 val passes :
   ?run_pages:int ->
