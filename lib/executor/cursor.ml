@@ -262,12 +262,6 @@ and open_sort catalog block env ~compiled ~join ~input ~key =
   in
   let cmp = if compiled then Some (Eval.compile_cmp layout key) else None in
   let pager = Catalog.pager catalog in
-  let seq = Seq.of_dispenser input_cur in
-  let sorted = Rss.Sort.sort ?cmp pager ~key:sort_key seq in
-  let out = ref (Rss.Temp_list.read sorted) in
-  fun () ->
-    match !out () with
-    | Seq.Nil -> None
-    | Seq.Cons (t, rest) ->
-      out := rest;
-      Some t
+  (* the plan cursor feeds run formation directly and the final merge streams
+     straight to the consumer — the sorted result is never rematerialized *)
+  Rss.Sort.sort_stream ?cmp pager ~key:sort_key input_cur

@@ -366,19 +366,33 @@ let compile_preds env layout preds : Rel.Tuple.t -> bool =
   | [] -> fun _ -> true
   | f :: fs -> List.fold_left (fun acc f tuple -> acc tuple && f tuple) f fs
 
+(* The Int/Int arm is matched inside each closure: without it every key
+   comparison pays a call into [Value.compare] just to rediscover that both
+   sides are integers — on a spilling sort that dispatch is the single
+   hottest path in the executor. *)
 let compile_cmp_pos (key : (int * Ast.order_dir) list) :
     Rel.Tuple.t -> Rel.Tuple.t -> int =
   match key with
   | [ (p, Ast.Asc) ] ->
-    fun a b -> Rel.Value.compare (Rel.Tuple.get a p) (Rel.Tuple.get b p)
+    fun a b ->
+      (match Rel.Tuple.get a p, Rel.Tuple.get b p with
+       | Rel.Value.Int x, Rel.Value.Int y -> compare (x : int) y
+       | va, vb -> Rel.Value.compare va vb)
   | [ (p, Ast.Desc) ] ->
-    fun a b -> Rel.Value.compare (Rel.Tuple.get b p) (Rel.Tuple.get a p)
+    fun a b ->
+      (match Rel.Tuple.get b p, Rel.Tuple.get a p with
+       | Rel.Value.Int x, Rel.Value.Int y -> compare (x : int) y
+       | va, vb -> Rel.Value.compare va vb)
   | key ->
     fun a b ->
       let rec go = function
         | [] -> 0
         | (p, d) :: rest ->
-          let c = Rel.Value.compare (Rel.Tuple.get a p) (Rel.Tuple.get b p) in
+          let c =
+            match Rel.Tuple.get a p, Rel.Tuple.get b p with
+            | Rel.Value.Int x, Rel.Value.Int y -> compare (x : int) y
+            | va, vb -> Rel.Value.compare va vb
+          in
           let c = match d with Ast.Asc -> c | Ast.Desc -> -c in
           if c <> 0 then c else go rest
       in

@@ -1,13 +1,53 @@
-(** Aggregation and select-list projection over a block's composite tuples.
+(** Streaming aggregation and select-list projection over a block's composite
+    tuples.
 
     Handles the three result shapes: plain projection, scalar aggregates
     (single row, as required of subqueries like SELECT AVG(SALARY)), and
-    GROUP BY over group-ordered input.
+    GROUP BY over group-ordered input. The [*_stream] functions consume a
+    plan cursor one tuple at a time: aggregation folds each tuple into
+    constant-size accumulators (running count / sum / min / max — no
+    per-group tuple or value lists), so a group's state is O(1) regardless
+    of cardinality and the input is never materialized.
 
-    [compiled] (default true) closes the select list over the layout once and
-    applies the resulting closures per tuple/group; [~compiled:false] keeps
-    the per-tuple AST interpretation as the measurable baseline. Both modes
-    produce identical results. *)
+    [compiled] (default true) closes the select list over the layout once
+    and applies position-resolved closures per tuple; [~compiled:false]
+    evaluates per-tuple parts by re-walking the AST, the measurable
+    baseline. Both modes stream and produce identical results.
+
+    The list-based entry points ([project], [scalar_aggregate],
+    [group_aggregate]) are the pre-streaming implementation, kept as the
+    measurable "before" for bench `hot`; the executor no longer uses them. *)
+
+val project_stream :
+  ?compiled:bool ->
+  Eval.env ->
+  Layout.t ->
+  Semant.block ->
+  (unit -> Rel.Tuple.t option) ->
+  Rel.Tuple.t list
+(** Evaluate the select list per cursor tuple (no aggregates). *)
+
+val scalar_stream :
+  ?compiled:bool ->
+  Eval.env ->
+  Layout.t ->
+  Semant.block ->
+  (unit -> Rel.Tuple.t option) ->
+  Rel.Tuple.t
+(** One output row; aggregates folded over the whole cursor in a single pass
+    (COUNT of empty input is 0, other aggregates NULL). *)
+
+val group_stream :
+  ?compiled:bool ->
+  Eval.env ->
+  Layout.t ->
+  Semant.block ->
+  (unit -> Rel.Tuple.t option) ->
+  Rel.Tuple.t list
+(** Input must arrive ordered on the GROUP BY columns; one row per group,
+    emitted as each group's sorted run streams by. *)
+
+(** {2 List-based baseline (bench `hot` "before")} *)
 
 val project :
   ?compiled:bool ->
@@ -16,7 +56,6 @@ val project :
   Semant.block ->
   Rel.Tuple.t list ->
   Rel.Tuple.t list
-(** Evaluate the select list per tuple (no aggregates). *)
 
 val scalar_aggregate :
   ?compiled:bool ->
@@ -25,8 +64,6 @@ val scalar_aggregate :
   Semant.block ->
   Rel.Tuple.t list ->
   Rel.Tuple.t
-(** One output row; aggregates over the whole input (COUNT of empty input is
-    0, other aggregates NULL). *)
 
 val group_aggregate :
   ?compiled:bool ->
@@ -35,4 +72,3 @@ val group_aggregate :
   Semant.block ->
   Rel.Tuple.t list ->
   Rel.Tuple.t list
-(** Input must arrive ordered on the GROUP BY columns; one row per group. *)

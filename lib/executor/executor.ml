@@ -61,7 +61,14 @@ let escaped_refs (b : Semant.block) =
     Option.iter (pred depth) b.Semant.where
   in
   block_refs 0 b;
-  List.sort_uniq compare !acc
+  let cmp_ref (u1, t1, c1) (u2, t2, c2) =
+    let d = Int.compare u1 u2 in
+    if d <> 0 then d
+    else
+      let d = Int.compare t1 t2 in
+      if d <> 0 then d else Int.compare c1 c2
+  in
+  List.sort_uniq cmp_ref !acc
 
 let ref_values (env : Eval.env) refs =
   List.map
@@ -91,12 +98,14 @@ let rec run_block st (r : Optimizer.result) (blocks_stack : Eval.frame list) =
   let cur =
     Cursor.open_plan st.catalog block env ~compiled ~join:None r.Optimizer.plan
   in
-  let tuples = Cursor.drain cur in
   let layout = Cursor.layout_of block r.Optimizer.plan in
+  (* The cursor is consumed incrementally in every mode: aggregation folds
+     tuples into O(1) accumulator state as they stream by, so the plan's
+     output is never materialized ahead of the result rows. *)
   if block.Semant.scalar_agg then
-    [ Exec_agg.scalar_aggregate ~compiled env layout block tuples ]
+    [ Exec_agg.scalar_stream ~compiled env layout block cur ]
   else if block.Semant.group_by <> [] then begin
-    let rows = Exec_agg.group_aggregate ~compiled env layout block tuples in
+    let rows = Exec_agg.group_stream ~compiled env layout block cur in
     match block.Semant.order_by with
     | [] -> rows
     | obs ->
@@ -108,7 +117,9 @@ let rec run_block st (r : Optimizer.result) (blocks_stack : Eval.frame list) =
             invalid_arg
               "Executor: ORDER BY column of a grouped query must appear in its \
                select list"
-          | (Semant.E_col c', _) :: _ when c' = c -> i
+          | (Semant.E_col c', _) :: _
+            when c'.Semant.tab = c.Semant.tab && c'.Semant.col = c.Semant.col ->
+            i
           | _ :: rest -> find (i + 1) rest
         in
         find 0 block.Semant.select
@@ -128,7 +139,7 @@ let rec run_block st (r : Optimizer.result) (blocks_stack : Eval.frame list) =
       in
       List.stable_sort compare_rows rows
   end
-  else Exec_agg.project ~compiled env layout block tuples
+  else Exec_agg.project_stream ~compiled env layout block cur
 
 and eval_subquery st (parent : Optimizer.result) (env : Eval.env) block =
   st.stats.subquery_calls <- st.stats.subquery_calls + 1;

@@ -28,8 +28,19 @@ let conforms schema t =
 
 (* A tuple is encoded as a 2-byte arity followed by its values. *)
 
-let serialized_size t =
-  Array.fold_left (fun acc v -> acc + Value.serialized_size v) 2 t
+(* Hand-rolled: this runs once per tuple per spill (run formation and every
+   temp-page write), so no closure and no per-value call. *)
+let serialized_size (t : t) =
+  let s = ref 2 in
+  for i = 0 to Array.length t - 1 do
+    s :=
+      !s
+      + (match Array.unsafe_get t i with
+         | Value.Null -> 1
+         | Value.Int _ | Value.Float _ -> 9
+         | Value.Str str -> 3 + String.length str)
+  done;
+  !s
 
 let write buf t =
   Buffer.add_uint16_le buf (Array.length t);

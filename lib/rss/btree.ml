@@ -266,6 +266,75 @@ let range_scan_gen ~accounted ?lo ?hi t =
 let range_scan ?lo ?hi t = range_scan_gen ~accounted:true ?lo ?hi t
 let range_scan_unaccounted ?lo ?hi t = range_scan_gen ~accounted:false ?lo ?hi t
 
+(* Cursor counterpart of [range_scan]: mutable leaf/offset state instead of a
+   Seq cell and continuation closure per entry. The executor's index scan
+   pulls every indexed tuple through this, so the per-entry path is just an
+   array load and a bound check. Accounting is identical to [range_scan]. *)
+let range_cursor ?lo ?hi t =
+  let lo_ok = bound_cmp_lo lo and hi_ok = bound_cmp_hi hi in
+  let lo_probe = Option.map (fun (k, _) -> fun sep -> compare_prefix k sep) lo in
+  let leaf = ref (Some (descend t ~accounted:true t.root lo_probe)) in
+  let i = ref 0 in
+  let rec next () =
+    match !leaf with
+    | None -> None
+    | Some l ->
+      if !i >= Array.length l.entries then begin
+        (match l.next with
+         | None -> leaf := None
+         | Some nl ->
+           Pager.touch t.pgr nl.lpage;
+           leaf := Some nl;
+           i := 0);
+        next ()
+      end
+      else begin
+        let (k, _) as e = Array.unsafe_get l.entries !i in
+        if not (hi_ok k) then begin
+          leaf := None;
+          None
+        end
+        else begin
+          incr i;
+          if lo_ok k then Some e else next ()
+        end
+      end
+  in
+  next
+
+let range_cursor_desc ?lo ?hi t =
+  let lo_ok = bound_cmp_lo lo and hi_ok = bound_cmp_hi hi in
+  let hi_probe = Option.map (fun (k, _) -> fun sep -> compare_prefix k sep) hi in
+  let start = descend_hi t ~accounted:true t.root hi_probe in
+  let leaf = ref (Some start) in
+  let i = ref (Array.length start.entries - 1) in
+  let rec next () =
+    match !leaf with
+    | None -> None
+    | Some l ->
+      if !i < 0 then begin
+        (match l.prev with
+         | None -> leaf := None
+         | Some pl ->
+           Pager.touch t.pgr pl.lpage;
+           leaf := Some pl;
+           i := Array.length pl.entries - 1);
+        next ()
+      end
+      else begin
+        let (k, _) as e = Array.unsafe_get l.entries !i in
+        if not (lo_ok k) then begin
+          leaf := None;  (* descending: below the low bound *)
+          None
+        end
+        else begin
+          decr i;
+          if hi_ok k then Some e else next ()
+        end
+      end
+  in
+  next
+
 (* Descending scan: start at the rightmost candidate leaf for [hi] and walk
    the [prev] chain, yielding entries in reverse key order. *)
 let range_scan_desc_gen ~accounted ?lo ?hi t =

@@ -39,6 +39,14 @@ val range_scan_desc : ?lo:bound -> ?hi:bound -> t -> (key * Tid.t) Seq.t
     leaf chain backwards (leaves are doubly linked). Same accounting as
     {!range_scan}. *)
 
+val range_cursor : ?lo:bound -> ?hi:bound -> t -> unit -> (key * Tid.t) option
+(** Dispenser counterpart of {!range_scan} — same entries, same page
+    accounting, but no Seq cell or closure per entry. The executor's index
+    scans use this. One-shot. *)
+
+val range_cursor_desc : ?lo:bound -> ?hi:bound -> t -> unit -> (key * Tid.t) option
+(** Dispenser counterpart of {!range_scan_desc}. *)
+
 val range_scan_desc_unaccounted :
   ?lo:bound -> ?hi:bound -> t -> (key * Tid.t) Seq.t
 

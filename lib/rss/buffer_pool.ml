@@ -12,11 +12,16 @@ type t = {
   table : (int, node) Hashtbl.t;
   mutable head : node option;
   mutable tail : node option;
+  mutable mru : int;  (* id at [head], or min_int when empty *)
 }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
-  { cap = capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+  { cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    mru = min_int }
 
 let capacity t = t.cap
 let resident t = Hashtbl.length t.table
@@ -35,25 +40,33 @@ let push_front t n =
   t.head <- Some n
 
 let touch t id =
-  match Hashtbl.find_opt t.table id with
-  | Some n ->
-    unlink t n;
-    push_front t n;
-    `Hit
-  | None ->
-    if Hashtbl.length t.table >= t.cap then begin
-      match t.tail with
-      | Some victim ->
-        unlink t victim;
-        Hashtbl.remove t.table victim.page_id
-      | None -> assert false
-    end;
-    let n = { page_id = id; prev = None; next = None } in
-    Hashtbl.replace t.table id n;
-    push_front t n;
-    `Miss
+  (* Touching the page already at the front needs no relink and cannot miss.
+     Scans fetch runs of tuples from the same page, so this one-compare path
+     carries nearly every RSI call. *)
+  if id = t.mru then `Hit
+  else begin
+    t.mru <- id;
+    match Hashtbl.find_opt t.table id with
+    | Some n ->
+      unlink t n;
+      push_front t n;
+      `Hit
+    | None ->
+      if Hashtbl.length t.table >= t.cap then begin
+        match t.tail with
+        | Some victim ->
+          unlink t victim;
+          Hashtbl.remove t.table victim.page_id
+        | None -> assert false
+      end;
+      let n = { page_id = id; prev = None; next = None } in
+      Hashtbl.replace t.table id n;
+      push_front t n;
+      `Miss
+  end
 
 let evict_all t =
   Hashtbl.reset t.table;
   t.head <- None;
-  t.tail <- None
+  t.tail <- None;
+  t.mru <- min_int

@@ -3,31 +3,46 @@ type t = {
   mutable buffer_hits : int;
   mutable rsi_calls : int;
   mutable pages_written : int;
+  mutable sort_runs : int;
+  mutable merge_passes : int;
 }
 
-let create () = { page_fetches = 0; buffer_hits = 0; rsi_calls = 0; pages_written = 0 }
+let create () =
+  { page_fetches = 0;
+    buffer_hits = 0;
+    rsi_calls = 0;
+    pages_written = 0;
+    sort_runs = 0;
+    merge_passes = 0 }
 
 let reset t =
   t.page_fetches <- 0;
   t.buffer_hits <- 0;
   t.rsi_calls <- 0;
-  t.pages_written <- 0
+  t.pages_written <- 0;
+  t.sort_runs <- 0;
+  t.merge_passes <- 0
 
 let snapshot t =
   { page_fetches = t.page_fetches;
     buffer_hits = t.buffer_hits;
     rsi_calls = t.rsi_calls;
-    pages_written = t.pages_written }
+    pages_written = t.pages_written;
+    sort_runs = t.sort_runs;
+    merge_passes = t.merge_passes }
 
 let diff ~after ~before =
   { page_fetches = after.page_fetches - before.page_fetches;
     buffer_hits = after.buffer_hits - before.buffer_hits;
     rsi_calls = after.rsi_calls - before.rsi_calls;
-    pages_written = after.pages_written - before.pages_written }
+    pages_written = after.pages_written - before.pages_written;
+    sort_runs = after.sort_runs - before.sort_runs;
+    merge_passes = after.merge_passes - before.merge_passes }
 
 let cost ~w t =
   float_of_int (t.page_fetches + t.pages_written) +. (w *. float_of_int t.rsi_calls)
 
 let pp ppf t =
-  Format.fprintf ppf "fetches=%d hits=%d rsi=%d written=%d"
-    t.page_fetches t.buffer_hits t.rsi_calls t.pages_written
+  Format.fprintf ppf "fetches=%d hits=%d rsi=%d written=%d runs=%d merges=%d"
+    t.page_fetches t.buffer_hits t.rsi_calls t.pages_written t.sort_runs
+    t.merge_passes

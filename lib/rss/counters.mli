@@ -3,13 +3,20 @@
     The optimizer's cost model predicts COST = PAGE_FETCHES + W * RSI_CALLS;
     these counters measure the same two quantities during execution so
     predictions can be validated (bench T2, S7b). A page fetch is a buffer
-    pool miss; a buffer hit costs nothing. *)
+    pool miss; a buffer hit costs nothing.
+
+    [sort_runs] and [merge_passes] record external-sort spill behaviour —
+    how many initial sorted runs were written and how many merge levels it
+    took to combine them — so observed TEMPPAGES traffic can be put next to
+    the cost model's C-sort prediction ({!Sort.passes}). *)
 
 type t = {
   mutable page_fetches : int;  (** buffer pool misses *)
   mutable buffer_hits : int;
   mutable rsi_calls : int;     (** tuples returned across the RSS interface *)
   mutable pages_written : int; (** temp-list / sort output pages *)
+  mutable sort_runs : int;     (** initial sorted runs spilled by external sorts *)
+  mutable merge_passes : int;  (** merge levels performed over those runs *)
 }
 
 val create : unit -> t

@@ -42,4 +42,8 @@ let note_page_written t = t.counters.pages_written <- t.counters.pages_written +
 
 let note_rsi_call t = t.counters.rsi_calls <- t.counters.rsi_calls + 1
 
+let note_sort_run t = t.counters.sort_runs <- t.counters.sort_runs + 1
+
+let note_merge_pass t = t.counters.merge_passes <- t.counters.merge_passes + 1
+
 let evict_all t = Buffer_pool.evict_all t.pool

@@ -33,5 +33,11 @@ val note_page_written : t -> unit
 
 val note_rsi_call : t -> unit
 
+val note_sort_run : t -> unit
+(** Record one initial sorted run spilled by an external sort. *)
+
+val note_merge_pass : t -> unit
+(** Record one merge level performed over a sort's runs. *)
+
 val evict_all : t -> unit
 (** Cold the cache (bench harness between runs). *)

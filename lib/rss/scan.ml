@@ -44,17 +44,16 @@ let open_index_scan segment ~rel_id ~index ?lo ?hi ?(dir = `Asc)
     ?(sargs = Sarg.always_true) () =
   let pager = Segment.pager segment in
   let entries =
-    ref
-      (match dir with
-       | `Asc -> Btree.range_scan ?lo ?hi index
-       | `Desc -> Btree.range_scan_desc ?lo ?hi index)
+    match dir with
+    | `Asc -> Btree.range_cursor ?lo ?hi index
+    | `Desc -> Btree.range_cursor_desc ?lo ?hi index
   in
+  let fetch = Segment.fetcher segment in
   let rec pull () =
-    match !entries () with
-    | Seq.Nil -> None
-    | Seq.Cons ((_key, tid), rest) ->
-      entries := rest;
-      (match Segment.fetch segment tid with
+    match entries () with
+    | None -> None
+    | Some (_key, tid) ->
+      (match fetch tid with
        | Some (rid, tuple) when rid = rel_id && Sarg.matches sargs tuple ->
          Pager.note_rsi_call pager;
          Some (tid, tuple)

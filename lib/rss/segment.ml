@@ -62,6 +62,27 @@ let fetch_unaccounted t (tid : Tid.t) =
   let p = Pager.data_page t.pager tid.page in
   Page.get p ~slot:tid.slot
 
+(* Repeated-fetch closure with a one-page cache: an index scan in key order
+   fetches long runs of tuples from the same (clustered) page, so the
+   page-table lookup behind [fetch] is redundant for all but the first of
+   each run. Page accesses are still charged identically to [fetch]. *)
+let fetcher t =
+  let last_pid = ref (-1) in
+  let last_page = ref None in
+  fun (tid : Tid.t) ->
+    Pager.touch t.pager tid.page;
+    let p =
+      if tid.page = !last_pid then
+        match !last_page with Some p -> p | None -> assert false
+      else begin
+        let p = Pager.data_page t.pager tid.page in
+        last_pid := tid.page;
+        last_page := Some p;
+        p
+      end
+    in
+    Page.get p ~slot:tid.slot
+
 let page_ids t = List.rev t.pages
 
 let nonempty_page_count t =

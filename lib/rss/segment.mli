@@ -30,6 +30,11 @@ val fetch : t -> Tid.t -> (int * Rel.Tuple.t) option
 
 val fetch_unaccounted : t -> Tid.t -> (int * Rel.Tuple.t) option
 
+val fetcher : t -> Tid.t -> (int * Rel.Tuple.t) option
+(** A repeated-fetch closure that caches the last page it resolved, for
+    scans fetching key-ordered runs of tuples from clustered pages.
+    Accounting identical to {!fetch}. *)
+
 val page_ids : t -> int list
 (** All pages of the segment, in allocation order. *)
 

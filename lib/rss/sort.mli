@@ -6,6 +6,14 @@
     feeds [sort]; this module charges the run writes, the merge-pass reads
     and writes, and the final output pages, all through the pager counters.
 
+    The implementation is streaming and allocation-lean: runs form in tuple
+    arrays sized by the bytes budget and are [Array.stable_sort]ed in place,
+    merging goes through a tournament loser tree of run cursors (log2 k
+    comparisons, zero allocation per element), and spill behaviour — runs
+    written, merge levels performed — is recorded in {!Counters.t} as
+    [sort_runs] / [merge_passes] so observed TEMPPAGES traffic sits next to
+    the cost model's {!passes} prediction.
+
     After a sort on the join column the output is clustered on it — one page
     access retrieves several matching tuples — which is exactly why the merge
     join's inner-scan formula (TEMPPAGES/N per opening) beats re-scanning. *)
@@ -17,6 +25,42 @@ type key = (int * direction) list
 
 val compare_tuples : key -> Rel.Tuple.t -> Rel.Tuple.t -> int
 
+val sort_cursor :
+  ?run_pages:int ->
+  ?fan_in:int ->
+  ?cmp:(Rel.Tuple.t -> Rel.Tuple.t -> int) ->
+  Pager.t ->
+  key:key ->
+  (unit -> Rel.Tuple.t option) ->
+  Temp_list.t
+(** Sort a tuple dispenser (the executor feeds its plan cursor directly — no
+    intermediate [Seq] cell per input tuple). [run_pages] is the in-memory
+    run size in pages (default: the pager's buffer size); [fan_in] the merge
+    width (default: buffer size - 1). The sort is stable. [cmp] overrides
+    the comparator (default: [compare_tuples key]) — the executor passes a
+    position-resolved compiled comparator so the per-comparison path does no
+    key-list interpretation; it must order exactly as [key] or the
+    clustering contract breaks. *)
+
+val sort_stream :
+  ?run_pages:int ->
+  ?fan_in:int ->
+  ?cmp:(Rel.Tuple.t -> Rel.Tuple.t -> int) ->
+  Pager.t ->
+  key:key ->
+  (unit -> Rel.Tuple.t option) ->
+  unit ->
+  Rel.Tuple.t option
+(** As [sort_cursor], but the final merge happens on the fly: once no more
+    than [fan_in] runs survive, the tournament merge feeds the returned
+    dispenser directly and the sorted result is never written to temp pages.
+    Intermediate passes (when runs exceed the fan-in) still materialize and
+    are accounted exactly as in [sort_cursor] — the streamed final merge
+    still counts one [merge_passes] level, keeping observed passes aligned
+    with {!passes}. The executor's sort node uses this: ORDER BY and the
+    merge join's inputs consume sorted tuples one at a time, so the final
+    TEMPPAGES write of a classic external sort is pure overhead. *)
+
 val sort :
   ?run_pages:int ->
   ?fan_in:int ->
@@ -25,12 +69,20 @@ val sort :
   key:key ->
   Rel.Tuple.t Seq.t ->
   Temp_list.t
-(** [run_pages] is the in-memory run size in pages (default: the pager's
-    buffer size); [fan_in] the merge width (default: buffer size - 1). The
-    sort is stable. [cmp] overrides the comparator (default:
-    [compare_tuples key]) — the executor passes a position-resolved compiled
-    comparator so the per-comparison path does no key-list interpretation;
-    it must order exactly as [key] or the clustering contract breaks. *)
+(** [sort_cursor] over a sequence. *)
+
+val sort_baseline :
+  ?run_pages:int ->
+  ?fan_in:int ->
+  ?cmp:(Rel.Tuple.t -> Rel.Tuple.t -> int) ->
+  Pager.t ->
+  key:key ->
+  Rel.Tuple.t Seq.t ->
+  Temp_list.t
+(** The pre-streaming implementation (list-formed runs, closure-per-element
+    [Seq] merge trees), kept as the measurable "before" for bench `hot` —
+    the role [~compiled:false] plays for evaluation. Identical output,
+    including stability; no [sort_runs]/[merge_passes] accounting. *)
 
 val passes :
   ?run_pages:int ->
@@ -40,4 +92,6 @@ val passes :
   tuples_per_page:float ->
   unit ->
   int
-(** Predicted number of merge passes for the cost model. *)
+(** Predicted number of merge passes for the cost model. The observed
+    counterpart of a spilling sort is [1 + merge_passes] (run formation plus
+    each merge level) in {!Counters.t}. *)

@@ -49,6 +49,81 @@ let of_seq pager seq =
   freeze t;
   t
 
+(* Seal an already-complete tuple array without per-tuple list traffic: the
+   array is sliced at page-size boundaries and the slices become the sealed
+   pages directly (chunk tuple lists stay empty — they are never read once
+   [sealed] is set). Same page-cut rule as [append]. *)
+let of_array pager arr =
+  let t = create pager in
+  let n = Array.length arr in
+  let pages = ref [] in  (* reverse fill order, matching t.chunks *)
+  let start = ref 0 in
+  let bytes = ref 16 in
+  let cut stop =
+    let c = { page_id = Pager.alloc_page_id t.pager; tuples = []; bytes = !bytes } in
+    Pager.note_page_written t.pager;
+    t.chunks <- c :: t.chunks;
+    pages := Array.sub arr !start (stop - !start) :: !pages;
+    start := stop;
+    bytes := 16
+  in
+  for i = 0 to n - 1 do
+    let sz = Rel.Tuple.serialized_size (Array.unsafe_get arr i) + 4 in
+    if !bytes + sz > Page.size && i > !start then cut i;
+    bytes := !bytes + sz
+  done;
+  if n > !start then cut n;
+  t.sealed <- Some (Array.of_list (List.rev !pages));
+  t.len <- n;
+  t
+
+(* Seal a tuple stream without knowing its length up front: tuples land in a
+   doubling page buffer that is cut to an exact page array at each page-size
+   boundary. Only page-sized arrays are ever allocated (no whole-list
+   materialization), so a merge can pipe straight into the output list. *)
+let of_dispenser pager next =
+  let t = create pager in
+  let pages = ref [] in  (* reverse fill order, matching t.chunks *)
+  let buf = ref (Array.make 64 [||]) in
+  let len = ref 0 in
+  let bytes = ref 16 in
+  let n = ref 0 in
+  let seal_page () =
+    if !len > 0 then begin
+      let c = { page_id = Pager.alloc_page_id t.pager; tuples = []; bytes = !bytes } in
+      Pager.note_page_written t.pager;
+      t.chunks <- c :: t.chunks;
+      pages := Array.sub !buf 0 !len :: !pages;
+      len := 0;
+      bytes := 16
+    end
+  in
+  let push tup =
+    if !len = Array.length !buf then begin
+      let b = Array.make (2 * !len) [||] in
+      Array.blit !buf 0 b 0 !len;
+      buf := b
+    end;
+    Array.unsafe_set !buf !len tup;
+    incr len
+  in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some tup ->
+      let sz = Rel.Tuple.serialized_size tup + 4 in
+      if !bytes + sz > Page.size && !len > 0 then seal_page ();
+      bytes := !bytes + sz;
+      push tup;
+      incr n;
+      loop ()
+  in
+  loop ();
+  seal_page ();
+  t.sealed <- Some (Array.of_list (List.rev !pages));
+  t.len <- !n;
+  t
+
 let length t = t.len
 let page_count t = List.length t.chunks
 
@@ -73,3 +148,28 @@ let read_gen ~accounted t =
 
 let read t = read_gen ~accounted:true t
 let read_unaccounted t = read_gen ~accounted:false t
+
+(* Index-walking dispenser over the sealed pages: no closure per element,
+   page-access accounting on each page entry, one-shot (not restartable). *)
+let cursor t =
+  let pages = sealed_pages t in
+  let ids = page_ids_in_order t in
+  let pi = ref 0 and ti = ref 0 in
+  let rec next () =
+    if !pi >= Array.length pages then None
+    else begin
+      let page = Array.unsafe_get pages !pi in
+      if !ti >= Array.length page then begin
+        incr pi;
+        ti := 0;
+        next ()
+      end
+      else begin
+        if !ti = 0 then Pager.touch t.pager ids.(!pi);
+        let tup = Array.unsafe_get page !ti in
+        incr ti;
+        Some tup
+      end
+    end
+  in
+  next

@@ -18,6 +18,18 @@ val freeze : t -> unit
 val of_seq : Pager.t -> Rel.Tuple.t Seq.t -> t
 (** Materialize and freeze. *)
 
+val of_array : Pager.t -> Rel.Tuple.t array -> t
+(** Seal a complete tuple array directly: the array is sliced at page-size
+    boundaries into the sealed pages with no per-tuple list traffic. Writes
+    are charged per page as with [append]. The sort's run formation feeds
+    its [Array.stable_sort]ed runs through this. *)
+
+val of_dispenser : Pager.t -> (unit -> Rel.Tuple.t option) -> t
+(** Seal a tuple stream of unknown length: tuples are buffered one page at a
+    time and each page cut is an exact array, so nothing larger than a page
+    is ever allocated. The sort's k-way merges pipe their output through
+    this. Accounting as [of_array]. *)
+
 val length : t -> int
 val page_count : t -> int  (** TEMPPAGES *)
 
@@ -26,3 +38,8 @@ val read : t -> Rel.Tuple.t Seq.t
     application of the sequence re-reads (and re-charges) from the start. *)
 
 val read_unaccounted : t -> Rel.Tuple.t Seq.t
+
+val cursor : t -> unit -> Rel.Tuple.t option
+(** Sequential dispenser over the sealed pages — index arithmetic only, no
+    closure per element. Accounting as [read]; one-shot (call again for a
+    fresh pass). *)

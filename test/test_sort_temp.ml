@@ -47,6 +47,36 @@ let test_temp_empty () =
   Alcotest.(check int) "no pages" 0 (Rss.Temp_list.page_count tl);
   Alcotest.(check bool) "empty read" true (List.of_seq (Rss.Temp_list.read tl) = [])
 
+(* of_array must slice pages exactly as append does, and the index cursor
+   must agree with the Seq reader, accounting included. *)
+let test_temp_of_array_cursor () =
+  let pager = Rss.Pager.create ~buffer_pages:200 () in
+  let tuples = Array.init 500 (fun i -> tup i 1) in
+  let via_append = Rss.Temp_list.of_seq pager (Array.to_seq tuples) in
+  let via_array = Rss.Temp_list.of_array pager tuples in
+  Alcotest.(check int) "same length" (Rss.Temp_list.length via_append)
+    (Rss.Temp_list.length via_array);
+  Alcotest.(check int) "same TEMPPAGES" (Rss.Temp_list.page_count via_append)
+    (Rss.Temp_list.page_count via_array);
+  let drain_cursor next =
+    let rec go acc = match next () with None -> List.rev acc | Some t -> go (t :: acc) in
+    go []
+  in
+  let by_cursor = drain_cursor (Rss.Temp_list.cursor via_array) in
+  let by_seq = List.of_seq (Rss.Temp_list.read_unaccounted via_array) in
+  Alcotest.(check bool) "cursor = seq read" true
+    (List.for_all2 T.equal by_cursor by_seq);
+  let c = Rss.Pager.counters pager in
+  Rss.Counters.reset c;
+  Rss.Pager.evict_all pager;
+  ignore (drain_cursor (Rss.Temp_list.cursor via_array));
+  Alcotest.(check int) "cursor accounting = TEMPPAGES"
+    (Rss.Temp_list.page_count via_array)
+    c.Rss.Counters.page_fetches;
+  let empty = Rss.Temp_list.of_array pager [||] in
+  Alcotest.(check int) "empty of_array" 0 (Rss.Temp_list.length empty);
+  Alcotest.(check bool) "empty cursor" true (Rss.Temp_list.cursor empty () = None)
+
 (* --- sort ---------------------------------------------------------------- *)
 
 let ints_of tl =
@@ -139,6 +169,36 @@ let test_passes_estimate () =
   let p = Rss.Sort.passes ~run_pages:1 ~fan_in:2 ~buffer_pages:2 ~tuples:400 ~tuples_per_page:50. () in
   Alcotest.(check bool) "multi pass" true (p >= 3)
 
+(* Spill observability: a sort forced into many runs reports its run count
+   and merge levels through the counters, consistent with the [passes]
+   predictor's shape (observed passes = run formation + merge levels). *)
+let test_spill_counters () =
+  let pager = Rss.Pager.create ~buffer_pages:2 () in
+  let c = Rss.Pager.counters pager in
+  Rss.Counters.reset c;
+  let n = 3000 in
+  let tl =
+    Rss.Sort.sort ~run_pages:1 ~fan_in:2 pager ~key:[ (0, Rss.Sort.Asc) ]
+      (Seq.init n (fun i -> tup (n - i) i))
+  in
+  Alcotest.(check int) "all tuples" n (Rss.Temp_list.length tl);
+  Alcotest.(check bool) "several runs" true (c.Rss.Counters.sort_runs > 1);
+  Alcotest.(check bool) "merge levels" true (c.Rss.Counters.merge_passes >= 1);
+  (* each merge level at fan_in=2 at least halves the runs *)
+  let bound =
+    int_of_float (ceil (log (float_of_int c.Rss.Counters.sort_runs) /. log 2.))
+  in
+  Alcotest.(check bool) "levels <= ceil(log2 runs)" true
+    (c.Rss.Counters.merge_passes <= bound);
+  (* an in-memory sort spills nothing to merge *)
+  Rss.Counters.reset c;
+  let small =
+    Rss.Sort.sort pager ~key:[ (0, Rss.Sort.Asc) ] (Seq.init 10 (fun i -> tup i 0))
+  in
+  Alcotest.(check int) "one run" 1 c.Rss.Counters.sort_runs;
+  Alcotest.(check int) "no merges" 0 c.Rss.Counters.merge_passes;
+  Alcotest.(check int) "sorted anyway" 10 (Rss.Temp_list.length small)
+
 let prop_sort_matches_list_sort =
   QCheck.Test.make ~name:"external sort = List.sort" ~count:100
     QCheck.(list (int_bound 1000))
@@ -150,18 +210,113 @@ let prop_sort_matches_list_sort =
       in
       ints_of tl = List.sort compare xs)
 
+(* Heap k-way merge vs the List.stable_sort oracle on duplicate-heavy keys:
+   run_pages=1 forces many runs, small fan_in forces several heap-merge
+   levels, and keys drawn from a tiny domain make almost every comparison a
+   tie — the payload column (input position) must come back in input order
+   within each key, which is exactly stability. Checked as exact (key,
+   payload) list equality, so ordering and stability fail loudly. *)
+let prop_heap_merge_stable =
+  QCheck.Test.make ~name:"heap merge: ordering + stability vs stable_sort oracle"
+    ~count:60
+    QCheck.(pair (int_range 2 4) (list_of_size Gen.(int_range 0 400) (int_bound 4)))
+    (fun (fan_in, keys) ->
+      let pager = Rss.Pager.create ~buffer_pages:2 () in
+      let input = List.mapi (fun i k -> (k, i)) keys in
+      let tl =
+        Rss.Sort.sort ~run_pages:1 ~fan_in pager ~key:[ (0, Rss.Sort.Asc) ]
+          (List.to_seq (List.map (fun (k, i) -> tup k i) input))
+      in
+      let got =
+        Rss.Temp_list.read_unaccounted tl
+        |> Seq.map (fun t ->
+               match T.get t 0, T.get t 1 with
+               | V.Int a, V.Int b -> (a, b)
+               | _ -> (-1, -1))
+        |> List.of_seq
+      in
+      let oracle =
+        List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) input
+      in
+      got = oracle)
+
+(* The legacy Seq-based baseline and the heap sort must agree exactly —
+   they are timed against each other in bench `hot`. *)
+let prop_baseline_agrees =
+  QCheck.Test.make ~name:"sort_baseline = sort" ~count:50
+    QCheck.(list (int_bound 20))
+    (fun xs ->
+      let pager = Rss.Pager.create ~buffer_pages:2 () in
+      let tuples = List.mapi (fun i k -> tup k i) xs in
+      let a =
+        Rss.Sort.sort ~run_pages:1 ~fan_in:2 pager ~key:[ (0, Rss.Sort.Asc) ]
+          (List.to_seq tuples)
+      in
+      let b =
+        Rss.Sort.sort_baseline ~run_pages:1 ~fan_in:2 pager
+          ~key:[ (0, Rss.Sort.Asc) ] (List.to_seq tuples)
+      in
+      List.for_all2 T.equal
+        (List.of_seq (Rss.Temp_list.read_unaccounted a))
+        (List.of_seq (Rss.Temp_list.read_unaccounted b)))
+
+(* The executor consumes sorts through [sort_stream] (final merge on the
+   fly); it must dispense exactly what [sort] materializes. Exercised over
+   the three merge regimes: all-Int first columns (runs carry the
+   normalized-key cache), string keys (cache disabled, full-comparator
+   path), and a multi-column key whose first-column ties fall through to the
+   comparator. *)
+let prop_stream_agrees =
+  QCheck.Test.make ~name:"sort_stream = sort" ~count:60
+    QCheck.(pair (int_range 2 4) (list (int_bound 5)))
+    (fun (fan_in, ks) ->
+      let drain next =
+        let rec go acc =
+          match next () with None -> List.rev acc | Some t -> go (t :: acc)
+        in
+        go []
+      in
+      let agree ~key tuples =
+        let p1 = Rss.Pager.create ~buffer_pages:2 () in
+        let tl = Rss.Sort.sort ~run_pages:1 ~fan_in p1 ~key (List.to_seq tuples) in
+        let p2 = Rss.Pager.create ~buffer_pages:2 () in
+        let streamed =
+          drain
+            (Rss.Sort.sort_stream ~run_pages:1 ~fan_in p2 ~key
+               (Seq.to_dispenser (List.to_seq tuples)))
+        in
+        let materialized = List.of_seq (Rss.Temp_list.read_unaccounted tl) in
+        List.length materialized = List.length streamed
+        && List.for_all2 T.equal materialized streamed
+      in
+      let ints = List.mapi (fun i k -> tup k i) ks in
+      let strs =
+        List.mapi
+          (fun i k -> T.make [ V.Str (Printf.sprintf "s%02d" k); V.Int i ])
+          ks
+      in
+      agree ~key:[ (0, Rss.Sort.Asc) ] ints
+      && agree ~key:[ (0, Rss.Sort.Asc); (1, Rss.Sort.Desc) ] ints
+      && agree ~key:[ (0, Rss.Sort.Asc) ] strs)
+
 let () =
   Alcotest.run "sort_temp"
     [ ( "temp_list",
         [ Alcotest.test_case "roundtrip" `Quick test_temp_roundtrip;
           Alcotest.test_case "append after freeze" `Quick test_temp_append_after_freeze;
           Alcotest.test_case "accounting" `Quick test_temp_accounting;
-          Alcotest.test_case "empty" `Quick test_temp_empty ] );
+          Alcotest.test_case "empty" `Quick test_temp_empty;
+          Alcotest.test_case "of_array + cursor" `Quick test_temp_of_array_cursor ] );
       ( "sort",
         [ Alcotest.test_case "basic" `Quick test_sort_basic;
           Alcotest.test_case "desc + multikey" `Quick test_sort_desc_and_multikey;
           Alcotest.test_case "stability" `Quick test_sort_stability;
           Alcotest.test_case "external multipass" `Quick test_sort_external_multipass;
           Alcotest.test_case "empty/single" `Quick test_sort_empty_and_single;
-          Alcotest.test_case "passes estimate" `Quick test_passes_estimate ] );
-      ("props", [ QCheck_alcotest.to_alcotest prop_sort_matches_list_sort ]) ]
+          Alcotest.test_case "passes estimate" `Quick test_passes_estimate;
+          Alcotest.test_case "spill counters" `Quick test_spill_counters ] );
+      ( "props",
+        [ QCheck_alcotest.to_alcotest prop_sort_matches_list_sort;
+          QCheck_alcotest.to_alcotest prop_heap_merge_stable;
+          QCheck_alcotest.to_alcotest prop_baseline_agrees;
+          QCheck_alcotest.to_alcotest prop_stream_agrees ] ) ]
