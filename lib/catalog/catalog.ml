@@ -4,6 +4,9 @@ type relation = {
   schema : Rel.Schema.t;
   segment : Rss.Segment.t;
   mutable rstats : Stats.relation option;
+  mutable stats_version : int;
+      (* bumped whenever anything a cached plan depends on changes:
+         UPDATE STATISTICS or index DDL on this relation *)
 }
 
 type index = {
@@ -40,7 +43,8 @@ let create_relation ?segment t ~name ~schema =
     match segment with Some s -> s | None -> Rss.Segment.create t.pgr
   in
   let rel =
-    { rel_id = t.next_rel_id; rel_name = name; schema; segment; rstats = None }
+    { rel_id = t.next_rel_id; rel_name = name; schema; segment; rstats = None;
+      stats_version = 0 }
   in
   t.next_rel_id <- t.next_rel_id + 1;
   Hashtbl.replace t.rels key rel;
@@ -95,9 +99,14 @@ let create_index ?order t ~name ~rel ~columns ~clustered =
   c.pages_written <- snapshot.pages_written;
   List.iter (fun (tid, tuple) -> Rss.Btree.insert btree (key_of idx tuple) tid) tuples;
   Hashtbl.replace t.idxs key idx;
+  rel.stats_version <- rel.stats_version + 1;
   idx
 
-let drop_index t name = Hashtbl.remove t.idxs (norm name)
+let drop_index t name =
+  (match find_index t name with
+   | Some idx -> idx.rel.stats_version <- idx.rel.stats_version + 1
+   | None -> ());
+  Hashtbl.remove t.idxs (norm name)
 
 let drop_relation t name =
   match find_relation t name with
@@ -183,6 +192,7 @@ let update_relation_statistics t rel =
       let cluster_ratio = measure_cluster_ratio idx in
       idx.istats <-
         Some { Stats.icard; nindx; low_key; high_key; cluster_ratio })
-    (indexes_on t rel)
+    (indexes_on t rel);
+  rel.stats_version <- rel.stats_version + 1
 
 let update_statistics t = List.iter (update_relation_statistics t) (relations t)

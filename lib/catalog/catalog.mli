@@ -10,6 +10,9 @@ type relation = {
   schema : Rel.Schema.t;
   segment : Rss.Segment.t;
   mutable rstats : Stats.relation option;
+  mutable stats_version : int;
+      (** monotonic counter bumped by UPDATE STATISTICS and index DDL on this
+          relation; plan caches compare it to detect stale plans *)
 }
 
 type index = {

@@ -15,6 +15,7 @@ type t = {
   locks : Rss.Lock_table.t;
   mutable next_txn : int;
   mutable active : txn option;
+  plan_cache : Plan_cache.t;
 }
 
 exception Error of string
@@ -27,12 +28,39 @@ let create ?buffer_pages ?(w = Ctx.default_w) () =
     wal = Rss.Wal.create ();
     locks = Rss.Lock_table.create ();
     next_txn = 1;
-    active = None }
+    active = None;
+    plan_cache = Plan_cache.create () }
 
 let catalog t = t.cat
 let pager t = Catalog.pager t.cat
 let ctx t = Ctx.create ~w:t.w t.cat
-let set_w t w = t.w <- w
+
+let set_w t w =
+  t.w <- w;
+  (* cached plans embed cost decisions made under the old weighting *)
+  Plan_cache.clear t.plan_cache
+
+let set_plan_cache t on = Plan_cache.set_enabled t.plan_cache on
+let plan_cache_enabled t = Plan_cache.enabled t.plan_cache
+let plan_cache_size t = Plan_cache.size t.plan_cache
+let clear_plan_cache t = Plan_cache.clear t.plan_cache
+
+let cached_plan t sql =
+  let probe key =
+    match Plan_cache.find t.plan_cache t.cat key with
+    | Plan_cache.Hit r -> Some r
+    | Plan_cache.Miss | Plan_cache.Invalidated -> None
+  in
+  match Plan_cache.text_entry t.plan_cache sql with
+  | Some (key, _) -> probe key
+  | None ->
+    let q =
+      try Parser.parse_query sql
+      with Parser.Error (msg, off) -> err "syntax error at offset %d: %s" off msg
+    in
+    (match Normalize.fingerprint q with
+     | None -> None
+     | Some (key, _, _) -> probe key)
 let wal t = t.wal
 let lock_table t = t.locks
 let in_transaction t =
@@ -251,16 +279,62 @@ let update_where t txn (rel : Catalog.relation) sets where =
     victims;
   List.length victims
 
+(* SELECT through the compiled-plan cache: fingerprint the statement, serve
+   a valid cached plan by rebinding the extracted literals as parameters, or
+   optimize the canonicalized (parameterized) statement once and cache it.
+   Statements that already carry user [?] parameters bypass the cache — the
+   prepared-statement path owns their bindings. *)
+let query_cached ?text t q =
+  let fp =
+    if Plan_cache.enabled t.plan_cache then Normalize.fingerprint q else None
+  in
+  match fp with
+  | None -> query_block t (resolve_query t q)
+  | Some (key, canon_q, values) ->
+    let c = Rss.Pager.counters (Catalog.pager t.cat) in
+    let params = Array.of_list values in
+    let memo () =
+      match text with
+      | Some sql -> Plan_cache.memo_text t.plan_cache ~sql ~key ~values
+      | None -> ()
+    in
+    (match Plan_cache.find t.plan_cache t.cat key with
+     | Plan_cache.Hit r ->
+       c.Rss.Counters.plan_cache_hits <- c.Rss.Counters.plan_cache_hits + 1;
+       memo ();
+       wrap (fun () -> Executor.run ~params t.cat r)
+     | (Plan_cache.Miss | Plan_cache.Invalidated) as probe ->
+       (match probe with
+        | Plan_cache.Invalidated ->
+          c.Rss.Counters.plan_cache_invalidations <-
+            c.Rss.Counters.plan_cache_invalidations + 1
+        | _ -> ());
+       c.Rss.Counters.plan_cache_misses <- c.Rss.Counters.plan_cache_misses + 1;
+       (* resolve the literal statement first: parameter positions always
+          type-check, so a type error in the original must still surface *)
+       ignore (resolve_query t q);
+       let r = optimize_block t (resolve_query t canon_q) in
+       Plan_cache.store t.plan_cache key r;
+       memo ();
+       wrap (fun () -> Executor.run ~params t.cat r))
+
 let exec_stmt t (stmt : Ast.statement) =
   match stmt with
-  | Ast.Select q -> Rows (query_block t (resolve_query t q))
+  | Ast.Select q -> Rows (query_cached t q)
   | Ast.Explain { search; q } ->
     let r = optimize_block t (resolve_query t q) in
+    let c = Rss.Pager.counters (Catalog.pager t.cat) in
+    let cache_line =
+      Printf.sprintf "plan cache: hits=%d misses=%d invalidations=%d entries=%d\n"
+        c.Rss.Counters.plan_cache_hits c.Rss.Counters.plan_cache_misses
+        c.Rss.Counters.plan_cache_invalidations
+        (Plan_cache.size t.plan_cache)
+    in
     if search then
       Text
         (Explain.search_tree r.Optimizer.block r.Optimizer.search
-         ^ "chosen plan:\n" ^ Explain.plan r)
-    else Text (Explain.plan r)
+         ^ "chosen plan:\n" ^ Explain.plan r ^ cache_line)
+    else Text (Explain.plan r ^ cache_line)
   | Ast.Create_table { table; columns } ->
     let schema =
       wrap (fun () ->
@@ -343,9 +417,35 @@ let exec_script t src =
   List.map (exec_stmt t) stmts
 
 let query t sql =
-  match exec t sql with
-  | Rows out -> out
-  | Text _ | Done _ -> err "not a SELECT: %s" sql
+  (* text-level fast path: a repeat of the exact same statement skips the
+     parser and fingerprinting; a stale entry falls through to the normal
+     path (which re-optimizes and counts the miss) after recording the
+     invalidation here, matching the one-call accounting of the slow path *)
+  let fast =
+    match Plan_cache.text_entry t.plan_cache sql with
+    | None -> None
+    | Some (key, values) ->
+      (match Plan_cache.find t.plan_cache t.cat key with
+       | Plan_cache.Hit r ->
+         let c = Rss.Pager.counters (Catalog.pager t.cat) in
+         c.Rss.Counters.plan_cache_hits <- c.Rss.Counters.plan_cache_hits + 1;
+         Some (wrap (fun () -> Executor.run ~params:(Array.of_list values) t.cat r))
+       | Plan_cache.Invalidated ->
+         let c = Rss.Pager.counters (Catalog.pager t.cat) in
+         c.Rss.Counters.plan_cache_invalidations <-
+           c.Rss.Counters.plan_cache_invalidations + 1;
+         None
+       | Plan_cache.Miss -> None)
+  in
+  match fast with
+  | Some out -> out
+  | None ->
+    (match parse_stmt sql with
+     | Ast.Select q -> query_cached ~text:sql t q
+     | stmt ->
+       (match exec_stmt t stmt with
+        | Rows out -> out
+        | Text _ | Done _ -> err "not a SELECT: %s" sql))
 
 let explain t sql = Explain.plan (optimize t sql)
 

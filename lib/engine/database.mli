@@ -18,6 +18,31 @@ val ctx : t -> Ctx.t
 (** Optimization context with this database's defaults. *)
 
 val set_w : t -> float -> unit
+(** Change the optimizer's W weighting. Flushes the plan cache: cached plans
+    embed cost decisions made under the old weighting. *)
+
+(** {2 Compiled-plan cache}
+
+    SELECT statements executed through {!exec} / {!query} are fingerprinted
+    after canonicalization ({!Normalize.fingerprint}): statements differing
+    only in WHERE literals share one parameterized plan, re-optimized only
+    when a dependency's statistics version moves (UPDATE STATISTICS, index
+    DDL, DROP/CREATE TABLE). {!query} additionally remembers statement text,
+    so an exact repeat skips parsing and fingerprinting altogether.
+    Hit/miss/invalidation counts surface through {!Rss.Counters} and the
+    EXPLAIN output. On by default. *)
+
+val set_plan_cache : t -> bool -> unit
+(** Disabling also clears the cache. *)
+
+val plan_cache_enabled : t -> bool
+val plan_cache_size : t -> int
+val clear_plan_cache : t -> unit
+
+val cached_plan : t -> string -> Optimizer.result option
+(** Probe the cache for the plan this SELECT would be served (no counter
+    updates; a stale entry found by the probe is evicted). [None] on miss or
+    when the statement is uncacheable. *)
 
 val wal : t -> Rss.Wal.t
 (** The write-ahead log (append-only; serialize with {!Rss.Wal.to_bytes}). *)

@@ -1,0 +1,95 @@
+(* Compiled-plan cache: optimized results keyed by statement fingerprint
+   (Normalize.fingerprint), invalidated precisely through per-relation
+   stats_version counters. An entry records, for every relation any of its
+   blocks scans, the (name, rel_id, stats_version) triple observed at
+   compile time; a probe revalidates against the live catalog, so
+   UPDATE STATISTICS or index DDL on a dependency (which bump the version)
+   and DROP/CREATE TABLE (which change or remove the rel_id) each retire
+   exactly the plans that depended on the changed relation. *)
+
+type dep = {
+  rel_name : string;
+  rel_id : int;
+  version : int;
+}
+
+type entry = {
+  result : Optimizer.result;
+  deps : dep list;
+}
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  texts : (string, string * Rel.Value.t list) Hashtbl.t;
+      (* statement text -> (fingerprint key, extracted literals): identical
+         text repeats skip parsing and fingerprinting entirely — the hit
+         path of [Database.query] costs a hash lookup and a version check *)
+  mutable enabled : bool;
+}
+
+type probe =
+  | Hit of Optimizer.result
+  | Miss
+  | Invalidated
+
+let create () =
+  { tbl = Hashtbl.create 64; texts = Hashtbl.create 64; enabled = true }
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  Hashtbl.reset t.texts
+
+let set_enabled t on =
+  t.enabled <- on;
+  if not on then clear t
+
+let enabled t = t.enabled
+
+let size t = Hashtbl.length t.tbl
+
+let rec blocks_of (r : Optimizer.result) acc =
+  List.fold_left
+    (fun acc (_, sub) -> blocks_of sub acc)
+    (r.Optimizer.block :: acc) r.Optimizer.subresults
+
+let deps_of (r : Optimizer.result) =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Semant.block) ->
+      List.iter
+        (fun (tr : Semant.table_ref) ->
+          let rel = tr.Semant.rel in
+          Hashtbl.replace seen rel.Catalog.rel_id
+            { rel_name = rel.Catalog.rel_name;
+              rel_id = rel.Catalog.rel_id;
+              version = rel.Catalog.stats_version })
+        b.Semant.tables)
+    (blocks_of r []);
+  Hashtbl.fold (fun _ d acc -> d :: acc) seen []
+
+let valid cat e =
+  List.for_all
+    (fun d ->
+      match Catalog.find_relation cat d.rel_name with
+      | Some rel ->
+        rel.Catalog.rel_id = d.rel_id && rel.Catalog.stats_version = d.version
+      | None -> false)
+    e.deps
+
+let find t cat key =
+  if not t.enabled then Miss
+  else
+    match Hashtbl.find_opt t.tbl key with
+    | None -> Miss
+    | Some e when valid cat e -> Hit e.result
+    | Some _ ->
+      Hashtbl.remove t.tbl key;
+      Invalidated
+
+let store t key r =
+  if t.enabled then Hashtbl.replace t.tbl key { result = r; deps = deps_of r }
+
+let memo_text t ~sql ~key ~values =
+  if t.enabled then Hashtbl.replace t.texts sql (key, values)
+
+let text_entry t sql = if t.enabled then Hashtbl.find_opt t.texts sql else None

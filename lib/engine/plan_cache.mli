@@ -1,0 +1,43 @@
+(** Compiled-plan cache with precise statistics-version invalidation.
+
+    Statements are keyed by {!Normalize.fingerprint} — same shape, different
+    WHERE literals share one parameterized plan. Each entry remembers the
+    [stats_version] of every relation its blocks scan; a probe revalidates
+    against the live catalog, so UPDATE STATISTICS or index DDL retires
+    exactly the plans depending on the changed relation, and a dropped or
+    recreated table (rel_id change) can never serve a stale plan. *)
+
+type t
+
+type probe =
+  | Hit of Optimizer.result  (** valid cached plan, execute with rebinding *)
+  | Miss                     (** nothing cached (or cache disabled) *)
+  | Invalidated              (** cached plan found stale and evicted *)
+
+val create : unit -> t
+
+val clear : t -> unit
+(** Drop every entry (e.g. when the optimizer's W changes: cached plans
+    embed cost decisions made under the old weighting). *)
+
+val set_enabled : t -> bool -> unit
+(** Disabling also clears: re-enabling starts cold. *)
+
+val enabled : t -> bool
+val size : t -> int
+
+val find : t -> Catalog.t -> string -> probe
+
+val store : t -> string -> Optimizer.result -> unit
+(** No-op when disabled. Dependencies are captured from the result's blocks
+    at store time. *)
+
+(** {2 Statement-text layer}
+
+    Identical statement text always canonicalizes to the same fingerprint
+    and literal vector, so remembering [text -> (key, values)] lets a repeat
+    of the exact same string skip parsing and fingerprinting — the hit path
+    becomes a hash lookup plus the stats_version check. *)
+
+val memo_text : t -> sql:string -> key:string -> values:Rel.Value.t list -> unit
+val text_entry : t -> string -> (string * Rel.Value.t list) option

@@ -92,6 +92,21 @@ let find_range ~tab ~col ~dir app =
               when c.Semant.tab = tab && c.Semant.col = col ->
               Some { r_factor = f; r_value = Plan.Bv_param i;
                      r_inclusive = (op = Ast.Le) }
+            (* BETWEEN with a placeholder bound (the all-const form is the
+               [f.between] case above); the const side of a mixed BETWEEN
+               still provides its bound *)
+            | Semant.P_between (Semant.E_col c, Semant.E_param i, _), `Lo
+              when c.Semant.tab = tab && c.Semant.col = col ->
+              Some { r_factor = f; r_value = Plan.Bv_param i; r_inclusive = true }
+            | Semant.P_between (Semant.E_col c, Semant.E_const v, _), `Lo
+              when c.Semant.tab = tab && c.Semant.col = col ->
+              Some { r_factor = f; r_value = Plan.Bv_const v; r_inclusive = true }
+            | Semant.P_between (Semant.E_col c, _, Semant.E_param i), `Hi
+              when c.Semant.tab = tab && c.Semant.col = col ->
+              Some { r_factor = f; r_value = Plan.Bv_param i; r_inclusive = true }
+            | Semant.P_between (Semant.E_col c, _, Semant.E_const v), `Hi
+              when c.Semant.tab = tab && c.Semant.col = col ->
+              Some { r_factor = f; r_value = Plan.Bv_const v; r_inclusive = true }
             | _ -> None)))
     app
 

@@ -4,6 +4,7 @@ type t = {
   buffer_pages : int;
   use_heuristic : bool;
   use_interesting_orders : bool;
+  use_bnb : bool;
   refined_pages : bool;
 }
 
@@ -25,12 +26,13 @@ type idx_stats = {
 let default_w = 0.5
 
 let create ?(w = default_w) ?buffer_pages ?(use_heuristic = true)
-    ?(use_interesting_orders = true) ?(refined_pages = false) catalog =
+    ?(use_interesting_orders = true) ?(use_bnb = true) ?(refined_pages = false)
+    catalog =
   let buffer_pages =
     Option.value buffer_pages
       ~default:(Rss.Pager.buffer_pages (Catalog.pager catalog))
   in
-  { catalog; w; buffer_pages; use_heuristic; use_interesting_orders;
+  { catalog; w; buffer_pages; use_heuristic; use_interesting_orders; use_bnb;
     refined_pages }
 
 (* "We assume that a lack of statistics implies that the relation is small,
@@ -57,11 +59,16 @@ let idx_stats t (idx : Catalog.index) =
       unique = false }
   | Some s ->
     let icard = float_of_int (max 1 s.Stats.icard) in
+    (* UPDATE STATISTICS measures the fraction of consecutive index entries
+       sharing a data page; when that ratio is decisively high the index
+       behaves as clustered regardless of how it was declared, so cost it
+       that way. The declared flag still wins when no ratio is measured. *)
+    let clustered = idx.clustered || s.Stats.cluster_ratio >= 0.8 in
     { icard;
       nindx = float_of_int (max 1 s.Stats.nindx);
       low = s.Stats.low_key;
       high = s.Stats.high_key;
-      clustered = idx.clustered;
+      clustered;
       unique = icard >= r.ncard && r.ncard > 0. }
 
 let indexes_of t rel = Catalog.indexes_on t.catalog rel

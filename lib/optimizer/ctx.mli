@@ -14,6 +14,12 @@ type t = {
   use_interesting_orders : bool;
       (** keep cheapest plan per order equivalence class (ablation A2);
           off = keep only the globally cheapest, sort at the end *)
+  use_bnb : bool;
+      (** branch-and-bound pruning: seed an upper bound with a greedy
+          left-deep plan and never retain a partial plan whose total cost
+          already exceeds it. Cost is monotone along plan extensions, so the
+          chosen plan is identical with the switch on or off — only
+          [plans_considered] shrinks. *)
   refined_pages : bool;
       (** extension (off by default, the paper's formulas apply): estimate
           the data pages a non-clustered matching scan touches with the
@@ -45,6 +51,7 @@ val create :
   ?buffer_pages:int ->
   ?use_heuristic:bool ->
   ?use_interesting_orders:bool ->
+  ?use_bnb:bool ->
   ?refined_pages:bool ->
   Catalog.t ->
   t

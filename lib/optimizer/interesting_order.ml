@@ -89,6 +89,25 @@ let truncate_interesting env block factors o =
   in
   go o
 
+(* Hash-consed order keys: solution tables compare many truncated orders per
+   pruning pass, so map each distinct order to a small int once and let the
+   hot path hash ints instead of column-ref lists. *)
+type interner = {
+  ids : (order, int) Hashtbl.t;
+  mutable next : int;
+}
+
+let interner () = { ids = Hashtbl.create 16; next = 0 }
+
+let intern t o =
+  match Hashtbl.find_opt t.ids o with
+  | Some id -> id
+  | None ->
+    let id = t.next in
+    t.next <- id + 1;
+    Hashtbl.add t.ids o id;
+    id
+
 let pp_order ppf o =
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")

@@ -43,4 +43,14 @@ val truncate_interesting : env -> Semant.block -> Normalize.factor list -> order
     interesting; two plans whose truncations agree are interchangeable for
     all later decisions, so solution tables key on this. *)
 
+type interner
+(** Hash-consing table mapping distinct (already canonicalized/truncated)
+    orders to dense int keys, so solution pruning hashes ints rather than
+    column-ref lists. *)
+
+val interner : unit -> interner
+
+val intern : interner -> order -> int
+(** Stable id for [order]; equal orders always yield the same id. *)
+
 val pp_order : Format.formatter -> order -> unit

@@ -5,6 +5,9 @@ type t = {
   mutable pages_written : int;
   mutable sort_runs : int;
   mutable merge_passes : int;
+  mutable plan_cache_hits : int;
+  mutable plan_cache_misses : int;
+  mutable plan_cache_invalidations : int;
 }
 
 let create () =
@@ -13,7 +16,10 @@ let create () =
     rsi_calls = 0;
     pages_written = 0;
     sort_runs = 0;
-    merge_passes = 0 }
+    merge_passes = 0;
+    plan_cache_hits = 0;
+    plan_cache_misses = 0;
+    plan_cache_invalidations = 0 }
 
 let reset t =
   t.page_fetches <- 0;
@@ -21,7 +27,10 @@ let reset t =
   t.rsi_calls <- 0;
   t.pages_written <- 0;
   t.sort_runs <- 0;
-  t.merge_passes <- 0
+  t.merge_passes <- 0;
+  t.plan_cache_hits <- 0;
+  t.plan_cache_misses <- 0;
+  t.plan_cache_invalidations <- 0
 
 let snapshot t =
   { page_fetches = t.page_fetches;
@@ -29,7 +38,10 @@ let snapshot t =
     rsi_calls = t.rsi_calls;
     pages_written = t.pages_written;
     sort_runs = t.sort_runs;
-    merge_passes = t.merge_passes }
+    merge_passes = t.merge_passes;
+    plan_cache_hits = t.plan_cache_hits;
+    plan_cache_misses = t.plan_cache_misses;
+    plan_cache_invalidations = t.plan_cache_invalidations }
 
 let diff ~after ~before =
   { page_fetches = after.page_fetches - before.page_fetches;
@@ -37,12 +49,18 @@ let diff ~after ~before =
     rsi_calls = after.rsi_calls - before.rsi_calls;
     pages_written = after.pages_written - before.pages_written;
     sort_runs = after.sort_runs - before.sort_runs;
-    merge_passes = after.merge_passes - before.merge_passes }
+    merge_passes = after.merge_passes - before.merge_passes;
+    plan_cache_hits = after.plan_cache_hits - before.plan_cache_hits;
+    plan_cache_misses = after.plan_cache_misses - before.plan_cache_misses;
+    plan_cache_invalidations =
+      after.plan_cache_invalidations - before.plan_cache_invalidations }
 
 let cost ~w t =
   float_of_int (t.page_fetches + t.pages_written) +. (w *. float_of_int t.rsi_calls)
 
 let pp ppf t =
-  Format.fprintf ppf "fetches=%d hits=%d rsi=%d written=%d runs=%d merges=%d"
+  Format.fprintf ppf
+    "fetches=%d hits=%d rsi=%d written=%d runs=%d merges=%d plan-cache=%d/%d/%d"
     t.page_fetches t.buffer_hits t.rsi_calls t.pages_written t.sort_runs
-    t.merge_passes
+    t.merge_passes t.plan_cache_hits t.plan_cache_misses
+    t.plan_cache_invalidations

@@ -17,6 +17,12 @@ type t = {
   mutable pages_written : int; (** temp-list / sort output pages *)
   mutable sort_runs : int;     (** initial sorted runs spilled by external sorts *)
   mutable merge_passes : int;  (** merge levels performed over those runs *)
+  mutable plan_cache_hits : int;
+      (** statements served from the compiled-plan cache *)
+  mutable plan_cache_misses : int;
+      (** statements optimized from scratch (no usable cached plan) *)
+  mutable plan_cache_invalidations : int;
+      (** cached plans discarded because a dependency's stats_version moved *)
 }
 
 val create : unit -> t

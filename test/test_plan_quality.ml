@@ -160,12 +160,24 @@ let test_heuristic_tradeoff () =
     "SELECT NAME FROM EMP, DEPT, JOB WHERE EMP.DNO = DEPT.DNO AND EMP.JOB = \
      JOB.JOB AND TITLE = 'CLERK' AND LOC = 'DENVER'"
   in
-  let with_h = Database.optimize db sql in
-  let ctx = Ctx.create ~use_heuristic:false (Database.catalog db) in
+  (* hold branch-and-bound fixed (off) for the search-space comparison: the
+     bound an exhaustive greedy seed finds can prune harder than the
+     heuristic's smaller candidate set, confounding the ablation *)
+  let ctx_h = Ctx.create ~use_bnb:false (Database.catalog db) in
+  let with_h = Database.optimize ~ctx:ctx_h db sql in
+  let ctx = Ctx.create ~use_heuristic:false ~use_bnb:false (Database.catalog db) in
   let without_h = Database.optimize ~ctx db sql in
   Alcotest.(check bool) "heuristic searches less" true
     (with_h.Optimizer.search.Join_enum.plans_considered
      < without_h.Optimizer.search.Join_enum.plans_considered);
+  (* and branch-and-bound only ever shrinks the space *)
+  let with_bnb = Database.optimize db sql in
+  Alcotest.(check bool) "bnb searches less" true
+    (with_bnb.Optimizer.search.Join_enum.plans_considered
+     < with_h.Optimizer.search.Join_enum.plans_considered);
+  Alcotest.(check string) "bnb same plan"
+    (Plan.describe with_h.Optimizer.plan)
+    (Plan.describe with_bnb.Optimizer.plan);
   let block = with_h.Optimizer.block in
   let c1, n1 = measure db block with_h.Optimizer.plan in
   let c2, n2 = measure db block without_h.Optimizer.plan in
