@@ -1,0 +1,41 @@
+let db = Engine.Database.create ()
+let e sql = ignore (Engine.Database.exec db sql)
+let rows sql =
+  let out = Engine.Database.query db sql in
+  List.length out.Executor.rows
+
+let () =
+  e "CREATE TABLE t (a INT, b STR)";
+  for i = 1 to 10 do
+    e (Printf.sprintf "INSERT INTO t VALUES (%d, 'x%d')" i i)
+  done;
+  (* const-const predicates share a shape *)
+  Printf.printf "WHERE 1=2 -> %d rows\n" (rows "SELECT * FROM t WHERE 1 = 2");
+  Printf.printf "WHERE 3=3 -> %d rows\n" (rows "SELECT * FROM t WHERE 3 = 3");
+  (* same shape, different literals: cache hit must rebind *)
+  Printf.printf "a<3 -> %d rows\n" (rows "SELECT * FROM t WHERE a < 3");
+  Printf.printf "a<9 -> %d rows\n" (rows "SELECT * FROM t WHERE a < 9");
+  (* BETWEEN mixed *)
+  Printf.printf "between 2 and 5 -> %d rows\n" (rows "SELECT * FROM t WHERE a BETWEEN 2 AND 5");
+  Printf.printf "between 4 and 10 -> %d rows\n" (rows "SELECT * FROM t WHERE a BETWEEN 4 AND 10");
+  (* exact text repeat = fast path *)
+  Printf.printf "repeat a<3 -> %d rows\n" (rows "SELECT * FROM t WHERE a < 3");
+  Printf.printf "cache size=%d\n" (Engine.Database.plan_cache_size db);
+  (* DML via query (text fast path guard): INSERT through query should error *)
+  (try ignore (rows "INSERT INTO t VALUES (99, 'z')") with Engine.Database.Error m -> Printf.printf "insert via query: error %s\n" m);
+  (* string vs int literal, same shape: must not collide *)
+  Printf.printf "b='x3' -> %d rows\n" (rows "SELECT * FROM t WHERE b = 'x3'");
+  (* index DDL invalidation then reuse *)
+  e "CREATE INDEX ia ON t (a)";
+  Printf.printf "after index a<3 -> %d rows\n" (rows "SELECT * FROM t WHERE a < 3");
+  e "UPDATE STATISTICS";
+  Printf.printf "after stats a<9 -> %d rows\n" (rows "SELECT * FROM t WHERE a < 9");
+  (* drop/recreate table *)
+  e "DROP TABLE t";
+  e "CREATE TABLE t (a INT, b STR)";
+  e "INSERT INTO t VALUES (1, 'y')";
+  Printf.printf "after recreate a<3 -> %d rows\n" (rows "SELECT * FROM t WHERE a < 3");
+  let c = Rss.Pager.counters (Engine.Database.pager db) in
+  Printf.printf "hits=%d misses=%d inval=%d\n"
+    c.Rss.Counters.plan_cache_hits c.Rss.Counters.plan_cache_misses
+    c.Rss.Counters.plan_cache_invalidations
