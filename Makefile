@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke clean
+.PHONY: all build test check bench bench-smoke fuzz clean
 
 all: build
 
@@ -10,6 +10,14 @@ test:
 
 # tier-1 gate: everything CI runs on each change
 check: build test bench-smoke
+
+# differential fuzzing: random queries cross-checked against the naive
+# oracle under every engine configuration (see DESIGN.md); FUZZ_SEED and
+# FUZZ_COUNT override the defaults
+FUZZ_SEED ?= 42
+FUZZ_COUNT ?= 300
+fuzz:
+	dune exec fuzz/fuzz_main.exe -- --seed $(FUZZ_SEED) --count $(FUZZ_COUNT)
 
 # full bench suite at paper-scale inputs (writes BENCH_*.json)
 bench:

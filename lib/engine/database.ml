@@ -41,6 +41,7 @@ let set_w t w =
   Plan_cache.clear t.plan_cache
 
 let set_plan_cache t on = Plan_cache.set_enabled t.plan_cache on
+let set_plan_cache_validation t on = Plan_cache.set_validation t.plan_cache on
 let plan_cache_enabled t = Plan_cache.enabled t.plan_cache
 let plan_cache_size t = Plan_cache.size t.plan_cache
 let clear_plan_cache t = Plan_cache.clear t.plan_cache

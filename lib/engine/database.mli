@@ -35,6 +35,11 @@ val set_w : t -> float -> unit
 val set_plan_cache : t -> bool -> unit
 (** Disabling also clears the cache. *)
 
+val set_plan_cache_validation : t -> bool -> unit
+(** Debug hook for the fuzz harness: with validation off the cache serves
+    entries without checking their dependencies' stats versions, so stale
+    plans survive DDL. Never disable in normal operation. *)
+
 val plan_cache_enabled : t -> bool
 val plan_cache_size : t -> int
 val clear_plan_cache : t -> unit

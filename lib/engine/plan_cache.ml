@@ -25,6 +25,10 @@ type t = {
          text repeats skip parsing and fingerprinting entirely — the hit
          path of [Database.query] costs a hash lookup and a version check *)
   mutable enabled : bool;
+  mutable validate : bool;
+      (* debug hook: when false, probes skip the dep check and serve whatever
+         is cached — used by the fuzz harness to prove the differential
+         tester catches stale-plan corruption (fuzz_main --break-invalidation) *)
 }
 
 type probe =
@@ -33,7 +37,8 @@ type probe =
   | Invalidated
 
 let create () =
-  { tbl = Hashtbl.create 64; texts = Hashtbl.create 64; enabled = true }
+  { tbl = Hashtbl.create 64; texts = Hashtbl.create 64; enabled = true;
+    validate = true }
 
 let clear t =
   Hashtbl.reset t.tbl;
@@ -44,6 +49,8 @@ let set_enabled t on =
   if not on then clear t
 
 let enabled t = t.enabled
+
+let set_validation t on = t.validate <- on
 
 let size t = Hashtbl.length t.tbl
 
@@ -81,7 +88,7 @@ let find t cat key =
   else
     match Hashtbl.find_opt t.tbl key with
     | None -> Miss
-    | Some e when valid cat e -> Hit e.result
+    | Some e when (not t.validate) || valid cat e -> Hit e.result
     | Some _ ->
       Hashtbl.remove t.tbl key;
       Invalidated

@@ -26,6 +26,12 @@ val set_enabled : t -> bool -> unit
 val enabled : t -> bool
 val size : t -> int
 
+val set_validation : t -> bool -> unit
+(** Debug hook: with validation off, probes skip the dependency check and
+    serve whatever is cached, stale or not. Exists so the differential fuzz
+    harness can demonstrate that it detects stale-plan corruption; never
+    disable in normal operation. *)
+
 val find : t -> Catalog.t -> string -> probe
 
 val store : t -> string -> Optimizer.result -> unit

@@ -1,0 +1,382 @@
+(* Seeded random generation of schemas, data and query blocks for the
+   differential fuzz harness.
+
+   Everything stays inside the grammar the oracle (Fuzz_oracle) evaluates
+   and the semantic checker accepts by construction:
+   - every column reference is alias-qualified (Q0..Q3 outer, S<n> in
+     subqueries), so reference analysis in the shrinker is exact;
+   - comparisons pair same-type-class operands; arithmetic and SUM/AVG touch
+     INT columns only, so aggregate folds are exact integer arithmetic on
+     both the engine and the oracle (no float-associativity false alarms —
+     AVG divides the exact integer sum once, identically on both sides);
+   - grouped SELECT lists hold only grouping columns, aggregates and
+     constants; scalar-aggregate blocks hold only aggregates; ORDER BY names
+     plain columns present in the SELECT list (the executor requires this
+     for grouped blocks, and the harness needs the positions to verify
+     sortedness);
+   - subqueries select exactly one column; scalar subqueries are
+     scalar-aggregate blocks, so they return exactly one row.
+
+   Table row counts are capped so the oracle's cross product stays small
+   (the FROM-list row product is bounded at generation time). *)
+
+module V = Rel.Value
+
+type column = {
+  cname : string;
+  cty : V.ty;        (* Tint or Tstr *)
+  distinct : int;    (* 1..6; 1 gives a constant column (degenerate range) *)
+  null_pct : int;    (* 0 | 10 | 40 *)
+  skew : float;      (* 0. = uniform, 1.2 = zipf-skewed *)
+}
+
+type table = {
+  tname : string;
+  cols : column list;
+  rows : V.t list list;
+  indexes : (string * string list * bool) list;  (* name, key cols, clustered *)
+}
+
+type scenario = { tables : table list }
+
+(* --- scenario ---------------------------------------------------------- *)
+
+let pick rng arr = arr.(Random.State.int rng (Array.length arr))
+
+let gen_column rng ~table_idx ~col_idx ~force_int =
+  let cty =
+    if force_int then V.Tint
+    else if Random.State.int rng 3 = 0 then V.Tstr
+    else V.Tint
+  in
+  { cname = Printf.sprintf "c%d" col_idx;
+    cty;
+    distinct = 1 + Random.State.int rng 6;
+    null_pct = pick rng [| 0; 0; 10; 40 |];
+    skew = pick rng [| 0.; 0.; 1.2 |] }
+  |> fun c -> ignore table_idx; c
+
+let gen_value rng (sample : unit -> int) (c : column) =
+  if Random.State.int rng 100 < c.null_pct then V.Null
+  else
+    let k = sample () in
+    match c.cty with
+    | V.Tint -> V.Int k
+    | V.Tstr -> V.Str (Printf.sprintf "v%d" k)
+    | V.Tfloat -> assert false
+
+let gen_table rng ~idx =
+  let ncols = 2 + Random.State.int rng 3 in
+  let cols =
+    List.init ncols (fun j ->
+        gen_column rng ~table_idx:idx ~col_idx:j ~force_int:(j = 0))
+  in
+  let nrows = Random.State.int rng 15 in
+  let samplers =
+    List.map
+      (fun c -> Workload.zipf_sampler rng ~n:c.distinct ~s:c.skew)
+      cols
+  in
+  let rows =
+    List.init nrows (fun _ ->
+        List.map2 (fun c s -> gen_value rng s c) cols samplers)
+  in
+  let tname = Printf.sprintf "t%d" idx in
+  let indexes =
+    if Random.State.int rng 10 < 7 then begin
+      let n_idx = 1 + Random.State.int rng 2 in
+      List.init (min n_idx ncols) (fun k ->
+          let col = List.nth cols ((k + Random.State.int rng ncols) mod ncols) in
+          let key =
+            if Random.State.int rng 4 = 0 && ncols > 1 then
+              let second = List.nth cols ((k + 1) mod ncols) in
+              if second.cname = col.cname then [ col.cname ]
+              else [ col.cname; second.cname ]
+            else [ col.cname ]
+          in
+          ( Printf.sprintf "i_%s_%d" tname k,
+            key,
+            k = 0 && Random.State.int rng 10 < 3 ))
+    end
+    else []
+  in
+  (* at most one clustered index, and it must come first *)
+  let indexes =
+    match indexes with
+    | (n, k, true) :: rest ->
+      (n, k, true) :: List.map (fun (n, k, _) -> (n, k, false)) rest
+    | l -> List.map (fun (n, k, _) -> (n, k, false)) l
+  in
+  { tname; cols; rows; indexes }
+
+let gen_scenario rng =
+  let ntables = 1 + Random.State.int rng 4 in
+  { tables = List.init ntables (fun i -> gen_table rng ~idx:i) }
+
+(* --- queries ----------------------------------------------------------- *)
+
+(* In-scope column: FROM alias plus its column descriptor. *)
+type scol = { alias : string; col : column }
+
+let col_expr (s : scol) =
+  Ast.Col { table = Some s.alias; column = s.col.cname }
+
+let lit rng (c : column) =
+  (* drawn from a slightly larger window than the column's domain so
+     out-of-range and boundary literals occur *)
+  let k = Random.State.int rng (c.distinct + 2) - 1 in
+  match c.cty with
+  | V.Tint -> V.Int k
+  | V.Tstr -> V.Str (Printf.sprintf "v%d" k)
+  | V.Tfloat -> assert false
+
+let cols_of_ty pool ty = List.filter (fun s -> s.col.cty = ty) pool
+let int_cols pool = cols_of_ty pool V.Tint
+
+let any_cmp rng = pick rng [| Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge |]
+
+(* Arithmetic over INT columns and small constants, depth <= 2. Division by a
+   constant that may be zero exercises the NULL-on-zero-divide semantics. *)
+let rec arith_expr rng depth pool =
+  let ints = int_cols pool in
+  if depth = 0 || ints = [] || Random.State.int rng 3 = 0 then
+    if ints <> [] && Random.State.int rng 4 > 0 then
+      col_expr (pick rng (Array.of_list ints))
+    else Ast.Const (V.Int (Random.State.int rng 7 - 2))
+  else
+    let op = pick rng [| Ast.Add; Ast.Sub; Ast.Mul; Ast.Div |] in
+    Ast.Binop (op, arith_expr rng (depth - 1) pool, arith_expr rng (depth - 1) pool)
+
+(* --- subqueries -------------------------------------------------------- *)
+
+(* Subqueries are one level deep: a single table aliased S<n>, an optional
+   simple WHERE that may correlate with the outer block's columns. *)
+let sub_counter = ref 0
+
+let sub_where rng (sub_pool : scol list) (outer_pool : scol list) =
+  if Random.State.int rng 5 < 2 then None
+  else
+    let s = pick rng (Array.of_list sub_pool) in
+    let p =
+      if Random.State.int rng 5 < 2 then
+        (* correlated: compare against an outer column of the same class *)
+        match cols_of_ty outer_pool s.col.cty with
+        | [] -> Ast.Cmp (col_expr s, any_cmp rng, Ast.Const (lit rng s.col))
+        | outs ->
+          Ast.Cmp (col_expr s, any_cmp rng, col_expr (pick rng (Array.of_list outs)))
+      else Ast.Cmp (col_expr s, any_cmp rng, Ast.Const (lit rng s.col))
+    in
+    Some p
+
+let gen_subquery rng scenario outer_pool ~want_ty ~scalar =
+  let candidates =
+    List.filter
+      (fun t ->
+        List.length t.rows <= 12
+        && List.exists (fun c -> c.cty = want_ty) t.cols)
+      scenario.tables
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+    let t = pick rng (Array.of_list candidates) in
+    let alias = Printf.sprintf "S%d" !sub_counter in
+    incr sub_counter;
+    let sub_pool = List.map (fun c -> { alias; col = c }) t.cols in
+    let target =
+      pick rng (Array.of_list (List.filter (fun s -> s.col.cty = want_ty) sub_pool))
+    in
+    let item =
+      if scalar then
+        (* scalar-aggregate block: exactly one row, one column *)
+        let fn =
+          if want_ty = V.Tint then
+            pick rng [| Ast.Max; Ast.Min; Ast.Sum; Ast.Count; Ast.Avg |]
+          else pick rng [| Ast.Max; Ast.Min |]
+        in
+        Ast.Sel_expr (Ast.Agg (fn, col_expr target), None)
+      else Ast.Sel_expr (col_expr target, None)
+    in
+    Some
+      { Ast.select = [ item ];
+        from = [ (t.tname, Some alias) ];
+        where = sub_where rng sub_pool outer_pool;
+        group_by = [];
+        order_by = [] }
+
+(* --- boolean factors --------------------------------------------------- *)
+
+let rec gen_factor rng scenario pool ~allow_sub =
+  let c = pick rng (Array.of_list pool) in
+  match Random.State.int rng 16 with
+  | 0 | 1 | 2 | 3 ->
+    (* column cmp constant; rarely a NULL literal (always-unknown) *)
+    let rhs =
+      if Random.State.int rng 12 = 0 then Ast.Const V.Null
+      else Ast.Const (lit rng c.col)
+    in
+    Ast.Cmp (col_expr c, any_cmp rng, rhs)
+  | 4 | 5 ->
+    (* column cmp column, same type class (joins when aliases differ) *)
+    (match cols_of_ty pool c.col.cty with
+     | [] | [ _ ] -> Ast.Cmp (col_expr c, any_cmp rng, Ast.Const (lit rng c.col))
+     | others ->
+       Ast.Cmp (col_expr c, any_cmp rng, col_expr (pick rng (Array.of_list others))))
+  | 6 | 7 ->
+    (match int_cols pool with
+     | [] -> Ast.Cmp (col_expr c, any_cmp rng, Ast.Const (lit rng c.col))
+     | ints ->
+       let ic = pick rng (Array.of_list ints) in
+       let a = Random.State.int rng (ic.col.distinct + 2) - 1 in
+       let d = Random.State.int rng 3 in
+       let lo, hi = if Random.State.int rng 6 = 0 then (a + d, a) else (a, a + d) in
+       Ast.Between (col_expr ic, Ast.Const (V.Int lo), Ast.Const (V.Int hi)))
+  | 8 | 9 ->
+    let n = 1 + Random.State.int rng 3 in
+    let vs = List.init n (fun _ -> lit rng c.col) in
+    let vs = if Random.State.int rng 8 = 0 then V.Null :: vs else vs in
+    Ast.In_list (col_expr c, vs)
+  | 10 ->
+    Ast.Or
+      ( gen_factor rng scenario pool ~allow_sub:false,
+        gen_factor rng scenario pool ~allow_sub:false )
+  | 11 -> Ast.Not (gen_factor rng scenario pool ~allow_sub:false)
+  | 12 when allow_sub ->
+    (match gen_subquery rng scenario pool ~want_ty:c.col.cty ~scalar:false with
+     | Some q -> Ast.In_subquery (col_expr c, q, Random.State.int rng 3 = 0)
+     | None -> Ast.Cmp (col_expr c, any_cmp rng, Ast.Const (lit rng c.col)))
+  | 13 when allow_sub ->
+    (match int_cols pool with
+     | [] -> Ast.Cmp (col_expr c, any_cmp rng, Ast.Const (lit rng c.col))
+     | ints ->
+       let ic = pick rng (Array.of_list ints) in
+       (match gen_subquery rng scenario pool ~want_ty:V.Tint ~scalar:true with
+        | Some q -> Ast.Cmp_subquery (col_expr ic, any_cmp rng, q)
+        | None -> Ast.Cmp (col_expr ic, any_cmp rng, Ast.Const (lit rng ic.col))))
+  | 14 ->
+    (* arithmetic vs constant *)
+    Ast.Cmp
+      ( arith_expr rng 2 pool,
+        any_cmp rng,
+        Ast.Const (V.Int (Random.State.int rng 9 - 2)) )
+  | _ ->
+    (* constant-constant (plan-cache shape sharing) *)
+    let a = Random.State.int rng 4 and b = Random.State.int rng 4 in
+    Ast.Cmp (Ast.Const (V.Int a), any_cmp rng, Ast.Const (V.Int b))
+
+let gen_where rng scenario pool =
+  if Random.State.int rng 5 = 0 then None
+  else begin
+    let n = 1 + Random.State.int rng 3 in
+    let fs = List.init n (fun _ -> gen_factor rng scenario pool ~allow_sub:true) in
+    match fs with
+    | [] -> None
+    | f :: rest -> Some (List.fold_left (fun a b -> Ast.And (a, b)) f rest)
+  end
+
+(* --- aggregates -------------------------------------------------------- *)
+
+let gen_agg rng pool =
+  let ints = int_cols pool in
+  if ints = [] || Random.State.int rng 4 = 0 then
+    Ast.Agg (Ast.Count, Ast.Const (V.Int 1))  (* COUNT star *)
+  else
+    let c = pick rng (Array.of_list ints) in
+    let fn = pick rng [| Ast.Count; Ast.Sum; Ast.Min; Ast.Max; Ast.Avg |] in
+    Ast.Agg (fn, col_expr c)
+
+(* --- query ------------------------------------------------------------- *)
+
+let gen_order_by rng (col_items : scol list) =
+  if col_items = [] || Random.State.int rng 5 < 3 then []
+  else begin
+    let n = min (1 + Random.State.int rng 2) (List.length col_items) in
+    let keys = ref [] in
+    let remaining = ref col_items in
+    for _ = 1 to n do
+      match !remaining with
+      | [] -> ()
+      | l ->
+        let s = pick rng (Array.of_list l) in
+        remaining := List.filter (fun x -> x != s) l;
+        let dir = if Random.State.int rng 3 = 0 then Ast.Desc else Ast.Asc in
+        keys := (col_expr s, dir) :: !keys
+    done;
+    List.rev !keys
+  end
+
+let gen_query rng (scenario : scenario) =
+  sub_counter := 0;
+  (* pick FROM entries keeping the oracle's cross product bounded *)
+  let budget = 2000 in
+  let tables = Array.of_list scenario.tables in
+  let nfrom = 1 + Random.State.int rng 3 in
+  let from = ref [] and product = ref 1 and n = ref 0 in
+  for i = 0 to nfrom - 1 do
+    let t = tables.(Random.State.int rng (Array.length tables)) in
+    let weight = max 1 (List.length t.rows) in
+    if !n = 0 || !product * weight <= budget then begin
+      from := (t, Printf.sprintf "Q%d" i) :: !from;
+      product := !product * weight;
+      incr n
+    end
+  done;
+  let from = List.rev !from in
+  let pool =
+    List.concat_map
+      (fun (t, alias) -> List.map (fun c -> { alias; col = c }) t.cols)
+      from
+  in
+  let where = gen_where rng scenario pool in
+  let mode = Random.State.int rng 5 in
+  let select, group_by, order_by =
+    if mode = 0 then begin
+      (* scalar aggregate: SELECT list is aggregates only *)
+      let n = 1 + Random.State.int rng 3 in
+      (List.init n (fun _ -> Ast.Sel_expr (gen_agg rng pool, None)), [], [])
+    end
+    else if mode = 1 then begin
+      (* GROUP BY: grouping columns + aggregates (+ an occasional constant) *)
+      let ngroup = min (1 + Random.State.int rng 2) (List.length pool) in
+      let gcols = ref [] and remaining = ref pool in
+      for _ = 1 to ngroup do
+        match !remaining with
+        | [] -> ()
+        | l ->
+          let s = pick rng (Array.of_list l) in
+          remaining := List.filter (fun x -> x != s) l;
+          gcols := s :: !gcols
+      done;
+      let gcols = List.rev !gcols in
+      let naggs = 1 + Random.State.int rng 2 in
+      let items =
+        List.map (fun s -> Ast.Sel_expr (col_expr s, None)) gcols
+        @ List.init naggs (fun _ -> Ast.Sel_expr (gen_agg rng pool, None))
+        @ (if Random.State.int rng 5 = 0 then
+             [ Ast.Sel_expr (Ast.Const (V.Int 7), None) ]
+           else [])
+      in
+      (items, List.map col_expr gcols, gen_order_by rng gcols)
+    end
+    else begin
+      (* plain projection *)
+      let n = 1 + Random.State.int rng 4 in
+      let picked = ref [] in
+      let items =
+        List.init n (fun _ ->
+            match Random.State.int rng 6 with
+            | 0 -> Ast.Sel_expr (arith_expr rng 2 pool, None)
+            | 1 -> Ast.Sel_expr (Ast.Const (lit rng (pick rng (Array.of_list pool)).col), None)
+            | _ ->
+              let s = pick rng (Array.of_list pool) in
+              picked := s :: !picked;
+              Ast.Sel_expr (col_expr s, None))
+      in
+      (items, [], gen_order_by rng (List.rev !picked))
+    end
+  in
+  { Ast.select;
+    from = List.map (fun (t, alias) -> (t.tname, Some alias)) from;
+    where;
+    group_by;
+    order_by }

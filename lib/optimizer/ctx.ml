@@ -107,7 +107,7 @@ let column_range t block c =
       match s.low, s.high with
       | Some lo, Some hi ->
         (match to_float lo, to_float hi with
-         | Some lo, Some hi when hi > lo -> Some (lo, hi)
+         | Some lo, Some hi when hi >= lo -> Some (lo, hi)
          | _ -> None)
       | _ -> None)
     (leading_indexes t block c)

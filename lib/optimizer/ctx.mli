@@ -69,6 +69,8 @@ val column_icard : t -> Semant.block -> Semant.col_ref -> float option
 
 val column_range : t -> Semant.block -> Semant.col_ref -> (float * float) option
 (** (low, high) key values for interpolation, when an index provides them and
-    the column is arithmetic. *)
+    the column is arithmetic. [low = high] (a constant-valued column) is a
+    valid, degenerate range — callers decide comparisons against it outright
+    rather than interpolating. *)
 
 val tuples_per_page : t -> Catalog.relation -> float

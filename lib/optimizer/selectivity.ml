@@ -18,7 +18,10 @@ let col_eq_col ctx block c1 c2 =
   | None, None -> 1. /. 10.
 
 (* column > value (or any other open comparison): linear interpolation when
-   the column is arithmetic and the value known at access path selection. *)
+   the column is arithmetic and the value known at access path selection.
+   A degenerate key range (high = low: every tuple carries the single key
+   value) is decided outright by that value — eq-like, not the 1/3 default
+   the interpolation guard used to fall through to. *)
 let range_selectivity ctx block c op (v : Rel.Value.t) =
   match Ctx.column_range ctx block c, Rel.Value.to_float v with
   | Some (low, high), Some value when high > low ->
@@ -29,6 +32,16 @@ let range_selectivity ctx block c op (v : Rel.Value.t) =
       | Ast.Eq | Ast.Ne -> assert false
     in
     clamp f
+  | Some (low, high), Some value when high = low ->
+    let sat =
+      match op with
+      | Ast.Gt -> low > value
+      | Ast.Ge -> low >= value
+      | Ast.Lt -> low < value
+      | Ast.Le -> low <= value
+      | Ast.Eq | Ast.Ne -> assert false
+    in
+    if sat then 1. else 0.
   | _ -> 1. /. 3.
 
 let between_selectivity ctx block c lo hi =
@@ -37,6 +50,9 @@ let between_selectivity ctx block c lo hi =
   with
   | Some (low, high), Some v1, Some v2 when high > low ->
     clamp ((v2 -. v1) /. (high -. low))
+  | Some (low, high), Some v1, Some v2 when high = low ->
+    (* single-key column: the whole relation is in or out of the range *)
+    if low >= v1 && low <= v2 then 1. else 0.
   | _ -> 1. /. 4.
 
 let rec factor ctx block (p : spred) =

@@ -35,7 +35,10 @@ val sub : t -> t -> t
 val mul : t -> t -> t
 val div : t -> t -> t
 (** Arithmetic on numeric values. [Null] propagates; mixing [Int] and
-    [Float] promotes to [Float].
+    [Float] promotes to [Float]. [div] by zero (integer or float) yields
+    [Null], per SQL semantics — a query never raises on division; the
+    resulting NULL then flows through three-valued predicate logic, so e.g.
+    [WHERE a / 0 = 1] qualifies no rows.
     @raise Invalid_argument on string operands. *)
 
 val serialized_size : t -> int

@@ -262,6 +262,21 @@ let column_type st =
   | Lexer.Kw "INT" -> advance st; Rel.Value.Tint
   | Lexer.Kw "FLOAT" -> advance st; Rel.Value.Tfloat
   | Lexer.Kw "STRING" -> advance st; Rel.Value.Tstr
+  | Lexer.Ident id
+    when (let u = String.uppercase_ascii id in u = "CHAR" || u = "VARCHAR") ->
+    (* CHAR(n) / VARCHAR(n) are aliases for STRING; strings are stored
+       variable-length, so the declared length is accepted and ignored *)
+    advance st;
+    if accept_sym st "(" then begin
+      (match peek st with
+       | Lexer.Int_lit n when n > 0 -> advance st
+       | t ->
+         fail st
+           (Format.asprintf "expected positive character length, found %a"
+              Lexer.pp_token t));
+      expect_sym st ")"
+    end;
+    Rel.Value.Tstr
   | t -> fail st (Format.asprintf "expected column type, found %a" Lexer.pp_token t)
 
 let statement st =

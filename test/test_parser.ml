@@ -156,6 +156,27 @@ let test_statements () =
    | A.Explain _ -> ()
    | _ -> Alcotest.fail "explain")
 
+let test_char_varchar_aliases () =
+  (* CHAR(n) / VARCHAR(n) are aliases for STRING; the length is accepted and
+     ignored (strings are stored variable-length) *)
+  (match parse_stmt "CREATE TABLE T (A INT, B CHAR(8), C VARCHAR(32), D varchar(1), E CHAR)" with
+   | A.Create_table { table = "T"; columns } ->
+     Alcotest.(check (list string))
+       "types"
+       [ "INT"; "STRING"; "STRING"; "STRING"; "STRING" ]
+       (List.map (fun (c : A.column_def) -> V.ty_to_string c.A.col_ty) columns)
+   | _ -> Alcotest.fail "create table with char/varchar");
+  (* a non-positive or missing length inside parentheses is rejected *)
+  let bad s =
+    match parse_stmt s with
+    | _ -> Alcotest.fail ("accepted: " ^ s)
+    | exception Parser.Error _ -> ()
+  in
+  bad "CREATE TABLE T (B CHAR(0))";
+  bad "CREATE TABLE T (B CHAR(-3))";
+  bad "CREATE TABLE T (B VARCHAR())";
+  bad "CREATE TABLE T (B VARCHAR(x))"
+
 let test_script () =
   let stmts = Parser.parse_script "CREATE TABLE T (A INT); INSERT INTO T VALUES (1);" in
   Alcotest.(check int) "two statements" 2 (List.length stmts)
@@ -277,6 +298,8 @@ let () =
           Alcotest.test_case "count(*) and negatives" `Quick test_count_star_and_negatives;
           Alcotest.test_case "parenthesized predicates" `Quick test_parenthesized_predicates;
           Alcotest.test_case "statements" `Quick test_statements;
+          Alcotest.test_case "char/varchar type aliases" `Quick
+            test_char_varchar_aliases;
           Alcotest.test_case "script" `Quick test_script;
           Alcotest.test_case "syntax errors" `Quick test_syntax_errors ] );
       ("props", [ QCheck_alcotest.to_alcotest prop_pp_roundtrip ]) ]

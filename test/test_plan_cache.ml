@@ -266,6 +266,57 @@ let test_cache_off_vs_on_workload () =
   Alcotest.(check int) "entries populated" (List.length workload_corpus)
     (Database.plan_cache_size db)
 
+(* Assertions folded in from the former review_probe/ scratch executable:
+   const-const predicate shapes share a cached plan but rebind correctly,
+   DML through the SELECT-only [query] entry point errors, and string vs
+   int literals of the same shape never collide. *)
+let test_probe_assertions () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (a INT, b STRING)");
+  for i = 1 to 10 do
+    ignore (Database.exec db (Printf.sprintf "INSERT INTO t VALUES (%d, 'x%d')" i i))
+  done;
+  let n sql = List.length (Database.query db sql).Executor.rows in
+  (* const-const predicates share a shape; rebinding must not leak the
+     always-false plan into the always-true probe *)
+  Alcotest.(check int) "WHERE 1=2" 0 (n "SELECT * FROM t WHERE 1 = 2");
+  Alcotest.(check int) "WHERE 3=3" 10 (n "SELECT * FROM t WHERE 3 = 3");
+  (* same shape, different literals: rebinding through the cache *)
+  Alcotest.(check int) "a<3" 2 (n "SELECT * FROM t WHERE a < 3");
+  Alcotest.(check int) "a<9" 8 (n "SELECT * FROM t WHERE a < 9");
+  (* exact text repeat takes the memo fast path, same answer *)
+  let hits0 = (counters db).Rss.Counters.plan_cache_hits in
+  Alcotest.(check int) "repeat a<3" 2 (n "SELECT * FROM t WHERE a < 3");
+  Alcotest.(check bool) "text repeat hits" true
+    ((counters db).Rss.Counters.plan_cache_hits > hits0);
+  (* string vs int literal with the same shape must not collide *)
+  Alcotest.(check int) "b='x3'" 1 (n "SELECT * FROM t WHERE b = 'x3'");
+  Alcotest.(check int) "a<3 after string probe" 2 (n "SELECT * FROM t WHERE a < 3");
+  (* DML through the SELECT-only entry point errors *)
+  (match Database.query db "INSERT INTO t VALUES (99, 'z')" with
+   | _ -> Alcotest.fail "INSERT accepted by query"
+   | exception Database.Error _ -> ());
+  Alcotest.(check bool) "entries cached" true (Database.plan_cache_size db > 0)
+
+(* The fuzz harness's fault-injection hook: with dependency validation off,
+   DROP/CREATE TABLE leaves a stale plan in the cache and the engine serves
+   wrong rows — with it on (the default), never. *)
+let test_validation_hook () =
+  let run validate =
+    let db = Database.create () in
+    Database.set_plan_cache_validation db validate;
+    ignore (Database.exec db "CREATE TABLE t (a INT)");
+    ignore (Database.exec db "INSERT INTO t VALUES (1), (2), (3)");
+    ignore (Database.query db "SELECT a FROM t WHERE a >= 0");  (* warm *)
+    ignore (Database.exec db "DROP TABLE t");
+    ignore (Database.exec db "CREATE TABLE t (a INT)");
+    ignore (Database.exec db "INSERT INTO t VALUES (7)");
+    List.length (Database.query db "SELECT a FROM t WHERE a >= 0").Executor.rows
+  in
+  Alcotest.(check int) "validation on: fresh plan, fresh rows" 1 (run true);
+  Alcotest.(check bool) "validation off: stale plan serves old data" true
+    (run false <> 1)
+
 let () =
   Alcotest.run "plan_cache"
     [ ( "fingerprint",
@@ -276,7 +327,9 @@ let () =
             test_hit_miss_and_rebinding;
           Alcotest.test_case "type errors surface" `Quick test_type_error_still_raises;
           Alcotest.test_case "off vs on workload equality" `Quick
-            test_cache_off_vs_on_workload ] );
+            test_cache_off_vs_on_workload;
+          Alcotest.test_case "probe assertions (const-const, DML, collisions)"
+            `Quick test_probe_assertions ] );
       ( "invalidation",
         [ Alcotest.test_case "UPDATE STATISTICS" `Quick
             test_update_statistics_invalidates;
@@ -286,4 +339,6 @@ let () =
             test_drop_create_table_never_stale;
           Alcotest.test_case "W change flushes" `Quick test_set_w_flushes;
           Alcotest.test_case "unclustered->clustered stats shift" `Quick
-            test_stats_shift_changes_cached_plan ] ) ]
+            test_stats_shift_changes_cached_plan;
+          Alcotest.test_case "validation debug hook" `Quick
+            test_validation_hook ] ) ]

@@ -146,6 +146,28 @@ let test_qcard () =
   let _, b2 = ctx_block db "SELECT AVG(A) FROM R" in
   feq "scalar agg" 1.0 (Selectivity.block_qcard ctx b2)
 
+(* A constant-valued column has a degenerate key range (low = high): an
+   in-range comparison against it is decided outright by the single key
+   value, eq-like, instead of falling through to the 1/3 / 1/4 defaults. *)
+let test_degenerate_range () =
+  let db = Database.create () in
+  Workload.load_uniform db ~name:"K" ~rows:100
+    ~cols:
+      [ { Workload.col = "C"; distinct = 1 };
+        { Workload.col = "D"; distinct = 10 } ]
+    ~indexes:[ ("K_C", [ "C" ], false) ]
+    ~seed:3 ();
+  (* every C is 0, so low = high = 0 in the index statistics *)
+  feq "C >= 0 satisfied, F = 1" 1.0 (sel db "SELECT C FROM K WHERE C >= 0");
+  feq "C <= 0 satisfied, F = 1" 1.0 (sel db "SELECT C FROM K WHERE C <= 0");
+  feq "C > 0 unsatisfiable, F = 0" 0.0 (sel db "SELECT C FROM K WHERE C > 0");
+  feq "C < 0 unsatisfiable, F = 0" 0.0 (sel db "SELECT C FROM K WHERE C < 0");
+  feq "flipped constant side" 1.0 (sel db "SELECT C FROM K WHERE 0 <= C");
+  feq "BETWEEN containing the key" 1.0
+    (sel db "SELECT C FROM K WHERE C BETWEEN 0 AND 2");
+  feq "BETWEEN missing the key" 0.0
+    (sel db "SELECT C FROM K WHERE C BETWEEN 1 AND 2")
+
 let test_default_stats_when_missing () =
   let db = Database.create () in
   ignore
@@ -167,6 +189,8 @@ let () =
           Alcotest.test_case "range default" `Quick test_range_no_index;
           Alcotest.test_case "between interpolation" `Quick test_between_interpolation;
           Alcotest.test_case "between default" `Quick test_between_no_index;
+          Alcotest.test_case "degenerate range (constant column)" `Quick
+            test_degenerate_range;
           Alcotest.test_case "IN list" `Quick test_in_list;
           Alcotest.test_case "IN subquery" `Quick test_in_subquery;
           Alcotest.test_case "OR/AND/NOT" `Quick test_or_and_not;

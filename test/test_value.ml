@@ -31,6 +31,20 @@ let test_arith () =
   check "div by zero is null" true (V.is_null (V.div (V.Int 7) (V.Int 0)));
   check "null propagates" true (V.is_null (V.add V.Null (V.Int 1)))
 
+(* SQL semantics: dividing by zero yields NULL (never an OCaml
+   Division_by_zero), for every numeric combination. The naive oracle and
+   both executor evaluation modes share V.div, so this single function pins
+   the behaviour engine-wide (asserted end-to-end in fuzz_corpus's
+   "division by zero" case). *)
+let test_div_by_zero_null () =
+  check "int / int 0" true (V.is_null (V.div (V.Int 7) (V.Int 0)));
+  check "int / float 0" true (V.is_null (V.div (V.Int 7) (V.Float 0.)));
+  check "float / int 0" true (V.is_null (V.div (V.Float 7.) (V.Int 0)));
+  check "float / float 0" true (V.is_null (V.div (V.Float 7.) (V.Float 0.)));
+  check "0 / 0" true (V.is_null (V.div (V.Int 0) (V.Int 0)));
+  check "null / 0" true (V.is_null (V.div V.Null (V.Int 0)));
+  check "0 / null" true (V.is_null (V.div (V.Int 0) V.Null))
+
 let test_arith_string_rejected () =
   Alcotest.check_raises "string add" (Invalid_argument "Value.add: string operand")
     (fun () -> ignore (V.add (V.Str "a") (V.Int 1)))
@@ -98,6 +112,8 @@ let () =
           Alcotest.test_case "numeric promotion" `Quick test_compare_numeric_promotion;
           Alcotest.test_case "null sorts lowest" `Quick test_null_sorts_lowest;
           Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "division by zero is NULL" `Quick
+            test_div_by_zero_null;
           Alcotest.test_case "string arithmetic rejected" `Quick test_arith_string_rejected;
           Alcotest.test_case "to_float" `Quick test_to_float;
           Alcotest.test_case "serialization" `Quick test_serialization;
