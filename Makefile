@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke fuzz clean
+.PHONY: all build test check bench bench-smoke fuzz torture clean
 
 all: build
 
@@ -18,6 +18,17 @@ FUZZ_SEED ?= 42
 FUZZ_COUNT ?= 300
 fuzz:
 	dune exec fuzz/fuzz_main.exe -- --seed $(FUZZ_SEED) --count $(FUZZ_COUNT)
+
+# crash-recovery torture: random transactional workloads crashed at every
+# enabled failpoint (torn WAL tails, mid-eviction, mid-split, ...), each
+# surviving image recovered and compared against the committed-prefix
+# oracle; TORTURE_CRASH_EVERY > 1 samples every k-th crash point
+TORTURE_SEED ?= 42
+TORTURE_COUNT ?= 20
+TORTURE_CRASH_EVERY ?= 1
+torture:
+	dune exec torture/torture_main.exe -- --seed $(TORTURE_SEED) \
+	  --count $(TORTURE_COUNT) --crash-every $(TORTURE_CRASH_EVERY)
 
 # full bench suite at paper-scale inputs (writes BENCH_*.json)
 bench:

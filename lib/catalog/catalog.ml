@@ -92,11 +92,7 @@ let create_index ?order t ~name ~rel ~columns ~clustered =
   let snapshot = Rss.Counters.snapshot (Rss.Pager.counters t.pgr) in
   let scan = Rss.Scan.open_segment_scan rel.segment ~rel_id:rel.rel_id () in
   let tuples = Rss.Scan.to_list scan in
-  let c = Rss.Pager.counters t.pgr in
-  c.page_fetches <- snapshot.page_fetches;
-  c.buffer_hits <- snapshot.buffer_hits;
-  c.rsi_calls <- snapshot.rsi_calls;
-  c.pages_written <- snapshot.pages_written;
+  Rss.Counters.restore (Rss.Pager.counters t.pgr) ~from:snapshot;
   List.iter (fun (tid, tuple) -> Rss.Btree.insert btree (key_of idx tuple) tid) tuples;
   Hashtbl.replace t.idxs key idx;
   rel.stats_version <- rel.stats_version + 1;
@@ -131,6 +127,14 @@ let insert_tuple t rel tuple =
     (fun idx -> Rss.Btree.insert idx.btree (key_of idx tuple) tid)
     (indexes_on t rel);
   tid
+
+(* Restore a previously deleted tuple at its original TID (rollback undo):
+   index entries are rebuilt for the resurrected TID. *)
+let insert_tuple_at t rel tid tuple =
+  Rss.Segment.insert_at rel.segment ~rel_id:rel.rel_id tid tuple;
+  List.iter
+    (fun idx -> Rss.Btree.insert idx.btree (key_of idx tuple) tid)
+    (indexes_on t rel)
 
 let delete_tuples_returning t rel pred =
   let victims = List.filter (fun (_, tup) -> pred tup) (scan_all rel) in

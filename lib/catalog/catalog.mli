@@ -62,6 +62,12 @@ val insert_tuple : t -> relation -> Rel.Tuple.t -> Rss.Tid.t
 (** Store the tuple and maintain all indexes. Statistics are NOT updated
     (see module doc). @raise Invalid_argument on schema mismatch. *)
 
+val insert_tuple_at : t -> relation -> Rss.Tid.t -> Rel.Tuple.t -> unit
+(** Restore a previously deleted tuple at its original TID, rebuilding its
+    index entries — the transaction rollback path. Keeping the TID stable is
+    what keeps heap TIDs in correspondence with WAL records across an
+    undo. *)
+
 val delete_tuples : t -> relation -> (Rel.Tuple.t -> bool) -> int
 (** Delete every tuple satisfying the predicate, maintaining indexes;
     returns the count. *)

@@ -1,6 +1,11 @@
+(* Undo restores deleted tuples at their exact TID (Catalog.insert_tuple_at):
+   a fresh insert would move the tuple, leaving later WAL records (and the
+   txn's own Undo_insert entries) pointing at the old TID. The torture
+   harness's shrunk reproducer for that bug — INSERT x; DELETE x; ROLLBACK
+   leaving a phantom x — is pinned in test_engine. *)
 type undo_op =
   | Undo_insert of Catalog.relation * Rss.Tid.t * Rel.Tuple.t
-  | Undo_delete of Catalog.relation * Rel.Tuple.t
+  | Undo_delete of Catalog.relation * Rss.Tid.t * Rel.Tuple.t
 
 type txn = {
   txn_id : int;
@@ -12,7 +17,7 @@ type t = {
   cat : Catalog.t;
   mutable w : float;
   wal : Rss.Wal.t;
-  locks : Rss.Lock_table.t;
+  mutable locks : Rss.Lock_table.t;
   mutable next_txn : int;
   mutable active : txn option;
   plan_cache : Plan_cache.t;
@@ -114,8 +119,8 @@ let with_txn t f =
            match op with
            | Undo_insert (rel, tid, tuple) ->
              ignore (Catalog.delete_tid t.cat rel tid tuple)
-           | Undo_delete (rel, tuple) ->
-             ignore (Catalog.insert_tuple t.cat rel tuple))
+           | Undo_delete (rel, tid, tuple) ->
+             Catalog.insert_tuple_at t.cat rel tid tuple)
          txn.undo;
        Rss.Wal.append t.wal (Rss.Wal.Abort txn.txn_id);
        Rss.Lock_table.release_all t.locks txn.txn_id;
@@ -149,7 +154,8 @@ let rollback t =
         match op with
         | Undo_insert (rel, tid, tuple) ->
           ignore (Catalog.delete_tid t.cat rel tid tuple)
-        | Undo_delete (rel, tuple) -> ignore (Catalog.insert_tuple t.cat rel tuple))
+        | Undo_delete (rel, tid, tuple) ->
+          Catalog.insert_tuple_at t.cat rel tid tuple)
       txn.undo;
     Rss.Wal.append t.wal (Rss.Wal.Abort txn.txn_id);
     Rss.Lock_table.release_all t.locks txn.txn_id;
@@ -172,7 +178,7 @@ let dml_delete_where t txn (rel : Catalog.relation) pred =
     (fun (tid, tuple) ->
       Rss.Wal.append t.wal
         (Rss.Wal.Delete { txn = txn.txn_id; rel_id = rel.Catalog.rel_id; tid; tuple });
-      txn.undo <- Undo_delete (rel, tuple) :: txn.undo)
+      txn.undo <- Undo_delete (rel, tid, tuple) :: txn.undo)
     victims;
   victims
 
@@ -451,6 +457,131 @@ let query t sql =
 let explain t sql = Explain.plan (optimize t sql)
 
 let update_statistics t = Catalog.update_statistics t.cat
+
+(* --- integrity & recovery ------------------------------------------------ *)
+
+(* Heap/index consistency: every index entry resolves to a live tuple whose
+   key matches, and every live tuple appears in every index on its relation
+   exactly once. Counter-neutral (integrity checking is not a measured
+   query). *)
+let check_integrity t =
+  let c = Rss.Pager.counters (Catalog.pager t.cat) in
+  let snap = Rss.Counters.snapshot c in
+  let check_index (rel : Catalog.relation) heap (idx : Catalog.index) =
+    let entries =
+      List.of_seq (Rss.Btree.range_scan_unaccounted idx.Catalog.btree)
+    in
+    let resolve_err =
+      List.find_map
+        (fun (key, tid) ->
+          match Rss.Segment.fetch_unaccounted rel.Catalog.segment tid with
+          | None ->
+            Some
+              (Printf.sprintf "index %s: entry for dead TID %d.%d"
+                 idx.Catalog.idx_name tid.Rss.Tid.page tid.Rss.Tid.slot)
+          | Some (rid, tuple) ->
+            if rid <> rel.Catalog.rel_id then
+              Some
+                (Printf.sprintf "index %s: TID %d.%d holds relation %d, not %d"
+                   idx.Catalog.idx_name tid.Rss.Tid.page tid.Rss.Tid.slot rid
+                   rel.Catalog.rel_id)
+            else if
+              Rss.Btree.compare_key (Catalog.key_of idx tuple) key <> 0
+            then
+              Some
+                (Printf.sprintf "index %s: key mismatch at TID %d.%d"
+                   idx.Catalog.idx_name tid.Rss.Tid.page tid.Rss.Tid.slot)
+            else None)
+        entries
+    in
+    match resolve_err with
+    | Some _ as e -> e
+    | None ->
+      let cmp (k1, t1) (k2, t2) =
+        let d = Rss.Btree.compare_key k1 k2 in
+        if d <> 0 then d else Rss.Tid.compare t1 t2
+      in
+      let expected =
+        List.sort cmp
+          (List.map (fun (tid, tup) -> (Catalog.key_of idx tup, tid)) heap)
+      in
+      let actual = List.sort cmp entries in
+      if List.length expected <> List.length actual then
+        Some
+          (Printf.sprintf "index %s: %d entries for %d live tuples of %s"
+             idx.Catalog.idx_name (List.length actual) (List.length expected)
+             rel.Catalog.rel_name)
+      else if not (List.for_all2 (fun a b -> cmp a b = 0) expected actual) then
+        Some
+          (Printf.sprintf "index %s: entry set differs from heap of %s"
+             idx.Catalog.idx_name rel.Catalog.rel_name)
+      else None
+  in
+  let check_rel (rel : Catalog.relation) =
+    let heap =
+      Rss.Scan.to_list
+        (Rss.Scan.open_segment_scan rel.Catalog.segment
+           ~rel_id:rel.Catalog.rel_id ())
+    in
+    List.find_map (check_index rel heap) (Catalog.indexes_on t.cat rel)
+  in
+  let verdict = List.find_map check_rel (Catalog.relations t.cat) in
+  Rss.Counters.restore c ~from:snap;
+  match verdict with
+  | None -> Stdlib.Ok ()
+  | Some msg -> Stdlib.Error msg
+
+(* Crash recovery: replay the serialized WAL (Recovery.replay) into a scratch
+   segment, then reload every surviving tuple through the catalog so all
+   indexes are rebuilt over the new TIDs (Recovery does not preserve TIDs).
+   The reloaded state is re-logged as one committed checkpoint transaction so
+   a later crash recovers through this one. Run with failpoints reset — a
+   recovery is not itself a crash candidate. *)
+let recover t bytes =
+  let c = Rss.Pager.counters (Catalog.pager t.cat) in
+  let snap = Rss.Counters.snapshot c in
+  let wal = Rss.Wal.of_bytes bytes in
+  let result = Rss.Recovery.replay (Catalog.pager t.cat) wal in
+  t.active <- None;
+  t.locks <- Rss.Lock_table.create ();
+  Plan_cache.clear t.plan_cache;
+  (* transaction ids stay unique across the crash *)
+  let max_txn =
+    List.fold_left
+      (fun acc r ->
+        match r with
+        | Rss.Wal.Begin tx | Rss.Wal.Commit tx | Rss.Wal.Abort tx -> max acc tx
+        | Rss.Wal.Insert { txn; _ } | Rss.Wal.Delete { txn; _ } -> max acc txn)
+      0 (Rss.Wal.records wal)
+  in
+  t.next_txn <- max t.next_txn (max_txn + 1);
+  (* wipe current contents: the log alone defines the recovered state *)
+  List.iter
+    (fun rel -> ignore (Catalog.delete_tuples t.cat rel (fun _ -> true)))
+    (Catalog.relations t.cat);
+  let rels = Catalog.relations t.cat in
+  let checkpoint = t.next_txn in
+  t.next_txn <- checkpoint + 1;
+  Rss.Wal.clear t.wal;
+  Rss.Wal.append t.wal (Rss.Wal.Begin checkpoint);
+  let restored = ref 0 in
+  List.iter
+    (fun pid ->
+      let p = Rss.Pager.data_page (Catalog.pager t.cat) pid in
+      List.iter
+        (fun (_slot, rel_id, tuple) ->
+          match List.find_opt (fun r -> r.Catalog.rel_id = rel_id) rels with
+          | None -> () (* logged relation no longer in the catalog *)
+          | Some rel ->
+            let tid = Catalog.insert_tuple t.cat rel tuple in
+            Rss.Wal.append t.wal
+              (Rss.Wal.Insert { txn = checkpoint; rel_id; tid; tuple });
+            incr restored)
+        (Rss.Page.live_tuples p))
+    (Rss.Segment.page_ids result.Rss.Recovery.segment);
+  Rss.Wal.append t.wal (Rss.Wal.Commit checkpoint);
+  Rss.Counters.restore c ~from:snap;
+  !restored
 
 (* --- prepared statements ------------------------------------------------- *)
 

@@ -85,6 +85,26 @@ val run_plan : t -> Optimizer.result -> Executor.output
 
 val update_statistics : t -> unit
 
+(** {2 Integrity & crash recovery} *)
+
+val check_integrity : t -> (unit, string) Stdlib.result
+(** Heap/index cross-check over every relation: each index entry must resolve
+    through the segment to a live tuple of the right relation whose key
+    matches, and the entry multiset must equal the keys computed from a full
+    heap scan. [Error msg] pinpoints the first inconsistency. Leaves the I/O
+    counters untouched. *)
+
+val recover : t -> string -> int
+(** [recover t bytes] rebuilds [t]'s data from a serialized WAL
+    ({!Rss.Wal.to_bytes}): committed transactions are replayed
+    ({!Rss.Recovery.replay}), every relation's heap is replaced by the
+    replayed tuples, and all indexes are rebuilt over the new TIDs. Any
+    in-flight transaction state, locks and cached plans are discarded, and
+    the WAL is reset to a single committed checkpoint transaction describing
+    the recovered state. Returns the number of tuples restored. The catalog
+    (schemas, indexes) is not recovered from the log — callers re-run DDL
+    first; relations are matched by creation order (rel_id). *)
+
 (** {2 Prepared statements}
 
     The paper's closing argument: "application programs are compiled once and

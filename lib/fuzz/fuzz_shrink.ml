@@ -300,9 +300,12 @@ let size ((s, q) : pair) =
   + (List.length q.Ast.order_by * 50)
   + rows
 
-(* [check] answers the verdict for a candidate; only candidates that still
-   diverge are kept. Returns the shrunk pair and the number of steps used. *)
-let shrink ~check ~max_steps ((s, q) : pair) : pair * int =
+(* Generic greedy loop: repeatedly take the first strictly-smaller candidate
+   that still fails, until a fixpoint or the step budget runs out. A step is
+   counted for every strictly-smaller candidate checked (not for candidates
+   discarded on size alone). Shared by the differential shrinker below and
+   the crash-torture workload shrinker (Fuzz_torture). *)
+let shrink_generic ~size ~candidates ~still_failing ~max_steps init =
   let steps = ref 0 in
   let rec fix current =
     if !steps >= max_steps then current
@@ -315,9 +318,7 @@ let shrink ~check ~max_steps ((s, q) : pair) : pair * int =
           else if size cand >= cur_size then first rest
           else begin
             incr steps;
-            match (check (fst cand) (snd cand) : Fuzz_harness.verdict) with
-            | Fuzz_harness.Diverged _ -> Some cand
-            | Fuzz_harness.Agree | Fuzz_harness.Unsupported _ -> first rest
+            if still_failing cand then Some cand else first rest
           end
       in
       match first (candidates current) with
@@ -325,5 +326,15 @@ let shrink ~check ~max_steps ((s, q) : pair) : pair * int =
       | None -> current
     end
   in
-  let final = fix (s, q) in
+  let final = fix init in
   (final, !steps)
+
+(* [check] answers the verdict for a candidate; only candidates that still
+   diverge are kept. Returns the shrunk pair and the number of steps used. *)
+let shrink ~check ~max_steps ((s, q) : pair) : pair * int =
+  shrink_generic ~size ~candidates
+    ~still_failing:(fun (s', q') ->
+      match (check s' q' : Fuzz_harness.verdict) with
+      | Fuzz_harness.Diverged _ -> true
+      | Fuzz_harness.Agree | Fuzz_harness.Unsupported _ -> false)
+    ~max_steps (s, q)

@@ -57,7 +57,14 @@ type t = {
 }
 
 
+(* Debug hook for the torture harness: an override makes every new tree use
+   a tiny order so that a handful of tuples already drives the split paths
+   (and their failpoints). Never set in normal operation. *)
+let order_override = ref None
+let set_order_override o = order_override := o
+
 let create ?(order = 128) pgr =
+  let order = match !order_override with Some o -> o | None -> order in
   if order < 4 then invalid_arg "Btree.create: order < 4";
   let root =
     Leaf { lpage = Pager.alloc_page_id pgr; entries = [||]; next = None; prev = None }
@@ -107,6 +114,7 @@ let rec insert_node t node entry : split =
     l.entries <- insert_at l.entries i entry;
     if Array.length l.entries <= t.order then None
     else begin
+      Failpoint.hit "btree.split";
       let n = Array.length l.entries in
       let mid = n / 2 in
       let right_entries = Array.sub l.entries mid (n - mid) in
@@ -128,6 +136,7 @@ let rec insert_node t node entry : split =
        n.children <- insert_at n.children (i + 1) right_child;
        if Array.length n.children <= t.order then None
        else begin
+         Failpoint.hit "btree.split";
          let c = Array.length n.children in
          let mid = c / 2 in
          (* separator promoted to the parent, not kept in either half *)

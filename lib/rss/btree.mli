@@ -19,6 +19,12 @@ val create : ?order:int -> Pager.t -> t
 (** [order] is the maximum number of entries per node (default 128, a 4K
     page of ~32-byte entries). @raise Invalid_argument when [order < 4]. *)
 
+val set_order_override : int option -> unit
+(** Debug hook for the crash-torture harness: force every subsequently
+    created tree to the given order, so tiny test relations exercise the
+    split paths (and their ["btree.split"] failpoint). Never set in normal
+    operation; reset with [None]. *)
+
 val pager : t -> Pager.t
 val compare_key : key -> key -> int
 

@@ -53,6 +53,10 @@ let touch t id =
       `Hit
     | None ->
       if Hashtbl.length t.table >= t.cap then begin
+        (* Pages have no separate disk image here, so there is no literal
+           dirty-page writeback; the eviction is the durability-relevant
+           moment the failpoint models. *)
+        Failpoint.hit "buffer_pool.evict";
         match t.tail with
         | Some victim ->
           unlink t victim;

@@ -43,6 +43,17 @@ let snapshot t =
     plan_cache_misses = t.plan_cache_misses;
     plan_cache_invalidations = t.plan_cache_invalidations }
 
+let restore t ~from =
+  t.page_fetches <- from.page_fetches;
+  t.buffer_hits <- from.buffer_hits;
+  t.rsi_calls <- from.rsi_calls;
+  t.pages_written <- from.pages_written;
+  t.sort_runs <- from.sort_runs;
+  t.merge_passes <- from.merge_passes;
+  t.plan_cache_hits <- from.plan_cache_hits;
+  t.plan_cache_misses <- from.plan_cache_misses;
+  t.plan_cache_invalidations <- from.plan_cache_invalidations
+
 let diff ~after ~before =
   { page_fetches = after.page_fetches - before.page_fetches;
     buffer_hits = after.buffer_hits - before.buffer_hits;

@@ -28,6 +28,12 @@ type t = {
 val create : unit -> t
 val reset : t -> unit
 val snapshot : t -> t
+
+val restore : t -> from:t -> unit
+(** Copy every field of [from] into [t] — paired with {!snapshot} to exempt
+    an unmeasured operation (DDL bulk-load, recovery, integrity checking)
+    from I/O accounting. *)
+
 val diff : after:t -> before:t -> t
 (** Component-wise difference; for measuring one operation. *)
 

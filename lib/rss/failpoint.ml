@@ -1,0 +1,86 @@
+exception Crash of string
+
+type mode =
+  | Off
+  | Count
+  | Armed of { site : string; at : int }
+  | Scheduled of { mutable countdown : int }
+
+let mode = ref Off
+let halted_flag = ref false
+
+(* Fast-path gate kept in sync with (mode, halted): [hit] in production code
+   must cost one load and one branch. *)
+let live = ref false
+
+let table : (string, int ref) Hashtbl.t = Hashtbl.create 16
+
+let refresh () =
+  live := (match !mode with Off -> false | _ -> not !halted_flag)
+
+let reset () =
+  mode := Off;
+  halted_flag := false;
+  Hashtbl.reset table;
+  refresh ()
+
+let count_only () =
+  Hashtbl.reset table;
+  mode := Count;
+  halted_flag := false;
+  refresh ()
+
+let arm ~site ~at =
+  if at < 1 then invalid_arg "Failpoint.arm: at < 1";
+  Hashtbl.reset table;
+  mode := Armed { site; at };
+  halted_flag := false;
+  refresh ()
+
+let arm_schedule ~seed ~mean =
+  if mean < 1 then invalid_arg "Failpoint.arm_schedule: mean < 1";
+  Hashtbl.reset table;
+  let rng = Random.State.make [| 0x5eed; seed |] in
+  let countdown = 1 + Random.State.int rng ((2 * mean) - 1) in
+  mode := Scheduled { countdown };
+  halted_flag := false;
+  refresh ()
+
+let disarm () =
+  mode := Off;
+  refresh ()
+
+let enabled () = !live
+let halted () = !halted_flag
+
+let crash site =
+  halted_flag := true;
+  refresh ();
+  raise (Crash site)
+
+let counter site =
+  match Hashtbl.find_opt table site with
+  | Some c -> c
+  | None ->
+    let c = ref 0 in
+    Hashtbl.replace table site c;
+    c
+
+let slow_hit site =
+  let c = counter site in
+  incr c;
+  match !mode with
+  | Off | Count -> ()
+  | Armed { site = s; at } -> if String.equal s site && !c = at then crash site
+  | Scheduled sch ->
+    sch.countdown <- sch.countdown - 1;
+    if sch.countdown <= 0 then crash site
+
+let hit site = if !live then slow_hit site
+
+let hits site = match Hashtbl.find_opt table site with Some c -> !c | None -> 0
+
+let counts () =
+  Hashtbl.fold (fun site c acc -> (site, !c) :: acc) table []
+  |> List.filter (fun (_, n) -> n > 0)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,63 @@
+(** Deterministic failpoints for crash-recovery torture testing.
+
+    A failpoint is a named site threaded through a durability-relevant write
+    path ([Wal.append], pager allocation, buffer-pool eviction, segment
+    insert/delete, B-tree splits). In normal operation every site is inert —
+    {!hit} is a single branch on a global flag. A torture harness drives the
+    registry through three phases:
+
+    + {b count}: run the workload once with {!count_only} active; every site
+      records how many times it is hit, enumerating the crash points the
+      workload exposes;
+    + {b crash}: re-run with {!arm} [(site, n)]; the [n]-th hit of [site]
+      raises {!Crash} — the simulated kill point — and freezes the registry
+      ({!halted} becomes true, so e.g. the WAL rejects the appends an
+      in-process unwind handler would attempt after the "machine died");
+    + {b recover}: {!reset} everything and replay the surviving log.
+
+    {!arm_schedule} is the seeded alternative to exhaustive enumeration: a
+    pseudorandom countdown over all sites picks the crash point, so a fixed
+    seed yields a reproducible schedule without a prior counting pass.
+
+    The registry is global (sites live in code that has no handle to thread a
+    registry through) and the engine is single-threaded, as everywhere else
+    in this repo. *)
+
+exception Crash of string
+(** Raised by {!hit} at the armed trigger; the payload is the site name. *)
+
+val hit : string -> unit
+(** Record a hit at a named site. Near-free when the registry is inactive or
+    {!halted}; otherwise counts the hit and raises {!Crash} when the armed
+    trigger fires. *)
+
+val enabled : unit -> bool
+(** Whether hits are currently being counted (any mode but off/halted). *)
+
+val halted : unit -> bool
+(** A {!Crash} has fired since the last {!reset}: the simulated machine is
+    dead. Durable media (the WAL) must refuse writes while halted. *)
+
+val reset : unit -> unit
+(** Return to the inert state: mode off, halted cleared, all counters zeroed. *)
+
+val count_only : unit -> unit
+(** Zero all counters and start counting hits without ever crashing. *)
+
+val arm : site:string -> at:int -> unit
+(** Zero all counters and crash at the [at]-th hit (1-based) of [site]. *)
+
+val arm_schedule : seed:int -> mean:int -> unit
+(** Zero all counters and crash after a pseudorandom number of hits across
+    all sites, drawn uniformly from [1 .. 2*mean-1] (expected value [mean])
+    using a dedicated RNG seeded with [seed]. Deterministic per seed. *)
+
+val disarm : unit -> unit
+(** Stop counting and crashing but keep the counters — the counting pass
+    ends with this so the harness can read its results. *)
+
+val hits : string -> int
+(** Hits recorded at the site since the last counter reset. *)
+
+val counts : unit -> (string * int) list
+(** All sites with a nonzero count, sorted by site name. *)

@@ -58,6 +58,21 @@ let get t ~slot =
   | Live { rel_id; tuple; _ } -> Some (rel_id, tuple)
   | Dead -> None
 
+(* Resurrect a Dead slot with its original contents. The transaction undo
+   path restores a deleted tuple at its exact TID so heap TIDs stay in
+   correspondence with the log across rollbacks (a fresh insert would move
+   the tuple and orphan later log records that name it). *)
+let insert_at t ~slot ~rel_id tuple =
+  check_slot t slot;
+  match t.slots.(slot) with
+  | Live _ ->
+    invalid_arg
+      (Printf.sprintf "Page.insert_at: slot %d is live (page %d)" slot t.id)
+  | Dead ->
+    let bytes = Rel.Tuple.serialized_size tuple in
+    t.slots.(slot) <- Live { rel_id; bytes; tuple };
+    t.used <- t.used + bytes
+
 let delete t ~slot =
   check_slot t slot;
   match t.slots.(slot) with

@@ -23,6 +23,12 @@ val insert : t -> rel_id:int -> Rel.Tuple.t -> int option
 (** [insert p ~rel_id tup] stores the tuple, returning its slot number, or
     [None] when the page lacks space. *)
 
+val insert_at : t -> slot:int -> rel_id:int -> Rel.Tuple.t -> unit
+(** Resurrect a tombstoned slot with its original contents — the transaction
+    undo path restores deleted tuples at their exact TID so heap TIDs stay
+    in correspondence with the log across rollbacks.
+    @raise Invalid_argument when the slot is live or out of range. *)
+
 val get : t -> slot:int -> (int * Rel.Tuple.t) option
 (** [get p ~slot] is [(rel_id, tuple)] for a live slot, [None] for a
     tombstone. @raise Invalid_argument on an out-of-range slot. *)

@@ -17,6 +17,7 @@ let counters t = t.counters
 let buffer_pages t = t.buffer_pages
 
 let alloc_page_id t =
+  Failpoint.hit "pager.alloc_page";
   let id = t.next_id in
   t.next_id <- id + 1;
   id
@@ -38,7 +39,9 @@ let read_data_page t id =
   touch t id;
   data_page t id
 
-let note_page_written t = t.counters.pages_written <- t.counters.pages_written + 1
+let note_page_written t =
+  Failpoint.hit "pager.page_write";
+  t.counters.pages_written <- t.counters.pages_written + 1
 
 let note_rsi_call t = t.counters.rsi_calls <- t.counters.rsi_calls + 1
 

@@ -7,6 +7,12 @@ type result = {
 
 module Int_set = Set.Make (Int)
 
+(* Debug hook for the torture harness: with the filter off, replay redoes the
+   effects of every transaction in the log, committed or not — deliberately
+   broken recovery the harness must be able to catch. *)
+let commit_filter = ref true
+let set_commit_filter on = commit_filter := on
+
 let replay pager wal =
   let recs = Wal.records wal in
   let committed =
@@ -19,6 +25,7 @@ let replay pager wal =
       (fun acc r -> match r with Wal.Begin tx -> Int_set.add tx acc | _ -> acc)
       Int_set.empty recs
   in
+  let redo tx = Int_set.mem tx committed || not !commit_filter in
   let segment = Segment.create pager in
   (* Logical REDO keyed by original TID: inserts register the tuple, deletes
      retract it; survivors are loaded into the fresh segment in log order. *)
@@ -27,10 +34,10 @@ let replay pager wal =
   List.iter
     (fun r ->
       match r with
-      | Wal.Insert { txn; rel_id; tid; tuple } when Int_set.mem txn committed ->
+      | Wal.Insert { txn; rel_id; tid; tuple } when redo txn ->
         Hashtbl.replace live (tid, rel_id) (rel_id, tuple);
         order := (tid, rel_id) :: !order
-      | Wal.Delete { txn; rel_id; tid; _ } when Int_set.mem txn committed ->
+      | Wal.Delete { txn; rel_id; tid; _ } when redo txn ->
         Hashtbl.remove live (tid, rel_id)
       | Wal.Insert _ | Wal.Delete _ | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ -> ())
     recs;

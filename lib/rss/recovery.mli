@@ -14,3 +14,9 @@ type result = {
 }
 
 val replay : Pager.t -> Wal.t -> result
+
+val set_commit_filter : bool -> unit
+(** Debug hook for the crash-torture harness: with the filter off, {!replay}
+    redoes the effects of {e every} transaction in the log — committed,
+    aborted, or in flight — a deliberately broken recovery the torture suite
+    must detect. Never disable in normal operation. *)

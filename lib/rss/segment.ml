@@ -27,6 +27,7 @@ let insert_fresh t ~rel_id tuple =
   | None -> assert false (* a fresh page always fits a legal tuple *)
 
 let insert t ~rel_id tuple =
+  Failpoint.hit "segment.insert";
   match t.policy with
   | Per_relation ->
     (match Hashtbl.find_opt t.frontier rel_id with
@@ -50,7 +51,13 @@ let insert t ~rel_id tuple =
     in
     find (List.rev t.pages)
 
+let insert_at t ~rel_id (tid : Tid.t) tuple =
+  Failpoint.hit "segment.insert";
+  let p = Pager.data_page t.pager tid.page in
+  Page.insert_at p ~slot:tid.slot ~rel_id tuple
+
 let delete t (tid : Tid.t) =
+  Failpoint.hit "segment.delete";
   let p = Pager.data_page t.pager tid.page in
   Page.delete p ~slot:tid.slot
 

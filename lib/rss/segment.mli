@@ -23,6 +23,11 @@ val insert : t -> rel_id:int -> Rel.Tuple.t -> Tid.t
 (** Store a tuple, allocating pages as needed. No I/O is charged: loading is
     not part of any measured query. *)
 
+val insert_at : t -> rel_id:int -> Tid.t -> Rel.Tuple.t -> unit
+(** Restore a previously deleted tuple at its exact TID ({!Page.insert_at});
+    used by transaction rollback.
+    @raise Invalid_argument when the TID is live or never existed. *)
+
 val delete : t -> Tid.t -> bool
 
 val fetch : t -> Tid.t -> (int * Rel.Tuple.t) option

@@ -64,15 +64,30 @@ let decode s off =
   | c -> invalid_arg (Printf.sprintf "Wal.decode: bad tag %C" c)
 
 let append t r =
-  t.recs <- r :: t.recs;
-  t.count <- t.count + 1;
-  t.bytes <- t.bytes + String.length (encode r)
+  (* After a simulated crash the log device is gone: appends attempted by
+     in-process unwind handlers (rollback, abort records) must not reach the
+     surviving byte image a recovery will read. *)
+  if not (Failpoint.halted ()) then begin
+    t.recs <- r :: t.recs;
+    t.count <- t.count + 1;
+    t.bytes <- t.bytes + String.length (encode r);
+    (* The site fires after the record lands, so a crash here means "killed
+       while writing this record": the torture harness derives the torn-tail
+       images by truncating the final record at every byte offset. *)
+    Failpoint.hit "wal.append"
+  end
+
+let clear t =
+  t.recs <- [];
+  t.count <- 0;
+  t.bytes <- 0
 
 let records t = List.rev t.recs
 
 let byte_size t = t.bytes
 
 let to_bytes t =
+  Failpoint.hit "wal.to_bytes";
   let buf = Buffer.create (t.bytes + 16) in
   List.iter (fun r -> Buffer.add_string buf (encode r)) (records t);
   Buffer.contents buf

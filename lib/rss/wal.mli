@@ -18,7 +18,15 @@ type record =
 type t
 
 val create : unit -> t
+
 val append : t -> record -> unit
+(** Carries the ["wal.append"] failpoint site. While {!Failpoint.halted} the
+    append is dropped: the simulated log device died with the crash. *)
+
+val clear : t -> unit
+(** Empty the log (the engine's recovery path truncates it to a checkpoint
+    after reloading the surviving state). *)
+
 val records : t -> record list
 (** In append order. *)
 

@@ -254,6 +254,38 @@ let prop_model =
       in
       expected = actual)
 
+(* Engine integration: with the debug order override forcing order-4 trees
+   (as the crash-torture harness does), a modest engine-level DML workload
+   drives real leaf and internal splits; the B-tree invariants and the
+   engine's heap/index integrity check must hold after inserts and
+   deletes. *)
+let test_engine_integration_small_order () =
+  B.set_order_override (Some 4);
+  Fun.protect
+    ~finally:(fun () -> B.set_order_override None)
+    (fun () ->
+      let db = Database.create () in
+      ignore
+        (Database.exec_script db
+           "CREATE TABLE S (K INT, V INT);\nCREATE INDEX S_K ON S (K);");
+      for k = 0 to 60 do
+        ignore
+          (Database.exec db
+             (Printf.sprintf "INSERT INTO S VALUES (%d, %d)" (k * 13 mod 61) k))
+      done;
+      ignore (Database.exec db "DELETE FROM S WHERE K < 20");
+      (match Catalog.find_index (Database.catalog db) "S_K" with
+       | Some idx ->
+         (match B.check_invariants idx.Catalog.btree with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m);
+         Alcotest.(check bool) "order-4 tree actually split" true
+           (B.leaf_pages idx.Catalog.btree > 1)
+       | None -> Alcotest.fail "S_K missing");
+      match Database.check_integrity db with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "integrity: %s" m)
+
 let () =
   Alcotest.run "btree"
     [ ( "unit",
@@ -266,7 +298,9 @@ let () =
           Alcotest.test_case "leaf pages grow" `Quick test_leaf_pages_grow;
           Alcotest.test_case "scan accounting" `Quick test_scan_accounting;
           Alcotest.test_case "descending scan" `Quick test_desc_scan;
-          Alcotest.test_case "bad order" `Quick test_bad_order ] );
+          Alcotest.test_case "bad order" `Quick test_bad_order;
+          Alcotest.test_case "engine DML at order 4" `Quick
+            test_engine_integration_small_order ] );
       ( "props",
         List.map QCheck_alcotest.to_alcotest
           [ prop_model; prop_desc_is_reverse_of_asc ] ) ]

@@ -162,6 +162,123 @@ let test_logged_workload_recovers () =
   let out2 = Database.query db2 "SELECT VAL FROM R WHERE K = 999" in
   Alcotest.(check int) "uncommitted discarded" 0 (List.length (rows out2))
 
+(* --- integrity & engine-level recovery -------------------------------- *)
+
+let test_check_integrity_after_dml () =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       "CREATE TABLE T (K INT, V STRING);\n\
+        CREATE INDEX T_K ON T (K);\n\
+        INSERT INTO T VALUES (1, 'a'), (2, 'b'), (3, 'c'), (4, 'd');\n\
+        DELETE FROM T WHERE K = 2;\n\
+        UPDATE T SET V = 'z' WHERE K = 3;");
+  (match Database.check_integrity db with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "integrity after DML: %s" msg);
+  (* the checker actually detects corruption: remove a tuple behind the
+     index's back and expect an Error *)
+  let rel =
+    match Catalog.find_relation (Database.catalog db) "T" with
+    | Some r -> r
+    | None -> Alcotest.fail "T missing"
+  in
+  let tid, _ =
+    List.hd
+      (Rss.Scan.to_list
+         (Rss.Scan.open_segment_scan rel.Catalog.segment
+            ~rel_id:rel.Catalog.rel_id ()))
+  in
+  ignore (Rss.Segment.delete rel.Catalog.segment tid);
+  (match Database.check_integrity db with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "checker missed a heap/index mismatch")
+
+(* Post-recovery index rebuild: recovered tuples get new TIDs, so the index
+   must be rebuilt over them — a stale index (old TIDs) must be unobservable
+   through index scans. *)
+let test_recovery_rebuilds_index () =
+  let ddl =
+    "CREATE TABLE R (K INT, VAL INT);\nCREATE INDEX R_K ON R (K);"
+  in
+  let db = Database.create () in
+  ignore (Database.exec_script db ddl);
+  for k = 0 to 49 do
+    ignore
+      (Database.exec db
+         (Printf.sprintf "INSERT INTO R VALUES (%d, %d)" k (k * 7 mod 31)))
+  done;
+  ignore (Database.exec db "DELETE FROM R WHERE K < 25");
+  let entry_tids db =
+    match Catalog.find_index (Database.catalog db) "R_K" with
+    | Some idx ->
+      List.of_seq (Rss.Btree.range_scan_unaccounted idx.Catalog.btree)
+      |> List.map snd
+      |> List.sort Rss.Tid.compare
+    | None -> Alcotest.fail "R_K missing"
+  in
+  let old_tids = entry_tids db in
+  let bytes = Rss.Wal.to_bytes (Database.wal db) in
+  let db2 = Database.create () in
+  ignore (Database.exec_script db2 ddl);
+  let restored = Database.recover db2 bytes in
+  Alcotest.(check int) "committed survivors" 25 restored;
+  (match Database.check_integrity db2 with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "integrity after recovery: %s" msg);
+  (* the rebuilt index carries the NEW heap TIDs, not the logged ones *)
+  let new_tids = entry_tids db2 in
+  Alcotest.(check int) "entry count" 25 (List.length new_tids);
+  Alcotest.(check bool) "TIDs moved across recovery" true
+    (new_tids <> old_tids);
+  (* index scans over the rebuilt index see exactly the committed rows *)
+  for k = 25 to 49 do
+    match rows (Database.query db2 (Printf.sprintf "SELECT VAL FROM R WHERE K = %d" k)) with
+    | [ [| V.Int v |] ] ->
+      Alcotest.(check int) (Printf.sprintf "K=%d" k) (k * 7 mod 31) v
+    | _ -> Alcotest.failf "K=%d: expected one row" k
+  done;
+  Alcotest.(check int) "deleted rows stay deleted" 0
+    (List.length (rows (Database.query db2 "SELECT VAL FROM R WHERE K = 3")))
+
+(* Shrunk reproducer from the crash-torture harness: INSERT then DELETE of
+   the same row inside one rolled-back transaction. The undo ran newest-first
+   — re-inserting the deleted row at a fresh TID, then failing to remove it
+   when undoing the insert (the original TID was already dead) — leaving a
+   phantom row. Fixed by restoring deleted tuples at their exact TID
+   (Catalog.insert_tuple_at). *)
+let test_rollback_insert_delete_same_row () =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       "CREATE TABLE P (A INT, B STRING);\nCREATE INDEX P_A ON P (A);");
+  ignore
+    (Database.exec_script db
+       "BEGIN;\n\
+        INSERT INTO P VALUES (1, 'phantom');\n\
+        DELETE FROM P WHERE A = 1;\n\
+        ROLLBACK;");
+  Alcotest.(check int) "no phantom after rollback" 0
+    (List.length (rows (Database.query db "SELECT A FROM P")));
+  (match Database.check_integrity db with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "integrity: %s" msg);
+  (* the mirror image: DELETE an existing row then re-INSERT it, rolled
+     back — the original row must survive, the new one must not *)
+  ignore (Database.exec db "INSERT INTO P VALUES (7, 'keep')");
+  ignore
+    (Database.exec_script db
+       "BEGIN;\n\
+        DELETE FROM P WHERE A = 7;\n\
+        INSERT INTO P VALUES (8, 'drop');\n\
+        ROLLBACK;");
+  (match rows (Database.query db "SELECT A, B FROM P") with
+   | [ [| V.Int 7; V.Str "keep" |] ] -> ()
+   | l -> Alcotest.failf "expected only (7, keep), got %d rows" (List.length l));
+  match Database.check_integrity db with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "integrity after mirror rollback: %s" msg
+
 (* --- UPDATE ---------------------------------------------------------- *)
 
 let test_update_statement () =
@@ -515,10 +632,16 @@ let () =
         [ Alcotest.test_case "commit/rollback" `Quick test_transaction_commit_rollback;
           Alcotest.test_case "WAL records DML" `Quick test_wal_records_dml;
           Alcotest.test_case "WAL discards rolled back" `Quick
-            test_wal_discards_rolled_back ] );
+            test_wal_discards_rolled_back;
+          Alcotest.test_case "rollback of insert+delete of one row" `Quick
+            test_rollback_insert_delete_same_row ] );
       ( "recovery",
         [ Alcotest.test_case "logged workload recovers" `Quick
-            test_logged_workload_recovers ] );
+            test_logged_workload_recovers;
+          Alcotest.test_case "integrity checker" `Quick
+            test_check_integrity_after_dml;
+          Alcotest.test_case "recovery rebuilds indexes over new TIDs" `Quick
+            test_recovery_rebuilds_index ] );
       ( "workload",
         [ Alcotest.test_case "zipf generator" `Quick test_zipf_workload ] );
       ( "snapshot",

@@ -84,6 +84,77 @@ let test_tuple_granularity () =
   Alcotest.(check bool) "different tuples independent" true
     (L.acquire lt 2 r2 L.Exclusive = L.Granted)
 
+(* A sole holder's Shared→Exclusive upgrade is granted ahead of queued
+   waiters: making the upgrader queue behind a request that conflicts with
+   its own Shared hold would deadlock instantly. The waiters then proceed in
+   arrival order once the upgrader releases. *)
+let test_upgrade_with_queued_waiters () =
+  let lt = L.create () in
+  Alcotest.(check bool) "t1 S" true (L.acquire lt 1 (rel 0) L.Shared = L.Granted);
+  (match L.acquire lt 2 (rel 0) L.Exclusive with
+   | L.Blocked [ 1 ] -> ()
+   | _ -> Alcotest.fail "t2 X should block on t1");
+  (match L.acquire lt 3 (rel 0) L.Shared with
+   | L.Blocked _ -> ()
+   | _ -> Alcotest.fail "t3 S must queue behind t2");
+  Alcotest.(check bool) "sole-holder upgrade granted past the queue" true
+    (L.acquire lt 1 (rel 0) L.Exclusive = L.Granted);
+  Alcotest.(check bool) "t1 holds X" true (L.holds lt 1 (rel 0) L.Exclusive);
+  L.release_all lt 1;
+  Alcotest.(check bool) "t2 first in line gets X" true
+    (L.holds lt 2 (rel 0) L.Exclusive);
+  Alcotest.(check bool) "t3 still waits behind t2's X" false
+    (L.holds lt 3 (rel 0) L.Shared)
+
+let test_release_grant_arrival_order () =
+  let lt = L.create () in
+  ignore (L.acquire lt 1 (rel 0) L.Exclusive);
+  ignore (L.acquire lt 2 (rel 0) L.Shared);
+  ignore (L.acquire lt 3 (rel 0) L.Shared);
+  ignore (L.acquire lt 4 (rel 0) L.Exclusive);
+  L.release_all lt 1;
+  Alcotest.(check bool) "t2 granted" true (L.holds lt 2 (rel 0) L.Shared);
+  Alcotest.(check bool) "t3 granted" true (L.holds lt 3 (rel 0) L.Shared);
+  Alcotest.(check bool) "t4's X incompatible, still queued" false
+    (L.holds lt 4 (rel 0) L.Exclusive);
+  (* grants happened in arrival order: t2 before t3 *)
+  (match List.rev (L.granted_since lt 1) with
+   | [ (2, _, L.Shared); (3, _, L.Shared) ] -> ()
+   | l ->
+     Alcotest.failf "expected grants [t2 S; t3 S] in arrival order, got %d"
+       (List.length l));
+  L.release_all lt 2;
+  L.release_all lt 3;
+  Alcotest.(check bool) "t4 granted after both readers leave" true
+    (L.holds lt 4 (rel 0) L.Exclusive)
+
+(* A three-transaction cycle across mixed granularities: t1 waits on t2's
+   tuple lock, t2 waits on t3's relation lock, and t3 closing the loop on
+   t1's relation is refused as a deadlock naming all three. *)
+let test_deadlock_three_txns_mixed_resources () =
+  let lt = L.create () in
+  let ra = rel 0 in
+  let rb = L.Tuple_of (1, { Rss.Tid.page = 3; slot = 1 }) in
+  let rc = rel 2 in
+  ignore (L.acquire lt 1 ra L.Exclusive);
+  ignore (L.acquire lt 2 rb L.Exclusive);
+  ignore (L.acquire lt 3 rc L.Exclusive);
+  (match L.acquire lt 1 rb L.Shared with
+   | L.Blocked [ 2 ] -> ()
+   | _ -> Alcotest.fail "t1 should block on t2's tuple lock");
+  (match L.acquire lt 2 rc L.Exclusive with
+   | L.Blocked [ 3 ] -> ()
+   | _ -> Alcotest.fail "t2 should block on t3");
+  (match L.acquire lt 3 ra L.Shared with
+   | L.Deadlock cycle ->
+     List.iter
+       (fun tx ->
+         Alcotest.(check bool)
+           (Printf.sprintf "cycle mentions t%d" tx)
+           true (List.mem tx cycle))
+       [ 1; 2; 3 ]
+   | _ -> Alcotest.fail "expected a three-transaction deadlock")
+
 (* --- WAL ------------------------------------------------------------------ *)
 
 let tid p s = { Rss.Tid.page = p; slot = s }
@@ -153,6 +224,70 @@ let prop_record_roundtrip =
       let r', off = W.decode s 0 in
       off = String.length s && W.equal_record r r')
 
+(* The same round-trip, pinned per constructor — the mixed generator above
+   exercises each variant only probabilistically. *)
+let tuple_gen =
+  QCheck.Gen.(map Array.of_list (list_size (int_range 1 5) value_gen))
+
+let dml_gen make =
+  QCheck.Gen.(
+    map2
+      (fun (t, r) (p, (s, tu)) -> make t r (tid p s) tu)
+      (pair (int_bound 50) (int_bound 10))
+      (pair (int_bound 500) (pair (int_bound 50) tuple_gen)))
+
+let per_constructor_gens =
+  [ ("Begin", QCheck.Gen.map (fun t -> W.Begin t) (QCheck.Gen.int_bound 1000));
+    ("Commit", QCheck.Gen.map (fun t -> W.Commit t) (QCheck.Gen.int_bound 1000));
+    ("Abort", QCheck.Gen.map (fun t -> W.Abort t) (QCheck.Gen.int_bound 1000));
+    ( "Insert",
+      dml_gen (fun txn rel_id tid tuple -> W.Insert { txn; rel_id; tid; tuple }) );
+    ( "Delete",
+      dml_gen (fun txn rel_id tid tuple -> W.Delete { txn; rel_id; tid; tuple }) ) ]
+
+let props_constructor_roundtrip =
+  List.map
+    (fun (name, gen) ->
+      QCheck.Test.make ~name:("roundtrip " ^ name) ~count:100
+        (QCheck.make ~print:(Format.asprintf "%a" W.pp_record) gen)
+        (fun r ->
+          let s = W.encode r in
+          let r', off = W.decode s 0 in
+          off = String.length s && W.equal_record r r'))
+    per_constructor_gens
+
+(* Torn-write tolerance as a property: for a multi-record log truncated at
+   EVERY byte offset, [of_bytes] must decode exactly the records whose
+   encodings fit entirely within the prefix — a record is atomic; a partial
+   tail is never half-applied and never breaks the decode of what precedes
+   it. *)
+let prop_truncation_every_offset =
+  QCheck.Test.make ~name:"of_bytes at every truncation offset" ~count:60
+    (QCheck.make
+       ~print:(fun rs ->
+         String.concat "; " (List.map (Format.asprintf "%a" W.pp_record) rs))
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 1 8) record_gen))
+    (fun recs ->
+      let wal = W.create () in
+      List.iter (W.append wal) recs;
+      let bytes = W.to_bytes wal in
+      let sizes = List.map (fun r -> String.length (W.encode r)) recs in
+      let ok = ref true in
+      for n = 0 to String.length bytes do
+        let decoded = W.records (W.of_bytes (String.sub bytes 0 n)) in
+        let rec fits k acc = function
+          | s :: rest when acc + s <= n -> fits (k + 1) (acc + s) rest
+          | _ -> k
+        in
+        let expect_n = fits 0 0 sizes in
+        let expected = List.filteri (fun i _ -> i < expect_n) recs in
+        ok :=
+          !ok
+          && List.length decoded = expect_n
+          && List.for_all2 W.equal_record expected decoded
+      done;
+      !ok)
+
 (* --- recovery -------------------------------------------------------------- *)
 
 let test_recovery_redo_committed_only () =
@@ -196,7 +331,13 @@ let () =
           Alcotest.test_case "release grants queue" `Quick test_release_grants_queue;
           Alcotest.test_case "fair queue" `Quick test_fair_queue_no_jumping;
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
-          Alcotest.test_case "tuple granularity" `Quick test_tuple_granularity ] );
+          Alcotest.test_case "tuple granularity" `Quick test_tuple_granularity;
+          Alcotest.test_case "upgrade with queued waiters" `Quick
+            test_upgrade_with_queued_waiters;
+          Alcotest.test_case "release grants in arrival order" `Quick
+            test_release_grant_arrival_order;
+          Alcotest.test_case "3-txn deadlock, mixed granularity" `Quick
+            test_deadlock_three_txns_mixed_resources ] );
       ( "wal",
         [ Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
           Alcotest.test_case "torn tail" `Quick test_wal_torn_tail_ignored ] );
@@ -204,4 +345,7 @@ let () =
         [ Alcotest.test_case "redo committed only" `Quick
             test_recovery_redo_committed_only;
           Alcotest.test_case "empty log" `Quick test_recovery_empty_log ] );
-      ("props", [ QCheck_alcotest.to_alcotest prop_record_roundtrip ]) ]
+      ( "props",
+        QCheck_alcotest.to_alcotest prop_record_roundtrip
+        :: QCheck_alcotest.to_alcotest prop_truncation_every_offset
+        :: List.map QCheck_alcotest.to_alcotest props_constructor_roundtrip ) ]
