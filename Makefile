@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke fuzz torture clean
+.PHONY: all build test check bench bench-smoke bench-parallel fuzz torture clean
 
 all: build
 
@@ -37,6 +37,11 @@ bench:
 # same suite on tiny inputs (BENCH_SMOKE=1) — seconds, not minutes
 bench-smoke:
 	dune build @bench-smoke
+
+# parallel scaling only (writes BENCH_parallel.json); speedups are
+# meaningful on multicore hosts — the JSON records the core count
+bench-parallel:
+	dune exec bench/main.exe -- par
 
 clean:
 	dune clean

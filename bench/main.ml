@@ -16,7 +16,8 @@ let benches =
     ("abl", "ablations A1-A3", Bench_ablation.run);
     ("n1", "nested queries: correlated caching", Bench_nested.run);
     ("e2", "extension: selectivity under skew", Bench_skew.run);
-    ("hot", "exec hot path: interpreted vs compiled evaluation", Bench_exec_hotpath.run) ]
+    ("hot", "exec hot path: interpreted vs compiled evaluation", Bench_exec_hotpath.run);
+    ("par", "parallel scaling: exchange/sort/group-by over domains", Bench_parallel.run) ]
 
 let () =
   let requested =

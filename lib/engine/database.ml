@@ -16,6 +16,8 @@ type txn = {
 type t = {
   cat : Catalog.t;
   mutable w : float;
+  mutable max_dop : int;
+  mutable force_parallel : bool;
   wal : Rss.Wal.t;
   mutable locks : Rss.Lock_table.t;
   mutable next_txn : int;
@@ -27,9 +29,21 @@ exception Error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
+(* SYSTEMR_DOMAINS seeds the parallelism cap for every new database, so CI
+   can run the whole suite with parallel plans enabled without touching the
+   tests; SET PARALLELISM overrides it per session. *)
+let default_max_dop () =
+  match Sys.getenv_opt "SYSTEMR_DOMAINS" with
+  | Some s -> (match int_of_string_opt (String.trim s) with
+               | Some n when n >= 1 -> n
+               | _ -> 1)
+  | None -> 1
+
 let create ?buffer_pages ?(w = Ctx.default_w) () =
   { cat = Catalog.create ?buffer_pages ();
     w;
+    max_dop = default_max_dop ();
+    force_parallel = false;
     wal = Rss.Wal.create ();
     locks = Rss.Lock_table.create ();
     next_txn = 1;
@@ -38,12 +52,29 @@ let create ?buffer_pages ?(w = Ctx.default_w) () =
 
 let catalog t = t.cat
 let pager t = Catalog.pager t.cat
-let ctx t = Ctx.create ~w:t.w t.cat
+let ctx t =
+  Ctx.create ~w:t.w ~max_dop:t.max_dop ~force_parallel:t.force_parallel t.cat
 
 let set_w t w =
   t.w <- w;
   (* cached plans embed cost decisions made under the old weighting *)
   Plan_cache.clear t.plan_cache
+
+let set_parallelism t n =
+  let n = max 1 n in
+  if n <> t.max_dop then begin
+    t.max_dop <- n;
+    (* cached plans embed exchange decisions made under the old cap *)
+    Plan_cache.clear t.plan_cache
+  end
+
+let parallelism t = t.max_dop
+
+let set_force_parallel t on =
+  if on <> t.force_parallel then begin
+    t.force_parallel <- on;
+    Plan_cache.clear t.plan_cache
+  end
 
 let set_plan_cache t on = Plan_cache.set_enabled t.plan_cache on
 let set_plan_cache_validation t on = Plan_cache.set_validation t.plan_cache on
@@ -336,6 +367,7 @@ let exec_stmt t (stmt : Ast.statement) =
         c.Rss.Counters.plan_cache_hits c.Rss.Counters.plan_cache_misses
         c.Rss.Counters.plan_cache_invalidations
         (Plan_cache.size t.plan_cache)
+      ^ Printf.sprintf "parallelism: max_dop=%d\n" t.max_dop
     in
     if search then
       Text
@@ -400,6 +432,9 @@ let exec_stmt t (stmt : Ast.statement) =
   | Ast.Update_statistics ->
     Catalog.update_statistics t.cat;
     Done "statistics updated"
+  | Ast.Set_parallelism n ->
+    set_parallelism t n;
+    Done (Printf.sprintf "parallelism set to %d" (parallelism t))
   | Ast.Begin_transaction ->
     let id = begin_transaction t in
     Done (Printf.sprintf "transaction %d started" id)

@@ -21,6 +21,20 @@ val set_w : t -> float -> unit
 (** Change the optimizer's W weighting. Flushes the plan cache: cached plans
     embed cost decisions made under the old weighting. *)
 
+val set_parallelism : t -> int -> unit
+(** Cap the degree of parallelism the optimizer may choose (SET PARALLELISM;
+    initial value from [SYSTEMR_DOMAINS], default 1). Clamped to [>= 1];
+    flushes the plan cache on change — cached plans embed exchange decisions
+    made under the old cap. *)
+
+val parallelism : t -> int
+
+val set_force_parallel : t -> bool -> unit
+(** Debug/fuzz switch: wrap every shape-eligible plan at the full parallelism
+    cap regardless of cost, so parallel execution is exercised on inputs the
+    cost model would correctly run serially. Flushes the plan cache on
+    change. *)
+
 (** {2 Compiled-plan cache}
 
     SELECT statements executed through {!exec} / {!query} are fingerprinted

@@ -18,15 +18,19 @@ let residual_filter ~compiled env layout preds : Rel.Tuple.t -> bool =
     else fun tuple ->
       List.for_all (Eval.pred env { Eval.layout; tuple }) preds
 
-let rec open_plan catalog block (env : Eval.env) ?(compiled = true) ~join
-    (p : Plan.t) : t =
+(* [partition], when given, restricts the leftmost scan of the plan to one
+   slice of a [Plan.Exchange] fan-out; it threads through nested-loop outers
+   down to the leaf scan. *)
+let rec open_plan catalog block (env : Eval.env) ?(compiled = true)
+    ?partition ~join (p : Plan.t) : t =
   match p.Plan.node with
   | Plan.Scan { tab; access; sargs; residual } ->
-    open_scan catalog block env ~compiled ~join ~tab ~access ~sargs ~residual
+    open_scan catalog block env ~compiled ~partition ~join ~tab ~access ~sargs
+      ~residual
   | Plan.Nl_join { outer; inner } ->
     (match join with
      | Some _ -> invalid_arg "Cursor: join node cannot itself be a join inner"
-     | None -> open_nl catalog block env ~compiled ~outer ~inner)
+     | None -> open_nl catalog block env ~compiled ~partition ~outer ~inner)
   | Plan.Merge_join { outer; inner; outer_col; inner_col; residual } ->
     (match join with
      | Some _ -> invalid_arg "Cursor: join node cannot itself be a join inner"
@@ -34,6 +38,10 @@ let rec open_plan catalog block (env : Eval.env) ?(compiled = true) ~join
        open_merge catalog block env ~compiled ~outer ~inner ~outer_col ~inner_col
          ~residual)
   | Plan.Sort { input; key } -> open_sort catalog block env ~compiled ~join ~input ~key
+  | Plan.Exchange { input; dop } ->
+    (match join with
+     | Some _ -> invalid_arg "Cursor: exchange cannot be a join inner"
+     | None -> open_exchange catalog block env ~compiled ~input ~dop)
   | Plan.Filter { input; preds } ->
     let inner = open_plan catalog block env ~compiled ~join input in
     let layout = layout_of block input in
@@ -45,7 +53,8 @@ let rec open_plan catalog block (env : Eval.env) ?(compiled = true) ~join
     in
     pull
 
-and open_scan _catalog block env ~compiled ~join ~tab ~access ~sargs ~residual =
+and open_scan _catalog block env ~compiled ~partition ~join ~tab ~access ~sargs
+    ~residual =
   let tr = List.nth block.Semant.tables tab in
   let rel = tr.Semant.rel in
   let rel_id = rel.Catalog.rel_id in
@@ -61,15 +70,25 @@ and open_scan _catalog block env ~compiled ~join ~tab ~access ~sargs ~residual =
   in
   let residual = residual @ List.rev fallback in
   let scan =
-    match access with
-    | Plan.Seg_scan ->
+    match access, partition with
+    | Plan.Seg_scan, None ->
       Rss.Scan.open_segment_scan rel.Catalog.segment ~rel_id ~sargs:compiled_sargs ()
-    | Plan.Idx_scan { index; lo; hi; dir; _ } ->
+    | Plan.Seg_scan, Some (Parallel.Pages pages) ->
+      Rss.Scan.open_segment_scan rel.Catalog.segment ~rel_id ~pages
+        ~sargs:compiled_sargs ()
+    | Plan.Idx_scan { index; lo; hi; dir; _ }, None ->
       let lo = Option.map (Eval.bound_key env join) lo in
       let hi = Option.map (Eval.bound_key env join) hi in
       let dir = match dir with Ast.Asc -> `Asc | Ast.Desc -> `Desc in
       Rss.Scan.open_index_scan rel.Catalog.segment ~rel_id ~index:index.Catalog.btree
         ?lo ?hi ~dir ~sargs:compiled_sargs ()
+    | Plan.Idx_scan { index; _ }, Some (Parallel.Key_range (lo, hi)) ->
+      (* the split ranges already absorbed the plan's lo/hi bounds *)
+      Rss.Scan.open_index_scan rel.Catalog.segment ~rel_id ~index:index.Catalog.btree
+        ?lo ?hi ~dir:`Asc ~sargs:compiled_sargs ()
+    | Plan.Seg_scan, Some (Parallel.Key_range _)
+    | Plan.Idx_scan _, Some (Parallel.Pages _) ->
+      invalid_arg "Cursor: partition kind does not match the access path"
   in
   let self_layout = Layout.of_tables block [ tab ] in
   match join with
@@ -121,8 +140,8 @@ and open_scan _catalog block env ~compiled ~join ~tab ~access ~sargs ~residual =
     in
     pull
 
-and open_nl catalog block env ~compiled ~outer ~inner =
-  let outer_cur = open_plan catalog block env ~compiled ~join:None outer in
+and open_nl catalog block env ~compiled ~partition ~outer ~inner =
+  let outer_cur = open_plan catalog block env ~compiled ?partition ~join:None outer in
   let outer_layout = layout_of block outer in
   let state = ref None in
   let rec pull () =
@@ -251,7 +270,6 @@ and open_merge catalog block env ~compiled ~outer ~inner ~outer_col ~inner_col
   pull
 
 and open_sort catalog block env ~compiled ~join ~input ~key =
-  let input_cur = open_plan catalog block env ~compiled ~join input in
   let layout = layout_of block input in
   let sort_key =
     List.map
@@ -262,6 +280,50 @@ and open_sort catalog block env ~compiled ~join ~input ~key =
   in
   let cmp = if compiled then Some (Eval.compile_cmp layout key) else None in
   let pager = Catalog.pager catalog in
-  (* the plan cursor feeds run formation directly and the final merge streams
-     straight to the consumer — the sorted result is never rematerialized *)
-  Rss.Sort.sort_stream ?cmp pager ~key:sort_key input_cur
+  let serial () =
+    let input_cur = open_plan catalog block env ~compiled ~join input in
+    (* the plan cursor feeds run formation directly and the final merge
+       streams straight to the consumer — the sorted result is never
+       rematerialized *)
+    Rss.Sort.sort_stream ?cmp pager ~key:sort_key input_cur
+  in
+  match input.Plan.node, join with
+  | Plan.Exchange { input = inner; dop }, None
+    when not (Rss.Failpoint.enabled ()) ->
+    (* Sort over an exchange: fan out run formation instead of gathering an
+       unsorted stream — each worker forms the sorted runs for one contiguous
+       partition, and the main domain merges the concatenated run lists.
+       Byte-identical to the serial sort (see {!Rss.Sort.runs_of_dispenser}). *)
+    (match Parallel.partitions block env inner ~dop with
+     | None | Some ([] | [ _ ]) -> serial ()
+     | Some parts ->
+       let runs =
+         Parallel.map_partitions pager
+           (List.map
+              (fun part () ->
+                Rss.Sort.runs_of_dispenser ?cmp pager ~key:sort_key
+                  (open_plan catalog block env ~compiled ~partition:part
+                     ~join:None inner))
+              parts)
+         |> List.concat
+       in
+       Rss.Sort.merge_stream ?cmp pager ~key:sort_key runs)
+  | _ -> serial ()
+
+and open_exchange catalog block env ~compiled ~input ~dop =
+  (* Torture testing is single-domain-only: with the failpoint registry
+     armed, an exchange degrades to serial execution of its input (results
+     are identical by construction). *)
+  let serial () = open_plan catalog block env ~compiled ~join:None input in
+  if Rss.Failpoint.enabled () then serial ()
+  else
+    match Parallel.partitions block env input ~dop with
+    | None | Some ([] | [ _ ]) -> serial ()
+    | Some parts ->
+      let g =
+        Parallel.gather (Catalog.pager catalog) ~partitions:parts
+          ~open_partition:(fun part ->
+            open_plan catalog block env ~compiled ~partition:part ~join:None
+              input)
+      in
+      g.Parallel.next

@@ -21,9 +21,18 @@ val open_plan :
   Semant.block ->
   Eval.env ->
   ?compiled:bool ->
+  ?partition:Parallel.partition ->
   join:Eval.frame option ->
   Plan.t ->
   t
+(** [partition] restricts the plan's leftmost scan to one slice of an
+    exchange fan-out (threaded through nested-loop outers to the leaf);
+    workers opening their plan copy pass it, everything else omits it.
+    An [Exchange] node opens as a {!Parallel.gather} over its partitions —
+    or serially when the input is too small to partition or the failpoint
+    registry is armed (torture testing is single-domain-only). A [Sort] over
+    an [Exchange] fans out run formation and merges the per-partition runs
+    on the calling domain. *)
 
 val layout_of : Semant.block -> Plan.t -> Layout.t
 (** Layout of the composite tuples the plan produces. *)

@@ -1,0 +1,281 @@
+(* Exchange/gather plumbing for parallel query execution.
+
+   A [Plan.Exchange] node runs [dop] copies of its input plan over disjoint
+   contiguous partitions of the input's leftmost scan, one per worker domain,
+   and gathers their outputs {e in partition order}. Because each partition
+   covers a contiguous, in-order slice of what the serial scan would visit —
+   a run of segment pages, or a key range of the index — concatenating the
+   partition outputs reproduces the serial output byte for byte.
+
+   This module knows nothing about cursors: [gather] takes an
+   [open_partition] callback (supplied by [Cursor]) so the dependency points
+   Cursor -> Parallel only. *)
+
+type partition =
+  | Pages of int list
+  | Key_range of Rss.Btree.bound option * Rss.Btree.bound option
+
+(* --- partitioning -------------------------------------------------------- *)
+
+let chunk_pages ~dop pages =
+  let n = List.length pages in
+  if n < 2 then None
+  else begin
+    let arr = Array.of_list pages in
+    let dop = min dop n in
+    let chunks =
+      List.init dop (fun i ->
+          let lo = i * n / dop and hi = (i + 1) * n / dop in
+          Array.to_list (Array.sub arr lo (hi - lo)))
+    in
+    if List.length chunks < 2 then None
+    else Some (List.map (fun c -> Pages c) chunks)
+  end
+
+let index_partitions env ~dop (index : Catalog.index) lo hi =
+  (* Bound resolution can fail here only on malformed plans (a [Bv_outer]
+     with no outer frame — the planner never parallelizes those); decline
+     rather than crash. *)
+  match
+    let lo = Option.map (Eval.bound_key env None) lo in
+    let hi = Option.map (Eval.bound_key env None) hi in
+    Rss.Btree.split_range ?lo ?hi index.Catalog.btree ~parts:dop
+  with
+  | [] | [ _ ] -> None
+  | ranges -> Some (List.map (fun (l, h) -> Key_range (l, h)) ranges)
+  | exception _ -> None
+
+let rec partitions block env (p : Plan.t) ~dop =
+  if dop < 2 then None
+  else
+    match p.Plan.node with
+    | Plan.Scan { tab; access; _ } ->
+      let tr = List.nth block.Semant.tables tab in
+      let rel = tr.Semant.rel in
+      (match access with
+       | Plan.Seg_scan ->
+         chunk_pages ~dop (Rss.Segment.page_ids rel.Catalog.segment)
+       | Plan.Idx_scan { dir = Ast.Asc; index; lo; hi; _ } ->
+         index_partitions env ~dop index lo hi
+       | Plan.Idx_scan _ -> None)
+    | Plan.Nl_join { outer; _ } ->
+      (* partition the outer; each worker re-opens the full inner per outer
+         tuple, exactly as the serial nested loop does *)
+      partitions block env outer ~dop
+    | Plan.Sort _ | Plan.Filter _ | Plan.Merge_join _ | Plan.Exchange _ ->
+      None
+
+(* --- bounded chunk queue -------------------------------------------------- *)
+
+(* One single-producer/single-consumer queue per partition. Tuples travel in
+   chunks (arrays) so queue traffic — lock, signal — is paid once per
+   [chunk_size] tuples, not per tuple. Capacity bounds a fast producer
+   running ahead of the in-order consumer. *)
+
+let chunk_size = 64
+let chunk_cap = 16
+
+exception Cancelled
+
+type queue = {
+  buf : Rel.Tuple.t array array;  (* ring of chunks *)
+  mutable head : int;
+  mutable len : int;
+  mutable closed : bool;     (* producer done: drain and move on *)
+  mutable cancelled : bool;  (* consumer gone: producer aborts *)
+  qm : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let q_create () =
+  { buf = Array.make chunk_cap [||];
+    head = 0;
+    len = 0;
+    closed = false;
+    cancelled = false;
+    qm = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create () }
+
+let q_push q chunk =
+  Mutex.lock q.qm;
+  while q.len = chunk_cap && not q.cancelled do
+    Condition.wait q.not_full q.qm
+  done;
+  if q.cancelled then begin
+    Mutex.unlock q.qm;
+    raise Cancelled
+  end;
+  q.buf.((q.head + q.len) mod chunk_cap) <- chunk;
+  q.len <- q.len + 1;
+  Condition.signal q.not_empty;
+  Mutex.unlock q.qm
+
+let q_pop q =
+  Mutex.lock q.qm;
+  while q.len = 0 && not q.closed do
+    Condition.wait q.not_empty q.qm
+  done;
+  if q.len = 0 then begin
+    Mutex.unlock q.qm;
+    None  (* closed and drained *)
+  end
+  else begin
+    let c = q.buf.(q.head) in
+    q.buf.(q.head) <- [||];
+    q.head <- (q.head + 1) mod chunk_cap;
+    q.len <- q.len - 1;
+    Condition.signal q.not_full;
+    Mutex.unlock q.qm;
+    Some c
+  end
+
+let q_close q =
+  Mutex.lock q.qm;
+  q.closed <- true;
+  Condition.broadcast q.not_empty;
+  Mutex.unlock q.qm
+
+let q_cancel q =
+  Mutex.lock q.qm;
+  q.cancelled <- true;
+  Condition.broadcast q.not_full;
+  Condition.broadcast q.not_empty;
+  Mutex.unlock q.qm
+
+(* --- gather --------------------------------------------------------------- *)
+
+type gather = {
+  next : unit -> Rel.Tuple.t option;
+  close : unit -> unit;
+}
+
+(* The producer body: open the partition's cursor on the worker and stream
+   its tuples into the queue in chunks. Whatever happens, the queue ends up
+   closed so the consumer can move past it; Cancelled is a normal exit
+   (early close), anything else is stored in the job for [join] to
+   re-raise. *)
+let producer q open_partition part () =
+  match
+    let cur = open_partition part in
+    let buf = Array.make chunk_size ([||] : Rel.Tuple.t) in
+    let n = ref 0 in
+    let flush () =
+      if !n > 0 then begin
+        q_push q (Array.sub buf 0 !n);
+        n := 0
+      end
+    in
+    let rec loop () =
+      match cur () with
+      | None -> flush ()
+      | Some t ->
+        buf.(!n) <- t;
+        incr n;
+        if !n = chunk_size then flush ();
+        loop ()
+    in
+    loop ()
+  with
+  | () -> q_close q
+  | exception Cancelled -> q_close q
+  | exception e ->
+    q_close q;
+    raise e
+
+let gather pager ~partitions ~open_partition =
+  Rss.Pager.enter_parallel pager;
+  Rss.Domain_pool.ensure (List.length partitions);
+  let slots =
+    List.map
+      (fun part ->
+        let q = q_create () in
+        let job =
+          Rss.Domain_pool.submit (fun () ->
+              Rss.Pager.as_worker pager (producer q open_partition part))
+        in
+        (q, job))
+      partitions
+  in
+  let remaining = ref slots in
+  let finished = ref false in
+  let finish () =
+    if not !finished then begin
+      finished := true;
+      Rss.Pager.exit_parallel pager
+    end
+  in
+  let drain_remaining () =
+    List.iter (fun (q, _) -> q_cancel q) !remaining;
+    List.iter
+      (fun (_, j) -> match Rss.Domain_pool.join j with () | (exception _) -> ())
+      !remaining;
+    remaining := []
+  in
+  let chunk = ref [||] in
+  let ci = ref 0 in
+  let rec next () =
+    if !ci < Array.length !chunk then begin
+      let t = (!chunk).(!ci) in
+      incr ci;
+      Some t
+    end
+    else
+      match !remaining with
+      | [] ->
+        finish ();
+        None
+      | (q, job) :: rest ->
+        (match q_pop q with
+         | Some c ->
+           chunk := c;
+           ci := 0;
+           next ()
+         | None ->
+           (* partition drained; surface its producer's outcome before
+              touching the next partition *)
+           remaining := rest;
+           (match Rss.Domain_pool.join job with
+            | () -> next ()
+            | exception e ->
+              drain_remaining ();
+              finish ();
+              raise e))
+  in
+  let close () =
+    chunk := [||];
+    ci := 0;
+    drain_remaining ();
+    finish ()
+  in
+  { next; close }
+
+(* --- parallel map (for fan-out with small results) ------------------------ *)
+
+let map_partitions pager thunks =
+  match thunks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | _ ->
+    Rss.Pager.enter_parallel pager;
+    Fun.protect
+      ~finally:(fun () -> Rss.Pager.exit_parallel pager)
+      (fun () ->
+        Rss.Domain_pool.ensure (List.length thunks);
+        let jobs =
+          List.map
+            (fun f ->
+              Rss.Domain_pool.submit (fun () -> Rss.Pager.as_worker pager f))
+            thunks
+        in
+        (* join every job before raising so no worker outlives the bracket *)
+        let results =
+          List.map
+            (fun j ->
+              match Rss.Domain_pool.join j with
+              | v -> Ok v
+              | exception e -> Error e)
+            jobs
+        in
+        List.map (function Ok v -> v | Error e -> raise e) results)

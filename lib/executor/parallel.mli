@@ -1,0 +1,48 @@
+(** Exchange/gather plumbing for parallel query execution.
+
+    Partitions the leftmost scan of an eligible plan into contiguous in-order
+    slices, runs one plan copy per slice on worker domains, and merges their
+    outputs in partition order — so the gathered stream is byte-identical to
+    serial execution of the same plan. See DESIGN.md, "Parallel execution". *)
+
+type partition =
+  | Pages of int list
+      (** a contiguous run of the segment's page ids, in segment order *)
+  | Key_range of Rss.Btree.bound option * Rss.Btree.bound option
+      (** one sub-range from {!Rss.Btree.split_range} *)
+
+val partitions :
+  Semant.block -> Eval.env -> Plan.t -> dop:int -> partition list option
+(** Partition the plan's leftmost scan into at most [dop] slices whose
+    in-order concatenation is the serial scan. [None] when the plan shape is
+    not parallelizable (leftmost leaf is not a segment scan or ascending
+    index scan, or sits under a sort/merge-join), or the input is too small
+    to yield at least two slices. Descends nested-loop outers only — inners
+    are re-opened per outer tuple by each worker. *)
+
+type gather = {
+  next : unit -> Rel.Tuple.t option;
+  close : unit -> unit;
+      (** stop early: cancels and joins the remaining producers (their
+          queued output is discarded) and releases the parallel bracket.
+          Idempotent; [next] after [close] returns [None]. Draining [next]
+          to [None] performs the same cleanup, so callers that consume the
+          whole stream need not call this. *)
+}
+
+val gather :
+  Rss.Pager.t ->
+  partitions:partition list ->
+  open_partition:(partition -> unit -> Rel.Tuple.t option) ->
+  gather
+(** Run [open_partition] on a worker domain per partition (bounded
+    per-producer queues, one producer per partition) and return a cursor
+    over the concatenation of their outputs in partition order. Producer
+    exceptions re-raise from [next], after cancelling and joining the other
+    producers. Wraps the whole run in {!Rss.Pager.enter_parallel} /
+    [exit_parallel] and every producer in {!Rss.Pager.as_worker}. *)
+
+val map_partitions : Rss.Pager.t -> (unit -> 'a) list -> 'a list
+(** Run the thunks on worker domains and return their results in input
+    order; a single thunk runs inline. All jobs are joined before the first
+    exception (if any) re-raises. Same pager bracketing as {!gather}. *)

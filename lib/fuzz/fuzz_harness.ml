@@ -236,7 +236,24 @@ let check ?(break_invalidation = false) ?stats
                 Database.set_plan_cache db true;
                 compare_out (name "cache-cold") (Database.query db sql);
                 compare_out (name "cache-warm") (Database.query db sql))
-              w_points)
+              w_points;
+            (* forced-parallel execution: exchange plans at DOP 2 and 4 must
+               produce the identical multiset (and order) even on inputs the
+               cost model would run serially *)
+            Database.set_w db Ctx.default_w;
+            Database.set_plan_cache db false;
+            Database.set_force_parallel db true;
+            List.iter
+              (fun dop ->
+                Database.set_parallelism db dop;
+                let config =
+                  Printf.sprintf "parallel-%d idx=%b stats=%s" dop indexed
+                    (match phase with `Before -> "cold" | `After -> "updated")
+                in
+                compare_out config (Database.query db sql))
+              [ 2; 4 ];
+            Database.set_force_parallel db false;
+            Database.set_parallelism db 1)
           [ `Before; `After ];
         (match st with
          | Some s -> s.plans_cached <- s.plans_cached + Database.plan_cache_size db

@@ -26,6 +26,13 @@ type t = {
           Cardenas/Yao distinct-page formula instead of TABLE 2's
           TCARD-or-NCARD bracketing — the "more work on validation of the
           optimizer cost formulas" the paper's conclusion calls for *)
+  max_dop : int;
+      (** maximum degree of parallelism the parallelization post-pass may
+          choose (SET PARALLELISM / SYSTEMR_DOMAINS); 1 = serial only *)
+  force_parallel : bool;
+      (** debug/fuzz switch: wrap every shape-eligible plan at [max_dop]
+          regardless of cost, so parallel execution is exercised on inputs
+          the cost model would correctly run serially *)
 }
 
 type rel_stats = {
@@ -53,6 +60,8 @@ val create :
   ?use_interesting_orders:bool ->
   ?use_bnb:bool ->
   ?refined_pages:bool ->
+  ?max_dop:int ->
+  ?force_parallel:bool ->
   Catalog.t ->
   t
 

@@ -35,6 +35,7 @@ type node =
     }
   | Sort of { input : t; key : Interesting_order.order }
   | Filter of { input : t; preds : Semant.spred list }
+  | Exchange of { input : t; dop : int }
 
 and t = {
   node : node;
@@ -47,7 +48,7 @@ and t = {
 let rec scan_tab t =
   match t.node with
   | Scan { tab; _ } -> Some tab
-  | Filter { input; _ } -> scan_tab input
+  | Filter { input; _ } | Exchange { input; _ } -> scan_tab input
   | Nl_join _ | Merge_join _ | Sort _ -> None
 
 let rec join_methods_used t =
@@ -57,7 +58,8 @@ let rec join_methods_used t =
     join_methods_used outer @ join_methods_used inner @ [ "NL" ]
   | Merge_join { outer; inner; _ } ->
     join_methods_used outer @ join_methods_used inner @ [ "MERGE" ]
-  | Sort { input; _ } | Filter { input; _ } -> join_methods_used input
+  | Sort { input; _ } | Filter { input; _ } | Exchange { input; _ } ->
+    join_methods_used input
 
 let default_name tab = Printf.sprintf "t%d" tab
 
@@ -93,6 +95,8 @@ let rec describe ?(names = default_name) t =
     Printf.sprintf "MERGE(%s, %s)" (describe ~names outer) (describe ~names inner)
   | Sort { input; _ } -> Printf.sprintf "Sort(%s)" (describe ~names input)
   | Filter { input; _ } -> Printf.sprintf "Filter(%s)" (describe ~names input)
+  | Exchange { input; dop } ->
+    Printf.sprintf "Exchange[%d](%s)" dop (describe ~names input)
 
 let pp ?(names = default_name) ppf t =
   let rec go indent t =
@@ -122,6 +126,9 @@ let pp ?(names = default_name) ppf t =
       go (indent + 2) input
     | Filter { input; preds } ->
       line "FILTER (%d predicates)" (List.length preds);
+      go (indent + 2) input
+    | Exchange { input; dop } ->
+      line "EXCHANGE dop=%d (gather)" dop;
       go (indent + 2) input
   in
   Format.fprintf ppf "@[<v>";

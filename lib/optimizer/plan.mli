@@ -56,6 +56,12 @@ type node =
   | Filter of { input : t; preds : Semant.spred list }
       (** residual predicates evaluated above the joins — in particular the
           boolean factors containing subqueries *)
+  | Exchange of { input : t; dop : int }
+      (** run [dop] copies of [input] over disjoint contiguous partitions of
+          its leftmost scan, on worker domains, and gather their outputs in
+          partition order — result identical to running [input] serially.
+          Inserted by the optimizer's parallelization post-pass when the
+          DOP-adjusted cost wins *)
 
 and t = {
   node : node;

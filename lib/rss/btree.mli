@@ -23,7 +23,8 @@ val set_order_override : int option -> unit
 (** Debug hook for the crash-torture harness: force every subsequently
     created tree to the given order, so tiny test relations exercise the
     split paths (and their ["btree.split"] failpoint). Never set in normal
-    operation; reset with [None]. *)
+    operation; reset with [None]. Single-domain-only: asserts it runs on the
+    main domain ({!Failpoint.assert_main_domain}). *)
 
 val pager : t -> Pager.t
 val compare_key : key -> key -> int
@@ -58,6 +59,18 @@ val range_scan_desc_unaccounted :
 
 val lookup : t -> key -> Tid.t list
 (** All TIDs for an exact key (accounted). *)
+
+val split_range :
+  ?lo:bound -> ?hi:bound -> t -> parts:int ->
+  (bound option * bound option) list
+(** Split the range [lo, hi] into up to [parts] contiguous sub-ranges along
+    existing separator keys, in key order, for parallel index scans. The
+    concatenation of the sub-ranges' ascending scans yields exactly the
+    entries of the serial scan, in the same order: splits fall on full key
+    values with the left range excluding and the right range including the
+    split key, so duplicates never straddle a boundary. Returns a single
+    range when the tree is too small to split. Planning-time only — no page
+    accesses are charged. *)
 
 val entry_count : t -> int
 

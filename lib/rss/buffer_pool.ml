@@ -13,6 +13,10 @@ type t = {
   mutable head : node option;
   mutable tail : node option;
   mutable mru : int;  (* id at [head], or min_int when empty *)
+  m : Mutex.t;
+  mutable latched : bool;
+      (* serialize [touch] under the mutex; set only while a parallel query
+         phase has worker domains sharing the pool *)
 }
 
 let create ~capacity =
@@ -21,7 +25,9 @@ let create ~capacity =
     table = Hashtbl.create (2 * capacity);
     head = None;
     tail = None;
-    mru = min_int }
+    mru = min_int;
+    m = Mutex.create ();
+    latched = false }
 
 let capacity t = t.cap
 let resident t = Hashtbl.length t.table
@@ -39,7 +45,7 @@ let push_front t n =
   (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
   t.head <- Some n
 
-let touch t id =
+let touch_raw t id =
   (* Touching the page already at the front needs no relink and cannot miss.
      Scans fetch runs of tuples from the same page, so this one-compare path
      carries nearly every RSI call. *)
@@ -67,6 +73,23 @@ let touch t id =
       Hashtbl.replace t.table id n;
       push_front t n;
       `Miss
+  end
+
+let set_latched t b = t.latched <- b
+
+let touch t id =
+  (* The unlatched path stays a direct call: serial execution — the common
+     case — pays nothing for the mutex's existence. *)
+  if not t.latched then touch_raw t id
+  else begin
+    Mutex.lock t.m;
+    match touch_raw t id with
+    | r ->
+      Mutex.unlock t.m;
+      r
+    | exception e ->
+      Mutex.unlock t.m;
+      raise e
   end
 
 let evict_all t =

@@ -17,6 +17,13 @@ val touch : t -> int -> [ `Hit | `Miss ]
 (** Access a page: [`Hit] if resident, otherwise [`Miss] (the page is brought
     in, evicting the least recently used page when full). *)
 
+val set_latched : t -> bool -> unit
+(** While latched, {!touch} serializes under an internal mutex so worker
+    domains may share the pool during a parallel query phase. Unlatched (the
+    default), touch is the bare serial fast path. Toggled only from the main
+    domain with no workers running ({!Pager.enter_parallel} /
+    [exit_parallel]). *)
+
 val contains : t -> int -> bool
 val evict_all : t -> unit
 (** Empty the pool (used between measured runs for cold-cache experiments). *)

@@ -54,6 +54,18 @@ let restore t ~from =
   t.plan_cache_misses <- from.plan_cache_misses;
   t.plan_cache_invalidations <- from.plan_cache_invalidations
 
+let add t ~into =
+  into.page_fetches <- into.page_fetches + t.page_fetches;
+  into.buffer_hits <- into.buffer_hits + t.buffer_hits;
+  into.rsi_calls <- into.rsi_calls + t.rsi_calls;
+  into.pages_written <- into.pages_written + t.pages_written;
+  into.sort_runs <- into.sort_runs + t.sort_runs;
+  into.merge_passes <- into.merge_passes + t.merge_passes;
+  into.plan_cache_hits <- into.plan_cache_hits + t.plan_cache_hits;
+  into.plan_cache_misses <- into.plan_cache_misses + t.plan_cache_misses;
+  into.plan_cache_invalidations <-
+    into.plan_cache_invalidations + t.plan_cache_invalidations
+
 let diff ~after ~before =
   { page_fetches = after.page_fetches - before.page_fetches;
     buffer_hits = after.buffer_hits - before.buffer_hits;

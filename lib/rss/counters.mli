@@ -34,6 +34,12 @@ val restore : t -> from:t -> unit
     an unmeasured operation (DDL bulk-load, recovery, integrity checking)
     from I/O accounting. *)
 
+val add : t -> into:t -> unit
+(** Component-wise accumulation of [t] into [into] — how a parallel worker's
+    domain-local scratch counters fold back into the pager's main counters
+    when the worker finishes, so per-domain accounting sums exactly to the
+    serial totals. *)
+
 val diff : after:t -> before:t -> t
 (** Component-wise difference; for measuring one operation. *)
 

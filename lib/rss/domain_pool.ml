@@ -1,0 +1,94 @@
+(* A process-wide pool of worker domains for parallel query execution.
+
+   OCaml 5 domains are heavyweight (each carries a minor heap and
+   participates in every GC), so the executor never spawns one per
+   operator: it submits closures to this fixed pool, which grows on demand
+   up to [max_workers] and is never torn down — idle workers block on the
+   task queue's condition variable and cost nothing, and process exit
+   (Stdlib.exit terminates all domains) reaps them.
+
+   Scheduling is deliberately simple: one global FIFO, any worker takes the
+   next task. Deadlock-freedom rests on an invariant the executor
+   maintains: tasks never submit subtasks and never block on another job's
+   completion — only the main domain joins. A pool smaller than the
+   requested degree of parallelism is therefore safe; excess tasks just
+   queue. *)
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn
+
+type 'a job = {
+  jm : Mutex.t;
+  jc : Condition.t;
+  mutable state : 'a state;
+}
+
+let max_workers = 8
+
+let m = Mutex.create ()
+let cv = Condition.create ()
+let tasks : (unit -> unit) Queue.t = Queue.create ()
+let workers = ref 0
+
+let rec worker_loop () =
+  Mutex.lock m;
+  while Queue.is_empty tasks do
+    Condition.wait cv m
+  done;
+  let task = Queue.pop tasks in
+  Mutex.unlock m;
+  (* the task wrapper stores its own outcome, including exceptions *)
+  (try task () with _ -> ());
+  worker_loop ()
+
+let spawn_locked () =
+  incr workers;
+  ignore (Domain.spawn worker_loop : unit Domain.t)
+
+let ensure n =
+  let n = min (max 1 n) max_workers in
+  Mutex.lock m;
+  while !workers < n do
+    spawn_locked ()
+  done;
+  Mutex.unlock m
+
+let size () =
+  Mutex.lock m;
+  let n = !workers in
+  Mutex.unlock m;
+  n
+
+let submit f =
+  let j = { jm = Mutex.create (); jc = Condition.create (); state = Pending } in
+  let task () =
+    let r = match f () with v -> Done v | exception e -> Failed e in
+    Mutex.lock j.jm;
+    j.state <- r;
+    Condition.broadcast j.jc;
+    Mutex.unlock j.jm
+  in
+  Mutex.lock m;
+  if !workers = 0 then spawn_locked ();
+  Queue.push task tasks;
+  Condition.signal cv;
+  Mutex.unlock m;
+  j
+
+let join j =
+  Mutex.lock j.jm;
+  let rec wait () =
+    match j.state with
+    | Pending ->
+      Condition.wait j.jc j.jm;
+      wait ()
+    | Done v ->
+      Mutex.unlock j.jm;
+      v
+    | Failed e ->
+      Mutex.unlock j.jm;
+      raise e
+  in
+  wait ()

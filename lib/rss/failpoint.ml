@@ -9,6 +9,18 @@ type mode =
 let mode = ref Off
 let halted_flag = ref false
 
+(* The registry is global mutable state with no synchronization: it is
+   single-domain-only by contract. Arming asserts it runs on the main domain,
+   and the executor refuses to enter parallel execution while any mode is
+   active ([Pager.enter_parallel] checks {!enabled}), so worker domains only
+   ever observe [live = false] — a benign read of an immutable-in-practice
+   flag. *)
+let main_domain = Domain.self ()
+
+let assert_main_domain what =
+  if Domain.self () <> main_domain then
+    invalid_arg (what ^ ": single-domain-only; must run on the main domain")
+
 (* Fast-path gate kept in sync with (mode, halted): [hit] in production code
    must cost one load and one branch. *)
 let live = ref false
@@ -25,12 +37,14 @@ let reset () =
   refresh ()
 
 let count_only () =
+  assert_main_domain "Failpoint.count_only";
   Hashtbl.reset table;
   mode := Count;
   halted_flag := false;
   refresh ()
 
 let arm ~site ~at =
+  assert_main_domain "Failpoint.arm";
   if at < 1 then invalid_arg "Failpoint.arm: at < 1";
   Hashtbl.reset table;
   mode := Armed { site; at };
@@ -38,6 +52,7 @@ let arm ~site ~at =
   refresh ()
 
 let arm_schedule ~seed ~mean =
+  assert_main_domain "Failpoint.arm_schedule";
   if mean < 1 then invalid_arg "Failpoint.arm_schedule: mean < 1";
   Hashtbl.reset table;
   let rng = Random.State.make [| 0x5eed; seed |] in

@@ -20,8 +20,11 @@
     seed yields a reproducible schedule without a prior counting pass.
 
     The registry is global (sites live in code that has no handle to thread a
-    registry through) and the engine is single-threaded, as everywhere else
-    in this repo. *)
+    registry through) and is {b single-domain-only}: arming asserts it runs
+    on the main domain, and parallel query execution refuses to start while
+    any mode is active (exchange operators degrade to serial execution, and
+    {!Pager.enter_parallel} rejects an armed registry outright). Worker
+    domains therefore only ever read the inert fast-path flag. *)
 
 exception Crash of string
 (** Raised by {!hit} at the armed trigger; the payload is the site name. *)
@@ -61,3 +64,9 @@ val hits : string -> int
 
 val counts : unit -> (string * int) list
 (** All sites with a nonzero count, sorted by site name. *)
+
+val assert_main_domain : string -> unit
+(** Guard for single-domain-only global state ([what] names the operation in
+    the error). Used here by the arming entry points and exported for the
+    other debug registries ({!Btree.set_order_override}).
+    @raise Invalid_argument off the main domain. *)

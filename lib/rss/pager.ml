@@ -1,26 +1,41 @@
 type t = {
-  mutable next_id : int;
+  next_id : int Atomic.t;
   data_pages : (int, Page.t) Hashtbl.t;
   pool : Buffer_pool.t;
   counters : Counters.t;
   buffer_pages : int;
+  latch : Mutex.t;
+  mutable parallel_depth : int;
+      (* nesting of enter/exit_parallel; pool latched while > 0 *)
 }
 
+(* Per-domain scratch counters. While a worker domain runs under
+   [as_worker], its accounting lands in a domain-local Counters.t and is
+   folded into [t.counters] exactly once when the worker finishes — so the
+   hot counter bumps stay unsynchronized single-writer stores, and the fold
+   makes parallel totals sum to the serial totals. The main domain (and all
+   serial execution) keeps [None] here and writes [t.counters] directly. *)
+let scratch_key : Counters.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let cnt t =
+  match Domain.DLS.get scratch_key with Some c -> c | None -> t.counters
+
 let create ?(buffer_pages = 64) () =
-  { next_id = 0;
+  { next_id = Atomic.make 0;
     data_pages = Hashtbl.create 1024;
     pool = Buffer_pool.create ~capacity:buffer_pages;
     counters = Counters.create ();
-    buffer_pages }
+    buffer_pages;
+    latch = Mutex.create ();
+    parallel_depth = 0 }
 
 let counters t = t.counters
 let buffer_pages t = t.buffer_pages
 
 let alloc_page_id t =
   Failpoint.hit "pager.alloc_page";
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  id
+  Atomic.fetch_and_add t.next_id 1
 
 let alloc_data_page t =
   let id = alloc_page_id t in
@@ -31,9 +46,10 @@ let alloc_data_page t =
 let data_page t id = Hashtbl.find t.data_pages id
 
 let touch t id =
+  let c = cnt t in
   match Buffer_pool.touch t.pool id with
-  | `Hit -> t.counters.buffer_hits <- t.counters.buffer_hits + 1
-  | `Miss -> t.counters.page_fetches <- t.counters.page_fetches + 1
+  | `Hit -> c.Counters.buffer_hits <- c.Counters.buffer_hits + 1
+  | `Miss -> c.Counters.page_fetches <- c.Counters.page_fetches + 1
 
 let read_data_page t id =
   touch t id;
@@ -41,12 +57,41 @@ let read_data_page t id =
 
 let note_page_written t =
   Failpoint.hit "pager.page_write";
-  t.counters.pages_written <- t.counters.pages_written + 1
+  let c = cnt t in
+  c.Counters.pages_written <- c.Counters.pages_written + 1
 
-let note_rsi_call t = t.counters.rsi_calls <- t.counters.rsi_calls + 1
+let note_rsi_call t =
+  let c = cnt t in
+  c.Counters.rsi_calls <- c.Counters.rsi_calls + 1
 
-let note_sort_run t = t.counters.sort_runs <- t.counters.sort_runs + 1
+let note_sort_run t =
+  let c = cnt t in
+  c.Counters.sort_runs <- c.Counters.sort_runs + 1
 
-let note_merge_pass t = t.counters.merge_passes <- t.counters.merge_passes + 1
+let note_merge_pass t =
+  let c = cnt t in
+  c.Counters.merge_passes <- c.Counters.merge_passes + 1
 
 let evict_all t = Buffer_pool.evict_all t.pool
+
+let enter_parallel t =
+  if Failpoint.enabled () then
+    invalid_arg
+      "Pager.enter_parallel: failpoint registry armed (single-domain-only)";
+  t.parallel_depth <- t.parallel_depth + 1;
+  if t.parallel_depth = 1 then Buffer_pool.set_latched t.pool true
+
+let exit_parallel t =
+  t.parallel_depth <- t.parallel_depth - 1;
+  if t.parallel_depth = 0 then Buffer_pool.set_latched t.pool false
+
+let as_worker t f =
+  let scratch = Counters.create () in
+  Domain.DLS.set scratch_key (Some scratch);
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set scratch_key None;
+      Mutex.lock t.latch;
+      Counters.add scratch ~into:t.counters;
+      Mutex.unlock t.latch)
+    f

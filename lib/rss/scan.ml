@@ -10,9 +10,11 @@ type t = {
 (* A segment scan examines all pages of the segment that contain tuples, from
    any relation, returning those belonging to the given relation. Pages are
    charged once each; SARG-rejected tuples cost no RSI call. *)
-let open_segment_scan segment ~rel_id ?(sargs = Sarg.always_true) () =
+let open_segment_scan segment ~rel_id ?pages ?(sargs = Sarg.always_true) () =
   let pager = Segment.pager segment in
-  let pages = ref (Segment.page_ids segment) in
+  let pages =
+    ref (match pages with Some ps -> ps | None -> Segment.page_ids segment)
+  in
   let current : (int * int * Rel.Tuple.t) list ref = ref [] in
   let current_page = ref (-1) in
   let rec pull () =

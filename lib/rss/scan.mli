@@ -13,7 +13,11 @@
 type t
 
 val open_segment_scan :
-  Segment.t -> rel_id:int -> ?sargs:Sarg.t -> unit -> t
+  Segment.t -> rel_id:int -> ?pages:int list -> ?sargs:Sarg.t -> unit -> t
+(** [pages] restricts the scan to the given page-id subset (in the order
+    given) instead of every page of the segment — parallel scans hand each
+    worker one contiguous chunk of [Segment.page_ids], whose concatenation
+    is exactly the serial scan. *)
 
 val open_index_scan :
   Segment.t ->

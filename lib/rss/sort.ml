@@ -356,6 +356,36 @@ let sort_stream ?run_pages ?fan_in ?cmp pager ~key next =
 let sort ?run_pages ?fan_in ?cmp pager ~key seq =
   sort_cursor ?run_pages ?fan_in ?cmp pager ~key (Seq.to_dispenser seq)
 
+(* --- split run formation / merge (parallel sort) -------------------------- *)
+
+(* [sort_stream] in two halves, so run formation can be fanned out across
+   domains: each worker forms the runs for one contiguous input partition
+   ([runs_of_dispenser]), and the main domain merges the concatenation of the
+   per-partition run lists ([merge_stream]). Output is byte-identical to
+   [sort_stream] over the concatenated input: run formation is per-partition
+   deterministic, the concatenated run list preserves input order exactly as
+   serial formation does (partitions are contiguous and in order), and ties
+   are broken by run index at every merge level. *)
+
+let runs_of_dispenser ?run_pages ?cmp pager ~key next =
+  let cmp = match cmp with Some c -> c | None -> compare_tuples key in
+  let run_pages, _ = resolve_params ?run_pages pager in
+  form_runs cmp ~key pager ~run_pages next
+
+let merge_stream ?fan_in ?cmp pager ~key runs =
+  let cmp = match cmp with Some c -> c | None -> compare_tuples key in
+  let _, fan_in = resolve_params ?fan_in pager in
+  let rec reduce runs =
+    if List.length runs <= fan_in then runs
+    else reduce (merge_pass cmp ~key pager ~fan_in runs)
+  in
+  match reduce runs with
+  | [] -> fun () -> None
+  | [ r ] -> Temp_list.cursor r.tl
+  | runs ->
+    Pager.note_merge_pass pager;
+    merge_dispenser cmp ~key runs
+
 (* --- legacy baseline ----------------------------------------------------- *)
 
 (* The pre-streaming implementation — list-formed runs merged through

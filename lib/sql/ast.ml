@@ -60,6 +60,7 @@ type statement =
   | Drop_table of string
   | Drop_index of string
   | Update_statistics
+  | Set_parallelism of int
   | Begin_transaction
   | Commit
   | Rollback
@@ -168,6 +169,7 @@ let pp_statement ppf = function
   | Drop_table t -> Format.fprintf ppf "DROP TABLE %s" t
   | Drop_index i -> Format.fprintf ppf "DROP INDEX %s" i
   | Update_statistics -> Format.pp_print_string ppf "UPDATE STATISTICS"
+  | Set_parallelism n -> Format.fprintf ppf "SET PARALLELISM %d" n
   | Begin_transaction -> Format.pp_print_string ppf "BEGIN"
   | Commit -> Format.pp_print_string ppf "COMMIT"
   | Rollback -> Format.pp_print_string ppf "ROLLBACK"

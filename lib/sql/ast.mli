@@ -71,6 +71,9 @@ type statement =
   | Drop_table of string
   | Drop_index of string
   | Update_statistics
+  | Set_parallelism of int
+      (** SET PARALLELISM n: cap the degree of parallelism the optimizer may
+          choose for subsequent queries; 1 disables parallel execution *)
   | Begin_transaction
   | Commit
   | Rollback

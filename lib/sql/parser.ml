@@ -368,6 +368,17 @@ let statement st =
       expect_kw st "INDEX";
       Ast.Drop_index (ident st)
     end
+  | Lexer.Kw "SET" ->
+    advance st;
+    expect_kw st "PARALLELISM";
+    (match peek st with
+     | Lexer.Int_lit n when n >= 1 ->
+       advance st;
+       Ast.Set_parallelism n
+     | t ->
+       fail st
+         (Format.asprintf "expected positive degree of parallelism, found %a"
+            Lexer.pp_token t))
   | Lexer.Kw "BEGIN" ->
     advance st;
     ignore (accept_kw st "TRANSACTION");

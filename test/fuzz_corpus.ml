@@ -191,6 +191,46 @@ let fuzz_smoke () =
   done;
   Alcotest.(check bool) "ran queries" true (stats.Fuzz_harness.queries = 40)
 
+(* Parallel-focused seeded smoke: a distinct seed range whose scenarios flow
+   through the same lattice, which since the parallel-execution work includes
+   forced-exchange runs at DOP 2 and 4. Generated tables are small (usually a
+   single page, where the exchange correctly degrades to serial), so a
+   hand-built multi-page scenario rides along; afterwards the worker pool
+   must have actually spawned — proof the corpus did not silently degrade
+   every query to the serial path. *)
+let parallel_fuzz_smoke () =
+  for i = 0 to 11 do
+    let rng = Workload.rand_init (7700 + i) in
+    let scenario = FG.gen_scenario rng in
+    let q = FG.gen_query rng scenario in
+    match Fuzz_harness.check scenario q with
+    | Fuzz_harness.Agree -> ()
+    | Fuzz_harness.Diverged d ->
+      Alcotest.failf "seed %d diverged at %s:\n%s" (7700 + i)
+        d.Fuzz_harness.d_config
+        (Fuzz_harness.reproducer scenario q)
+    | Fuzz_harness.Unsupported msg ->
+      Alcotest.failf "seed %d unsupported: %s\n%s" (7700 + i) msg
+        (Fuzz_sql.query_to_string q)
+  done;
+  (* multi-page table: ~700 rows span several 4K pages, so the forced
+     exchange really partitions and fans out to worker domains *)
+  let big =
+    { FG.tables =
+        [ table "big"
+            [ col "c0" V.Tint ~distinct:7; col "c1" V.Tint ~distinct:700 ]
+            (List.init 700 (fun i -> ints [ i mod 7; i ]))
+            ~indexes:[ ("i_big_c1", [ "c1" ], false) ] ]
+    }
+  in
+  List.iter
+    (fun sql ->
+      check_case "parallel big" big sql ())
+    [ "SELECT c0, c1 FROM big WHERE c1 >= 10 ORDER BY c1";
+      "SELECT c0, SUM(c1) FROM big GROUP BY c0";
+      "SELECT SUM(c1) FROM big WHERE c0 = 3" ];
+  Alcotest.(check bool) "worker domains spawned" true (Rss.Domain_pool.size () > 0)
+
 (* --- shrinker self-test against broken cache invalidation ---------------- *)
 
 let shrinker_self_test () =
@@ -246,5 +286,7 @@ let () =
       ("rebind", rebind_tests);
       ( "fuzz",
         [ Alcotest.test_case "seeded smoke (40 queries)" `Quick fuzz_smoke;
+          Alcotest.test_case "parallel seeded smoke (12 queries)" `Quick
+            parallel_fuzz_smoke;
           Alcotest.test_case "shrinker vs broken invalidation" `Quick
             shrinker_self_test ] ) ]

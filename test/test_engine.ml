@@ -330,7 +330,9 @@ let test_prepared_statements () =
     | Plan.Scan _ -> false
     | Plan.Nl_join { outer; inner } | Plan.Merge_join { outer; inner; _ } ->
       idx_bound outer || idx_bound inner
-    | Plan.Sort { input; _ } | Plan.Filter { input; _ } -> idx_bound input
+    | Plan.Sort { input; _ } | Plan.Filter { input; _ }
+    | Plan.Exchange { input; _ } ->
+      idx_bound input
   in
   Alcotest.(check bool) "param used as index bound" true
     (idx_bound (Database.prepared_plan p).Optimizer.plan);
