@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke bench-parallel fuzz torture clean
+.PHONY: all build test check bench bench-smoke bench-parallel bench-qerror fuzz torture clean
 
 all: build
 
@@ -42,6 +42,12 @@ bench-smoke:
 # meaningful on multicore hosts — the JSON records the core count
 bench-parallel:
 	dune exec bench/main.exe -- par
+
+# cardinality estimate quality only (writes BENCH_qerror.json): q-error
+# quantiles of the TABLE 1 constants vs histogram estimation over a fuzz
+# workload and a Zipf battery; BENCH_ENFORCE_QERROR=1 turns it into a gate
+bench-qerror:
+	dune exec bench/main.exe -- qerr
 
 clean:
 	dune clean

@@ -10,6 +10,8 @@
 let run () =
   Bench_util.section "F1-F6: the Figure 1 join example (EMP, DEPT, JOB)";
   let db = Database.create ~buffer_pages:24 () in
+  (* the figures assume the paper's TABLE 1 estimates: pin them *)
+  Database.set_histograms db false;
   Workload.load_emp_dept_job db;
   Printf.printf "query (Figure 1):\n  %s\n" Workload.fig1_query;
   let r = Database.optimize db Workload.fig1_query in

@@ -7,6 +7,8 @@
 
 let setup () =
   let db = Database.create () in
+  (* this bench reads off the paper's TABLE 1 rules: pin them *)
+  Database.set_histograms db false;
   Workload.load_uniform db ~name:"R" ~rows:2000
     ~cols:
       [ { Workload.col = "A"; distinct = 50 };   (* indexed *)

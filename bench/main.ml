@@ -16,6 +16,7 @@ let benches =
     ("abl", "ablations A1-A3", Bench_ablation.run);
     ("n1", "nested queries: correlated caching", Bench_nested.run);
     ("e2", "extension: selectivity under skew", Bench_skew.run);
+    ("qerr", "cardinality q-error: TABLE 1 constants vs histograms", Bench_qerror.run);
     ("hot", "exec hot path: interpreted vs compiled evaluation", Bench_exec_hotpath.run);
     ("par", "parallel scaling: exchange/sort/group-by over domains", Bench_parallel.run) ]
 

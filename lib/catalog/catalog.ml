@@ -4,9 +4,22 @@ type relation = {
   schema : Rel.Schema.t;
   segment : Rss.Segment.t;
   mutable rstats : Stats.relation option;
+  mutable cstats : Stats.column array;
+      (* per-column histograms in schema order; [||] until the relation has
+         had UPDATE STATISTICS run *)
   mutable stats_version : int;
       (* bumped whenever anything a cached plan depends on changes:
          UPDATE STATISTICS or index DDL on this relation *)
+  mutable feedback_gen : int;
+      (* bumped when executor cardinality feedback records a corrected
+         selectivity for this relation; cached plans depend on it exactly as
+         they depend on stats_version, so a gross misestimate retires the
+         plans whose costing it invalidates and nothing else *)
+  feedback : (string, float) Hashtbl.t;
+      (* canonical local-factor-set key -> observed selectivity (actual rows /
+         NCARD), recorded at cursor close on gross misestimates and consulted
+         by the optimizer in place of the estimated product. Cleared by
+         UPDATE STATISTICS: fresh histograms supersede runtime corrections *)
 }
 
 type index = {
@@ -44,7 +57,8 @@ let create_relation ?segment t ~name ~schema =
   in
   let rel =
     { rel_id = t.next_rel_id; rel_name = name; schema; segment; rstats = None;
-      stats_version = 0 }
+      cstats = [||]; stats_version = 0; feedback_gen = 0;
+      feedback = Hashtbl.create 8 }
   in
   t.next_rel_id <- t.next_rel_id + 1;
   Hashtbl.replace t.rels key rel;
@@ -183,6 +197,18 @@ let update_relation_statistics t rel =
   let nonempty = Rss.Segment.nonempty_page_count rel.segment in
   let p = if nonempty = 0 then 1.0 else float_of_int tcard /. float_of_int nonempty in
   rel.rstats <- Some { Stats.ncard; tcard; p };
+  (* Per-column histograms from one full scan, for every column — indexed or
+     not. Counter-neutral like index creation: statistics collection is DDL,
+     not a measured query. *)
+  let snapshot = Rss.Counters.snapshot (Rss.Pager.counters t.pgr) in
+  let tuples = List.map snd (scan_all rel) in
+  Rss.Counters.restore (Rss.Pager.counters t.pgr) ~from:snapshot;
+  rel.cstats <-
+    Array.init (Rel.Schema.arity rel.schema) (fun col ->
+        let values = List.map (fun tup -> Rel.Tuple.get tup col) tuples in
+        { Stats.hist = Histogram.build values });
+  (* runtime feedback corrections are superseded by the fresh histograms *)
+  Hashtbl.reset rel.feedback;
   List.iter
     (fun idx ->
       let icard = Rss.Btree.distinct_keys idx.btree in

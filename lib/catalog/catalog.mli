@@ -10,9 +10,20 @@ type relation = {
   schema : Rel.Schema.t;
   segment : Rss.Segment.t;
   mutable rstats : Stats.relation option;
+  mutable cstats : Stats.column array;
+      (** per-column histograms in schema order; [[||]] until UPDATE
+          STATISTICS has run on this relation *)
   mutable stats_version : int;
       (** monotonic counter bumped by UPDATE STATISTICS and index DDL on this
           relation; plan caches compare it to detect stale plans *)
+  mutable feedback_gen : int;
+      (** monotonic counter bumped when executor cardinality feedback records
+          a corrected selectivity for this relation; plan caches depend on it
+          like [stats_version], so a gross misestimate retires exactly the
+          plans costed under the stale estimate *)
+  feedback : (string, float) Hashtbl.t;
+      (** canonical local-factor-set key (see [Feedback] in the optimizer) ->
+          observed selectivity; cleared by UPDATE STATISTICS *)
 }
 
 type index = {
@@ -84,7 +95,9 @@ val delete_tid : t -> relation -> Rss.Tid.t -> Rel.Tuple.t -> bool
 val key_of : index -> Rel.Tuple.t -> Rss.Btree.key
 
 val update_statistics : t -> unit
-(** Recompute relation and index statistics from storage (the UPDATE
-    STATISTICS command, runnable by any user). *)
+(** Recompute relation, index and per-column statistics from storage (the
+    UPDATE STATISTICS command, runnable by any user). Every column gets an
+    equi-depth histogram, distinct count and NULL fraction; the pass is
+    counter-neutral and bumps each relation's [stats_version]. *)
 
 val update_relation_statistics : t -> relation -> unit

@@ -12,6 +12,10 @@ type index = {
   cluster_ratio : float;
 }
 
+type column = {
+  hist : Histogram.t;
+}
+
 let pp_relation ppf r =
   Format.fprintf ppf "NCARD=%d TCARD=%d P=%.3f" r.ncard r.tcard r.p
 
@@ -22,3 +26,5 @@ let pp_opt ppf = function
 let pp_index ppf i =
   Format.fprintf ppf "ICARD=%d NINDX=%d low=%a high=%a cluster=%.2f" i.icard
     i.nindx pp_opt i.low_key pp_opt i.high_key i.cluster_ratio
+
+let pp_column ppf c = Histogram.pp ppf c.hist

@@ -24,5 +24,15 @@ type index = {
       page — 1.0 for a freshly loaded clustered index; diagnostic only *)
 }
 
+type column = {
+  hist : Histogram.t;
+  (** equi-depth histogram, distinct count and NULL fraction, for every
+      column — indexed or not. Collected by the same UPDATE STATISTICS pass
+      as the relation/index statistics and versioned by the relation's
+      [stats_version], so the plan cache invalidates cached plans exactly
+      when the estimates they were costed under change. *)
+}
+
 val pp_relation : Format.formatter -> relation -> unit
 val pp_index : Format.formatter -> index -> unit
+val pp_column : Format.formatter -> column -> unit

@@ -18,6 +18,17 @@ type t = {
   mutable w : float;
   mutable max_dop : int;
   mutable force_parallel : bool;
+  mutable use_histograms : bool;
+      (* SET HISTOGRAMS ON/OFF: estimate selectivities from the per-column
+         equi-depth histograms UPDATE STATISTICS collects; OFF pins the
+         paper's value-independent TABLE 1 constants (and suspends the
+         cardinality-feedback loop, which would also perturb them) *)
+  mutable use_feedback : bool;
+  mutable feedback_threshold : float;
+      (* q-error above which an execution counts as a gross misestimate *)
+  mutable last_feedback : (float * int * float * bool) option;
+      (* (estimated QCARD, actual rows, q-error, retired a plan) of the most
+         recent feedback-observed execution, surfaced by EXPLAIN *)
   wal : Rss.Wal.t;
   mutable locks : Rss.Lock_table.t;
   mutable next_txn : int;
@@ -39,11 +50,17 @@ let default_max_dop () =
                | _ -> 1)
   | None -> 1
 
+let default_feedback_threshold = 4.0
+
 let create ?buffer_pages ?(w = Ctx.default_w) () =
   { cat = Catalog.create ?buffer_pages ();
     w;
     max_dop = default_max_dop ();
     force_parallel = false;
+    use_histograms = true;
+    use_feedback = true;
+    feedback_threshold = default_feedback_threshold;
+    last_feedback = None;
     wal = Rss.Wal.create ();
     locks = Rss.Lock_table.create ();
     next_txn = 1;
@@ -52,8 +69,15 @@ let create ?buffer_pages ?(w = Ctx.default_w) () =
 
 let catalog t = t.cat
 let pager t = Catalog.pager t.cat
-let ctx t =
-  Ctx.create ~w:t.w ~max_dop:t.max_dop ~force_parallel:t.force_parallel t.cat
+
+(* feedback corrections are only consulted (and recorded) under histogram
+   estimation: SET HISTOGRAMS OFF pins the paper's constants exactly *)
+let feedback_active t = t.use_feedback && t.use_histograms
+
+let ctx ?(params = [||]) t =
+  Ctx.create ~w:t.w ~max_dop:t.max_dop ~force_parallel:t.force_parallel
+    ~use_histograms:t.use_histograms ~use_feedback:(feedback_active t) ~params
+    t.cat
 
 let set_w t w =
   t.w <- w;
@@ -75,6 +99,25 @@ let set_force_parallel t on =
     t.force_parallel <- on;
     Plan_cache.clear t.plan_cache
   end
+
+let set_histograms t on =
+  if on <> t.use_histograms then begin
+    t.use_histograms <- on;
+    (* cached plans embed cardinality estimates made under the other mode *)
+    Plan_cache.clear t.plan_cache
+  end
+
+let histograms_enabled t = t.use_histograms
+
+let set_feedback t on =
+  if on <> t.use_feedback then begin
+    t.use_feedback <- on;
+    Plan_cache.clear t.plan_cache
+  end
+
+let feedback_enabled t = t.use_feedback
+let set_feedback_threshold t q = t.feedback_threshold <- Float.max 1. q
+let last_feedback t = t.last_feedback
 
 let set_plan_cache t on = Plan_cache.set_enabled t.plan_cache on
 let set_plan_cache_validation t on = Plan_cache.set_validation t.plan_cache on
@@ -317,11 +360,78 @@ let update_where t txn (rel : Catalog.relation) sets where =
     victims;
   List.length victims
 
+(* --- cardinality feedback ------------------------------------------------ *)
+
+let q_error est act =
+  let est = Float.max est 0. and act = float_of_int act in
+  Float.max ((est +. 1.) /. (act +. 1.)) ((act +. 1.) /. (est +. 1.))
+
+(* Compare the optimizer's QCARD estimate against the actual output
+   cardinality the executor observed at root-cursor close. On a gross
+   misestimate (q-error above the threshold), record the observed
+   selectivity on the relation when the block's shape makes it unambiguous:
+   a single table, no grouping, and every boolean factor local to that
+   table — then actual rows / NCARD is exactly the restriction's joint
+   selectivity. Recording bumps the relation's feedback_gen, so the plan
+   cache retires the plans costed under the stale estimate and the next
+   optimization of the same restriction sees the corrected value. *)
+let feedback_note t (r : Optimizer.result) ~params act =
+  if feedback_active t && act >= 0 then begin
+    let block = r.Optimizer.block in
+    if (not block.Semant.scalar_agg) && block.Semant.group_by = [] then begin
+      let c = ctx ~params t in
+      let est = Selectivity.block_qcard c block in
+      let qerr = q_error est act in
+      t.last_feedback <- Some (est, act, qerr, false);
+      if qerr > t.feedback_threshold then begin
+        let cnt = Rss.Pager.counters (Catalog.pager t.cat) in
+        cnt.Rss.Counters.feedback_misestimates <-
+          cnt.Rss.Counters.feedback_misestimates + 1;
+        match block.Semant.tables with
+        | [ tr ] ->
+          let factors = Normalize.factors_of_block block in
+          let local =
+            Feedback.local_factors factors ~tab:tr.Semant.tab_idx
+          in
+          (* only when the local factors are ALL the factors: a subquery or
+             constant factor would fold its filtering into the recording *)
+          if List.length local = List.length factors then begin
+            match Feedback.key ~params local with
+            | Some key ->
+              let ncard = (Ctx.rel_stats c tr.Semant.rel).Ctx.ncard in
+              if ncard > 0. then begin
+                let sel = float_of_int act /. ncard in
+                if Feedback.record tr.Semant.rel ~key sel then begin
+                  cnt.Rss.Counters.feedback_retirements <-
+                    cnt.Rss.Counters.feedback_retirements + 1;
+                  t.last_feedback <- Some (est, act, qerr, true)
+                end
+              end
+            | None -> ()
+          end
+        | _ -> ()
+      end
+    end
+  end
+
+(* Execute a (possibly cached) plan with the feedback observer attached. *)
+let run_observed t r ~params =
+  let act = ref (-1) in
+  let out =
+    wrap (fun () ->
+        Executor.run ~params ~observe:(fun n -> act := n) t.cat r)
+  in
+  feedback_note t r ~params !act;
+  out
+
 (* SELECT through the compiled-plan cache: fingerprint the statement, serve
    a valid cached plan by rebinding the extracted literals as parameters, or
    optimize the canonicalized (parameterized) statement once and cache it.
-   Statements that already carry user [?] parameters bypass the cache — the
-   prepared-statement path owns their bindings. *)
+   The optimization "peeks" at the extracted literals (Ctx.params), so
+   histogram estimates stay value-aware on the parameterized plan; like any
+   bind-peeking scheme, the cached plan is the one chosen for the literals
+   first seen. Statements that already carry user [?] parameters bypass the
+   cache — the prepared-statement path owns their bindings. *)
 let query_cached ?text t q =
   let fp =
     if Plan_cache.enabled t.plan_cache then Normalize.fingerprint q else None
@@ -340,7 +450,7 @@ let query_cached ?text t q =
      | Plan_cache.Hit r ->
        c.Rss.Counters.plan_cache_hits <- c.Rss.Counters.plan_cache_hits + 1;
        memo ();
-       wrap (fun () -> Executor.run ~params t.cat r)
+       run_observed t r ~params
      | (Plan_cache.Miss | Plan_cache.Invalidated) as probe ->
        (match probe with
         | Plan_cache.Invalidated ->
@@ -351,10 +461,12 @@ let query_cached ?text t q =
        (* resolve the literal statement first: parameter positions always
           type-check, so a type error in the original must still surface *)
        ignore (resolve_query t q);
-       let r = optimize_block t (resolve_query t canon_q) in
+       let r =
+         optimize_block ~ctx:(ctx ~params t) t (resolve_query t canon_q)
+       in
        Plan_cache.store t.plan_cache key r;
        memo ();
-       wrap (fun () -> Executor.run ~params t.cat r))
+       run_observed t r ~params)
 
 let exec_stmt t (stmt : Ast.statement) =
   match stmt with
@@ -368,6 +480,16 @@ let exec_stmt t (stmt : Ast.statement) =
         c.Rss.Counters.plan_cache_invalidations
         (Plan_cache.size t.plan_cache)
       ^ Printf.sprintf "parallelism: max_dop=%d\n" t.max_dop
+      ^ Printf.sprintf "histograms: %s\n"
+          (if t.use_histograms then "on" else "off")
+      ^ Printf.sprintf "feedback: misestimates=%d retirements=%d%s\n"
+          c.Rss.Counters.feedback_misestimates
+          c.Rss.Counters.feedback_retirements
+          (match t.last_feedback with
+           | Some (est, act, qerr, retired) ->
+             Printf.sprintf " last=[est=%.1f act=%d qerr=%.2f%s]" est act qerr
+               (if retired then " retired" else "")
+           | None -> "")
     in
     if search then
       Text
@@ -435,6 +557,9 @@ let exec_stmt t (stmt : Ast.statement) =
   | Ast.Set_parallelism n ->
     set_parallelism t n;
     Done (Printf.sprintf "parallelism set to %d" (parallelism t))
+  | Ast.Set_histograms on ->
+    set_histograms t on;
+    Done (Printf.sprintf "histograms %s" (if on then "on" else "off"))
   | Ast.Begin_transaction ->
     let id = begin_transaction t in
     Done (Printf.sprintf "transaction %d started" id)
@@ -471,7 +596,7 @@ let query t sql =
        | Plan_cache.Hit r ->
          let c = Rss.Pager.counters (Catalog.pager t.cat) in
          c.Rss.Counters.plan_cache_hits <- c.Rss.Counters.plan_cache_hits + 1;
-         Some (wrap (fun () -> Executor.run ~params:(Array.of_list values) t.cat r))
+         Some (run_observed t r ~params:(Array.of_list values))
        | Plan_cache.Invalidated ->
          let c = Rss.Pager.counters (Catalog.pager t.cat) in
          c.Rss.Counters.plan_cache_invalidations <-

@@ -14,8 +14,10 @@ type t
 val create : ?buffer_pages:int -> ?w:float -> unit -> t
 val catalog : t -> Catalog.t
 val pager : t -> Rss.Pager.t
-val ctx : t -> Ctx.t
-(** Optimization context with this database's defaults. *)
+val ctx : ?params:Rel.Value.t array -> t -> Ctx.t
+(** Optimization context with this database's defaults. [params] supplies
+    bound parameter values for value-aware histogram estimates (the
+    plan-cache path "peeks" at its extracted literals this way). *)
 
 val set_w : t -> float -> unit
 (** Change the optimizer's W weighting. Flushes the plan cache: cached plans
@@ -35,13 +37,43 @@ val set_force_parallel : t -> bool -> unit
     cost model would correctly run serially. Flushes the plan cache on
     change. *)
 
+(** {2 Histograms & cardinality feedback} *)
+
+val set_histograms : t -> bool -> unit
+(** SET HISTOGRAMS ON/OFF (default on): estimate selectivities from the
+    per-column equi-depth histograms UPDATE STATISTICS collects. OFF pins
+    the paper's value-independent TABLE 1 constants — and suspends the
+    cardinality-feedback loop, which would also perturb them — so the seed
+    benchmarks reproduce exactly. Flushes the plan cache on change. *)
+
+val histograms_enabled : t -> bool
+
+val set_feedback : t -> bool -> unit
+(** Enable/disable the cardinality-feedback loop independently of histogram
+    estimation (default on; only active while histograms are on). Flushes
+    the plan cache on change. *)
+
+val feedback_enabled : t -> bool
+
+val set_feedback_threshold : t -> float -> unit
+(** q-error — [max((est+1)/(act+1), (act+1)/(est+1))] — above which an
+    execution counts as a gross misestimate and may record a corrected
+    selectivity (default 4.0; clamped to [>= 1]). *)
+
+val last_feedback : t -> (float * int * float * bool) option
+(** (estimated QCARD, actual rows, q-error, retired a cached plan) of the
+    most recent feedback-observed execution; also surfaced by EXPLAIN. *)
+
 (** {2 Compiled-plan cache}
 
     SELECT statements executed through {!exec} / {!query} are fingerprinted
     after canonicalization ({!Normalize.fingerprint}): statements differing
     only in WHERE literals share one parameterized plan, re-optimized only
-    when a dependency's statistics version moves (UPDATE STATISTICS, index
-    DDL, DROP/CREATE TABLE). {!query} additionally remembers statement text,
+    when a dependency's statistics version or feedback generation moves
+    (UPDATE STATISTICS, index DDL, DROP/CREATE TABLE, or a recorded
+    cardinality-feedback correction). Optimization peeks at the extracted
+    literals for histogram estimates, so the cached plan is the one chosen
+    for the literals first seen. {!query} additionally remembers statement text,
     so an exact repeat skips parsing and fingerprinting altogether.
     Hit/miss/invalidation counts surface through {!Rss.Counters} and the
     EXPLAIN output. On by default. *)
@@ -126,9 +158,10 @@ val recover : t -> string -> int
     A SELECT containing [?] placeholders is parsed, resolved and optimized
     once; each execution binds the placeholders. Placeholder predicates are
     sargable (the value is constant per run) and can match indexes — their
-    selectivity uses the value-independent TABLE 1 rules (1/ICARD for equal
-    predicates, the defaults for ranges, since interpolation needs the
-    value). *)
+    selectivity cannot use a specific value (none is known at prepare time),
+    so equal predicates estimate as the average per-value frequency
+    ((1 - NULL fraction) / distinct from the histogram, else TABLE 1's
+    1/ICARD) and ranges fall back to the value-independent defaults. *)
 
 type prepared
 

@@ -1,16 +1,21 @@
 (* Compiled-plan cache: optimized results keyed by statement fingerprint
    (Normalize.fingerprint), invalidated precisely through per-relation
-   stats_version counters. An entry records, for every relation any of its
-   blocks scans, the (name, rel_id, stats_version) triple observed at
-   compile time; a probe revalidates against the live catalog, so
-   UPDATE STATISTICS or index DDL on a dependency (which bump the version)
-   and DROP/CREATE TABLE (which change or remove the rel_id) each retire
-   exactly the plans that depended on the changed relation. *)
+   stats_version and feedback_gen counters. An entry records, for every
+   relation any of its blocks scans, the (name, rel_id, stats_version,
+   feedback_gen) tuple observed at compile time; a probe revalidates against
+   the live catalog, so UPDATE STATISTICS or index DDL on a dependency
+   (which bump the version), a runtime cardinality-feedback correction
+   (which bumps feedback_gen) and DROP/CREATE TABLE (which change or remove
+   the rel_id) each retire exactly the plans that depended on the changed
+   relation. *)
 
 type dep = {
   rel_name : string;
   rel_id : int;
   version : int;
+  feedback : int;
+      (* the relation's feedback_gen at compile time: a recorded cardinality
+         correction retires the plans costed under the stale estimate *)
 }
 
 type entry = {
@@ -69,7 +74,8 @@ let deps_of (r : Optimizer.result) =
           Hashtbl.replace seen rel.Catalog.rel_id
             { rel_name = rel.Catalog.rel_name;
               rel_id = rel.Catalog.rel_id;
-              version = rel.Catalog.stats_version })
+              version = rel.Catalog.stats_version;
+              feedback = rel.Catalog.feedback_gen })
         b.Semant.tables)
     (blocks_of r []);
   Hashtbl.fold (fun _ d acc -> d :: acc) seen []
@@ -79,7 +85,9 @@ let valid cat e =
     (fun d ->
       match Catalog.find_relation cat d.rel_name with
       | Some rel ->
-        rel.Catalog.rel_id = d.rel_id && rel.Catalog.stats_version = d.version
+        rel.Catalog.rel_id = d.rel_id
+        && rel.Catalog.stats_version = d.version
+        && rel.Catalog.feedback_gen = d.feedback
       | None -> false)
     e.deps
 

@@ -2,10 +2,11 @@
 
     Statements are keyed by {!Normalize.fingerprint} — same shape, different
     WHERE literals share one parameterized plan. Each entry remembers the
-    [stats_version] of every relation its blocks scan; a probe revalidates
-    against the live catalog, so UPDATE STATISTICS or index DDL retires
-    exactly the plans depending on the changed relation, and a dropped or
-    recreated table (rel_id change) can never serve a stale plan. *)
+    [stats_version] and [feedback_gen] of every relation its blocks scan; a
+    probe revalidates against the live catalog, so UPDATE STATISTICS, index
+    DDL, or a runtime cardinality-feedback correction retires exactly the
+    plans depending on the changed relation, and a dropped or recreated
+    table (rel_id change) can never serve a stale plan. *)
 
 type t
 

@@ -215,7 +215,7 @@ and eval_subquery st (parent : Optimizer.result) (env : Eval.env) block =
     vs
 
 let run_with_stats ?(use_subquery_cache = true) ?(compiled = true) ?(params = [||])
-    catalog (r : Optimizer.result) =
+    ?observe catalog (r : Optimizer.result) =
   let st =
     { catalog;
       use_cache = use_subquery_cache;
@@ -225,11 +225,17 @@ let run_with_stats ?(use_subquery_cache = true) ?(compiled = true) ?(params = [|
       caches = ref [] }
   in
   let rows = run_block st r [] in
+  (* The root cursor is exhausted: the actual output cardinality is now
+     known, and the engine's feedback loop compares it against the
+     optimizer's QCARD estimate. Fires only for the top block — subquery
+     evaluations observe nothing (their counts fold several bindings
+     together). *)
+  (match observe with Some f -> f (List.length rows) | None -> ());
   let columns = List.map snd r.Optimizer.block.Semant.select in
   ({ columns; rows }, st.stats)
 
-let run ?use_subquery_cache ?compiled ?params catalog r =
-  fst (run_with_stats ?use_subquery_cache ?compiled ?params catalog r)
+let run ?use_subquery_cache ?compiled ?params ?observe catalog r =
+  fst (run_with_stats ?use_subquery_cache ?compiled ?params ?observe catalog r)
 
 let run_measured ?use_subquery_cache ?compiled ?params catalog r =
   let counters = Rss.Pager.counters (Catalog.pager catalog) in

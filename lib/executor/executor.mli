@@ -23,6 +23,7 @@ val run :
   ?use_subquery_cache:bool ->
   ?compiled:bool ->
   ?params:Rel.Value.t array ->
+  ?observe:(int -> unit) ->
   Catalog.t ->
   Optimizer.result ->
   output
@@ -32,6 +33,10 @@ val run :
     DESIGN.md, "Compiled evaluation"). [~compiled:false] runs the per-tuple
     AST interpreter — identical semantics, used as the baseline by the
     hot-path bench and differential test.
+
+    [observe] fires once, when the top block's cursor tree is exhausted,
+    with the actual output cardinality — the engine's cardinality-feedback
+    hook. Subquery evaluations never observe.
     @raise Invalid_argument when a scalar subquery returns several rows or an
     ORDER BY column of a grouped query is absent from its select list. *)
 
@@ -39,6 +44,7 @@ val run_with_stats :
   ?use_subquery_cache:bool ->
   ?compiled:bool ->
   ?params:Rel.Value.t array ->
+  ?observe:(int -> unit) ->
   Catalog.t ->
   Optimizer.result ->
   output * stats

@@ -33,6 +33,19 @@ type t = {
       (** debug/fuzz switch: wrap every shape-eligible plan at [max_dop]
           regardless of cost, so parallel execution is exercised on inputs
           the cost model would correctly run serially *)
+  use_histograms : bool;
+      (** consult per-column equi-depth histograms (and bound parameter
+          values) for selectivity; off = the paper's value-independent
+          TABLE 1 constants, byte-identical to the seed behaviour
+          (SET HISTOGRAMS OFF) *)
+  use_feedback : bool;
+      (** consult runtime cardinality-feedback corrections recorded on
+          relations when estimating block output cardinality *)
+  params : Rel.Value.t array;
+      (** bound parameter values for [E_param] slots — the literals the
+          plan-cache canonicalization extracted, "peeked" at optimization
+          time for value-aware histogram estimates. Empty when optimizing
+          a truly parameterized statement. *)
 }
 
 type rel_stats = {
@@ -62,6 +75,9 @@ val create :
   ?refined_pages:bool ->
   ?max_dop:int ->
   ?force_parallel:bool ->
+  ?use_histograms:bool ->
+  ?use_feedback:bool ->
+  ?params:Rel.Value.t array ->
   Catalog.t ->
   t
 
@@ -72,9 +88,20 @@ val indexes_of : t -> Catalog.relation -> Catalog.index list
 val table_rel : Semant.block -> int -> Catalog.relation
 (** Relation at FROM position [tab]. *)
 
+val column_stats : t -> Semant.block -> Semant.col_ref -> Histogram.t option
+(** The column's equi-depth histogram, when UPDATE STATISTICS has collected
+    one and histograms are enabled. *)
+
+val param_value : t -> int -> Rel.Value.t option
+(** The bound value of parameter slot [i], when known and histograms are
+    enabled — [None] otherwise, so callers fall back to value-independent
+    estimates. *)
+
 val column_icard : t -> Semant.block -> Semant.col_ref -> float option
-(** ICARD of some index whose leading key column is the referenced column
-    (TABLE 1's "index on column"), when one with statistics exists. *)
+(** Distinct values in the column: the histogram's measured distinct count
+    when available (any column, indexed or not), else the ICARD of some index
+    whose leading key column is the referenced column (TABLE 1's "index on
+    column"), when one with statistics exists. *)
 
 val column_range : t -> Semant.block -> Semant.col_ref -> (float * float) option
 (** (low, high) key values for interpolation, when an index provides them and

@@ -8,6 +8,8 @@ type t = {
   mutable plan_cache_hits : int;
   mutable plan_cache_misses : int;
   mutable plan_cache_invalidations : int;
+  mutable feedback_misestimates : int;
+  mutable feedback_retirements : int;
 }
 
 let create () =
@@ -19,7 +21,9 @@ let create () =
     merge_passes = 0;
     plan_cache_hits = 0;
     plan_cache_misses = 0;
-    plan_cache_invalidations = 0 }
+    plan_cache_invalidations = 0;
+    feedback_misestimates = 0;
+    feedback_retirements = 0 }
 
 let reset t =
   t.page_fetches <- 0;
@@ -30,7 +34,9 @@ let reset t =
   t.merge_passes <- 0;
   t.plan_cache_hits <- 0;
   t.plan_cache_misses <- 0;
-  t.plan_cache_invalidations <- 0
+  t.plan_cache_invalidations <- 0;
+  t.feedback_misestimates <- 0;
+  t.feedback_retirements <- 0
 
 let snapshot t =
   { page_fetches = t.page_fetches;
@@ -41,7 +47,9 @@ let snapshot t =
     merge_passes = t.merge_passes;
     plan_cache_hits = t.plan_cache_hits;
     plan_cache_misses = t.plan_cache_misses;
-    plan_cache_invalidations = t.plan_cache_invalidations }
+    plan_cache_invalidations = t.plan_cache_invalidations;
+    feedback_misestimates = t.feedback_misestimates;
+    feedback_retirements = t.feedback_retirements }
 
 let restore t ~from =
   t.page_fetches <- from.page_fetches;
@@ -52,7 +60,9 @@ let restore t ~from =
   t.merge_passes <- from.merge_passes;
   t.plan_cache_hits <- from.plan_cache_hits;
   t.plan_cache_misses <- from.plan_cache_misses;
-  t.plan_cache_invalidations <- from.plan_cache_invalidations
+  t.plan_cache_invalidations <- from.plan_cache_invalidations;
+  t.feedback_misestimates <- from.feedback_misestimates;
+  t.feedback_retirements <- from.feedback_retirements
 
 let add t ~into =
   into.page_fetches <- into.page_fetches + t.page_fetches;
@@ -64,7 +74,9 @@ let add t ~into =
   into.plan_cache_hits <- into.plan_cache_hits + t.plan_cache_hits;
   into.plan_cache_misses <- into.plan_cache_misses + t.plan_cache_misses;
   into.plan_cache_invalidations <-
-    into.plan_cache_invalidations + t.plan_cache_invalidations
+    into.plan_cache_invalidations + t.plan_cache_invalidations;
+  into.feedback_misestimates <- into.feedback_misestimates + t.feedback_misestimates;
+  into.feedback_retirements <- into.feedback_retirements + t.feedback_retirements
 
 let diff ~after ~before =
   { page_fetches = after.page_fetches - before.page_fetches;
@@ -76,14 +88,18 @@ let diff ~after ~before =
     plan_cache_hits = after.plan_cache_hits - before.plan_cache_hits;
     plan_cache_misses = after.plan_cache_misses - before.plan_cache_misses;
     plan_cache_invalidations =
-      after.plan_cache_invalidations - before.plan_cache_invalidations }
+      after.plan_cache_invalidations - before.plan_cache_invalidations;
+    feedback_misestimates =
+      after.feedback_misestimates - before.feedback_misestimates;
+    feedback_retirements = after.feedback_retirements - before.feedback_retirements }
 
 let cost ~w t =
   float_of_int (t.page_fetches + t.pages_written) +. (w *. float_of_int t.rsi_calls)
 
 let pp ppf t =
   Format.fprintf ppf
-    "fetches=%d hits=%d rsi=%d written=%d runs=%d merges=%d plan-cache=%d/%d/%d"
+    "fetches=%d hits=%d rsi=%d written=%d runs=%d merges=%d plan-cache=%d/%d/%d \
+     feedback=%d/%d"
     t.page_fetches t.buffer_hits t.rsi_calls t.pages_written t.sort_runs
     t.merge_passes t.plan_cache_hits t.plan_cache_misses
-    t.plan_cache_invalidations
+    t.plan_cache_invalidations t.feedback_misestimates t.feedback_retirements

@@ -23,6 +23,13 @@ type t = {
       (** statements optimized from scratch (no usable cached plan) *)
   mutable plan_cache_invalidations : int;
       (** cached plans discarded because a dependency's stats_version moved *)
+  mutable feedback_misestimates : int;
+      (** executions whose actual output cardinality missed the optimizer's
+          estimate by more than the feedback q-error threshold *)
+  mutable feedback_retirements : int;
+      (** misestimates that recorded a corrected selectivity and bumped a
+          relation's feedback generation, retiring the plans costed under
+          the stale estimate *)
 }
 
 val create : unit -> t

@@ -61,6 +61,7 @@ type statement =
   | Drop_index of string
   | Update_statistics
   | Set_parallelism of int
+  | Set_histograms of bool
   | Begin_transaction
   | Commit
   | Rollback
@@ -170,6 +171,8 @@ let pp_statement ppf = function
   | Drop_index i -> Format.fprintf ppf "DROP INDEX %s" i
   | Update_statistics -> Format.pp_print_string ppf "UPDATE STATISTICS"
   | Set_parallelism n -> Format.fprintf ppf "SET PARALLELISM %d" n
+  | Set_histograms b ->
+    Format.fprintf ppf "SET HISTOGRAMS %s" (if b then "ON" else "OFF")
   | Begin_transaction -> Format.pp_print_string ppf "BEGIN"
   | Commit -> Format.pp_print_string ppf "COMMIT"
   | Rollback -> Format.pp_print_string ppf "ROLLBACK"

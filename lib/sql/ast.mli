@@ -74,6 +74,11 @@ type statement =
   | Set_parallelism of int
       (** SET PARALLELISM n: cap the degree of parallelism the optimizer may
           choose for subsequent queries; 1 disables parallel execution *)
+  | Set_histograms of bool
+      (** SET HISTOGRAMS ON/OFF: whether selectivity estimation consults the
+          per-column histograms UPDATE STATISTICS collects; OFF pins the
+          paper's value-independent TABLE 1 constants (and disables
+          cardinality feedback), for reproducing the seed benchmarks *)
   | Begin_transaction
   | Commit
   | Rollback

@@ -13,7 +13,7 @@ let keywords =
   [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "IN"; "BETWEEN"; "GROUP";
     "ORDER"; "BY"; "ASC"; "DESC"; "AS"; "CREATE"; "TABLE"; "INDEX"; "CLUSTERED";
     "ON"; "INSERT"; "INTO"; "VALUES"; "DELETE"; "UPDATE"; "SET"; "STATISTICS"; "SEARCH";
-    "PARALLELISM";
+    "PARALLELISM"; "HISTOGRAMS"; "OFF";
     "BEGIN"; "TRANSACTION"; "COMMIT"; "ROLLBACK"; "EXPLAIN"; "DROP"; "INT"; "FLOAT";
     "STRING"; "NULL"; "AVG"; "MIN"; "MAX"; "SUM"; "COUNT" ]
 

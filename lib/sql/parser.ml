@@ -370,15 +370,24 @@ let statement st =
     end
   | Lexer.Kw "SET" ->
     advance st;
-    expect_kw st "PARALLELISM";
-    (match peek st with
-     | Lexer.Int_lit n when n >= 1 ->
-       advance st;
-       Ast.Set_parallelism n
-     | t ->
-       fail st
-         (Format.asprintf "expected positive degree of parallelism, found %a"
-            Lexer.pp_token t))
+    if accept_kw st "HISTOGRAMS" then begin
+      if accept_kw st "ON" then Ast.Set_histograms true
+      else begin
+        expect_kw st "OFF";
+        Ast.Set_histograms false
+      end
+    end
+    else begin
+      expect_kw st "PARALLELISM";
+      match peek st with
+      | Lexer.Int_lit n when n >= 1 ->
+        advance st;
+        Ast.Set_parallelism n
+      | t ->
+        fail st
+          (Format.asprintf "expected positive degree of parallelism, found %a"
+             Lexer.pp_token t)
+    end
   | Lexer.Kw "BEGIN" ->
     advance st;
     ignore (accept_kw st "TRANSACTION");

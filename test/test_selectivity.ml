@@ -3,7 +3,11 @@
      R(A, B, S):  1000 rows; index R_A on A with ICARD = 50, keys 0..999
                   (via values A = (i*20) mod 1000 ... we load A in [0,1000)
                   with exactly 50 distinct values); S has no index.
-     U(A, D):     200 rows; index U_A on A with ICARD = 20. *)
+     U(A, D):     200 rows; index U_A on A with ICARD = 20.
+
+   This file is the pinned SET HISTOGRAMS OFF contract: with histograms
+   disabled, every estimate must reproduce the paper's TABLE 1 constants
+   exactly, even though UPDATE STATISTICS has collected histograms. *)
 
 module V = Rel.Value
 
@@ -11,6 +15,7 @@ let feq = Alcotest.(check (float 1e-6))
 
 let setup () =
   let db = Database.create () in
+  Database.set_histograms db false;
   Workload.load_uniform db ~name:"R" ~rows:1000
     ~cols:
       [ { Workload.col = "A"; distinct = 50 };
@@ -151,6 +156,7 @@ let test_qcard () =
    value, eq-like, instead of falling through to the 1/3 / 1/4 defaults. *)
 let test_degenerate_range () =
   let db = Database.create () in
+  Database.set_histograms db false;
   Workload.load_uniform db ~name:"K" ~rows:100
     ~cols:
       [ { Workload.col = "C"; distinct = 1 };
