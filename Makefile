@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke bench-parallel bench-qerror fuzz torture clean
+.PHONY: all build test check bench bench-smoke bench-parallel bench-qerror bench-server fuzz torture clean
 
 all: build
 
@@ -48,6 +48,13 @@ bench-parallel:
 # workload and a Zipf battery; BENCH_ENFORCE_QERROR=1 turns it into a gate
 bench-qerror:
 	dune exec bench/main.exe -- qerr
+
+# server throughput only (writes BENCH_server.json): sustained QPS over the
+# wire protocol at 1/2/4 connections, simple-query text vs the prepared
+# Parse/Bind/Execute path; BENCH_ENFORCE_SERVER=1 gates prepared >= 3x
+# simple QPS on point selects
+bench-server:
+	dune exec bench/main.exe -- srv
 
 clean:
 	dune clean

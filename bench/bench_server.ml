@@ -1,0 +1,286 @@
+(* E10 — server throughput: sustained QPS over the wire protocol.
+
+   One in-process server over one engine; K client connections (1, 2, 4),
+   each on its own domain, each pipelining batches of requests. Three
+   workloads — point select on an indexed key, a small indexed join, and a
+   write mix (INSERT / UPDATE / SELECT / DELETE on a private key range) —
+   each driven two ways:
+
+     simple    one Simple frame per statement, distinct literals per call,
+               so every request pays lex + parse + fingerprint before the
+               compiled-plan cache can help;
+     prepared  Parse once per connection, then Bind + Execute per call —
+               the PR-3 cache's steady state with zero parse/fingerprint/
+               optimize work per request.
+
+   Writes BENCH_server.json. With BENCH_ENFORCE_SERVER=1 the bench exits
+   nonzero unless prepared beats simple by >= 3x QPS on point selects. *)
+
+let enforce = Sys.getenv_opt "BENCH_ENFORCE_SERVER" <> None
+
+let kv_rows = if Bench_util.smoke then 400 else 2000
+let iters = if Bench_util.smoke then 192 else 1440
+let batch = 32 (* pipelined requests in flight per connection *)
+let levels = [ 1; 2; 4 ]
+
+let seed_sql () =
+  let b = Buffer.create (kv_rows * 24) in
+  Buffer.add_string b "CREATE TABLE KV (K INT, V STRING);\n";
+  Buffer.add_string b "CREATE CLUSTERED INDEX KV_K ON KV (K);\n";
+  Buffer.add_string b "CREATE TABLE DIM (DK INT, DNAME STRING);\n";
+  Buffer.add_string b "CREATE INDEX DIM_DK ON DIM (DK);\n";
+  let rec chunk lo =
+    if lo < kv_rows then begin
+      let hi = min (lo + 100) kv_rows in
+      Buffer.add_string b "INSERT INTO KV VALUES ";
+      for i = lo to hi - 1 do
+        if i > lo then Buffer.add_string b ", ";
+        Buffer.add_string b (Printf.sprintf "(%d, 'v%d')" i (i mod 97))
+      done;
+      Buffer.add_string b ";\n";
+      chunk hi
+    end
+  in
+  chunk 0;
+  Buffer.add_string b "INSERT INTO DIM VALUES ";
+  for d = 0 to 49 do
+    if d > 0 then Buffer.add_string b ", ";
+    Buffer.add_string b (Printf.sprintf "(%d, 'dept%d')" d d)
+  done;
+  Buffer.add_string b ";\nUPDATE STATISTICS;\n";
+  Buffer.contents b
+
+(* --- pipelined driving ---------------------------------------------------- *)
+
+(* Pipeline in batches: write [batch] requests with one flush, then read
+   the [batch] replies — one write(2) and a handful of read(2)s per batch
+   on each side, so the per-op cost is the protocol work, not syscalls.
+   Raise on any error so a broken workload can't report a fantasy QPS. *)
+let rec drive c msgs =
+  match msgs with
+  | [] -> ()
+  | _ ->
+    let rec split n acc = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | m :: rest -> split (n - 1) (m :: acc) rest
+    in
+    let chunk, rest = split batch [] msgs in
+    List.iter (Client.send c) chunk;
+    Client.flush c;
+    List.iter (fun _ -> ignore (Client.ok (Client.read_reply c))) chunk;
+    drive c rest
+
+(* The per-call request list for [conn_id], one of the workload/mode cells.
+   Returns (messages, ops) — ops is what QPS counts. *)
+let requests workload mode conn_id =
+  let key i = (conn_id * 7919 + i * 13) mod kv_rows in
+  let dkey i = (conn_id * 31 + i * 7) mod 50 in
+  (* each writer owns a disjoint key range far above the seeded keys, and
+     every iteration deletes what it inserted: steady-state table size *)
+  let wkey i = 1_000_000 + (conn_id * 100_000) + i in
+  match workload, mode with
+  | `Point, `Simple ->
+    ( List.init iters (fun i ->
+          Protocol.Simple (Printf.sprintf "SELECT V FROM KV WHERE K = %d" (key i))),
+      iters )
+  | `Point, `Prepared ->
+    ( List.init iters (fun i ->
+          Protocol.Execute
+            { name = "pt"; params = Some [ Rel.Value.Int (key i) ]; fetch = 0 }),
+      iters )
+  | `Join, `Simple ->
+    ( List.init iters (fun i ->
+          Protocol.Simple
+            (Printf.sprintf
+               "SELECT V, DNAME FROM KV, DIM WHERE K = DK AND DK = %d" (dkey i))),
+      iters )
+  | `Join, `Prepared ->
+    ( List.init iters (fun i ->
+          Protocol.Execute
+            { name = "jn"; params = Some [ Rel.Value.Int (dkey i) ]; fetch = 0 }),
+      iters )
+  | `Write, `Simple ->
+    ( List.concat
+        (List.init (iters / 4) (fun i ->
+             let k = wkey i in
+             [ Protocol.Simple (Printf.sprintf "INSERT INTO KV VALUES (%d, 'w')" k);
+               Protocol.Simple
+                 (Printf.sprintf "UPDATE KV SET V = 'u' WHERE K = %d" k);
+               Protocol.Simple (Printf.sprintf "SELECT V FROM KV WHERE K = %d" k);
+               Protocol.Simple (Printf.sprintf "DELETE FROM KV WHERE K = %d" k) ])),
+      4 * (iters / 4) )
+  | `Write, `Prepared ->
+    (* prepared statements are SELECT-only (System R cursors); the DML
+       stays textual, so only the read leg of the mix rides the cache *)
+    ( List.concat
+        (List.init (iters / 4) (fun i ->
+             let k = wkey i in
+             [ Protocol.Simple (Printf.sprintf "INSERT INTO KV VALUES (%d, 'w')" k);
+               Protocol.Simple
+                 (Printf.sprintf "UPDATE KV SET V = 'u' WHERE K = %d" k);
+               Protocol.Execute
+                 { name = "pt"; params = Some [ Rel.Value.Int k ]; fetch = 0 };
+               Protocol.Simple (Printf.sprintf "DELETE FROM KV WHERE K = %d" k) ])),
+      4 * (iters / 4) )
+
+let prepare_all c =
+  List.iter
+    (fun (name, sql) -> ignore (Client.ok (Client.parse c ~name sql)))
+    [ ("pt", "SELECT V FROM KV WHERE K = ?");
+      ("jn", "SELECT V, DNAME FROM KV, DIM WHERE K = DK AND DK = ?") ]
+
+(* Run one cell: [conns] connections, all driving [workload]/[mode]
+   concurrently, started on a shared barrier. QPS = total ops / slowest
+   connection's wall time. *)
+let run_cell_once addr workload mode conns =
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let worker conn_id () =
+    (* client domains get the same large nursery as the server's pool
+       workers: a minor collection in any domain stops them all, so a
+       256k-word client nursery would re-impose the rendezvous cost the
+       pool sizing removed (Gc.set is domain-local — set it here, not in
+       run()) *)
+    Gc.set { (Gc.get ()) with Gc.minor_heap_size = 2_097_152 };
+    (* any setup failure must still release the barrier, or the main domain
+       spins forever; Domain.join re-raises the failure afterwards *)
+    match
+      let c = Client.connect addr in
+      (match mode with `Prepared -> prepare_all c | `Simple -> ());
+      let msgs, ops = requests workload mode conn_id in
+      (* warm up: plan cache, buffer pool, allocator *)
+      let warm, _ = requests workload mode (conn_id + 100) in
+      drive c (List.filteri (fun i _ -> i < 8) warm);
+      (c, msgs, ops)
+    with
+    | exception e ->
+      Atomic.incr ready;
+      raise e
+    | c, msgs, ops ->
+      Atomic.incr ready;
+      while not (Atomic.get go) do Domain.cpu_relax () done;
+      let t0 = Unix.gettimeofday () in
+      drive c msgs;
+      let dt = Unix.gettimeofday () -. t0 in
+      Client.close c;
+      (ops, dt)
+  in
+  let doms = List.init conns (fun id -> Domain.spawn (worker id)) in
+  while Atomic.get ready < conns do Domain.cpu_relax () done;
+  Atomic.set go true;
+  let cells = List.map Domain.join doms in
+  let total_ops = List.fold_left (fun a (o, _) -> a + o) 0 cells in
+  let slowest = List.fold_left (fun a (_, dt) -> max a dt) 0. cells in
+  float_of_int total_ops /. slowest
+
+(* Best of [reps]: the measurement windows are tens of milliseconds, so a
+   single descheduling or GC pause swings a run by 2-3x; the max is the
+   stable estimate of what the path costs. A full major collection between
+   reps keeps one cell's garbage from billing the next. Smoke keeps the
+   reps — its windows are shorter and noisier, and the whole bench still
+   finishes in seconds. *)
+let reps = 3
+
+let run_cell addr workload mode conns =
+  let best = ref 0. in
+  for _ = 1 to reps do
+    Gc.full_major ();
+    let q = run_cell_once addr workload mode conns in
+    best := Float.max !best q
+  done;
+  !best
+
+let workload_name = function
+  | `Point -> "point_select"
+  | `Join -> "small_join"
+  | `Write -> "write_mix"
+
+let run () =
+  Bench_util.section "E10: server throughput — simple vs prepared QPS";
+  let db = Database.create ~buffer_pages:256 () in
+  ignore (Database.exec_script db (seed_sql ()));
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "systemr_bench_%d.sock" (Unix.getpid ()))
+  in
+  let srv =
+    Server.start ~workers:8 ~engine:(Database.engine db) (Server.Unix_sock sock)
+  in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let addr = Server.addr srv in
+  let results =
+    List.map
+      (fun conns ->
+        let per_workload =
+          List.map
+            (fun w ->
+              let simple = run_cell addr w `Simple conns in
+              let prepared = run_cell addr w `Prepared conns in
+              (workload_name w, simple, prepared))
+            [ `Point; `Join; `Write ]
+        in
+        (conns, per_workload))
+      levels
+  in
+  Bench_util.print_table
+    ~header:[ "workload"; "conns"; "simple QPS"; "prepared QPS"; "speedup" ]
+    (List.concat_map
+       (fun (conns, per_workload) ->
+         List.map
+           (fun (name, s, p) ->
+             [ name; string_of_int conns;
+               Printf.sprintf "%.0f" s; Printf.sprintf "%.0f" p;
+               Printf.sprintf "%.2fx" (p /. s) ])
+           per_workload)
+       results);
+  Printf.printf
+    "\n(engine latch serializes statement execution: QPS measures protocol +\n\
+    \ session overhead under concurrency, not parallel scan scaling)\n";
+  let point_ratios =
+    List.filter_map
+      (fun (_, pw) ->
+        List.find_map
+          (fun (n, s, p) -> if n = "point_select" then Some (p /. s) else None)
+          pw)
+      results
+  in
+  let best_ratio = List.fold_left max 0. point_ratios in
+  let j =
+    Bench_util.(
+      J_obj
+        [ ("bench", J_str "server");
+          ("smoke", J_bool smoke);
+          ("kv_rows", J_int kv_rows);
+          ("iters_per_conn", J_int iters);
+          ("pipeline_batch", J_int batch);
+          ("best_point_select_speedup", J_float best_ratio);
+          ( "levels",
+            J_list
+              (List.map
+                 (fun (conns, pw) ->
+                   J_obj
+                     [ ("connections", J_int conns);
+                       ( "workloads",
+                         J_list
+                           (List.map
+                              (fun (name, s, p) ->
+                                J_obj
+                                  [ ("name", J_str name);
+                                    ("simple_qps", J_float s);
+                                    ("prepared_qps", J_float p);
+                                    ("speedup", J_float (p /. s)) ])
+                              pw) ) ])
+                 results) ) ])
+  in
+  Bench_util.write_json ~file:"BENCH_server.json" j;
+  if enforce then
+    if best_ratio >= 3.0 then
+      Printf.printf "ENFORCE: prepared/simple on point selects = %.2fx >= 3x — ok\n"
+        best_ratio
+    else begin
+      Printf.printf
+        "ENFORCE FAILED: prepared/simple on point selects = %.2fx < 3x\n"
+        best_ratio;
+      exit 1
+    end

@@ -18,7 +18,8 @@ let benches =
     ("e2", "extension: selectivity under skew", Bench_skew.run);
     ("qerr", "cardinality q-error: TABLE 1 constants vs histograms", Bench_qerror.run);
     ("hot", "exec hot path: interpreted vs compiled evaluation", Bench_exec_hotpath.run);
-    ("par", "parallel scaling: exchange/sort/group-by over domains", Bench_parallel.run) ]
+    ("par", "parallel scaling: exchange/sort/group-by over domains", Bench_parallel.run);
+    ("srv", "server throughput: simple vs prepared QPS over the wire", Bench_server.run) ]
 
 let () =
   let requested =

@@ -1,10 +1,13 @@
 (* systemr — interactive SQL shell and script runner over the engine.
 
    Usage:
-     systemr_cli                  interactive REPL
+     systemr_cli                  interactive REPL (embedded engine)
      systemr_cli -f script.sql    execute a script, print results
      systemr_cli --demo           preload the EMP/DEPT/JOB database
      systemr_cli -w 0.1           set the optimizer's W weighting
+     systemr_cli --connect ADDR   protocol client against a running
+                                  systemr_server (Unix path or host:port)
+     systemr_cli --connect ADDR -c "SELECT ..."   one-shot remote statement
 
    REPL meta-commands:
      \q               quit            \t               list tables
@@ -165,12 +168,69 @@ let run_file db path =
     Printf.printf "error: %s\n" msg;
     exit 1
 
-let main w buffer_pages demo file =
-  let db = Database.create ~buffer_pages ~w () in
-  if demo then Workload.load_emp_dept_job db;
-  match file with
-  | Some path -> run_file db path
-  | None -> repl db
+(* --- remote mode: protocol client against a running systemr_server ------- *)
+
+let remote_exec c sql =
+  match Client.simple c sql with
+  | { Client.error = Some e; _ } -> Printf.printf "error: %s\n" e
+  | r ->
+    if r.Client.columns <> [] then
+      print_rows { Executor.columns = r.Client.columns; rows = r.Client.rows }
+    else if r.Client.tag <> "" then begin
+      print_string r.Client.tag;
+      if r.Client.tag = "" || r.Client.tag.[String.length r.Client.tag - 1] <> '\n'
+      then print_newline ()
+    end
+
+let remote_repl c addr =
+  Printf.printf
+    "System R access path selection — SQL shell (connected to %s).\n\
+     Statements end with ';'. \\q quits.\n"
+    (Server.addr_to_string addr);
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       print_string (if Buffer.length buf = 0 then "systemr> " else "   ...> ");
+       flush stdout;
+       match input_line stdin with
+       | exception End_of_file -> raise Exit
+       | line ->
+         let trimmed = String.trim line in
+         if Buffer.length buf = 0 && trimmed = "\\q" then raise Exit
+         else begin
+           Buffer.add_string buf line;
+           Buffer.add_char buf '\n';
+           if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';'
+           then begin
+             let sql = Buffer.contents buf in
+             Buffer.clear buf;
+             remote_exec c sql
+           end
+         end
+     done
+   with
+   | Exit -> ()
+   | Client.Disconnected -> print_endline "server closed the connection.");
+  print_endline "bye."
+
+let main w buffer_pages demo file connect one_shot =
+  match connect with
+  | Some addr_str ->
+    let addr = Server.addr_of_string addr_str in
+    let c = Client.connect addr in
+    (match one_shot with
+     | Some sql -> remote_exec c sql
+     | None -> remote_repl c addr);
+    Client.close c
+  | None ->
+    let db = Database.create ~buffer_pages ~w () in
+    if demo then Workload.load_emp_dept_job db;
+    (match one_shot with
+     | Some sql -> exec_sql db sql
+     | None ->
+       (match file with
+        | Some path -> run_file db path
+        | None -> repl db))
 
 open Cmdliner
 
@@ -189,9 +249,19 @@ let file_arg =
   Arg.(value & opt (some file) None
        & info [ "f"; "file" ] ~docv:"SCRIPT" ~doc:"Execute a SQL script instead of the REPL.")
 
+let connect_arg =
+  Arg.(value & opt (some string) None
+       & info [ "connect" ] ~docv:"ADDR"
+           ~doc:"Connect to a running systemr_server (Unix-socket path or host:port) instead of running embedded.")
+
+let one_shot_arg =
+  Arg.(value & opt (some string) None
+       & info [ "c" ] ~docv:"SQL" ~doc:"Execute one statement and exit.")
+
 let cmd =
   let doc = "System R access path selection (Selinger et al., 1979) SQL engine" in
   Cmd.v (Cmd.info "systemr" ~doc)
-    Term.(const main $ w_arg $ buffer_arg $ demo_arg $ file_arg)
+    Term.(const main $ w_arg $ buffer_arg $ demo_arg $ file_arg $ connect_arg
+          $ one_shot_arg)
 
 let () = exit (Cmd.eval cmd)

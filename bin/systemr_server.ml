@@ -1,0 +1,86 @@
+(* systemr_server — wire-protocol server over one shared engine.
+
+   Usage:
+     systemr_server --socket /tmp/systemr.sock        Unix-domain socket
+     systemr_server --port 5499                       TCP on loopback
+     systemr_server --port 0 --demo                   ephemeral port, EMP/DEPT/JOB
+
+   Prints "listening on <addr>" once ready (scripts wait for that line),
+   then serves until SIGINT/SIGTERM. Each connection gets its own session
+   over the shared engine: shared catalog, buffer pool, WAL, plan cache;
+   per-session transactions, SET overrides and prepared statements. *)
+
+let main w buffer_pages demo script socket port workers =
+  let db = Database.create ~buffer_pages ~w () in
+  if demo then Workload.load_emp_dept_job db;
+  (match script with
+   | Some path ->
+     let ic = open_in path in
+     let n = in_channel_length ic in
+     let src = really_input_string ic n in
+     close_in ic;
+     (match Database.exec_script db src with
+      | _ -> ()
+      | exception Database.Error msg ->
+        Printf.eprintf "script error: %s\n" msg;
+        exit 1)
+   | None -> ());
+  let addr =
+    match socket, port with
+    | Some path, None -> Server.Unix_sock path
+    | None, Some p -> Server.Tcp ("127.0.0.1", p)
+    | Some _, Some _ ->
+      prerr_endline "use either --socket or --port, not both";
+      exit 2
+    | None, None -> Server.Unix_sock "/tmp/systemr.sock"
+  in
+  let srv = Server.start ~workers ~engine:(Database.engine db) addr in
+  Printf.printf "listening on %s\n%!" (Server.addr_to_string (Server.addr srv));
+  let stop_and_exit _ =
+    Server.stop srv;
+    exit 0
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_and_exit);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_and_exit);
+  let rec forever () =
+    Unix.sleep 3600;
+    forever ()
+  in
+  forever ()
+
+open Cmdliner
+
+let w_arg =
+  Arg.(value & opt float Ctx.default_w
+       & info [ "w" ] ~docv:"W" ~doc:"Weighting factor between page fetches and RSI calls.")
+
+let buffer_arg =
+  Arg.(value & opt int 64
+       & info [ "buffer-pages"; "b" ] ~docv:"N" ~doc:"Buffer pool size in 4K pages.")
+
+let demo_arg =
+  Arg.(value & flag & info [ "demo" ] ~doc:"Preload the EMP/DEPT/JOB database of Figure 1.")
+
+let script_arg =
+  Arg.(value & opt (some file) None
+       & info [ "f"; "file" ] ~docv:"SCRIPT" ~doc:"Run a SQL script before serving (seed DDL/data).")
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket (default /tmp/systemr.sock).")
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"PORT" ~doc:"Listen on loopback TCP instead; 0 picks an ephemeral port.")
+
+let workers_arg =
+  Arg.(value & opt int 4
+       & info [ "workers" ] ~docv:"N" ~doc:"Connection worker domains (domain pool size).")
+
+let cmd =
+  let doc = "System R access path selection — wire-protocol server" in
+  Cmd.v (Cmd.info "systemr_server" ~doc)
+    Term.(const main $ w_arg $ buffer_arg $ demo_arg $ script_arg $ socket_arg
+          $ port_arg $ workers_arg)
+
+let () = exit (Cmd.eval cmd)

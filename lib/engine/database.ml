@@ -1,767 +1,70 @@
-(* Undo restores deleted tuples at their exact TID (Catalog.insert_tuple_at):
-   a fresh insert would move the tuple, leaving later WAL records (and the
-   txn's own Undo_insert entries) pointing at the old TID. The torture
-   harness's shrunk reproducer for that bug — INSERT x; DELETE x; ROLLBACK
-   leaving a phantom x — is pinned in test_engine. *)
-type undo_op =
-  | Undo_insert of Catalog.relation * Rss.Tid.t * Rel.Tuple.t
-  | Undo_delete of Catalog.relation * Rss.Tid.t * Rel.Tuple.t
-
-type txn = {
-  txn_id : int;
-  explicit_txn : bool;
-  mutable undo : undo_op list;  (* newest first *)
-}
+(* Facade for embedded use: one Engine plus one implicit Session, presenting
+   the single-user API every example, bench and test programs against. The
+   actual machinery lives in Engine (shared state) and Session (statement
+   execution); the wire-protocol server bypasses this facade and creates one
+   Session per connection over the same Engine. *)
 
 type t = {
-  cat : Catalog.t;
-  mutable w : float;
-  mutable max_dop : int;
-  mutable force_parallel : bool;
-  mutable use_histograms : bool;
-      (* SET HISTOGRAMS ON/OFF: estimate selectivities from the per-column
-         equi-depth histograms UPDATE STATISTICS collects; OFF pins the
-         paper's value-independent TABLE 1 constants (and suspends the
-         cardinality-feedback loop, which would also perturb them) *)
-  mutable use_feedback : bool;
-  mutable feedback_threshold : float;
-      (* q-error above which an execution counts as a gross misestimate *)
-  mutable last_feedback : (float * int * float * bool) option;
-      (* (estimated QCARD, actual rows, q-error, retired a plan) of the most
-         recent feedback-observed execution, surfaced by EXPLAIN *)
-  wal : Rss.Wal.t;
-  mutable locks : Rss.Lock_table.t;
-  mutable next_txn : int;
-  mutable active : txn option;
-  plan_cache : Plan_cache.t;
+  eng : Engine.t;
+  sess : Session.t;
 }
 
-exception Error of string
-
-let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
-
-(* SYSTEMR_DOMAINS seeds the parallelism cap for every new database, so CI
-   can run the whole suite with parallel plans enabled without touching the
-   tests; SET PARALLELISM overrides it per session. *)
-let default_max_dop () =
-  match Sys.getenv_opt "SYSTEMR_DOMAINS" with
-  | Some s -> (match int_of_string_opt (String.trim s) with
-               | Some n when n >= 1 -> n
-               | _ -> 1)
-  | None -> 1
-
-let default_feedback_threshold = 4.0
+exception Error = Session.Error
 
 let create ?buffer_pages ?(w = Ctx.default_w) () =
-  { cat = Catalog.create ?buffer_pages ();
-    w;
-    max_dop = default_max_dop ();
-    force_parallel = false;
-    use_histograms = true;
-    use_feedback = true;
-    feedback_threshold = default_feedback_threshold;
-    last_feedback = None;
-    wal = Rss.Wal.create ();
-    locks = Rss.Lock_table.create ();
-    next_txn = 1;
-    active = None;
-    plan_cache = Plan_cache.create () }
+  let eng = Engine.create ?buffer_pages () in
+  (* the default session accounts straight into the engine-global counters *)
+  { eng; sess = Session.create ~w eng }
 
-let catalog t = t.cat
-let pager t = Catalog.pager t.cat
+let engine t = t.eng
+let session t = t.sess
 
-(* feedback corrections are only consulted (and recorded) under histogram
-   estimation: SET HISTOGRAMS OFF pins the paper's constants exactly *)
-let feedback_active t = t.use_feedback && t.use_histograms
+let catalog t = Engine.catalog t.eng
+let pager t = Engine.pager t.eng
+let ctx ?params t = Session.ctx ?params t.sess
 
-let ctx ?(params = [||]) t =
-  Ctx.create ~w:t.w ~max_dop:t.max_dop ~force_parallel:t.force_parallel
-    ~use_histograms:t.use_histograms ~use_feedback:(feedback_active t) ~params
-    t.cat
+let set_w t w = Session.set_w t.sess w
+let set_parallelism t n = Session.set_parallelism t.sess n
+let parallelism t = Session.parallelism t.sess
+let set_force_parallel t on = Session.set_force_parallel t.sess on
+let set_histograms t on = Session.set_histograms t.sess on
+let histograms_enabled t = Session.histograms_enabled t.sess
+let set_feedback t on = Session.set_feedback t.sess on
+let feedback_enabled t = Session.feedback_enabled t.sess
+let set_feedback_threshold t q = Session.set_feedback_threshold t.sess q
+let last_feedback t = Session.last_feedback t.sess
 
-let set_w t w =
-  t.w <- w;
-  (* cached plans embed cost decisions made under the old weighting *)
-  Plan_cache.clear t.plan_cache
+let set_plan_cache t on = Session.set_plan_cache t.sess on
+let set_plan_cache_validation t on = Session.set_plan_cache_validation t.sess on
+let plan_cache_enabled t = Session.plan_cache_enabled t.sess
+let plan_cache_size t = Session.plan_cache_size t.sess
+let clear_plan_cache t = Session.clear_plan_cache t.sess
+let cached_plan t sql = Session.cached_plan t.sess sql
 
-let set_parallelism t n =
-  let n = max 1 n in
-  if n <> t.max_dop then begin
-    t.max_dop <- n;
-    (* cached plans embed exchange decisions made under the old cap *)
-    Plan_cache.clear t.plan_cache
-  end
+let wal t = Engine.wal t.eng
+let lock_table t = Engine.lock_table t.eng
+let in_transaction t = Session.in_transaction t.sess
 
-let parallelism t = t.max_dop
-
-let set_force_parallel t on =
-  if on <> t.force_parallel then begin
-    t.force_parallel <- on;
-    Plan_cache.clear t.plan_cache
-  end
-
-let set_histograms t on =
-  if on <> t.use_histograms then begin
-    t.use_histograms <- on;
-    (* cached plans embed cardinality estimates made under the other mode *)
-    Plan_cache.clear t.plan_cache
-  end
-
-let histograms_enabled t = t.use_histograms
-
-let set_feedback t on =
-  if on <> t.use_feedback then begin
-    t.use_feedback <- on;
-    Plan_cache.clear t.plan_cache
-  end
-
-let feedback_enabled t = t.use_feedback
-let set_feedback_threshold t q = t.feedback_threshold <- Float.max 1. q
-let last_feedback t = t.last_feedback
-
-let set_plan_cache t on = Plan_cache.set_enabled t.plan_cache on
-let set_plan_cache_validation t on = Plan_cache.set_validation t.plan_cache on
-let plan_cache_enabled t = Plan_cache.enabled t.plan_cache
-let plan_cache_size t = Plan_cache.size t.plan_cache
-let clear_plan_cache t = Plan_cache.clear t.plan_cache
-
-let cached_plan t sql =
-  let probe key =
-    match Plan_cache.find t.plan_cache t.cat key with
-    | Plan_cache.Hit r -> Some r
-    | Plan_cache.Miss | Plan_cache.Invalidated -> None
-  in
-  match Plan_cache.text_entry t.plan_cache sql with
-  | Some (key, _) -> probe key
-  | None ->
-    let q =
-      try Parser.parse_query sql
-      with Parser.Error (msg, off) -> err "syntax error at offset %d: %s" off msg
-    in
-    (match Normalize.fingerprint q with
-     | None -> None
-     | Some (key, _, _) -> probe key)
-let wal t = t.wal
-let lock_table t = t.locks
-let in_transaction t =
-  match t.active with Some { explicit_txn; _ } -> explicit_txn | None -> false
-
-type result =
+type result = Session.result =
   | Rows of Executor.output
   | Text of string
   | Done of string
 
-let wrap f =
-  try f () with
-  | Parser.Error (msg, off) -> err "syntax error at offset %d: %s" off msg
-  | Semant.Error msg -> err "semantic error: %s" msg
-  | Invalid_argument msg -> err "%s" msg
+let exec t sql = Session.exec t.sess sql
+let exec_script t src = Session.exec_script t.sess src
+let query t sql = Session.query t.sess sql
+let explain t sql = Session.explain t.sess sql
+let resolve t sql = Session.resolve t.sess sql
+let optimize ?ctx t sql = Session.optimize ?ctx t.sess sql
+let run_plan t r = Session.run_plan t.sess r
+let update_statistics t = Session.update_statistics t.sess
 
-(* --- transactions ------------------------------------------------------- *)
+let check_integrity t = Session.check_integrity t.sess
+let recover t bytes = Session.recover t.sess bytes
 
-(* The engine is single-user, so lock requests are always granted; the lock
-   protocol is still followed (X on written relations, held to commit). *)
-let acquire_x t (rel : Catalog.relation) txn_id =
-  match
-    Rss.Lock_table.acquire t.locks txn_id (Rss.Lock_table.Relation rel.Catalog.rel_id)
-      Rss.Lock_table.Exclusive
-  with
-  | Rss.Lock_table.Granted -> ()
-  | Rss.Lock_table.Blocked _ | Rss.Lock_table.Deadlock _ ->
-    err "relation %s is locked by another transaction" rel.Catalog.rel_name
+type prepared = Session.prepared
 
-(* Run [f txn] inside the active transaction, or an implicit auto-committed
-   one. Errors inside an implicit transaction roll its effects back. *)
-let with_txn t f =
-  match t.active with
-  | Some txn -> f txn
-  | None ->
-    let txn = { txn_id = t.next_txn; explicit_txn = false; undo = [] } in
-    t.next_txn <- t.next_txn + 1;
-    t.active <- Some txn;
-    Rss.Wal.append t.wal (Rss.Wal.Begin txn.txn_id);
-    (match f txn with
-     | v ->
-       Rss.Wal.append t.wal (Rss.Wal.Commit txn.txn_id);
-       Rss.Lock_table.release_all t.locks txn.txn_id;
-       t.active <- None;
-       v
-     | exception e ->
-       (* undo the partial effects of the failed statement *)
-       List.iter
-         (fun op ->
-           match op with
-           | Undo_insert (rel, tid, tuple) ->
-             ignore (Catalog.delete_tid t.cat rel tid tuple)
-           | Undo_delete (rel, tid, tuple) ->
-             Catalog.insert_tuple_at t.cat rel tid tuple)
-         txn.undo;
-       Rss.Wal.append t.wal (Rss.Wal.Abort txn.txn_id);
-       Rss.Lock_table.release_all t.locks txn.txn_id;
-       t.active <- None;
-       raise e)
-
-let begin_transaction t =
-  match t.active with
-  | Some _ -> err "a transaction is already active"
-  | None ->
-    let txn = { txn_id = t.next_txn; explicit_txn = true; undo = [] } in
-    t.next_txn <- t.next_txn + 1;
-    t.active <- Some txn;
-    Rss.Wal.append t.wal (Rss.Wal.Begin txn.txn_id);
-    txn.txn_id
-
-let commit t =
-  match t.active with
-  | Some txn when txn.explicit_txn ->
-    Rss.Wal.append t.wal (Rss.Wal.Commit txn.txn_id);
-    Rss.Lock_table.release_all t.locks txn.txn_id;
-    t.active <- None;
-    txn.txn_id
-  | Some _ | None -> err "no transaction is active"
-
-let rollback t =
-  match t.active with
-  | Some txn when txn.explicit_txn ->
-    List.iter
-      (fun op ->
-        match op with
-        | Undo_insert (rel, tid, tuple) ->
-          ignore (Catalog.delete_tid t.cat rel tid tuple)
-        | Undo_delete (rel, tid, tuple) ->
-          Catalog.insert_tuple_at t.cat rel tid tuple)
-      txn.undo;
-    Rss.Wal.append t.wal (Rss.Wal.Abort txn.txn_id);
-    Rss.Lock_table.release_all t.locks txn.txn_id;
-    t.active <- None;
-    txn.txn_id
-  | Some _ | None -> err "no transaction is active"
-
-(* logged, undoable DML primitives *)
-let dml_insert t txn (rel : Catalog.relation) tuple =
-  acquire_x t rel txn.txn_id;
-  let tid = Catalog.insert_tuple t.cat rel tuple in
-  Rss.Wal.append t.wal
-    (Rss.Wal.Insert { txn = txn.txn_id; rel_id = rel.Catalog.rel_id; tid; tuple });
-  txn.undo <- Undo_insert (rel, tid, tuple) :: txn.undo
-
-let dml_delete_where t txn (rel : Catalog.relation) pred =
-  acquire_x t rel txn.txn_id;
-  let victims = Catalog.delete_tuples_returning t.cat rel pred in
-  List.iter
-    (fun (tid, tuple) ->
-      Rss.Wal.append t.wal
-        (Rss.Wal.Delete { txn = txn.txn_id; rel_id = rel.Catalog.rel_id; tid; tuple });
-      txn.undo <- Undo_delete (rel, tid, tuple) :: txn.undo)
-    victims;
-  victims
-
-(* --- statements ---------------------------------------------------------- *)
-
-let resolve_query t q = wrap (fun () -> Semant.resolve t.cat q)
-
-let resolve t sql =
-  let q = wrap (fun () -> Parser.parse_query sql) in
-  resolve_query t q
-
-let optimize_block ?ctx:c t block =
-  let c = Option.value c ~default:(ctx t) in
-  wrap (fun () -> Optimizer.optimize c block)
-
-let optimize ?ctx t sql = optimize_block ?ctx t (resolve t sql)
-
-let run_plan t r = wrap (fun () -> Executor.run t.cat r)
-
-let query_block t block = run_plan t (optimize_block t block)
-
-let select_star_block t (rel : Catalog.relation) where =
-  let q =
-    { Ast.select = [ Ast.Star ];
-      from = [ (rel.Catalog.rel_name, None) ];
-      where;
-      group_by = [];
-      order_by = [] }
-  in
-  resolve_query t q
-
-(* DELETE: run SELECT * with the same predicate, then delete every stored
-   tuple value-equal to a result row. The predicate is a deterministic
-   function of the tuple's values, so value equality identifies exactly the
-   qualifying tuples (duplicates qualify together). *)
-let delete_where t txn (rel : Catalog.relation) where =
-  match where with
-  | None -> List.length (dml_delete_where t txn rel (fun _ -> true))
-  | Some _ ->
-    let out = query_block t (select_star_block t rel where) in
-    List.length
-      (dml_delete_where t txn rel (fun tuple ->
-           List.exists (Rel.Tuple.equal tuple) out.Executor.rows))
-
-(* UPDATE: resolve the SET expressions against the table, identify the
-   qualifying tuples exactly as DELETE does, then delete each victim and
-   insert its updated image (indexes follow automatically). Victims are
-   collected before any re-insertion, so updated rows cannot requalify
-   (no Halloween problem). *)
-let update_where t txn (rel : Catalog.relation) sets where =
-  let schema = rel.Catalog.schema in
-  let set_query =
-    { Ast.select = List.map (fun (_, e) -> Ast.Sel_expr (e, None)) sets;
-      from = [ (rel.Catalog.rel_name, None) ];
-      where = None;
-      group_by = [];
-      order_by = [] }
-  in
-  let set_block = resolve_query t set_query in
-  let targets =
-    List.map
-      (fun (col, _) ->
-        match Rel.Schema.index_of schema col with
-        | Some i -> i
-        | None -> err "no column %s in %s" col rel.Catalog.rel_name)
-      sets
-  in
-  (* type compatibility of each assignment *)
-  List.iteri
-    (fun i (e, _) ->
-      let target_ty = (Rel.Schema.column schema (List.nth targets i)).Rel.Schema.ty in
-      match Semant.type_of_expr set_block e, target_ty with
-      | None, _ -> ()
-      | Some Rel.Value.Tstr, Rel.Value.Tstr -> ()
-      | Some (Rel.Value.Tint | Rel.Value.Tfloat), (Rel.Value.Tint | Rel.Value.Tfloat)
-        -> ()
-      | Some _, _ ->
-        err "type mismatch assigning to %s" (fst (List.nth sets i)))
-    set_block.Semant.select;
-  let layout = Layout.of_tables set_block [ 0 ] in
-  let env =
-    { Eval.blocks = []; params = [||];
-      subquery = (fun _ _ -> err "subquery in SET") }
-  in
-  let updated_image tuple =
-    let news =
-      List.map
-        (fun (e, _) -> Eval.expr env { Eval.layout; tuple } e)
-        set_block.Semant.select
-    in
-    let out = Array.copy tuple in
-    List.iteri (fun i pos -> out.(pos) <- List.nth news i) targets;
-    out
-  in
-  let victims =
-    match where with
-    | None -> dml_delete_where t txn rel (fun _ -> true)
-    | Some _ ->
-      let out = query_block t (select_star_block t rel where) in
-      dml_delete_where t txn rel (fun tuple ->
-          List.exists (Rel.Tuple.equal tuple) out.Executor.rows)
-  in
-  List.iter
-    (fun (_, tuple) -> dml_insert t txn rel (updated_image tuple))
-    victims;
-  List.length victims
-
-(* --- cardinality feedback ------------------------------------------------ *)
-
-let q_error est act =
-  let est = Float.max est 0. and act = float_of_int act in
-  Float.max ((est +. 1.) /. (act +. 1.)) ((act +. 1.) /. (est +. 1.))
-
-(* Compare the optimizer's QCARD estimate against the actual output
-   cardinality the executor observed at root-cursor close. On a gross
-   misestimate (q-error above the threshold), record the observed
-   selectivity on the relation when the block's shape makes it unambiguous:
-   a single table, no grouping, and every boolean factor local to that
-   table — then actual rows / NCARD is exactly the restriction's joint
-   selectivity. Recording bumps the relation's feedback_gen, so the plan
-   cache retires the plans costed under the stale estimate and the next
-   optimization of the same restriction sees the corrected value. *)
-let feedback_note t (r : Optimizer.result) ~params act =
-  if feedback_active t && act >= 0 then begin
-    let block = r.Optimizer.block in
-    if (not block.Semant.scalar_agg) && block.Semant.group_by = [] then begin
-      let c = ctx ~params t in
-      let est = Selectivity.block_qcard c block in
-      let qerr = q_error est act in
-      t.last_feedback <- Some (est, act, qerr, false);
-      if qerr > t.feedback_threshold then begin
-        let cnt = Rss.Pager.counters (Catalog.pager t.cat) in
-        cnt.Rss.Counters.feedback_misestimates <-
-          cnt.Rss.Counters.feedback_misestimates + 1;
-        match block.Semant.tables with
-        | [ tr ] ->
-          let factors = Normalize.factors_of_block block in
-          let local =
-            Feedback.local_factors factors ~tab:tr.Semant.tab_idx
-          in
-          (* only when the local factors are ALL the factors: a subquery or
-             constant factor would fold its filtering into the recording *)
-          if List.length local = List.length factors then begin
-            match Feedback.key ~params local with
-            | Some key ->
-              let ncard = (Ctx.rel_stats c tr.Semant.rel).Ctx.ncard in
-              if ncard > 0. then begin
-                let sel = float_of_int act /. ncard in
-                if Feedback.record tr.Semant.rel ~key sel then begin
-                  cnt.Rss.Counters.feedback_retirements <-
-                    cnt.Rss.Counters.feedback_retirements + 1;
-                  t.last_feedback <- Some (est, act, qerr, true)
-                end
-              end
-            | None -> ()
-          end
-        | _ -> ()
-      end
-    end
-  end
-
-(* Execute a (possibly cached) plan with the feedback observer attached. *)
-let run_observed t r ~params =
-  let act = ref (-1) in
-  let out =
-    wrap (fun () ->
-        Executor.run ~params ~observe:(fun n -> act := n) t.cat r)
-  in
-  feedback_note t r ~params !act;
-  out
-
-(* SELECT through the compiled-plan cache: fingerprint the statement, serve
-   a valid cached plan by rebinding the extracted literals as parameters, or
-   optimize the canonicalized (parameterized) statement once and cache it.
-   The optimization "peeks" at the extracted literals (Ctx.params), so
-   histogram estimates stay value-aware on the parameterized plan; like any
-   bind-peeking scheme, the cached plan is the one chosen for the literals
-   first seen. Statements that already carry user [?] parameters bypass the
-   cache — the prepared-statement path owns their bindings. *)
-let query_cached ?text t q =
-  let fp =
-    if Plan_cache.enabled t.plan_cache then Normalize.fingerprint q else None
-  in
-  match fp with
-  | None -> query_block t (resolve_query t q)
-  | Some (key, canon_q, values) ->
-    let c = Rss.Pager.counters (Catalog.pager t.cat) in
-    let params = Array.of_list values in
-    let memo () =
-      match text with
-      | Some sql -> Plan_cache.memo_text t.plan_cache ~sql ~key ~values
-      | None -> ()
-    in
-    (match Plan_cache.find t.plan_cache t.cat key with
-     | Plan_cache.Hit r ->
-       c.Rss.Counters.plan_cache_hits <- c.Rss.Counters.plan_cache_hits + 1;
-       memo ();
-       run_observed t r ~params
-     | (Plan_cache.Miss | Plan_cache.Invalidated) as probe ->
-       (match probe with
-        | Plan_cache.Invalidated ->
-          c.Rss.Counters.plan_cache_invalidations <-
-            c.Rss.Counters.plan_cache_invalidations + 1
-        | _ -> ());
-       c.Rss.Counters.plan_cache_misses <- c.Rss.Counters.plan_cache_misses + 1;
-       (* resolve the literal statement first: parameter positions always
-          type-check, so a type error in the original must still surface *)
-       ignore (resolve_query t q);
-       let r =
-         optimize_block ~ctx:(ctx ~params t) t (resolve_query t canon_q)
-       in
-       Plan_cache.store t.plan_cache key r;
-       memo ();
-       run_observed t r ~params)
-
-let exec_stmt t (stmt : Ast.statement) =
-  match stmt with
-  | Ast.Select q -> Rows (query_cached t q)
-  | Ast.Explain { search; q } ->
-    let r = optimize_block t (resolve_query t q) in
-    let c = Rss.Pager.counters (Catalog.pager t.cat) in
-    let cache_line =
-      Printf.sprintf "plan cache: hits=%d misses=%d invalidations=%d entries=%d\n"
-        c.Rss.Counters.plan_cache_hits c.Rss.Counters.plan_cache_misses
-        c.Rss.Counters.plan_cache_invalidations
-        (Plan_cache.size t.plan_cache)
-      ^ Printf.sprintf "parallelism: max_dop=%d\n" t.max_dop
-      ^ Printf.sprintf "histograms: %s\n"
-          (if t.use_histograms then "on" else "off")
-      ^ Printf.sprintf "feedback: misestimates=%d retirements=%d%s\n"
-          c.Rss.Counters.feedback_misestimates
-          c.Rss.Counters.feedback_retirements
-          (match t.last_feedback with
-           | Some (est, act, qerr, retired) ->
-             Printf.sprintf " last=[est=%.1f act=%d qerr=%.2f%s]" est act qerr
-               (if retired then " retired" else "")
-           | None -> "")
-    in
-    if search then
-      Text
-        (Explain.search_tree r.Optimizer.block r.Optimizer.search
-         ^ "chosen plan:\n" ^ Explain.plan r ^ cache_line)
-    else Text (Explain.plan r ^ cache_line)
-  | Ast.Create_table { table; columns } ->
-    let schema =
-      wrap (fun () ->
-          Rel.Schema.make
-            (List.map
-               (fun (c : Ast.column_def) ->
-                 { Rel.Schema.name = c.col_name; ty = c.col_ty })
-               columns))
-    in
-    ignore (wrap (fun () -> Catalog.create_relation t.cat ~name:table ~schema));
-    Done (Printf.sprintf "table %s created" table)
-  | Ast.Create_index { index; table; columns; clustered } ->
-    (match Catalog.find_relation t.cat table with
-     | None -> err "unknown table %s" table
-     | Some rel ->
-       ignore
-         (wrap (fun () ->
-              Catalog.create_index t.cat ~name:index ~rel ~columns ~clustered));
-       Done (Printf.sprintf "index %s created on %s" index table))
-  | Ast.Insert { table; values } ->
-    (match Catalog.find_relation t.cat table with
-     | None -> err "unknown table %s" table
-     | Some rel ->
-       let n =
-         with_txn t (fun txn ->
-             wrap (fun () ->
-                 List.iter
-                   (fun row -> dml_insert t txn rel (Rel.Tuple.make row))
-                   values;
-                 List.length values))
-       in
-       Done (Printf.sprintf "%d row%s inserted" n (if n = 1 then "" else "s")))
-  | Ast.Delete { table; where } ->
-    (match Catalog.find_relation t.cat table with
-     | None -> err "unknown table %s" table
-     | Some rel ->
-       let n = with_txn t (fun txn -> delete_where t txn rel where) in
-       Done (Printf.sprintf "%d row%s deleted" n (if n = 1 then "" else "s")))
-  | Ast.Update { table; sets; where } ->
-    (match Catalog.find_relation t.cat table with
-     | None -> err "unknown table %s" table
-     | Some rel ->
-       let n = with_txn t (fun txn -> update_where t txn rel sets where) in
-       Done (Printf.sprintf "%d row%s updated" n (if n = 1 then "" else "s")))
-  | Ast.Drop_table table ->
-    if t.active <> None then err "DROP TABLE inside a transaction is not supported";
-    if Catalog.drop_relation t.cat table then
-      Done (Printf.sprintf "table %s dropped" table)
-    else err "unknown table %s" table
-  | Ast.Drop_index index ->
-    (match Catalog.find_index t.cat index with
-     | None -> err "unknown index %s" index
-     | Some _ ->
-       Catalog.drop_index t.cat index;
-       Done (Printf.sprintf "index %s dropped" index))
-  | Ast.Update_statistics ->
-    Catalog.update_statistics t.cat;
-    Done "statistics updated"
-  | Ast.Set_parallelism n ->
-    set_parallelism t n;
-    Done (Printf.sprintf "parallelism set to %d" (parallelism t))
-  | Ast.Set_histograms on ->
-    set_histograms t on;
-    Done (Printf.sprintf "histograms %s" (if on then "on" else "off"))
-  | Ast.Begin_transaction ->
-    let id = begin_transaction t in
-    Done (Printf.sprintf "transaction %d started" id)
-  | Ast.Commit ->
-    let id = commit t in
-    Done (Printf.sprintf "transaction %d committed" id)
-  | Ast.Rollback ->
-    let id = rollback t in
-    Done (Printf.sprintf "transaction %d rolled back" id)
-
-let parse_stmt sql =
-  try Parser.parse_statement sql
-  with Parser.Error (msg, off) -> err "syntax error at offset %d: %s" off msg
-
-let exec t sql = exec_stmt t (parse_stmt sql)
-
-let exec_script t src =
-  let stmts =
-    try Parser.parse_script src
-    with Parser.Error (msg, off) -> err "syntax error at offset %d: %s" off msg
-  in
-  List.map (exec_stmt t) stmts
-
-let query t sql =
-  (* text-level fast path: a repeat of the exact same statement skips the
-     parser and fingerprinting; a stale entry falls through to the normal
-     path (which re-optimizes and counts the miss) after recording the
-     invalidation here, matching the one-call accounting of the slow path *)
-  let fast =
-    match Plan_cache.text_entry t.plan_cache sql with
-    | None -> None
-    | Some (key, values) ->
-      (match Plan_cache.find t.plan_cache t.cat key with
-       | Plan_cache.Hit r ->
-         let c = Rss.Pager.counters (Catalog.pager t.cat) in
-         c.Rss.Counters.plan_cache_hits <- c.Rss.Counters.plan_cache_hits + 1;
-         Some (run_observed t r ~params:(Array.of_list values))
-       | Plan_cache.Invalidated ->
-         let c = Rss.Pager.counters (Catalog.pager t.cat) in
-         c.Rss.Counters.plan_cache_invalidations <-
-           c.Rss.Counters.plan_cache_invalidations + 1;
-         None
-       | Plan_cache.Miss -> None)
-  in
-  match fast with
-  | Some out -> out
-  | None ->
-    (match parse_stmt sql with
-     | Ast.Select q -> query_cached ~text:sql t q
-     | stmt ->
-       (match exec_stmt t stmt with
-        | Rows out -> out
-        | Text _ | Done _ -> err "not a SELECT: %s" sql))
-
-let explain t sql = Explain.plan (optimize t sql)
-
-let update_statistics t = Catalog.update_statistics t.cat
-
-(* --- integrity & recovery ------------------------------------------------ *)
-
-(* Heap/index consistency: every index entry resolves to a live tuple whose
-   key matches, and every live tuple appears in every index on its relation
-   exactly once. Counter-neutral (integrity checking is not a measured
-   query). *)
-let check_integrity t =
-  let c = Rss.Pager.counters (Catalog.pager t.cat) in
-  let snap = Rss.Counters.snapshot c in
-  let check_index (rel : Catalog.relation) heap (idx : Catalog.index) =
-    let entries =
-      List.of_seq (Rss.Btree.range_scan_unaccounted idx.Catalog.btree)
-    in
-    let resolve_err =
-      List.find_map
-        (fun (key, tid) ->
-          match Rss.Segment.fetch_unaccounted rel.Catalog.segment tid with
-          | None ->
-            Some
-              (Printf.sprintf "index %s: entry for dead TID %d.%d"
-                 idx.Catalog.idx_name tid.Rss.Tid.page tid.Rss.Tid.slot)
-          | Some (rid, tuple) ->
-            if rid <> rel.Catalog.rel_id then
-              Some
-                (Printf.sprintf "index %s: TID %d.%d holds relation %d, not %d"
-                   idx.Catalog.idx_name tid.Rss.Tid.page tid.Rss.Tid.slot rid
-                   rel.Catalog.rel_id)
-            else if
-              Rss.Btree.compare_key (Catalog.key_of idx tuple) key <> 0
-            then
-              Some
-                (Printf.sprintf "index %s: key mismatch at TID %d.%d"
-                   idx.Catalog.idx_name tid.Rss.Tid.page tid.Rss.Tid.slot)
-            else None)
-        entries
-    in
-    match resolve_err with
-    | Some _ as e -> e
-    | None ->
-      let cmp (k1, t1) (k2, t2) =
-        let d = Rss.Btree.compare_key k1 k2 in
-        if d <> 0 then d else Rss.Tid.compare t1 t2
-      in
-      let expected =
-        List.sort cmp
-          (List.map (fun (tid, tup) -> (Catalog.key_of idx tup, tid)) heap)
-      in
-      let actual = List.sort cmp entries in
-      if List.length expected <> List.length actual then
-        Some
-          (Printf.sprintf "index %s: %d entries for %d live tuples of %s"
-             idx.Catalog.idx_name (List.length actual) (List.length expected)
-             rel.Catalog.rel_name)
-      else if not (List.for_all2 (fun a b -> cmp a b = 0) expected actual) then
-        Some
-          (Printf.sprintf "index %s: entry set differs from heap of %s"
-             idx.Catalog.idx_name rel.Catalog.rel_name)
-      else None
-  in
-  let check_rel (rel : Catalog.relation) =
-    let heap =
-      Rss.Scan.to_list
-        (Rss.Scan.open_segment_scan rel.Catalog.segment
-           ~rel_id:rel.Catalog.rel_id ())
-    in
-    List.find_map (check_index rel heap) (Catalog.indexes_on t.cat rel)
-  in
-  let verdict = List.find_map check_rel (Catalog.relations t.cat) in
-  Rss.Counters.restore c ~from:snap;
-  match verdict with
-  | None -> Stdlib.Ok ()
-  | Some msg -> Stdlib.Error msg
-
-(* Crash recovery: replay the serialized WAL (Recovery.replay) into a scratch
-   segment, then reload every surviving tuple through the catalog so all
-   indexes are rebuilt over the new TIDs (Recovery does not preserve TIDs).
-   The reloaded state is re-logged as one committed checkpoint transaction so
-   a later crash recovers through this one. Run with failpoints reset — a
-   recovery is not itself a crash candidate. *)
-let recover t bytes =
-  let c = Rss.Pager.counters (Catalog.pager t.cat) in
-  let snap = Rss.Counters.snapshot c in
-  let wal = Rss.Wal.of_bytes bytes in
-  let result = Rss.Recovery.replay (Catalog.pager t.cat) wal in
-  t.active <- None;
-  t.locks <- Rss.Lock_table.create ();
-  Plan_cache.clear t.plan_cache;
-  (* transaction ids stay unique across the crash *)
-  let max_txn =
-    List.fold_left
-      (fun acc r ->
-        match r with
-        | Rss.Wal.Begin tx | Rss.Wal.Commit tx | Rss.Wal.Abort tx -> max acc tx
-        | Rss.Wal.Insert { txn; _ } | Rss.Wal.Delete { txn; _ } -> max acc txn)
-      0 (Rss.Wal.records wal)
-  in
-  t.next_txn <- max t.next_txn (max_txn + 1);
-  (* wipe current contents: the log alone defines the recovered state *)
-  List.iter
-    (fun rel -> ignore (Catalog.delete_tuples t.cat rel (fun _ -> true)))
-    (Catalog.relations t.cat);
-  let rels = Catalog.relations t.cat in
-  let checkpoint = t.next_txn in
-  t.next_txn <- checkpoint + 1;
-  Rss.Wal.clear t.wal;
-  Rss.Wal.append t.wal (Rss.Wal.Begin checkpoint);
-  let restored = ref 0 in
-  List.iter
-    (fun pid ->
-      let p = Rss.Pager.data_page (Catalog.pager t.cat) pid in
-      List.iter
-        (fun (_slot, rel_id, tuple) ->
-          match List.find_opt (fun r -> r.Catalog.rel_id = rel_id) rels with
-          | None -> () (* logged relation no longer in the catalog *)
-          | Some rel ->
-            let tid = Catalog.insert_tuple t.cat rel tuple in
-            Rss.Wal.append t.wal
-              (Rss.Wal.Insert { txn = checkpoint; rel_id; tid; tuple });
-            incr restored)
-        (Rss.Page.live_tuples p))
-    (Rss.Segment.page_ids result.Rss.Recovery.segment);
-  Rss.Wal.append t.wal (Rss.Wal.Commit checkpoint);
-  Rss.Counters.restore c ~from:snap;
-  !restored
-
-(* --- prepared statements ------------------------------------------------- *)
-
-type prepared = {
-  p_result : Optimizer.result;
-  p_params : int;
-}
-
-let prepare t sql =
-  let block = resolve t sql in
-  let r = optimize_block t block in
-  { p_result = r; p_params = Semant.param_count block }
-
-let prepared_param_count p = p.p_params
-let prepared_plan p = p.p_result
-
-let execute_prepared t p bindings =
-  if List.length bindings <> p.p_params then
-    err "prepared statement takes %d parameter%s, %d given" p.p_params
-      (if p.p_params = 1 then "" else "s")
-      (List.length bindings);
-  wrap (fun () ->
-      Executor.run ~params:(Array.of_list bindings) t.cat p.p_result)
+let prepare t sql = Session.prepare t.sess sql
+let prepared_param_count = Session.prepared_param_count
+let prepared_plan = Session.prepared_plan
+let execute_prepared t p bindings = Session.execute_prepared t.sess p bindings

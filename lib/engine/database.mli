@@ -12,6 +12,16 @@
 type t
 
 val create : ?buffer_pages:int -> ?w:float -> unit -> t
+
+val engine : t -> Engine.t
+(** The shared engine under this facade. The wire-protocol server creates
+    additional {!Session}s over it (one per connection); embedded callers
+    rarely need it. *)
+
+val session : t -> Session.t
+(** The facade's implicit default session (accounts into the engine-global
+    counters). *)
+
 val catalog : t -> Catalog.t
 val pager : t -> Rss.Pager.t
 val ctx : ?params:Rel.Value.t array -> t -> Ctx.t

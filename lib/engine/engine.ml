@@ -1,0 +1,79 @@
+(* The shared half of the former Database: one engine (catalog, buffer pool,
+   WAL, lock table, plan cache, transaction-id fountain) serving N sessions.
+   Session-local state — the active transaction, SET overrides, prepared
+   statements, per-session counters — lives in Session.t.
+
+   Concurrency follows the buffer pool's latched-only-when-concurrent
+   treatment from PR 6: embedded single-session use pays no synchronization
+   at all (with_latch is a plain call), and the wire-protocol server flips
+   [set_latched true] for the lifetime of its listener, after which every
+   statement executes under the engine latch. Execution is therefore
+   serialized across sessions — the latch is the concurrency unit, sessions
+   overlap in their network/framing halves — while 2PL still mediates
+   *logical* conflicts: a session whose lock request is blocked waits on
+   [locks_changed] (releasing the latch), and every lock release broadcasts. *)
+
+type t = {
+  cat : Catalog.t;
+  wal : Rss.Wal.t;
+  mutable locks : Rss.Lock_table.t;
+  plan_cache : Plan_cache.t;
+  mutable next_txn : int;
+  mutable next_session : int;
+  latch : Mutex.t;
+  locks_changed : Condition.t;
+  mutable latched : bool;
+  mutable live_sessions : int;
+}
+
+let create ?buffer_pages () =
+  let cat = Catalog.create ?buffer_pages () in
+  let plan_cache = Plan_cache.create () in
+  let pager = Catalog.pager cat in
+  (* LRU evictions land in whatever counters record is active, so a server
+     session's EXPLAIN attributes them to the session that caused them *)
+  Plan_cache.set_evict_hook plan_cache (fun n ->
+      let c = Rss.Pager.counters pager in
+      c.Rss.Counters.plan_cache_evictions <-
+        c.Rss.Counters.plan_cache_evictions + n);
+  { cat;
+    wal = Rss.Wal.create ();
+    locks = Rss.Lock_table.create ();
+    plan_cache;
+    next_txn = 1;
+    next_session = 1;
+    latch = Mutex.create ();
+    locks_changed = Condition.create ();
+    latched = false;
+    live_sessions = 0 }
+
+let catalog t = t.cat
+let pager t = Catalog.pager t.cat
+let wal t = t.wal
+let lock_table t = t.locks
+let plan_cache t = t.plan_cache
+
+let set_latched t on = t.latched <- on
+let latched t = t.latched
+
+let with_latch t f =
+  if not t.latched then f ()
+  else begin
+    Mutex.lock t.latch;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.latch) f
+  end
+
+(* Both must be called while holding the latch (i.e. from inside a
+   [with_latch] body in latched mode). *)
+let wait_locks t = Condition.wait t.locks_changed t.latch
+let signal_locks t = if t.latched then Condition.broadcast t.locks_changed
+
+let fresh_txn_id t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  id
+
+let fresh_session_id t =
+  let id = t.next_session in
+  t.next_session <- id + 1;
+  id

@@ -1,0 +1,58 @@
+(** The shared half of the former [Database]: one engine — catalog, buffer
+    pool, WAL, lock table, compiled-plan cache, transaction-id fountain —
+    serving N {!Session}s. Embedded use keeps one implicit session behind
+    the [Database] facade; the wire-protocol server creates one session per
+    connection over the same engine.
+
+    Synchronization is latched-only-when-concurrent, mirroring the buffer
+    pool's PR-6 treatment: {!with_latch} is a plain call until
+    {!set_latched} flips the engine into shared mode (the server does, for
+    the lifetime of its listener), after which sessions execute statements
+    under one engine latch and blocked 2PL lock requests wait on the
+    engine's condition variable (released locks broadcast). *)
+
+type t = {
+  cat : Catalog.t;
+  wal : Rss.Wal.t;
+  mutable locks : Rss.Lock_table.t;
+  plan_cache : Plan_cache.t;
+  mutable next_txn : int;
+  mutable next_session : int;
+  latch : Mutex.t;
+  locks_changed : Condition.t;
+  mutable latched : bool;
+  mutable live_sessions : int;
+}
+
+val create : ?buffer_pages:int -> unit -> t
+
+val catalog : t -> Catalog.t
+val pager : t -> Rss.Pager.t
+val wal : t -> Rss.Wal.t
+val lock_table : t -> Rss.Lock_table.t
+val plan_cache : t -> Plan_cache.t
+
+val set_latched : t -> bool -> unit
+(** Enter/leave shared mode. Flip on before any second session executes
+    concurrently; flip off only when at most one session remains. *)
+
+val latched : t -> bool
+
+val with_latch : t -> (unit -> 'a) -> 'a
+(** Run under the engine latch in shared mode; a plain call otherwise.
+    Statement execution, session close and any engine-state mutation go
+    through this. Does not nest. *)
+
+val wait_locks : t -> unit
+(** Block until some transaction releases locks; caller must hold the latch
+    (it is released for the duration of the wait and re-acquired before
+    returning). Only meaningful in shared mode. *)
+
+val signal_locks : t -> unit
+(** Broadcast to lock waiters (no-op when unlatched). Call after every
+    {!Rss.Lock_table.release_all}. *)
+
+val fresh_txn_id : t -> int
+(** Allocate a transaction id; call under the latch. *)
+
+val fresh_session_id : t -> int

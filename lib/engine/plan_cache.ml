@@ -7,7 +7,14 @@
    (which bump the version), a runtime cardinality-feedback correction
    (which bumps feedback_gen) and DROP/CREATE TABLE (which change or remove
    the rel_id) each retire exactly the plans that depended on the changed
-   relation. *)
+   relation.
+
+   Both tables are LRU-bounded (SET PLAN_CACHE_SIZE): a long-lived server
+   session issuing millions of distinct statements replaces entries instead
+   of growing the cache without bound. Recency is a monotonic tick stamped
+   on every hit; eviction scans for the stalest entry — an O(size) walk that
+   only runs on an insert past the cap, where the preceding optimization
+   (or parse, for the text memo) dwarfs it. *)
 
 type dep = {
   rel_name : string;
@@ -18,22 +25,36 @@ type dep = {
          correction retires the plans costed under the stale estimate *)
 }
 
+type deps = dep list
+
 type entry = {
   result : Optimizer.result;
-  deps : dep list;
+  deps : deps;
+  mutable used : int;  (* recency tick for LRU eviction *)
+}
+
+type text_entry = {
+  t_key : string;
+  t_values : Rel.Value.t list;
+  mutable t_used : int;
 }
 
 type t = {
   tbl : (string, entry) Hashtbl.t;
-  texts : (string, string * Rel.Value.t list) Hashtbl.t;
+  texts : (string, text_entry) Hashtbl.t;
       (* statement text -> (fingerprint key, extracted literals): identical
          text repeats skip parsing and fingerprinting entirely — the hit
          path of [Database.query] costs a hash lookup and a version check *)
+  mutable cap : int;
+  mutable tick : int;
   mutable enabled : bool;
   mutable validate : bool;
       (* debug hook: when false, probes skip the dep check and serve whatever
          is cached — used by the fuzz harness to prove the differential
          tester catches stale-plan corruption (fuzz_main --break-invalidation) *)
+  mutable on_evict : int -> unit;
+      (* eviction notification (count), wired by the engine to the active
+         Rss.Counters record *)
 }
 
 type probe =
@@ -41,9 +62,11 @@ type probe =
   | Miss
   | Invalidated
 
+let default_cap = 512
+
 let create () =
-  { tbl = Hashtbl.create 64; texts = Hashtbl.create 64; enabled = true;
-    validate = true }
+  { tbl = Hashtbl.create 64; texts = Hashtbl.create 64; cap = default_cap;
+    tick = 0; enabled = true; validate = true; on_evict = ignore }
 
 let clear t =
   Hashtbl.reset t.tbl;
@@ -57,7 +80,41 @@ let enabled t = t.enabled
 
 let set_validation t on = t.validate <- on
 
+let set_evict_hook t f = t.on_evict <- f
+
 let size t = Hashtbl.length t.tbl
+let text_size t = Hashtbl.length t.texts
+let cap t = t.cap
+
+let tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+(* Evict least-recently-used entries until [table] holds at most [cap]. *)
+let shrink_to t cap table used =
+  let evicted = ref 0 in
+  while Hashtbl.length table > cap do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, best) when best <= used e -> acc
+          | _ -> Some (k, used e))
+        table None
+    in
+    match victim with
+    | Some (k, _) ->
+      Hashtbl.remove table k;
+      incr evicted
+    | None -> ()
+  done;
+  if !evicted > 0 then t.on_evict !evicted
+
+let set_cap t n =
+  let n = max 1 n in
+  t.cap <- n;
+  shrink_to t n t.tbl (fun e -> e.used);
+  shrink_to t n t.texts (fun e -> e.t_used)
 
 let rec blocks_of (r : Optimizer.result) acc =
   List.fold_left
@@ -80,7 +137,7 @@ let deps_of (r : Optimizer.result) =
     (blocks_of r []);
   Hashtbl.fold (fun _ d acc -> d :: acc) seen []
 
-let valid cat e =
+let deps_valid cat deps =
   List.for_all
     (fun d ->
       match Catalog.find_relation cat d.rel_name with
@@ -89,22 +146,39 @@ let valid cat e =
         && rel.Catalog.stats_version = d.version
         && rel.Catalog.feedback_gen = d.feedback
       | None -> false)
-    e.deps
+    deps
+
+let capture_deps = deps_of
 
 let find t cat key =
   if not t.enabled then Miss
   else
     match Hashtbl.find_opt t.tbl key with
     | None -> Miss
-    | Some e when (not t.validate) || valid cat e -> Hit e.result
+    | Some e when (not t.validate) || deps_valid cat e.deps ->
+      e.used <- tick t;
+      Hit e.result
     | Some _ ->
       Hashtbl.remove t.tbl key;
       Invalidated
 
 let store t key r =
-  if t.enabled then Hashtbl.replace t.tbl key { result = r; deps = deps_of r }
+  if t.enabled then begin
+    Hashtbl.replace t.tbl key { result = r; deps = deps_of r; used = tick t };
+    shrink_to t t.cap t.tbl (fun e -> e.used)
+  end
 
 let memo_text t ~sql ~key ~values =
-  if t.enabled then Hashtbl.replace t.texts sql (key, values)
+  if t.enabled then begin
+    Hashtbl.replace t.texts sql { t_key = key; t_values = values; t_used = tick t };
+    shrink_to t t.cap t.texts (fun e -> e.t_used)
+  end
 
-let text_entry t sql = if t.enabled then Hashtbl.find_opt t.texts sql else None
+let text_entry t sql =
+  if not t.enabled then None
+  else
+    match Hashtbl.find_opt t.texts sql with
+    | None -> None
+    | Some e ->
+      e.t_used <- tick t;
+      Some (e.t_key, e.t_values)

@@ -17,6 +17,25 @@ type probe =
 
 val create : unit -> t
 
+(** {2 LRU bound}
+
+    Both the plan table and the statement-text memo are bounded (default
+    {!default_cap} entries each): inserting past the cap evicts the
+    least-recently-used entry, so long-lived server sessions replace rather
+    than grow. SET PLAN_CACHE_SIZE adjusts the bound at runtime. *)
+
+val default_cap : int
+
+val set_cap : t -> int -> unit
+(** Clamp to [>= 1]; shrinks immediately when below the current size. *)
+
+val cap : t -> int
+val text_size : t -> int
+
+val set_evict_hook : t -> (int -> unit) -> unit
+(** Called with the eviction count whenever the LRU bound discards entries;
+    the engine wires this to the active {!Rss.Counters} record. *)
+
 val clear : t -> unit
 (** Drop every entry (e.g. when the optimizer's W changes: cached plans
     embed cost decisions made under the old weighting). *)
@@ -48,3 +67,15 @@ val store : t -> string -> Optimizer.result -> unit
 
 val memo_text : t -> sql:string -> key:string -> values:Rel.Value.t list -> unit
 val text_entry : t -> string -> (string * Rel.Value.t list) option
+
+(** {2 Dependency capture}
+
+    The prepared-statement path keeps its optimized plan outside the keyed
+    cache but validates it the same way: capture the dependency versions at
+    optimize time, check them before each execution, re-optimize when a
+    dependency moved (UPDATE STATISTICS or DDL from any session). *)
+
+type deps
+
+val capture_deps : Optimizer.result -> deps
+val deps_valid : Catalog.t -> deps -> bool

@@ -1,0 +1,108 @@
+(** A session: the per-connection half of the former [Database]. N sessions
+    share one {!Engine.t} (catalog, buffer pool, WAL, lock table, compiled-
+    plan cache); each session owns its active transaction, SET overrides,
+    prepared statements and a counters record. Embedded programs use the
+    [Database] facade's implicit session; the wire-protocol server creates
+    one session per connection.
+
+    Every public entry point executes as one engine step: under the engine
+    latch when the engine is in shared mode (see {!Engine.set_latched}), with
+    the session's counters record receiving the statement's I/O accounting.
+    Blocked 2PL lock requests wait on the engine's condition variable in
+    shared mode (and fail immediately otherwise); in shared mode SELECTs
+    additionally take relation-level shared locks for the duration of the
+    statement — or to commit, inside an explicit transaction — so readers
+    never see another session's uncommitted writes. *)
+
+type t
+
+exception Error of string
+(** Any parse / semantic / execution failure, with a message. *)
+
+val create : ?w:float -> ?counters:Rss.Counters.t -> ?serial_only:bool ->
+  Engine.t -> t
+(** [counters] defaults to the engine-global record (embedded default
+    session); the server passes a fresh record per connection, folded back
+    into the global one by {!close}. [serial_only] pins plans to DOP 1
+    regardless of SET PARALLELISM — required for sessions executing on
+    {!Rss.Domain_pool} workers, which must never submit exchange subtasks. *)
+
+val engine : t -> Engine.t
+val id : t -> int
+val session_counters : t -> Rss.Counters.t
+val catalog : t -> Catalog.t
+val pager : t -> Rss.Pager.t
+
+val close : t -> unit
+(** Abort any in-flight transaction, release its locks (waking waiters), and
+    fold the session's counters into the engine-global record. Idempotent.
+    A disconnected connection must never keep its locks. *)
+
+val closed : t -> bool
+
+val ctx : ?params:Rel.Value.t array -> t -> Ctx.t
+
+(** {2 Session settings} — each change flushes the shared plan cache; the
+    settings signature baked into every cache key additionally keeps
+    sessions with different settings from serving each other's plans. *)
+
+val set_w : t -> float -> unit
+val set_parallelism : t -> int -> unit
+val parallelism : t -> int
+val set_force_parallel : t -> bool -> unit
+val set_histograms : t -> bool -> unit
+val histograms_enabled : t -> bool
+val set_feedback : t -> bool -> unit
+val feedback_enabled : t -> bool
+val set_feedback_threshold : t -> float -> unit
+val last_feedback : t -> (float * int * float * bool) option
+val set_plan_cache : t -> bool -> unit
+val set_plan_cache_validation : t -> bool -> unit
+val plan_cache_enabled : t -> bool
+val plan_cache_size : t -> int
+val clear_plan_cache : t -> unit
+val cached_plan : t -> string -> Optimizer.result option
+val in_transaction : t -> bool
+
+type result =
+  | Rows of Executor.output
+  | Text of string      (** EXPLAIN output *)
+  | Done of string      (** DDL/DML/transaction acknowledgement *)
+
+val exec : t -> string -> result
+val exec_script : t -> string -> result list
+val query : t -> string -> Executor.output
+val explain : t -> string -> string
+val resolve : t -> string -> Semant.block
+val optimize : ?ctx:Ctx.t -> t -> string -> Optimizer.result
+val run_plan : t -> Optimizer.result -> Executor.output
+val update_statistics : t -> unit
+
+val begin_transaction : t -> int
+val commit : t -> int
+val rollback : t -> int
+
+val check_integrity : t -> (unit, string) Stdlib.result
+val recover : t -> string -> int
+(** Embedded-only (see [Database.recover]): never call with other live
+    sessions — the lock table is replaced, orphaning any waiter. *)
+
+(** {2 Prepared statements}
+
+    A prepared statement keeps its optimized plan outside the keyed plan
+    cache but validates it the same way: the dependency versions captured at
+    optimize time are checked before every execution, and the plan silently
+    re-optimizes (from the retained statement text) when UPDATE STATISTICS,
+    index DDL or another session's feedback correction moved a dependency.
+    The server's Bind/Execute path therefore re-parses only on that rare
+    invalidation, never in the steady state. *)
+
+type prepared
+
+val prepare : t -> string -> prepared
+val prepared_param_count : prepared -> int
+val prepared_plan : prepared -> Optimizer.result
+val prepared_generation : prepared -> int
+(** Number of revalidation re-optimizations since prepare. *)
+
+val execute_prepared : t -> prepared -> Rel.Value.t list -> Executor.output

@@ -191,6 +191,20 @@ let delete t k tid = delete_node t.root (k, tid)
 (* Leftmost leaf that may contain entries whose key is >= the bound, touching
    each node on the descent when [accounted]. [lo_cmp sep_key] compares the
    bound against a separator's key part. *)
+(* First index of sorted [arr] at which the monotone predicate [ok] holds
+   ([ok] is false on a prefix of the array and true on the rest);
+   [Array.length arr] when it never holds. Separator and entry arrays are
+   key-sorted and bound predicates are monotone over key order, so every
+   position search below is logarithmic — a point probe must not pay a
+   linear walk over a node. *)
+let lower_bound arr ok =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ok (Array.unsafe_get arr mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
 let rec descend t ~accounted node lo_cmp =
   (* Only leaf pages are charged: the paper's cost formulas count NINDX leaf
      pages and assume the few upper index levels stay buffer-resident
@@ -209,12 +223,7 @@ let rec descend t ~accounted node lo_cmp =
            while the bound is strictly greater than separator i's key (a
            separator sharing the bound's prefix may still have matches to
            its left). *)
-        let rec find i =
-          if i >= Array.length n.seps then i
-          else if cmp (fst n.seps.(i)) > 0 then find (i + 1)
-          else i
-        in
-        find 0
+        lower_bound n.seps (fun sep -> cmp (fst sep) <= 0)
     in
     descend t ~accounted n.children.(i) lo_cmp
 
@@ -233,12 +242,7 @@ let rec descend_hi t ~accounted node hi_cmp =
       | Some cmp ->
         (* Step left from the last child while its lower separator is
            strictly above the bound. *)
-        let rec find i =
-          if i = 0 then 0
-          else if cmp (fst n.seps.(i - 1)) < 0 then find (i - 1)
-          else i
-        in
-        find (Array.length n.children - 1)
+        lower_bound n.seps (fun sep -> cmp (fst sep) < 0)
     in
     descend_hi t ~accounted n.children.(i) hi_cmp
 
@@ -253,6 +257,14 @@ let bound_cmp_hi = function
   | Some (k, `Exclusive) -> fun key -> compare_prefix k key > 0
 
 type bound = Rel.Value.t array * [ `Inclusive | `Exclusive ]
+
+(* Start offset within the descended leaf. Ascending: first entry at or above
+   the low bound. Descending: last entry at or below the high bound (may be -1,
+   which sends the traversal to the prev leaf). Only the start leaf needs a
+   search — every entry of the leaves that follow is past the bound. *)
+let asc_start entries lo_ok = lower_bound entries (fun (k, _) -> lo_ok k)
+let desc_start entries hi_ok =
+  lower_bound entries (fun (k, _) -> not (hi_ok k)) - 1
 
 let range_scan_gen ~accounted ?lo ?hi t =
   let lo_ok = bound_cmp_lo lo and hi_ok = bound_cmp_hi hi in
@@ -273,7 +285,7 @@ let range_scan_gen ~accounted ?lo ?hi t =
       else if lo_ok k then Seq.Cons ((k, tid), entries_from leaf (i + 1))
       else entries_from leaf (i + 1) ()
   in
-  entries_from start 0
+  entries_from start (asc_start start.entries lo_ok)
 
 let range_scan ?lo ?hi t = range_scan_gen ~accounted:true ?lo ?hi t
 let range_scan_unaccounted ?lo ?hi t = range_scan_gen ~accounted:false ?lo ?hi t
@@ -285,8 +297,9 @@ let range_scan_unaccounted ?lo ?hi t = range_scan_gen ~accounted:false ?lo ?hi t
 let range_cursor ?lo ?hi t =
   let lo_ok = bound_cmp_lo lo and hi_ok = bound_cmp_hi hi in
   let lo_probe = Option.map (fun (k, _) -> fun sep -> compare_prefix k sep) lo in
-  let leaf = ref (Some (descend t ~accounted:true t.root lo_probe)) in
-  let i = ref 0 in
+  let start = descend t ~accounted:true t.root lo_probe in
+  let leaf = ref (Some start) in
+  let i = ref (asc_start start.entries lo_ok) in
   let rec next () =
     match !leaf with
     | None -> None
@@ -319,7 +332,7 @@ let range_cursor_desc ?lo ?hi t =
   let hi_probe = Option.map (fun (k, _) -> fun sep -> compare_prefix k sep) hi in
   let start = descend_hi t ~accounted:true t.root hi_probe in
   let leaf = ref (Some start) in
-  let i = ref (Array.length start.entries - 1) in
+  let i = ref (desc_start start.entries hi_ok) in
   let rec next () =
     match !leaf with
     | None -> None
@@ -366,7 +379,7 @@ let range_scan_desc_gen ~accounted ?lo ?hi t =
       else if hi_ok k then Seq.Cons ((k, tid), entries_from leaf (i - 1))
       else entries_from leaf (i - 1) ()
   in
-  entries_from start (Array.length start.entries - 1)
+  entries_from start (desc_start start.entries hi_ok)
 
 let range_scan_desc ?lo ?hi t = range_scan_desc_gen ~accounted:true ?lo ?hi t
 let range_scan_desc_unaccounted ?lo ?hi t =

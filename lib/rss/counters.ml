@@ -8,6 +8,7 @@ type t = {
   mutable plan_cache_hits : int;
   mutable plan_cache_misses : int;
   mutable plan_cache_invalidations : int;
+  mutable plan_cache_evictions : int;
   mutable feedback_misestimates : int;
   mutable feedback_retirements : int;
 }
@@ -22,6 +23,7 @@ let create () =
     plan_cache_hits = 0;
     plan_cache_misses = 0;
     plan_cache_invalidations = 0;
+    plan_cache_evictions = 0;
     feedback_misestimates = 0;
     feedback_retirements = 0 }
 
@@ -35,6 +37,7 @@ let reset t =
   t.plan_cache_hits <- 0;
   t.plan_cache_misses <- 0;
   t.plan_cache_invalidations <- 0;
+  t.plan_cache_evictions <- 0;
   t.feedback_misestimates <- 0;
   t.feedback_retirements <- 0
 
@@ -48,6 +51,7 @@ let snapshot t =
     plan_cache_hits = t.plan_cache_hits;
     plan_cache_misses = t.plan_cache_misses;
     plan_cache_invalidations = t.plan_cache_invalidations;
+    plan_cache_evictions = t.plan_cache_evictions;
     feedback_misestimates = t.feedback_misestimates;
     feedback_retirements = t.feedback_retirements }
 
@@ -61,6 +65,7 @@ let restore t ~from =
   t.plan_cache_hits <- from.plan_cache_hits;
   t.plan_cache_misses <- from.plan_cache_misses;
   t.plan_cache_invalidations <- from.plan_cache_invalidations;
+  t.plan_cache_evictions <- from.plan_cache_evictions;
   t.feedback_misestimates <- from.feedback_misestimates;
   t.feedback_retirements <- from.feedback_retirements
 
@@ -75,6 +80,7 @@ let add t ~into =
   into.plan_cache_misses <- into.plan_cache_misses + t.plan_cache_misses;
   into.plan_cache_invalidations <-
     into.plan_cache_invalidations + t.plan_cache_invalidations;
+  into.plan_cache_evictions <- into.plan_cache_evictions + t.plan_cache_evictions;
   into.feedback_misestimates <- into.feedback_misestimates + t.feedback_misestimates;
   into.feedback_retirements <- into.feedback_retirements + t.feedback_retirements
 
@@ -89,6 +95,7 @@ let diff ~after ~before =
     plan_cache_misses = after.plan_cache_misses - before.plan_cache_misses;
     plan_cache_invalidations =
       after.plan_cache_invalidations - before.plan_cache_invalidations;
+    plan_cache_evictions = after.plan_cache_evictions - before.plan_cache_evictions;
     feedback_misestimates =
       after.feedback_misestimates - before.feedback_misestimates;
     feedback_retirements = after.feedback_retirements - before.feedback_retirements }
@@ -98,8 +105,9 @@ let cost ~w t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "fetches=%d hits=%d rsi=%d written=%d runs=%d merges=%d plan-cache=%d/%d/%d \
+    "fetches=%d hits=%d rsi=%d written=%d runs=%d merges=%d plan-cache=%d/%d/%d/%d \
      feedback=%d/%d"
     t.page_fetches t.buffer_hits t.rsi_calls t.pages_written t.sort_runs
     t.merge_passes t.plan_cache_hits t.plan_cache_misses
-    t.plan_cache_invalidations t.feedback_misestimates t.feedback_retirements
+    t.plan_cache_invalidations t.plan_cache_evictions t.feedback_misestimates
+    t.feedback_retirements

@@ -23,6 +23,10 @@ type t = {
       (** statements optimized from scratch (no usable cached plan) *)
   mutable plan_cache_invalidations : int;
       (** cached plans discarded because a dependency's stats_version moved *)
+  mutable plan_cache_evictions : int;
+      (** cached plans (or text-memo entries) evicted by the cache's LRU
+          bound (SET PLAN_CACHE_SIZE) — long-lived sessions replace, they
+          do not grow *)
   mutable feedback_misestimates : int;
       (** executions whose actual output cardinality missed the optimizer's
           estimate by more than the feedback q-error threshold *)

@@ -32,6 +32,19 @@ let cv = Condition.create ()
 let tasks : (unit -> unit) Queue.t = Queue.create ()
 let workers = ref 0
 
+(* Pool workers get a large nursery (words; SYSTEMR_WORKER_MINOR_HEAP
+   overrides). Every minor collection is a stop-the-world rendezvous of all
+   domains, and on a loaded box a runnable-but-unscheduled peer can turn each
+   rendezvous into a full scheduler quantum — with the 256k-word default a
+   busy worker pays that every few thousand queries. Workers are long-lived
+   and few, so a multi-megabyte nursery per worker is cheap insurance.
+   [Gc.set] is domain-local and spawned domains do not inherit it, hence the
+   call inside the worker, not at pool setup. *)
+let worker_minor_heap =
+  match Sys.getenv_opt "SYSTEMR_WORKER_MINOR_HEAP" with
+  | Some s -> (try max 262_144 (int_of_string s) with Failure _ -> 2_097_152)
+  | None -> 2_097_152
+
 let rec worker_loop () =
   Mutex.lock m;
   while Queue.is_empty tasks do
@@ -43,9 +56,13 @@ let rec worker_loop () =
   (try task () with _ -> ());
   worker_loop ()
 
+let worker_main () =
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = worker_minor_heap };
+  worker_loop ()
+
 let spawn_locked () =
   incr workers;
-  ignore (Domain.spawn worker_loop : unit Domain.t)
+  ignore (Domain.spawn worker_main : unit Domain.t)
 
 let ensure n =
   let n = min (max 1 n) max_workers in

@@ -3,6 +3,12 @@ type t = {
   data_pages : (int, Page.t) Hashtbl.t;
   pool : Buffer_pool.t;
   counters : Counters.t;
+  mutable active : Counters.t;
+      (* where accounting currently lands: normally [counters] itself, but a
+         server session redirects it to its own record for the duration of a
+         statement (under the engine latch), so EXPLAIN under concurrent
+         sessions never interleaves counts — the per-session mirror of the
+         per-domain scratch fold below *)
   buffer_pages : int;
   latch : Mutex.t;
   mutable parallel_depth : int;
@@ -19,18 +25,26 @@ let scratch_key : Counters.t option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
 let cnt t =
-  match Domain.DLS.get scratch_key with Some c -> c | None -> t.counters
+  match Domain.DLS.get scratch_key with Some c -> c | None -> t.active
 
 let create ?(buffer_pages = 64) () =
+  let counters = Counters.create () in
   { next_id = Atomic.make 0;
     data_pages = Hashtbl.create 1024;
     pool = Buffer_pool.create ~capacity:buffer_pages;
-    counters = Counters.create ();
+    counters;
+    active = counters;
     buffer_pages;
     latch = Mutex.create ();
     parallel_depth = 0 }
 
-let counters t = t.counters
+let counters t = t.active
+let base_counters t = t.counters
+
+let with_counters t c f =
+  let saved = t.active in
+  t.active <- c;
+  Fun.protect ~finally:(fun () -> t.active <- saved) f
 let buffer_pages t = t.buffer_pages
 
 let alloc_page_id t =

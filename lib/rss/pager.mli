@@ -9,6 +9,20 @@ val create : ?buffer_pages:int -> unit -> t
 (** [buffer_pages] defaults to 64 ("effective buffer pool per user"). *)
 
 val counters : t -> Counters.t
+(** The counters record accounting currently lands in — the engine-global
+    record, unless a {!with_counters} redirection is in effect. *)
+
+val base_counters : t -> Counters.t
+(** The engine-global record, regardless of any active redirection. Session
+    records fold into this one at session close ({!Counters.add}). *)
+
+val with_counters : t -> Counters.t -> (unit -> 'a) -> 'a
+(** [with_counters t c f] runs [f] with all accounting (including the
+    {!counters} accessor) redirected to [c], restoring the previous target
+    when [f] returns or raises. Server sessions wrap each statement in this
+    (under the engine latch) so concurrent sessions never interleave counts;
+    the per-session analogue of the per-domain {!as_worker} fold. *)
+
 val buffer_pages : t -> int
 
 val alloc_data_page : t -> Page.t

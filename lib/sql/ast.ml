@@ -62,6 +62,7 @@ type statement =
   | Update_statistics
   | Set_parallelism of int
   | Set_histograms of bool
+  | Set_plan_cache_size of int
   | Begin_transaction
   | Commit
   | Rollback
@@ -173,6 +174,7 @@ let pp_statement ppf = function
   | Set_parallelism n -> Format.fprintf ppf "SET PARALLELISM %d" n
   | Set_histograms b ->
     Format.fprintf ppf "SET HISTOGRAMS %s" (if b then "ON" else "OFF")
+  | Set_plan_cache_size n -> Format.fprintf ppf "SET PLAN_CACHE_SIZE %d" n
   | Begin_transaction -> Format.pp_print_string ppf "BEGIN"
   | Commit -> Format.pp_print_string ppf "COMMIT"
   | Rollback -> Format.pp_print_string ppf "ROLLBACK"

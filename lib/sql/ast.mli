@@ -79,6 +79,10 @@ type statement =
           per-column histograms UPDATE STATISTICS collects; OFF pins the
           paper's value-independent TABLE 1 constants (and disables
           cardinality feedback), for reproducing the seed benchmarks *)
+  | Set_plan_cache_size of int
+      (** SET PLAN_CACHE_SIZE n: LRU bound on the shared compiled-plan cache
+          and its statement-text memo, so long-lived server sessions replace
+          entries instead of growing without bound *)
   | Begin_transaction
   | Commit
   | Rollback

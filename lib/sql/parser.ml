@@ -377,6 +377,16 @@ let statement st =
         Ast.Set_histograms false
       end
     end
+    else if accept_kw st "PLAN_CACHE_SIZE" then begin
+      match peek st with
+      | Lexer.Int_lit n when n >= 1 ->
+        advance st;
+        Ast.Set_plan_cache_size n
+      | t ->
+        fail st
+          (Format.asprintf "expected positive plan cache size, found %a"
+             Lexer.pp_token t)
+    end
     else begin
       expect_kw st "PARALLELISM";
       match peek st with

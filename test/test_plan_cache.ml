@@ -317,6 +317,59 @@ let test_validation_hook () =
   Alcotest.(check bool) "validation off: stale plan serves old data" true
     (run false <> 1)
 
+(* --- LRU cap ------------------------------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_lru_cap_and_evictions () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (a INT, b INT)");
+  ignore (Database.exec db "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  let c = counters db in
+  let q1 = "SELECT a FROM t WHERE a = 1" in
+  let q2 = "SELECT b FROM t WHERE b = 10" in
+  let q3 = "SELECT a, b FROM t WHERE a >= 0" in
+  let q4 = "SELECT b, a FROM t WHERE b >= 0" in
+  ignore (Database.query db q1);
+  ignore (Database.query db q2);
+  ignore (Database.query db q3);
+  Alcotest.(check int) "three shapes cached" 3 (Database.plan_cache_size db);
+  Alcotest.(check int) "no evictions under the default cap" 0
+    c.Rss.Counters.plan_cache_evictions;
+  (match Database.exec db "SET PLAN_CACHE_SIZE 2" with
+   | Database.Done msg ->
+     Alcotest.(check string) "tag" "plan cache size set to 2" msg
+   | _ -> Alcotest.fail "SET PLAN_CACHE_SIZE: expected Done");
+  (* the cap applies immediately: LRU entry (q1) evicted, eviction counted *)
+  Alcotest.(check int) "shrunk to cap" 2 (Database.plan_cache_size db);
+  Alcotest.(check bool) "evictions counted" true
+    (c.Rss.Counters.plan_cache_evictions >= 1);
+  (* recency order is per-use, not per-insert: touch q2, then insert q4 —
+     q3 (now least recent) goes, q2 stays hot *)
+  let h0 = c.Rss.Counters.plan_cache_hits in
+  ignore (Database.query db q2);
+  Alcotest.(check int) "q2 still resident" (h0 + 1) c.Rss.Counters.plan_cache_hits;
+  ignore (Database.query db q4);
+  Alcotest.(check int) "insert past cap keeps size" 2 (Database.plan_cache_size db);
+  ignore (Database.query db q2);
+  Alcotest.(check int) "hot entry survives" (h0 + 2) c.Rss.Counters.plan_cache_hits;
+  let m0 = c.Rss.Counters.plan_cache_misses in
+  ignore (Database.query db q3);
+  Alcotest.(check int) "cold entry was evicted" (m0 + 1)
+    c.Rss.Counters.plan_cache_misses;
+  (* the statement-text memo obeys the same cap *)
+  Alcotest.(check bool) "text memo capped" true
+    (Plan_cache.text_size (Engine.plan_cache (Database.engine db)) <= 2);
+  (* EXPLAIN surfaces evictions and the cap *)
+  (match Database.exec db ("EXPLAIN " ^ q2) with
+   | Database.Text s ->
+     Alcotest.(check bool) "explain shows evictions" true (contains s "evictions=");
+     Alcotest.(check bool) "explain shows cap" true (contains s "cap=2")
+   | _ -> Alcotest.fail "EXPLAIN: expected Text")
+
 let () =
   Alcotest.run "plan_cache"
     [ ( "fingerprint",
@@ -341,4 +394,7 @@ let () =
           Alcotest.test_case "unclustered->clustered stats shift" `Quick
             test_stats_shift_changes_cached_plan;
           Alcotest.test_case "validation debug hook" `Quick
-            test_validation_hook ] ) ]
+            test_validation_hook ] );
+      ( "lru",
+        [ Alcotest.test_case "cap, evictions, recency" `Quick
+            test_lru_cap_and_evictions ] ) ]

@@ -1,0 +1,515 @@
+(* Server, sessions & wire protocol.
+
+   - protocol encode/decode roundtrips and malformed-stream rejection
+   - simple-query and Parse/Bind/Execute/Fetch conversations over a real
+     Unix-domain socket
+   - per-session isolation: SET overrides, transactions, counters folding
+     into the engine-global record at session close
+   - 2PL across sessions: writer/writer blocking, deadlock victims,
+     mid-transaction disconnect releasing locks (the crashed-client case)
+   - prepared-statement revalidation after UPDATE STATISTICS from another
+     session
+   - the multi-session differential: N concurrent connections replay a fuzz
+     workload and per-connection DML streams; every result must be
+     multiset-equal to a serial embedded run of the same statements. *)
+
+module V = Rel.Value
+module P = Protocol
+
+let msv = Alcotest.(list string)
+
+let multiset rows = Fuzz_harness.multiset rows
+
+let rows_ms (r : Client.reply) = multiset r.Client.rows
+
+(* --- infrastructure ------------------------------------------------------ *)
+
+let sock_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "systemr_test_%d_%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?(seed = "") f =
+  let db = Database.create () in
+  if seed <> "" then ignore (Database.exec_script db seed);
+  let srv =
+    Server.start ~engine:(Database.engine db) (Server.Unix_sock (sock_path ()))
+  in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f db srv)
+
+let connect srv = Client.connect (Server.addr srv)
+
+(* Deterministic cross-session sequencing: block until some transaction is
+   queued waiting on [table]'s relation lock. Reads engine state under the
+   engine latch — valid while the server has the engine in latched mode. *)
+let wait_for_waiter db table =
+  let eng = Database.engine db in
+  let rel =
+    match Catalog.find_relation (Database.catalog db) table with
+    | Some r -> r
+    | None -> Alcotest.fail ("no table " ^ table)
+  in
+  let waiting () =
+    Engine.with_latch eng (fun () ->
+        Rss.Lock_table.waiting (Engine.lock_table eng)
+          (Rss.Lock_table.Relation rel.Catalog.rel_id))
+  in
+  let rec go n =
+    if waiting () = [] then
+      if n > 1000 then Alcotest.fail "no lock waiter appeared"
+      else begin
+        Unix.sleepf 0.005;
+        go (n + 1)
+      end
+  in
+  go 0
+
+(* --- protocol unit tests -------------------------------------------------- *)
+
+let client_roundtrip msg =
+  let typ, payload = P.encode_client msg in
+  P.decode_client typ payload
+
+let server_roundtrip msg =
+  let typ, payload = P.encode_server msg in
+  P.decode_server typ payload
+
+let test_protocol_roundtrip () =
+  let cmsgs =
+    [ P.Startup P.version;
+      P.Simple "SELECT 1 FROM t";
+      P.Parse { name = "q0"; sql = "SELECT a FROM t WHERE a = ?" };
+      P.Bind { name = "q0"; params = [ V.Int 42; V.Null; V.Str "x"; V.Float 1.5 ] };
+      P.Execute { name = "q0"; params = None; fetch = 7 };
+      P.Execute { name = "q0"; params = Some [ V.Int 3; V.Str "y" ]; fetch = 0 };
+      P.Execute { name = "q0"; params = Some []; fetch = 0 };
+      P.Fetch 12;
+      P.Close_stmt "q0";
+      P.Terminate ]
+  in
+  List.iter
+    (fun m -> Alcotest.(check bool) "client msg" true (client_roundtrip m = m))
+    cmsgs;
+  let smsgs =
+    [ P.Ready;
+      P.Parse_ok 3;
+      P.Bind_ok;
+      P.Row_desc [ "a"; "b" ];
+      P.Row_batch [ [| V.Int 1; V.Str "x" |]; [| V.Null; V.Float 2. |] ];
+      P.Complete "SELECT 2";
+      P.Suspended;
+      P.Err "boom" ]
+  in
+  List.iter
+    (fun m -> Alcotest.(check bool) "server msg" true (server_roundtrip m = m))
+    smsgs;
+  (* corrupt payloads must raise Malformed, not crash or misparse *)
+  let malformed f = match f () with
+    | exception P.Malformed _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "truncated string" true
+    (malformed (fun () -> P.decode_client 'Q' "\x00\x00\x00\x10abc"));
+  Alcotest.(check bool) "unknown type" true
+    (malformed (fun () -> P.decode_client '?' ""));
+  Alcotest.(check bool) "trailing bytes" true
+    (malformed (fun () -> P.decode_client 'X' "junk"));
+  Alcotest.(check bool) "bad value tag" true
+    (malformed (fun () ->
+         P.decode_server 'W' "\x00\x01\x00\x01\x09"));
+  Alcotest.(check bool) "bad startup magic" true
+    (malformed (fun () -> P.decode_client 'S' "XXXX\x00\x01"))
+
+(* --- simple queries over the wire ----------------------------------------- *)
+
+let test_simple_query () =
+  with_server (fun _db srv ->
+      let c = connect srv in
+      let r = Client.ok (Client.simple c "CREATE TABLE t (a INT, b STRING)") in
+      Alcotest.(check string) "ddl tag" "table t created" r.Client.tag;
+      ignore (Client.ok (Client.simple c "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, NULL)"));
+      let r = Client.ok (Client.simple c "SELECT a, b FROM t WHERE a >= 2") in
+      Alcotest.(check (list string)) "columns" [ "a"; "b" ] r.Client.columns;
+      Alcotest.(check string) "tag" "SELECT 2" r.Client.tag;
+      Alcotest.check msv "rows" (multiset [ [| V.Int 2; V.Str "y" |]; [| V.Int 3; V.Null |] ])
+        (rows_ms r);
+      (* a statement error leaves the connection usable *)
+      let r = Client.simple c "SELECT nope FROM t" in
+      Alcotest.(check bool) "error surfaced" true (r.Client.error <> None);
+      let r = Client.ok (Client.simple c "SELECT a FROM t WHERE a = 1") in
+      Alcotest.(check string) "still alive" "SELECT 1" r.Client.tag;
+      (* EXPLAIN rides the Complete tag *)
+      let r = Client.ok (Client.simple c "EXPLAIN SELECT a FROM t WHERE a = 1") in
+      Alcotest.(check bool) "explain text" true
+        (String.length r.Client.tag > 0
+         && String.sub r.Client.tag 0 4 <> "SELE");
+      Client.close c)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_per_session_settings () =
+  with_server ~seed:"CREATE TABLE t (a INT); INSERT INTO t VALUES (1);"
+    (fun _db srv ->
+      let a = connect srv and b = connect srv in
+      ignore (Client.ok (Client.simple a "SET HISTOGRAMS OFF"));
+      let ea = (Client.ok (Client.simple a "EXPLAIN SELECT a FROM t")).Client.tag in
+      let eb = (Client.ok (Client.simple b "EXPLAIN SELECT a FROM t")).Client.tag in
+      Alcotest.(check bool) "a sees its override" true (contains ea "histograms: off");
+      Alcotest.(check bool) "b unaffected" true (contains eb "histograms: on");
+      Client.close a;
+      Client.close b)
+
+(* --- prepared statements over the wire ------------------------------------ *)
+
+let test_prepared_path () =
+  with_server
+    ~seed:"CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2), (3), (4), (5);"
+    (fun _db srv ->
+      let c = connect srv in
+      let r = Client.ok (Client.parse c ~name:"q" "SELECT a FROM t WHERE a >= ?") in
+      Alcotest.(check (option int)) "param count" (Some 1) r.Client.param_count;
+      ignore (Client.ok (Client.bind c ~name:"q" [ V.Int 4 ]));
+      let r = Client.ok (Client.execute c "q") in
+      Alcotest.check msv "bound execute"
+        (multiset [ [| V.Int 4 |]; [| V.Int 5 |] ]) (rows_ms r);
+      (* rebind without re-parsing *)
+      ignore (Client.ok (Client.bind c ~name:"q" [ V.Int 2 ]));
+      let r = Client.ok (Client.execute c "q") in
+      Alcotest.(check string) "rebound tag" "SELECT 4" r.Client.tag;
+      (* binding count mismatch is a statement error, connection survives *)
+      ignore (Client.ok (Client.bind c ~name:"q" []));
+      let r = Client.execute c "q" in
+      Alcotest.(check bool) "arity error" true (r.Client.error <> None);
+      (* unknown statement *)
+      let r = Client.execute c "nope" in
+      Alcotest.(check bool) "unknown statement" true (r.Client.error <> None);
+      (* close, then execute must fail *)
+      ignore (Client.ok (Client.close_stmt c "q"));
+      let r = Client.execute c "q" in
+      Alcotest.(check bool) "closed statement gone" true (r.Client.error <> None);
+      Client.close c)
+
+let test_portals () =
+  with_server ~seed:"CREATE TABLE t (a INT);" (fun _db srv ->
+      let c = connect srv in
+      for i = 1 to 10 do
+        ignore (Client.ok (Client.simple c (Printf.sprintf "INSERT INTO t VALUES (%d)" i)))
+      done;
+      ignore (Client.ok (Client.parse c ~name:"q" "SELECT a FROM t"));
+      let r = Client.ok (Client.execute c ~fetch:4 "q") in
+      Alcotest.(check bool) "suspended" true r.Client.suspended;
+      Alcotest.(check int) "first page" 4 (List.length r.Client.rows);
+      let r2 = Client.ok (Client.fetch c 4) in
+      Alcotest.(check bool) "still suspended" true r2.Client.suspended;
+      Alcotest.(check int) "second page" 4 (List.length r2.Client.rows);
+      let r3 = Client.ok (Client.fetch c 4) in
+      Alcotest.(check bool) "exhausted" false r3.Client.suspended;
+      Alcotest.(check int) "last page" 2 (List.length r3.Client.rows);
+      Alcotest.(check string) "fetch tag" "FETCH 2" r3.Client.tag;
+      let r4 = Client.fetch c 4 in
+      Alcotest.(check bool) "no open portal" true (r4.Client.error <> None);
+      (* all pages together are the full table *)
+      let all = r.Client.rows @ r2.Client.rows @ r3.Client.rows in
+      Alcotest.check msv "pages cover the table"
+        (multiset (List.init 10 (fun i -> [| V.Int (i + 1) |])))
+        (multiset all);
+      Client.close c)
+
+(* --- malformed and truncated frames --------------------------------------- *)
+
+let test_malformed_frames () =
+  with_server ~seed:"CREATE TABLE t (a INT);" (fun _db srv ->
+      (* unknown frame type: Err then disconnect *)
+      let c = connect srv in
+      P.send_raw (Client.io c) "\x00\x00\x00\x02\xffx";
+      P.flush (Client.io c);
+      Alcotest.(check bool) "unknown type drops connection" true
+        (match Client.read_reply c with
+         | exception Client.Disconnected -> true
+         | r -> r.Client.error <> None && (match Client.read_reply c with
+             | exception Client.Disconnected -> true
+             | _ -> false));
+      Client.abandon c;
+      (* insane frame length: dropped before any allocation *)
+      let c = connect srv in
+      P.send_raw (Client.io c) "\xff\xff\xff\xffQ";
+      P.flush (Client.io c);
+      Alcotest.(check bool) "oversized length drops connection" true
+        (match Client.read_reply c with
+         | exception Client.Disconnected -> true
+         | r -> r.Client.error <> None);
+      Client.abandon c;
+      (* truncated frame then EOF: server treats it as a disconnect *)
+      let c = connect srv in
+      P.send_raw (Client.io c) "\x00\x00\x00\x40Qonly-part-of-the-payload";
+      P.flush (Client.io c);
+      Client.abandon c;
+      (* ... and keeps serving new connections *)
+      let c = connect srv in
+      let r = Client.ok (Client.simple c "SELECT a FROM t") in
+      Alcotest.(check string) "server still serving" "SELECT 0" r.Client.tag;
+      Client.close c)
+
+(* --- 2PL across sessions --------------------------------------------------- *)
+
+let test_writer_blocks_writer () =
+  with_server ~seed:"CREATE TABLE t (a INT); INSERT INTO t VALUES (1);"
+    (fun db srv ->
+      let a = connect srv and b = connect srv in
+      ignore (Client.ok (Client.simple a "BEGIN"));
+      ignore (Client.ok (Client.simple a "INSERT INTO t VALUES (2)"));
+      (* b's insert queues behind a's X lock; send without reading *)
+      Client.send b (P.Simple "INSERT INTO t VALUES (3)");
+      Client.flush b;
+      wait_for_waiter db "t";
+      ignore (Client.ok (Client.simple a "COMMIT"));
+      let r = Client.ok (Client.read_reply b) in
+      Alcotest.(check string) "b completes after commit" "1 row inserted" r.Client.tag;
+      let r = Client.ok (Client.simple b "SELECT a FROM t") in
+      Alcotest.check msv "both writes visible"
+        (multiset [ [| V.Int 1 |]; [| V.Int 2 |]; [| V.Int 3 |] ])
+        (rows_ms r);
+      Client.close a;
+      Client.close b)
+
+let test_midtxn_disconnect_releases_locks () =
+  with_server ~seed:"CREATE TABLE t (a INT); INSERT INTO t VALUES (1);"
+    (fun db srv ->
+      let a = connect srv and b = connect srv in
+      ignore (Client.ok (Client.simple a "BEGIN"));
+      ignore (Client.ok (Client.simple a "INSERT INTO t VALUES (2)"));
+      Client.send b (P.Simple "INSERT INTO t VALUES (3)");
+      Client.flush b;
+      wait_for_waiter db "t";
+      (* the client vanishes mid-transaction: no Terminate, no COMMIT *)
+      Client.abandon a;
+      (* b's queued insert must be granted once a's session closes *)
+      let r = Client.ok (Client.read_reply b) in
+      Alcotest.(check string) "b unblocked by disconnect" "1 row inserted"
+        r.Client.tag;
+      let r = Client.ok (Client.simple b "SELECT a FROM t") in
+      Alcotest.check msv "a's transaction rolled back"
+        (multiset [ [| V.Int 1 |]; [| V.Int 3 |] ])
+        (rows_ms r);
+      Client.close b)
+
+let test_deadlock_victim () =
+  with_server
+    ~seed:"CREATE TABLE t1 (a INT); CREATE TABLE t2 (a INT);"
+    (fun db srv ->
+      let a = connect srv and b = connect srv in
+      ignore (Client.ok (Client.simple a "BEGIN"));
+      ignore (Client.ok (Client.simple a "INSERT INTO t1 VALUES (1)"));
+      ignore (Client.ok (Client.simple b "BEGIN"));
+      ignore (Client.ok (Client.simple b "INSERT INTO t2 VALUES (1)"));
+      (* a waits for t2 ... *)
+      Client.send a (P.Simple "INSERT INTO t2 VALUES (2)");
+      Client.flush a;
+      wait_for_waiter db "t2";
+      (* ... so b's request for t1 closes the cycle: b is the victim *)
+      let r = Client.simple b "INSERT INTO t1 VALUES (2)" in
+      (match r.Client.error with
+       | Some e -> Alcotest.(check bool) "deadlock reported" true (contains e "deadlock")
+       | None -> Alcotest.fail "expected a deadlock error");
+      (* the victim's transaction survives (statement-level abort); it rolls
+         back, freeing t2, which unblocks a *)
+      ignore (Client.ok (Client.simple b "ROLLBACK"));
+      let r = Client.ok (Client.read_reply a) in
+      Alcotest.(check string) "a proceeds" "1 row inserted" r.Client.tag;
+      ignore (Client.ok (Client.simple a "COMMIT"));
+      let r = Client.ok (Client.simple a "SELECT a FROM t2") in
+      Alcotest.check msv "only a's t2 write committed"
+        (multiset [ [| V.Int 2 |] ]) (rows_ms r);
+      Client.close a;
+      Client.close b)
+
+(* --- prepared-statement invalidation across sessions ----------------------- *)
+
+let test_prepared_invalidation_cross_session () =
+  with_server ~seed:"CREATE TABLE s (a INT); INSERT INTO s VALUES (1), (2), (3);"
+    (fun _db srv ->
+      let a = connect srv and b = connect srv in
+      ignore (Client.ok (Client.parse a ~name:"q" "SELECT a FROM s WHERE a >= ?"));
+      ignore (Client.ok (Client.bind a ~name:"q" [ V.Int 0 ]));
+      let r = Client.ok (Client.execute a "q") in
+      Alcotest.(check string) "initial" "SELECT 3" r.Client.tag;
+      (* another session grows the table and moves its statistics *)
+      ignore (Client.ok (Client.simple b "INSERT INTO s VALUES (4), (5)"));
+      ignore (Client.ok (Client.simple b "UPDATE STATISTICS"));
+      (* a's prepared plan revalidates and re-optimizes transparently *)
+      let r = Client.ok (Client.execute a "q") in
+      Alcotest.(check string) "revalidated plan sees new rows" "SELECT 5"
+        r.Client.tag;
+      Client.close a;
+      Client.close b)
+
+(* Embedded flavor: the revalidation is observable via prepared_generation. *)
+let test_prepared_generation () =
+  let eng = Engine.create () in
+  let s1 = Session.create eng in
+  let s2 = Session.create eng in
+  ignore (Session.exec s1 "CREATE TABLE g (a INT)");
+  ignore (Session.exec s1 "INSERT INTO g VALUES (1), (2)");
+  let p = Session.prepare s1 "SELECT a FROM g WHERE a >= ?" in
+  Alcotest.(check int) "fresh" 0 (Session.prepared_generation p);
+  ignore (Session.execute_prepared s1 p [ V.Int 0 ]);
+  Alcotest.(check int) "steady state: no re-optimize" 0
+    (Session.prepared_generation p);
+  Session.update_statistics s2;
+  let out = Session.execute_prepared s1 p [ V.Int 0 ] in
+  Alcotest.(check int) "stats moved: re-optimized once" 1
+    (Session.prepared_generation p);
+  Alcotest.(check int) "rows intact" 2 (List.length out.Executor.rows);
+  ignore (Session.execute_prepared s1 p [ V.Int 0 ]);
+  Alcotest.(check int) "steady again" 1 (Session.prepared_generation p);
+  Session.close s2;
+  Session.close s1
+
+(* --- per-session counters -------------------------------------------------- *)
+
+let test_session_counters_fold () =
+  let eng = Engine.create () in
+  let s0 = Session.create eng in
+  ignore (Session.exec s0 "CREATE TABLE c (a INT)");
+  ignore (Session.exec s0 "INSERT INTO c VALUES (1), (2), (3)");
+  let base = Rss.Pager.base_counters (Engine.pager eng) in
+  let base_rsi = base.Rss.Counters.rsi_calls in
+  let priv = Rss.Counters.create () in
+  let s1 = Session.create ~counters:priv eng in
+  ignore (Session.query s1 "SELECT a FROM c WHERE a >= 0");
+  Alcotest.(check bool) "session accounted" true (priv.Rss.Counters.rsi_calls > 0);
+  Alcotest.(check int) "engine-global untouched while open" base_rsi
+    base.Rss.Counters.rsi_calls;
+  let s1_rsi = priv.Rss.Counters.rsi_calls in
+  Session.close s1;
+  Alcotest.(check int) "folded at close" (base_rsi + s1_rsi)
+    base.Rss.Counters.rsi_calls;
+  (* the default session writes the engine-global record directly *)
+  ignore (Session.query s0 "SELECT a FROM c WHERE a >= 0");
+  Alcotest.(check bool) "default session accounts globally" true
+    (base.Rss.Counters.rsi_calls > base_rsi + s1_rsi);
+  Session.close s0
+
+(* --- multi-session differential ------------------------------------------- *)
+
+(* Per-connection deterministic DML stream on a private table: only this
+   session touches it, so a serial embedded replay of the same statements
+   must agree exactly, even though the sessions run concurrently. *)
+let private_dml_stmts id =
+  let t = Printf.sprintf "priv%d" id in
+  [ Printf.sprintf "CREATE TABLE %s (a INT, b INT)" t;
+    Printf.sprintf "INSERT INTO %s VALUES %s" t
+      (String.concat ", "
+         (List.init 20 (fun i -> Printf.sprintf "(%d, %d)" i ((i * (id + 2)) mod 7))));
+    "BEGIN";
+    Printf.sprintf "INSERT INTO %s VALUES (100, 100)" t;
+    "ROLLBACK";
+    Printf.sprintf "DELETE FROM %s WHERE a < 5" t;
+    Printf.sprintf "UPDATE %s SET b = b + 1 WHERE b >= 3" t;
+    "BEGIN";
+    Printf.sprintf "DELETE FROM %s WHERE b = 1" t;
+    "COMMIT" ]
+
+let private_dml_probe id = Printf.sprintf "SELECT a, b FROM priv%d" id
+
+let test_multi_session_differential () =
+  let rng = Random.State.make [| 0xD1FF; 8; 1979 |] in
+  let scenario = Fuzz_gen.gen_scenario rng in
+  let ddl = Fuzz_harness.ddl_script scenario in
+  let nconns = 3 in
+  let nqueries = 36 in
+  let queries =
+    List.init nqueries (fun _ ->
+        Fuzz_sql.query_to_string (Fuzz_gen.gen_query rng scenario))
+  in
+  (* serial embedded oracle over the same schema/workload *)
+  let oracle = Database.create () in
+  ignore (Database.exec_script oracle ddl);
+  let expect sql =
+    match Database.query oracle sql with
+    | out -> Ok (multiset out.Executor.rows)
+    | exception Database.Error _ -> Error ()
+  in
+  let expected_queries = List.map (fun sql -> (sql, expect sql)) queries in
+  let expected_dml =
+    List.init nconns (fun id ->
+        let edb = Database.create () in
+        List.iter (fun s -> ignore (Database.exec edb s)) (private_dml_stmts id);
+        multiset (Database.query edb (private_dml_probe id)).Executor.rows)
+  in
+  (* round-robin partition of the read-only workload *)
+  let parts = Array.make nconns [] in
+  List.iteri
+    (fun i qe -> parts.(i mod nconns) <- qe :: parts.(i mod nconns))
+    expected_queries;
+  with_server ~seed:ddl (fun _db srv ->
+      let addr = Server.addr srv in
+      let run_client id =
+        let c = Client.connect addr in
+        let mismatches = ref [] in
+        (* interleave: private DML first, then the shared read-only share,
+           then the private probe — all while the other sessions run *)
+        List.iter
+          (fun s ->
+            match (Client.simple c s).Client.error with
+            | None -> ()
+            | Some e -> mismatches := Printf.sprintf "dml %s: %s" s e :: !mismatches)
+          (private_dml_stmts id);
+        List.iter
+          (fun (sql, exp) ->
+            let r = Client.simple c sql in
+            let got =
+              match r.Client.error with
+              | Some _ -> Error ()
+              | None -> Ok (rows_ms r)
+            in
+            if got <> exp then mismatches := sql :: !mismatches)
+          parts.(id);
+        let probe = Client.simple c (private_dml_probe id) in
+        (match probe.Client.error with
+         | Some e -> mismatches := ("probe error: " ^ e) :: !mismatches
+         | None ->
+           if rows_ms probe <> List.nth expected_dml id then
+             mismatches := Printf.sprintf "private table of session %d" id :: !mismatches);
+        Client.close c;
+        !mismatches
+      in
+      let doms = List.init nconns (fun id -> Domain.spawn (fun () -> run_client id)) in
+      let bad = List.concat_map Domain.join doms in
+      Alcotest.(check (list string)) "concurrent replay = serial embedded" [] bad)
+
+let () =
+  Alcotest.run "server"
+    [ ( "protocol",
+        [ Alcotest.test_case "encode/decode roundtrip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "malformed and truncated frames" `Quick
+            test_malformed_frames ] );
+      ( "simple query",
+        [ Alcotest.test_case "DDL/DML/SELECT/EXPLAIN, errors" `Quick test_simple_query;
+          Alcotest.test_case "per-session SET overrides" `Quick
+            test_per_session_settings ] );
+      ( "prepared",
+        [ Alcotest.test_case "parse/bind/execute/close" `Quick test_prepared_path;
+          Alcotest.test_case "portals and fetch" `Quick test_portals;
+          Alcotest.test_case "cross-session invalidation" `Quick
+            test_prepared_invalidation_cross_session;
+          Alcotest.test_case "revalidation generation (embedded)" `Quick
+            test_prepared_generation ] );
+      ( "locking",
+        [ Alcotest.test_case "writer blocks writer until commit" `Quick
+            test_writer_blocks_writer;
+          Alcotest.test_case "mid-txn disconnect releases locks" `Quick
+            test_midtxn_disconnect_releases_locks;
+          Alcotest.test_case "deadlock victim errors, survivor proceeds" `Quick
+            test_deadlock_victim ] );
+      ( "sessions",
+        [ Alcotest.test_case "counters fold at close" `Quick
+            test_session_counters_fold ] );
+      ( "differential",
+        [ Alcotest.test_case "N concurrent sessions = serial embedded" `Quick
+            test_multi_session_differential ] ) ]
