@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke bench-parallel bench-qerror bench-server fuzz torture clean
+.PHONY: all build test check bench bench-smoke bench-parallel bench-qerror bench-server bench-mvcc fuzz torture clean
 
 all: build
 
@@ -55,6 +55,13 @@ bench-qerror:
 # simple QPS on point selects
 bench-server:
 	dune exec bench/main.exe -- srv
+
+# MVCC read scaling only (writes BENCH_mvcc.json): closed-loop point-SELECT
+# QPS at 1/2/4 connections against hot keys a background writer churns while
+# holding its transaction open; BENCH_ENFORCE_MVCC=1 gates 4-conn prepared
+# QPS >= 2x 1-conn — snapshot reads must never queue behind the writer
+bench-mvcc:
+	dune exec bench/main.exe -- mvcc
 
 clean:
 	dune clean

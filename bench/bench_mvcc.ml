@@ -1,0 +1,216 @@
+(* E11 — MVCC read scaling: point-SELECT QPS under a live writer.
+
+   One in-process server over one engine. A background writer connection
+   loops forever: BEGIN, churn a hot key (DELETE + re-INSERT), *sleep with
+   the transaction open*, COMMIT — so at any instant the hot keys likely
+   carry an uncommitted delete-mark and an uncommitted insert. Every few
+   cycles it runs VACUUM, pruning the version chains it grows. Reader
+   connections (1, 2, 4) run closed-loop synchronous point SELECTs on
+   exactly those hot keys, with a small client think time between requests
+   — simple (text per call) and prepared (Parse once, Execute per call).
+
+   Under the pre-MVCC locking protocol every one of those reads would queue
+   behind the writer's tuple locks for the full open-transaction hold
+   (including its sleep), collapsing aggregate QPS to the writer's cycle
+   rate regardless of connection count. With snapshot reads the container's
+   single core stays mostly idle during think time, so aggregate QPS grows
+   near-linearly in connections: the scaling ratio measures freedom from
+   blocking, not CPU parallelism.
+
+   Writes BENCH_mvcc.json. With BENCH_ENFORCE_MVCC=1 the bench exits
+   nonzero unless prepared 4-connection QPS >= 2x 1-connection QPS. *)
+
+let enforce = Sys.getenv_opt "BENCH_ENFORCE_MVCC" <> None
+
+let kv_rows = if Bench_util.smoke then 200 else 1000
+let hot_keys = 16
+let iters = if Bench_util.smoke then 120 else 500
+let think = 0.0005 (* s of client think time per request *)
+let writer_hold = 0.001 (* s the writer sleeps with its txn open *)
+let vacuum_every = 8 (* writer cycles between VACUUMs *)
+let levels = [ 1; 2; 4 ]
+
+let seed_sql () =
+  let b = Buffer.create (kv_rows * 24) in
+  Buffer.add_string b "CREATE TABLE KV (K INT, V STRING);\n";
+  Buffer.add_string b "CREATE CLUSTERED INDEX KV_K ON KV (K);\n";
+  let rec chunk lo =
+    if lo < kv_rows then begin
+      let hi = min (lo + 100) kv_rows in
+      Buffer.add_string b "INSERT INTO KV VALUES ";
+      for i = lo to hi - 1 do
+        if i > lo then Buffer.add_string b ", ";
+        Buffer.add_string b (Printf.sprintf "(%d, 'v%d')" i (i mod 97))
+      done;
+      Buffer.add_string b ";\n";
+      chunk hi
+    end
+  in
+  chunk 0;
+  Buffer.add_string b "UPDATE STATISTICS;\n";
+  Buffer.contents b
+
+(* --- the background writer ------------------------------------------------ *)
+
+(* Churn one hot key per cycle inside an explicit transaction that stays
+   open across a sleep: the adversarial schedule for any reader that takes
+   locks. Stops at the next cycle boundary after [stop] is set. *)
+let writer_loop addr stop =
+  let c = Client.connect addr in
+  let cycle = ref 0 in
+  while not (Atomic.get stop) do
+    let k = !cycle mod hot_keys in
+    ignore (Client.ok (Client.simple c "BEGIN"));
+    ignore
+      (Client.ok (Client.simple c (Printf.sprintf "DELETE FROM KV WHERE K = %d" k)));
+    ignore
+      (Client.ok
+         (Client.simple c (Printf.sprintf "INSERT INTO KV VALUES (%d, 'w%d')" k !cycle)));
+    Unix.sleepf writer_hold;
+    ignore (Client.ok (Client.simple c "COMMIT"));
+    if !cycle mod vacuum_every = vacuum_every - 1 then
+      ignore (Client.ok (Client.simple c "VACUUM"));
+    incr cycle
+  done;
+  Client.close c;
+  !cycle
+
+(* --- reader cells --------------------------------------------------------- *)
+
+(* One closed-loop reader: a synchronous request, a reply, a think pause.
+   Every key is hot, so every read lands on a tuple the writer is likely
+   holding an uncommitted version of right now. *)
+let run_cell_once addr mode conns =
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let worker conn_id () =
+    match
+      let c = Client.connect addr in
+      (match mode with
+       | `Prepared -> ignore (Client.ok (Client.parse c ~name:"pt" "SELECT V FROM KV WHERE K = ?"))
+       | `Simple -> ());
+      let read i =
+        let k = (conn_id * 5 + i) mod hot_keys in
+        match mode with
+        | `Simple ->
+          Client.ok (Client.simple c (Printf.sprintf "SELECT V FROM KV WHERE K = %d" k))
+        | `Prepared -> Client.ok (Client.execute c ~params:[ Rel.Value.Int k ] "pt")
+      in
+      for i = 1 to 8 do ignore (read i) done;
+      (c, read)
+    with
+    | exception e ->
+      Atomic.incr ready;
+      raise e
+    | c, read ->
+      Atomic.incr ready;
+      while not (Atomic.get go) do Domain.cpu_relax () done;
+      let t0 = Unix.gettimeofday () in
+      for i = 1 to iters do
+        ignore (read i);
+        Unix.sleepf think
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      Client.close c;
+      (iters, dt)
+  in
+  let doms = List.init conns (fun id -> Domain.spawn (worker id)) in
+  while Atomic.get ready < conns do Domain.cpu_relax () done;
+  Atomic.set go true;
+  let cells = List.map Domain.join doms in
+  let total_ops = List.fold_left (fun a (o, _) -> a + o) 0 cells in
+  let slowest = List.fold_left (fun a (_, dt) -> max a dt) 0. cells in
+  float_of_int total_ops /. slowest
+
+let reps = 3
+
+let run_cell addr mode conns =
+  let best = ref 0. in
+  for _ = 1 to reps do
+    Gc.full_major ();
+    let q = run_cell_once addr mode conns in
+    best := Float.max !best q
+  done;
+  !best
+
+let run () =
+  Bench_util.section "E11: MVCC — point-SELECT QPS scaling under a live writer";
+  let db = Database.create ~buffer_pages:256 () in
+  ignore (Database.exec_script db (seed_sql ()));
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "systemr_mvcc_%d.sock" (Unix.getpid ()))
+  in
+  let srv =
+    Server.start ~workers:6 ~engine:(Database.engine db) (Server.Unix_sock sock)
+  in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let addr = Server.addr srv in
+  let stop = Atomic.make false in
+  let writer = Domain.spawn (fun () -> writer_loop addr stop) in
+  let results =
+    Fun.protect
+      ~finally:(fun () -> Atomic.set stop true)
+      (fun () ->
+        List.map
+          (fun conns ->
+            let simple = run_cell addr `Simple conns in
+            let prepared = run_cell addr `Prepared conns in
+            (conns, simple, prepared))
+          levels)
+  in
+  let writer_cycles = Domain.join writer in
+  let qps_of mode conns =
+    List.find_map
+      (fun (c, s, p) ->
+        if c = conns then Some (match mode with `Simple -> s | `Prepared -> p)
+        else None)
+      results
+    |> Option.get
+  in
+  let scaling mode = qps_of mode 4 /. qps_of mode 1 in
+  Bench_util.print_table
+    ~header:[ "conns"; "simple QPS"; "prepared QPS" ]
+    (List.map
+       (fun (conns, s, p) ->
+         [ string_of_int conns; Printf.sprintf "%.0f" s; Printf.sprintf "%.0f" p ])
+       results);
+  Printf.printf
+    "\nscaling 4-conn/1-conn: simple %.2fx, prepared %.2fx (writer cycles: %d)\n\
+     (closed-loop readers with %.1fms think time on writer-hot keys: the\n\
+    \ ratio measures snapshot reads never queuing behind the writer's open\n\
+    \ transaction, not CPU parallelism)\n"
+    (scaling `Simple) (scaling `Prepared) writer_cycles (think *. 1000.);
+  let j =
+    Bench_util.(
+      J_obj
+        [ ("bench", J_str "mvcc");
+          ("smoke", J_bool smoke);
+          ("kv_rows", J_int kv_rows);
+          ("hot_keys", J_int hot_keys);
+          ("iters_per_conn", J_int iters);
+          ("think_s", J_float think);
+          ("writer_hold_s", J_float writer_hold);
+          ("writer_cycles", J_int writer_cycles);
+          ("scaling_simple", J_float (scaling `Simple));
+          ("scaling_prepared", J_float (scaling `Prepared));
+          ( "levels",
+            J_list
+              (List.map
+                 (fun (conns, s, p) ->
+                   J_obj
+                     [ ("connections", J_int conns);
+                       ("simple_qps", J_float s);
+                       ("prepared_qps", J_float p) ])
+                 results) ) ])
+  in
+  Bench_util.write_json ~file:"BENCH_mvcc.json" j;
+  if enforce then begin
+    let r = scaling `Prepared in
+    if r >= 2.0 then
+      Printf.printf "ENFORCE: prepared 4-conn/1-conn = %.2fx >= 2x — ok\n" r
+    else begin
+      Printf.printf "ENFORCE FAILED: prepared 4-conn/1-conn = %.2fx < 2x\n" r;
+      exit 1
+    end
+  end

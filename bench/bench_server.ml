@@ -235,8 +235,9 @@ let run () =
            per_workload)
        results);
   Printf.printf
-    "\n(engine latch serializes statement execution: QPS measures protocol +\n\
-    \ session overhead under concurrency, not parallel scan scaling)\n";
+    "\n(single-core container: QPS measures protocol + session overhead\n\
+    \ under concurrency, not parallel scan scaling; see the MVCC bench for\n\
+    \ read concurrency under writers)\n";
   let point_ratios =
     List.filter_map
       (fun (_, pw) ->

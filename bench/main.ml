@@ -19,7 +19,8 @@ let benches =
     ("qerr", "cardinality q-error: TABLE 1 constants vs histograms", Bench_qerror.run);
     ("hot", "exec hot path: interpreted vs compiled evaluation", Bench_exec_hotpath.run);
     ("par", "parallel scaling: exchange/sort/group-by over domains", Bench_parallel.run);
-    ("srv", "server throughput: simple vs prepared QPS over the wire", Bench_server.run) ]
+    ("srv", "server throughput: simple vs prepared QPS over the wire", Bench_server.run);
+    ("mvcc", "MVCC: point-SELECT QPS scaling under a live writer", Bench_mvcc.run) ]
 
 let () =
   let requested =

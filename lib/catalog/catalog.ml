@@ -84,6 +84,22 @@ let scan_all rel =
   let scan = Rss.Scan.open_segment_scan rel.segment ~rel_id:rel.rel_id () in
   Rss.Scan.to_list scan
 
+(* Every physical version of the relation, delete-marked or not, with no
+   I/O accounting: VACUUM, index builds, wipes and integrity checks walk
+   the raw heap. *)
+let scan_versions rel =
+  let pager = Rss.Segment.pager rel.segment in
+  List.concat_map
+    (fun pid ->
+      let page = Rss.Pager.data_page pager pid in
+      List.filter_map
+        (fun (slot, rid, tuple, xmin, xmax) ->
+          if rid = rel.rel_id then
+            Some ({ Rss.Tid.page = pid; slot }, tuple, xmin, xmax)
+          else None)
+        (Rss.Page.versions page))
+    (Rss.Segment.page_ids rel.segment)
+
 let create_index ?order t ~name ~rel ~columns ~clustered =
   let key = norm name in
   if Hashtbl.mem t.idxs key then
@@ -103,11 +119,11 @@ let create_index ?order t ~name ~rel ~columns ~clustered =
   let idx = { idx_name = name; rel; key_cols; btree; clustered; istats = None } in
   (* Bulk-load from existing tuples without I/O accounting: index creation is
      a DDL operation, not a measured query. *)
-  let snapshot = Rss.Counters.snapshot (Rss.Pager.counters t.pgr) in
-  let scan = Rss.Scan.open_segment_scan rel.segment ~rel_id:rel.rel_id () in
-  let tuples = Rss.Scan.to_list scan in
-  Rss.Counters.restore (Rss.Pager.counters t.pgr) ~from:snapshot;
-  List.iter (fun (tid, tuple) -> Rss.Btree.insert btree (key_of idx tuple) tid) tuples;
+  (* Include delete-marked versions: they may still be visible to older
+     snapshots, and index scans re-check visibility per TID anyway. *)
+  List.iter
+    (fun (tid, tuple, _, _) -> Rss.Btree.insert btree (key_of idx tuple) tid)
+    (scan_versions rel);
   Hashtbl.replace t.idxs key idx;
   rel.stats_version <- rel.stats_version + 1;
   idx
@@ -123,20 +139,19 @@ let drop_relation t name =
   | None -> false
   | Some rel ->
     List.iter (fun (i : index) -> drop_index t i.idx_name) (indexes_on t rel);
-    (* make the tuples unreachable even through the shared segment *)
-    ignore
-      (Rss.Scan.to_list
-         (Rss.Scan.open_segment_scan rel.segment ~rel_id:rel.rel_id ())
-       |> List.map (fun (tid, _) -> Rss.Segment.delete rel.segment tid));
+    (* make every version unreachable even through the shared segment *)
+    List.iter
+      (fun (tid, _, _, _) -> ignore (Rss.Segment.delete rel.segment tid))
+      (scan_versions rel);
     Hashtbl.remove t.rels (norm name);
     true
 
-let insert_tuple t rel tuple =
+let insert_tuple ?xmin t rel tuple =
   if not (Rel.Tuple.conforms rel.schema tuple) then
     invalid_arg
       (Printf.sprintf "Catalog.insert_tuple: tuple %s does not conform to %s"
          (Rel.Tuple.to_string tuple) rel.rel_name);
-  let tid = Rss.Segment.insert rel.segment ~rel_id:rel.rel_id tuple in
+  let tid = Rss.Segment.insert rel.segment ?xmin ~rel_id:rel.rel_id tuple in
   List.iter
     (fun idx -> Rss.Btree.insert idx.btree (key_of idx tuple) tid)
     (indexes_on t rel);
@@ -144,11 +159,18 @@ let insert_tuple t rel tuple =
 
 (* Restore a previously deleted tuple at its original TID (rollback undo):
    index entries are rebuilt for the resurrected TID. *)
-let insert_tuple_at t rel tid tuple =
-  Rss.Segment.insert_at rel.segment ~rel_id:rel.rel_id tid tuple;
+let insert_tuple_at ?xmin t rel tid tuple =
+  Rss.Segment.insert_at rel.segment ?xmin ~rel_id:rel.rel_id tid tuple;
   List.iter
     (fun idx -> Rss.Btree.insert idx.btree (key_of idx tuple) tid)
     (indexes_on t rel)
+
+(* MVCC delete: stamp the version's deleter, leaving heap slot and index
+   entries in place for concurrent snapshots. VACUUM reclaims later. *)
+let mark_delete rel tid xid = Rss.Segment.set_xmax rel.segment tid xid
+
+(* Rollback of a delete-mark: the version was never deleted. *)
+let unmark_delete rel tid = Rss.Segment.set_xmax rel.segment tid 0
 
 let delete_tuples_returning t rel pred =
   let victims = List.filter (fun (_, tup) -> pred tup) (scan_all rel) in
@@ -172,6 +194,59 @@ let delete_tid t rel tid tuple =
     true
   end
   else false
+
+(* Physically remove every version of the relation — delete-marked or not —
+   and all index entries. Recovery wipes with this before replaying the
+   committed WAL prefix; scan_all would skip marked versions and leak them. *)
+let wipe_relation t rel =
+  let idxs = indexes_on t rel in
+  List.iter
+    (fun (tid, tuple, _, _) ->
+      ignore (Rss.Segment.delete rel.segment tid);
+      List.iter
+        (fun idx -> ignore (Rss.Btree.delete idx.btree (key_of idx tuple) tid))
+        idxs)
+    (scan_versions rel)
+
+(* Reclaim dead versions no in-flight snapshot can see (deleter committed
+   at-or-before the horizon) and freeze old versions (creator committed
+   at-or-before it) so their status entries can be pruned. Returns the
+   number of reclaimed versions; bumps stats_version when any were, since
+   cached plans were costed over a heap that just shrank. *)
+let vacuum_relation t rel (mvcc : Rss.Mvcc.t) ~horizon =
+  let idxs = indexes_on t rel in
+  let reclaimed = ref 0 in
+  List.iter
+    (fun (tid, tuple, xmin, xmax) ->
+      let committed_by xid =
+        xid <> 0
+        && (match Rss.Mvcc.commit_csn mvcc xid with
+            | Some csn -> csn <= horizon
+            | None -> false)
+      in
+      if committed_by xmax then begin
+        ignore (Rss.Segment.delete rel.segment tid);
+        List.iter
+          (fun idx ->
+            ignore (Rss.Btree.delete idx.btree (key_of idx tuple) tid))
+          idxs;
+        incr reclaimed
+      end
+      else if committed_by xmin then
+        Rss.Segment.set_xmin rel.segment tid 0)
+    (scan_versions rel);
+  if !reclaimed > 0 then rel.stats_version <- rel.stats_version + 1;
+  !reclaimed
+
+let vacuum t mvcc =
+  let horizon = Rss.Mvcc.horizon mvcc in
+  let reclaimed =
+    List.fold_left
+      (fun acc rel -> acc + vacuum_relation t rel mvcc ~horizon)
+      0 (relations t)
+  in
+  Rss.Mvcc.prune mvcc ~horizon;
+  reclaimed
 
 (* Fraction of consecutive index entries whose tuples share a data page: the
    measured notion of "physical proximity corresponding to index key value". *)

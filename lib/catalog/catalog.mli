@@ -69,15 +69,43 @@ val find_index : t -> string -> index option
 val relations : t -> relation list
 val indexes_on : t -> relation -> index list
 
-val insert_tuple : t -> relation -> Rel.Tuple.t -> Rss.Tid.t
-(** Store the tuple and maintain all indexes. Statistics are NOT updated
-    (see module doc). @raise Invalid_argument on schema mismatch. *)
+val insert_tuple : ?xmin:int -> t -> relation -> Rel.Tuple.t -> Rss.Tid.t
+(** Store the tuple and maintain all indexes. [xmin] stamps the creating
+    transaction id (default [0] = frozen, visible to every snapshot — the
+    single-session and recovery paths). Statistics are NOT updated (see
+    module doc). @raise Invalid_argument on schema mismatch. *)
 
-val insert_tuple_at : t -> relation -> Rss.Tid.t -> Rel.Tuple.t -> unit
+val insert_tuple_at :
+  ?xmin:int -> t -> relation -> Rss.Tid.t -> Rel.Tuple.t -> unit
 (** Restore a previously deleted tuple at its original TID, rebuilding its
     index entries — the transaction rollback path. Keeping the TID stable is
     what keeps heap TIDs in correspondence with WAL records across an
     undo. *)
+
+val mark_delete : relation -> Rss.Tid.t -> int -> unit
+(** MVCC delete: stamp the version's deleter txn id, leaving the heap slot
+    and index entries in place for concurrent snapshots; VACUUM reclaims
+    once no snapshot can see the version.
+    @raise Invalid_argument when the slot is dead. *)
+
+val unmark_delete : relation -> Rss.Tid.t -> unit
+(** Roll back a {!mark_delete}: clear the version's xmax. *)
+
+val scan_versions :
+  relation -> (Rss.Tid.t * Rel.Tuple.t * int * int) list
+(** Every physical version [(tid, tuple, xmin, xmax)] of the relation,
+    delete-marked or not, without I/O accounting — the raw heap as VACUUM,
+    index builds and integrity checks see it. *)
+
+val wipe_relation : t -> relation -> unit
+(** Physically remove every version and its index entries (recovery resets
+    storage with this before replaying the committed WAL prefix). *)
+
+val vacuum : t -> Rss.Mvcc.t -> int
+(** Reclaim delete-marked versions whose deleter committed at-or-before the
+    MVCC horizon, freeze old committed versions, prune the status table and
+    bump [stats_version] on relations that shrank. Returns the number of
+    versions reclaimed. Caller holds the engine write latch. *)
 
 val delete_tuples : t -> relation -> (Rel.Tuple.t -> bool) -> int
 (** Delete every tuple satisfying the predicate, maintaining indexes;

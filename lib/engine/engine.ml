@@ -1,27 +1,45 @@
 (* The shared half of the former Database: one engine (catalog, buffer pool,
-   WAL, lock table, plan cache, transaction-id fountain) serving N sessions.
-   Session-local state — the active transaction, SET overrides, prepared
-   statements, per-session counters — lives in Session.t.
+   WAL, lock table, plan cache, transaction-id fountain, MVCC status table)
+   serving N sessions. Session-local state — the active transaction, SET
+   overrides, prepared statements, per-session counters — lives in
+   Session.t.
 
    Concurrency follows the buffer pool's latched-only-when-concurrent
    treatment from PR 6: embedded single-session use pays no synchronization
-   at all (with_latch is a plain call), and the wire-protocol server flips
-   [set_latched true] for the lifetime of its listener, after which every
-   statement executes under the engine latch. Execution is therefore
-   serialized across sessions — the latch is the concurrency unit, sessions
-   overlap in their network/framing halves — while 2PL still mediates
-   *logical* conflicts: a session whose lock request is blocked waits on
-   [locks_changed] (releasing the latch), and every lock release broadcasts. *)
+   at all (with_latch / with_read_latch are plain calls), and the
+   wire-protocol server flips [set_latched true] for the lifetime of its
+   listener. In latched mode the engine latch is a reader/writer latch:
+
+   - statements that mutate engine state (DML, DDL, transaction control,
+     SET, VACUUM) hold it exclusively, one at a time;
+   - read-only statements (SELECT, EXPLAIN, prepared execution) hold it
+     shared and run concurrently across sessions — their isolation comes
+     from MVCC snapshots, not locks, so a reader is never Blocked by an
+     uncommitted writer.
+
+   Writer preference (readers admit only while no writer waits) keeps a
+   stream of point reads from starving DML. 2PL still mediates write/write
+   conflicts: a writer whose lock request is blocked waits on
+   [locks_changed], releasing the write latch for the duration so the
+   conflicting holder can commit, and every lock release broadcasts.
+
+   The mutex only guards the latch state (readers/writer counts) and the
+   condition variables; statement bodies run outside it. *)
 
 type t = {
   cat : Catalog.t;
   wal : Rss.Wal.t;
   mutable locks : Rss.Lock_table.t;
   plan_cache : Plan_cache.t;
+  mvcc : Rss.Mvcc.t;
   mutable next_txn : int;
   mutable next_session : int;
   latch : Mutex.t;
-  locks_changed : Condition.t;
+  latch_changed : Condition.t;  (* reader/writer latch state transitions *)
+  locks_changed : Condition.t;  (* some transaction released 2PL locks *)
+  mutable readers : int;        (* sessions holding the latch shared *)
+  mutable writer : bool;        (* a session holds the latch exclusively *)
+  mutable writers_waiting : int;
   mutable latched : bool;
   mutable live_sessions : int;
 }
@@ -40,10 +58,15 @@ let create ?buffer_pages () =
     wal = Rss.Wal.create ();
     locks = Rss.Lock_table.create ();
     plan_cache;
+    mvcc = Rss.Mvcc.create ();
     next_txn = 1;
     next_session = 1;
     latch = Mutex.create ();
+    latch_changed = Condition.create ();
     locks_changed = Condition.create ();
+    readers = 0;
+    writer = false;
+    writers_waiting = 0;
     latched = false;
     live_sessions = 0 }
 
@@ -52,21 +75,80 @@ let pager t = Catalog.pager t.cat
 let wal t = t.wal
 let lock_table t = t.locks
 let plan_cache t = t.plan_cache
+let mvcc t = t.mvcc
 
-let set_latched t on = t.latched <- on
+let set_latched t on =
+  t.latched <- on;
+  (* concurrent readers touch the buffer pool from several domains *)
+  Rss.Pager.set_shared (pager t) on
+
 let latched t = t.latched
+
+(* Must be called with t.latch held. *)
+let acquire_write_locked t =
+  t.writers_waiting <- t.writers_waiting + 1;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.latch_changed t.latch
+  done;
+  t.writers_waiting <- t.writers_waiting - 1;
+  t.writer <- true
+
+let release_write t =
+  Mutex.lock t.latch;
+  t.writer <- false;
+  Condition.broadcast t.latch_changed;
+  Mutex.unlock t.latch
 
 let with_latch t f =
   if not t.latched then f ()
   else begin
     Mutex.lock t.latch;
-    Fun.protect ~finally:(fun () -> Mutex.unlock t.latch) f
+    acquire_write_locked t;
+    Mutex.unlock t.latch;
+    Fun.protect ~finally:(fun () -> release_write t) f
   end
 
-(* Both must be called while holding the latch (i.e. from inside a
-   [with_latch] body in latched mode). *)
-let wait_locks t = Condition.wait t.locks_changed t.latch
-let signal_locks t = if t.latched then Condition.broadcast t.locks_changed
+let with_read_latch t f =
+  if not t.latched then f ()
+  else begin
+    Mutex.lock t.latch;
+    (* writer preference: a waiting writer bars new readers *)
+    while t.writer || t.writers_waiting > 0 do
+      Condition.wait t.latch_changed t.latch
+    done;
+    t.readers <- t.readers + 1;
+    Mutex.unlock t.latch;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock t.latch;
+        t.readers <- t.readers - 1;
+        if t.readers = 0 then Condition.broadcast t.latch_changed;
+        Mutex.unlock t.latch)
+      f
+  end
+
+(* Called from inside a [with_latch] (write) body whose 2PL lock request was
+   Blocked: atomically surrender the write latch and sleep until some
+   transaction releases locks, then re-acquire exclusivity. Holding the
+   mutex across surrender-and-wait closes the lost-wakeup window — the lock
+   holder needs the write latch to commit, which it cannot take until our
+   broadcast, and its release broadcast needs this mutex. *)
+let wait_locks t =
+  if t.latched then begin
+    Mutex.lock t.latch;
+    t.writer <- false;
+    Condition.broadcast t.latch_changed;
+    Condition.wait t.locks_changed t.latch;
+    acquire_write_locked t;
+    Mutex.unlock t.latch
+  end
+
+let signal_locks t =
+  if t.latched then begin
+    Mutex.lock t.latch;
+    Condition.broadcast t.locks_changed;
+    Mutex.unlock t.latch
+  end
 
 let fresh_txn_id t =
   let id = t.next_txn in

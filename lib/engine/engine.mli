@@ -1,25 +1,34 @@
 (** The shared half of the former [Database]: one engine — catalog, buffer
-    pool, WAL, lock table, compiled-plan cache, transaction-id fountain —
-    serving N {!Session}s. Embedded use keeps one implicit session behind
-    the [Database] facade; the wire-protocol server creates one session per
-    connection over the same engine.
+    pool, WAL, lock table, compiled-plan cache, transaction-id fountain,
+    MVCC status table — serving N {!Session}s. Embedded use keeps one
+    implicit session behind the [Database] facade; the wire-protocol server
+    creates one session per connection over the same engine.
 
     Synchronization is latched-only-when-concurrent, mirroring the buffer
-    pool's PR-6 treatment: {!with_latch} is a plain call until
+    pool's PR-6 treatment: the latch operations are plain calls until
     {!set_latched} flips the engine into shared mode (the server does, for
-    the lifetime of its listener), after which sessions execute statements
-    under one engine latch and blocked 2PL lock requests wait on the
-    engine's condition variable (released locks broadcast). *)
+    the lifetime of its listener). In shared mode the engine latch is a
+    reader/writer latch: mutating statements hold it exclusively, read-only
+    statements hold it shared and run concurrently — their isolation comes
+    from MVCC snapshots ({!mvcc}), not S locks, so readers never block on
+    writers. Blocked 2PL lock requests wait on the engine's condition
+    variable (released locks broadcast), surrendering the write latch for
+    the duration. *)
 
 type t = {
   cat : Catalog.t;
   wal : Rss.Wal.t;
   mutable locks : Rss.Lock_table.t;
   plan_cache : Plan_cache.t;
+  mvcc : Rss.Mvcc.t;
   mutable next_txn : int;
   mutable next_session : int;
   latch : Mutex.t;
+  latch_changed : Condition.t;
   locks_changed : Condition.t;
+  mutable readers : int;
+  mutable writer : bool;
+  mutable writers_waiting : int;
   mutable latched : bool;
   mutable live_sessions : int;
 }
@@ -31,28 +40,36 @@ val pager : t -> Rss.Pager.t
 val wal : t -> Rss.Wal.t
 val lock_table : t -> Rss.Lock_table.t
 val plan_cache : t -> Plan_cache.t
+val mvcc : t -> Rss.Mvcc.t
 
 val set_latched : t -> bool -> unit
-(** Enter/leave shared mode. Flip on before any second session executes
-    concurrently; flip off only when at most one session remains. *)
+(** Enter/leave shared mode (also keeps the buffer pool latched while on).
+    Flip on before any second session executes concurrently; flip off only
+    when at most one session remains. *)
 
 val latched : t -> bool
 
 val with_latch : t -> (unit -> 'a) -> 'a
-(** Run under the engine latch in shared mode; a plain call otherwise.
-    Statement execution, session close and any engine-state mutation go
-    through this. Does not nest. *)
+(** Run holding the engine latch exclusively in shared mode; a plain call
+    otherwise. Every engine-state mutation — DML, DDL, transaction control,
+    session open/close, VACUUM — goes through this. Does not nest. *)
+
+val with_read_latch : t -> (unit -> 'a) -> 'a
+(** Run holding the engine latch shared: concurrent with other readers,
+    excluded from writers (with writer preference). Read-only statement
+    execution goes through this. Does not nest with {!with_latch}. *)
 
 val wait_locks : t -> unit
-(** Block until some transaction releases locks; caller must hold the latch
-    (it is released for the duration of the wait and re-acquired before
-    returning). Only meaningful in shared mode. *)
+(** Block until some transaction releases locks; caller must hold the write
+    latch (it is surrendered for the duration of the wait and re-acquired
+    before returning). Only meaningful in shared mode. *)
 
 val signal_locks : t -> unit
 (** Broadcast to lock waiters (no-op when unlatched). Call after every
     {!Rss.Lock_table.release_all}. *)
 
 val fresh_txn_id : t -> int
-(** Allocate a transaction id; call under the latch. *)
+(** Allocate a transaction id; call under the write latch. *)
 
 val fresh_session_id : t -> int
+(** Call under the write latch. *)

@@ -40,6 +40,11 @@ type text_entry = {
 }
 
 type t = {
+  lock : Mutex.t;
+      (* the cache is shared by all sessions and probed under the engine's
+         *shared* latch (read-only statements run concurrently), so its two
+         tables guard themselves; the critical sections are hash lookups and
+         version checks, far below statement cost *)
   tbl : (string, entry) Hashtbl.t;
   texts : (string, text_entry) Hashtbl.t;
       (* statement text -> (fingerprint key, extracted literals): identical
@@ -65,12 +70,18 @@ type probe =
 let default_cap = 512
 
 let create () =
-  { tbl = Hashtbl.create 64; texts = Hashtbl.create 64; cap = default_cap;
+  { lock = Mutex.create ();
+    tbl = Hashtbl.create 64; texts = Hashtbl.create 64; cap = default_cap;
     tick = 0; enabled = true; validate = true; on_evict = ignore }
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let clear t =
-  Hashtbl.reset t.tbl;
-  Hashtbl.reset t.texts
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      Hashtbl.reset t.texts)
 
 let set_enabled t on =
   t.enabled <- on;
@@ -112,9 +123,10 @@ let shrink_to t cap table used =
 
 let set_cap t n =
   let n = max 1 n in
-  t.cap <- n;
-  shrink_to t n t.tbl (fun e -> e.used);
-  shrink_to t n t.texts (fun e -> e.t_used)
+  locked t (fun () ->
+      t.cap <- n;
+      shrink_to t n t.tbl (fun e -> e.used);
+      shrink_to t n t.texts (fun e -> e.t_used))
 
 let rec blocks_of (r : Optimizer.result) acc =
   List.fold_left
@@ -153,32 +165,36 @@ let capture_deps = deps_of
 let find t cat key =
   if not t.enabled then Miss
   else
-    match Hashtbl.find_opt t.tbl key with
-    | None -> Miss
-    | Some e when (not t.validate) || deps_valid cat e.deps ->
-      e.used <- tick t;
-      Hit e.result
-    | Some _ ->
-      Hashtbl.remove t.tbl key;
-      Invalidated
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | None -> Miss
+        | Some e when (not t.validate) || deps_valid cat e.deps ->
+          e.used <- tick t;
+          Hit e.result
+        | Some _ ->
+          Hashtbl.remove t.tbl key;
+          Invalidated)
 
 let store t key r =
-  if t.enabled then begin
-    Hashtbl.replace t.tbl key { result = r; deps = deps_of r; used = tick t };
-    shrink_to t t.cap t.tbl (fun e -> e.used)
-  end
+  if t.enabled then
+    locked t (fun () ->
+        Hashtbl.replace t.tbl key
+          { result = r; deps = deps_of r; used = tick t };
+        shrink_to t t.cap t.tbl (fun e -> e.used))
 
 let memo_text t ~sql ~key ~values =
-  if t.enabled then begin
-    Hashtbl.replace t.texts sql { t_key = key; t_values = values; t_used = tick t };
-    shrink_to t t.cap t.texts (fun e -> e.t_used)
-  end
+  if t.enabled then
+    locked t (fun () ->
+        Hashtbl.replace t.texts sql
+          { t_key = key; t_values = values; t_used = tick t };
+        shrink_to t t.cap t.texts (fun e -> e.t_used))
 
 let text_entry t sql =
   if not t.enabled then None
   else
-    match Hashtbl.find_opt t.texts sql with
-    | None -> None
-    | Some e ->
-      e.t_used <- tick t;
-      Some (e.t_key, e.t_values)
+    locked t (fun () ->
+        match Hashtbl.find_opt t.texts sql with
+        | None -> None
+        | Some e ->
+          e.t_used <- tick t;
+          Some (e.t_key, e.t_values))

@@ -1,9 +1,23 @@
 (* A session: the per-connection half of the former Database. Holds the
    active transaction, SET overrides, prepared statements and a per-session
    counters record; everything shared (catalog, buffer pool, WAL, lock
-   table, plan cache) lives in Engine.t and is reached through [with_engine],
-   which takes the engine latch in shared mode and redirects I/O accounting
-   to this session's counters for the duration of the statement.
+   table, plan cache, MVCC status table) lives in Engine.t and is reached
+   through [with_engine] (exclusive latch — DML, DDL, transaction control)
+   or [with_engine_read] (shared latch — SELECT, EXPLAIN, prepared
+   execution), each redirecting I/O accounting to this session's counters
+   for the duration of the statement.
+
+   Isolation is snapshot-based. Every statement reads through an MVCC
+   snapshot (the transaction's, taken at BEGIN, or a statement snapshot):
+   tuple versions carry (xmin, xmax) transaction ids and the scan layer
+   filters by commit visibility, so read-only statements take NO locks and
+   are never blocked by an uncommitted writer. Writers keep 2PL for
+   write-write conflicts only: a relation-level Shared lock (fencing DDL,
+   which takes the relation Exclusive) plus an Exclusive tuple lock per
+   delete victim. First committer wins — a delete victim found re-marked
+   after the tuple lock is finally granted fails the statement with a
+   serialization error. DELETE stamps xmax instead of removing the tuple;
+   VACUUM reclaims versions behind the oldest snapshot.
 
    Undo restores deleted tuples at their exact TID (Catalog.insert_tuple_at):
    a fresh insert would move the tuple, leaving later WAL records (and the
@@ -18,6 +32,10 @@ type undo_op =
 type txn = {
   txn_id : int;
   explicit_txn : bool;
+  snap : Rss.Mvcc.snapshot;
+      (* taken at transaction start: every statement of the transaction
+         reads this snapshot (plus its own writes) — transaction-level
+         snapshot isolation *)
   mutable undo : undo_op list;  (* newest first *)
 }
 
@@ -88,9 +106,10 @@ let create ?(w = Ctx.default_w) ?counters ?(serial_only = false) eng =
     | None -> Rss.Pager.base_counters (Engine.pager eng)
   in
   let s =
-    { eng;
-      sid = Engine.fresh_session_id eng;
-      counters;
+    Engine.with_latch eng (fun () ->
+        { eng;
+          sid = Engine.fresh_session_id eng;
+          counters;
       serial_only;
       w;
       max_dop = default_max_dop ();
@@ -99,12 +118,13 @@ let create ?(w = Ctx.default_w) ?counters ?(serial_only = false) eng =
       use_feedback = true;
       feedback_threshold = default_feedback_threshold;
       last_feedback = None;
-      active = None;
-      cache_sig = "";
-      closed = false }
+          active = None;
+          cache_sig = "";
+          closed = false })
   in
   recompute_sig s;
-  eng.Engine.live_sessions <- eng.Engine.live_sessions + 1;
+  Engine.with_latch eng (fun () ->
+      eng.Engine.live_sessions <- eng.Engine.live_sessions + 1);
   s
 
 let engine s = s.eng
@@ -113,12 +133,31 @@ let session_counters s = s.counters
 let catalog s = Engine.catalog s.eng
 let pager s = Engine.pager s.eng
 
-(* Run [f] as one engine step: under the engine latch in shared mode, with
-   this session's counters record active. Public entry points wrap exactly
-   once — internal helpers assume they are already inside. *)
+(* Run [f] as one engine step with this session's counters record active.
+   [with_engine] holds the engine latch exclusively (statements that mutate
+   engine state); [with_engine_read] holds it shared, so read-only
+   statements of different sessions run concurrently. Public entry points
+   wrap exactly once — internal helpers assume they are already inside. *)
 let with_engine s f =
   Engine.with_latch s.eng (fun () ->
       Rss.Pager.with_counters (Engine.pager s.eng) s.counters f)
+
+let with_engine_read s f =
+  Engine.with_read_latch s.eng (fun () ->
+      Rss.Pager.with_counters (Engine.pager s.eng) s.counters f)
+
+(* The MVCC read view of the current statement: the active transaction's
+   snapshot, or a fresh statement snapshot. DML-internal victim SELECTs
+   call this after [with_txn] installed the transaction, so they read the
+   writer's own snapshot (and see its uncommitted writes). *)
+let read_view s =
+  let m = Engine.mvcc s.eng in
+  let snap =
+    match s.active with
+    | Some txn -> txn.snap
+    | None -> Rss.Mvcc.statement_snapshot m
+  in
+  Rss.Mvcc.view m snap
 
 let compose_key s key = s.cache_sig ^ key
 
@@ -199,31 +238,43 @@ let wrap f =
 
 (* --- locking ------------------------------------------------------------- *)
 
-(* Acquire [mode] on [rel] for [txn_id], waiting (in shared mode) while the
-   request is blocked: the request is queued by the lock table, the session
-   sleeps on the engine's condition variable (releasing the latch), and each
-   release_all broadcast re-checks whether the queued request was promoted.
-   Deadlocks are detected at request time and surface as an error, failing
-   the statement — an implicit transaction rolls back, an explicit one stays
-   open for the client to ROLLBACK. *)
-let acquire_lock s txn_id (rel : Catalog.relation) mode =
+(* Acquire [mode] on [resource] for [txn_id], waiting (in shared mode)
+   while the request is blocked: the request is queued by the lock table,
+   the session sleeps on the engine's condition variable (releasing the
+   write latch), and each release_all broadcast re-checks whether the
+   queued request was promoted. Deadlocks are detected at request time and
+   surface as an error, failing the statement — an implicit transaction
+   rolls back, an explicit one stays open for the client to ROLLBACK.
+   Unlatched (embedded or the fuzz scheduler), a blocked request errors
+   immediately — there is no second domain to release the lock. *)
+let acquire_resource s txn_id resource ~what mode =
   let eng = s.eng in
-  let resource = Rss.Lock_table.Relation rel.Catalog.rel_id in
   match Rss.Lock_table.acquire eng.Engine.locks txn_id resource mode with
   | Rss.Lock_table.Granted -> ()
   | Rss.Lock_table.Deadlock cycle ->
-    err "deadlock on relation %s (transactions %s)" rel.Catalog.rel_name
+    err "deadlock on %s (transactions %s)" what
       (String.concat " -> " (List.map string_of_int cycle))
   | Rss.Lock_table.Blocked _ ->
     if not (Engine.latched eng) then
-      err "relation %s is locked by another transaction" rel.Catalog.rel_name
+      err "%s is locked by another transaction" what
     else
       while not (Rss.Lock_table.holds eng.Engine.locks txn_id resource mode) do
         Engine.wait_locks eng
       done
 
-let acquire_x s (rel : Catalog.relation) txn_id =
-  acquire_lock s txn_id rel Rss.Lock_table.Exclusive
+let acquire_rel_lock s txn_id (rel : Catalog.relation) mode =
+  acquire_resource s txn_id
+    (Rss.Lock_table.Relation rel.Catalog.rel_id)
+    ~what:(Printf.sprintf "relation %s" rel.Catalog.rel_name)
+    mode
+
+let acquire_tuple_x s txn_id (rel : Catalog.relation) (tid : Rss.Tid.t) =
+  acquire_resource s txn_id
+    (Rss.Lock_table.Tuple_of (rel.Catalog.rel_id, tid))
+    ~what:
+      (Printf.sprintf "tuple %d.%d of %s" tid.Rss.Tid.page tid.Rss.Tid.slot
+         rel.Catalog.rel_name)
+    Rss.Lock_table.Exclusive
 
 let release_txn_locks s txn_id =
   Rss.Lock_table.release_all s.eng.Engine.locks txn_id;
@@ -236,9 +287,43 @@ let apply_undo s ops =
   List.iter
     (fun op ->
       match op with
-      | Undo_insert (rel, tid, tuple) -> ignore (Catalog.delete_tid cat rel tid tuple)
-      | Undo_delete (rel, tid, tuple) -> Catalog.insert_tuple_at cat rel tid tuple)
+      | Undo_insert (rel, tid, tuple) ->
+        ignore (Catalog.delete_tid cat rel tid tuple)
+      | Undo_delete (rel, tid, _tuple) ->
+        (* the delete only stamped xmax; the version never left the heap *)
+        Catalog.unmark_delete rel tid)
     ops
+
+(* Transaction start/commit/abort keep the WAL and the MVCC status table in
+   step: Begin registers the txn Active (pinning the VACUUM horizon at its
+   snapshot), Commit stamps it with a fresh CSN — the instant its versions
+   become visible to later snapshots — and Abort forgets it after the
+   physical undo (no heap reference survives, so no status entry needs
+   to). *)
+let start_txn s ~explicit_txn =
+  let eng = s.eng in
+  let txn_id = Engine.fresh_txn_id eng in
+  let m = Engine.mvcc eng in
+  Rss.Mvcc.begin_txn m txn_id;
+  let txn =
+    { txn_id; explicit_txn; snap = Rss.Mvcc.snapshot m ~txn:txn_id; undo = [] }
+  in
+  s.active <- Some txn;
+  Rss.Wal.append eng.Engine.wal (Rss.Wal.Begin txn_id);
+  txn
+
+let finish_commit s txn =
+  Rss.Wal.append s.eng.Engine.wal (Rss.Wal.Commit txn.txn_id);
+  ignore (Rss.Mvcc.commit (Engine.mvcc s.eng) txn.txn_id);
+  release_txn_locks s txn.txn_id;
+  s.active <- None
+
+let finish_abort s txn =
+  apply_undo s txn.undo;
+  Rss.Wal.append s.eng.Engine.wal (Rss.Wal.Abort txn.txn_id);
+  Rss.Mvcc.abort (Engine.mvcc s.eng) txn.txn_id;
+  release_txn_locks s txn.txn_id;
+  s.active <- None
 
 (* Run [f txn] inside the active transaction, or an implicit auto-committed
    one. Errors inside an implicit transaction roll its effects back. *)
@@ -246,101 +331,106 @@ let with_txn s f =
   match s.active with
   | Some txn -> f txn
   | None ->
-    let txn = { txn_id = Engine.fresh_txn_id s.eng; explicit_txn = false; undo = [] } in
-    s.active <- Some txn;
-    Rss.Wal.append s.eng.Engine.wal (Rss.Wal.Begin txn.txn_id);
+    let txn = start_txn s ~explicit_txn:false in
     (match f txn with
      | v ->
-       Rss.Wal.append s.eng.Engine.wal (Rss.Wal.Commit txn.txn_id);
-       release_txn_locks s txn.txn_id;
-       s.active <- None;
+       finish_commit s txn;
        v
      | exception e ->
        (* undo the partial effects of the failed statement *)
-       apply_undo s txn.undo;
-       Rss.Wal.append s.eng.Engine.wal (Rss.Wal.Abort txn.txn_id);
-       release_txn_locks s txn.txn_id;
-       s.active <- None;
+       finish_abort s txn;
        raise e)
 
 let begin_transaction_i s =
   match s.active with
   | Some _ -> err "a transaction is already active"
-  | None ->
-    let txn = { txn_id = Engine.fresh_txn_id s.eng; explicit_txn = true; undo = [] } in
-    s.active <- Some txn;
-    Rss.Wal.append s.eng.Engine.wal (Rss.Wal.Begin txn.txn_id);
-    txn.txn_id
+  | None -> (start_txn s ~explicit_txn:true).txn_id
 
 let commit_i s =
   match s.active with
   | Some txn when txn.explicit_txn ->
-    Rss.Wal.append s.eng.Engine.wal (Rss.Wal.Commit txn.txn_id);
-    release_txn_locks s txn.txn_id;
-    s.active <- None;
+    finish_commit s txn;
     txn.txn_id
   | Some _ | None -> err "no transaction is active"
 
 let rollback_i s =
   match s.active with
   | Some txn when txn.explicit_txn ->
-    apply_undo s txn.undo;
-    Rss.Wal.append s.eng.Engine.wal (Rss.Wal.Abort txn.txn_id);
-    release_txn_locks s txn.txn_id;
-    s.active <- None;
+    finish_abort s txn;
     txn.txn_id
   | Some _ | None -> err "no transaction is active"
 
-(* logged, undoable DML primitives *)
+(* logged, undoable DML primitives. Writers take the relation Shared (DML
+   of different transactions is compatible at relation granularity — DDL
+   takes it Exclusive) plus an Exclusive tuple lock per delete victim.
+   Inserts need no tuple lock: an uncommitted version is invisible to every
+   other transaction, so nothing can conflict with it. *)
 let dml_insert s txn (rel : Catalog.relation) tuple =
-  acquire_x s rel txn.txn_id;
+  acquire_rel_lock s txn.txn_id rel Rss.Lock_table.Shared;
   let cat = Engine.catalog s.eng in
-  let tid = Catalog.insert_tuple cat rel tuple in
+  let tid = Catalog.insert_tuple ~xmin:txn.txn_id cat rel tuple in
   Rss.Wal.append s.eng.Engine.wal
     (Rss.Wal.Insert { txn = txn.txn_id; rel_id = rel.Catalog.rel_id; tid; tuple });
   txn.undo <- Undo_insert (rel, tid, tuple) :: txn.undo
 
+(* Delete every version visible to the transaction's snapshot that
+   satisfies [pred]: lock the victim's tuple Exclusive (waiting out a
+   concurrent writer), then re-read the version. If its xmax is no longer
+   clear — or the slot was reclaimed and reused while we waited — the first
+   committer won and this statement fails with a serialization error
+   rather than silently double-deleting. The surviving victims are stamped
+   xmax = txn and logged; the heap slot and index entries stay for
+   concurrent snapshots (VACUUM reclaims them later). *)
 let dml_delete_where s txn (rel : Catalog.relation) pred =
-  acquire_x s rel txn.txn_id;
+  acquire_rel_lock s txn.txn_id rel Rss.Lock_table.Shared;
+  let m = Engine.mvcc s.eng in
+  let v = Rss.Mvcc.view m txn.snap in
   let victims =
-    Catalog.delete_tuples_returning (Engine.catalog s.eng) rel pred
+    List.filter_map
+      (fun (tid, tuple, xmin, xmax) ->
+        if Rss.Mvcc.view_visible v ~xmin ~xmax && pred tuple then
+          Some (tid, tuple)
+        else None)
+      (Catalog.scan_versions rel)
   in
   List.iter
     (fun (tid, tuple) ->
+      acquire_tuple_x s txn.txn_id rel tid;
+      (match Rss.Segment.fetch_unaccounted_v rel.Catalog.segment tid with
+       | Some (rid, tuple', _, 0)
+         when rid = rel.Catalog.rel_id && Rel.Tuple.equal tuple tuple' ->
+         ()
+       | Some _ | None ->
+         err
+           "could not serialize: tuple %d.%d of %s was deleted by a \
+            concurrent transaction"
+           tid.Rss.Tid.page tid.Rss.Tid.slot rel.Catalog.rel_name);
+      Catalog.mark_delete rel tid txn.txn_id;
       Rss.Wal.append s.eng.Engine.wal
         (Rss.Wal.Delete { txn = txn.txn_id; rel_id = rel.Catalog.rel_id; tid; tuple });
       txn.undo <- Undo_delete (rel, tid, tuple) :: txn.undo)
     victims;
   victims
 
-(* --- read locks ---------------------------------------------------------- *)
+(* --- DDL locks ----------------------------------------------------------- *)
 
-let rec result_rels (r : Optimizer.result) acc =
-  let acc =
-    List.fold_left
-      (fun acc (tr : Semant.table_ref) ->
-        if List.memq tr.Semant.rel acc then acc else tr.Semant.rel :: acc)
-      acc r.Optimizer.block.Semant.tables
-  in
-  List.fold_left (fun acc (_, sub) -> result_rels sub acc) acc r.Optimizer.subresults
-
-(* In shared (server) mode, SELECTs follow 2PL too: relation-level S locks
-   on every scanned relation, held to the end of the statement (or to commit
-   inside an explicit transaction), so readers see no uncommitted writes of
-   a concurrent session. Embedded single-session mode skips this — there is
-   nobody to conflict with, and the hot paths stay lock-free. Runs [f] with
-   the locks held. *)
-let with_read_locks s (r : Optimizer.result) f =
+(* DDL on an existing relation (DROP TABLE, CREATE/DROP INDEX) takes the
+   relation Exclusive, conflicting with the Shared holds of in-flight DML
+   transactions — the only readers-vs-schema fence left now that SELECTs
+   take no locks at all (a read-only statement holds the shared engine
+   latch, which DDL's exclusive latch already excludes). Inside a
+   transaction the lock rides to commit; standalone DDL uses a throwaway
+   txn id released at statement end. *)
+let with_ddl_lock s (rel : Catalog.relation) f =
   if not (Engine.latched s.eng) then f ()
   else
-    let rels = result_rels r [] in
     match s.active with
     | Some txn ->
-      List.iter (fun rel -> acquire_lock s txn.txn_id rel Rss.Lock_table.Shared) rels;
+      acquire_rel_lock s txn.txn_id rel Rss.Lock_table.Exclusive;
       f ()
     | None ->
       let txn_id = Engine.fresh_txn_id s.eng in
-      List.iter (fun rel -> acquire_lock s txn_id rel Rss.Lock_table.Shared) rels;
+      acquire_rel_lock s txn_id rel Rss.Lock_table.Exclusive;
       Fun.protect ~finally:(fun () -> release_txn_locks s txn_id) f
 
 (* --- statements ---------------------------------------------------------- *)
@@ -357,7 +447,8 @@ let optimize_block ?ctx:c s block =
 
 let optimize_i ?ctx s sql = optimize_block ?ctx s (resolve_i s sql)
 
-let run_plan_i s r = wrap (fun () -> Executor.run (Engine.catalog s.eng) r)
+let run_plan_i s r =
+  wrap (fun () -> Executor.run ~snap:(read_view s) (Engine.catalog s.eng) r)
 
 let query_block s block = run_plan_i s (optimize_block s block)
 
@@ -501,17 +592,17 @@ let feedback_note s (r : Optimizer.result) ~params act =
     end
   end
 
-(* Execute a (possibly cached) plan with the feedback observer attached. *)
+(* Execute a (possibly cached) plan with the feedback observer attached.
+   No locks: the statement's MVCC snapshot is its isolation. *)
 let run_observed s r ~params =
-  with_read_locks s r (fun () ->
-      let act = ref (-1) in
-      let out =
-        wrap (fun () ->
-            Executor.run ~params ~observe:(fun n -> act := n)
-              (Engine.catalog s.eng) r)
-      in
-      feedback_note s r ~params !act;
-      out)
+  let act = ref (-1) in
+  let out =
+    wrap (fun () ->
+        Executor.run ~snap:(read_view s) ~params ~observe:(fun n -> act := n)
+          (Engine.catalog s.eng) r)
+  in
+  feedback_note s r ~params !act;
+  out
 
 (* SELECT through the compiled-plan cache: fingerprint the statement, serve
    a valid cached plan by rebinding the extracted literals as parameters, or
@@ -604,10 +695,11 @@ let exec_stmt s (stmt : Ast.statement) =
     (match Catalog.find_relation (Engine.catalog s.eng) table with
      | None -> err "unknown table %s" table
      | Some rel ->
-       ignore
-         (wrap (fun () ->
-              Catalog.create_index (Engine.catalog s.eng) ~name:index ~rel
-                ~columns ~clustered));
+       with_ddl_lock s rel (fun () ->
+           ignore
+             (wrap (fun () ->
+                  Catalog.create_index (Engine.catalog s.eng) ~name:index ~rel
+                    ~columns ~clustered)));
        Done (Printf.sprintf "index %s created on %s" index table))
   | Ast.Insert { table; values } ->
     (match Catalog.find_relation (Engine.catalog s.eng) table with
@@ -636,18 +728,26 @@ let exec_stmt s (stmt : Ast.statement) =
        Done (Printf.sprintf "%d row%s updated" n (if n = 1 then "" else "s")))
   | Ast.Drop_table table ->
     if s.active <> None then err "DROP TABLE inside a transaction is not supported";
-    if Catalog.drop_relation (Engine.catalog s.eng) table then
-      Done (Printf.sprintf "table %s dropped" table)
-    else err "unknown table %s" table
+    (match Catalog.find_relation (Engine.catalog s.eng) table with
+     | None -> err "unknown table %s" table
+     | Some rel ->
+       with_ddl_lock s rel (fun () ->
+           ignore (Catalog.drop_relation (Engine.catalog s.eng) table));
+       Done (Printf.sprintf "table %s dropped" table))
   | Ast.Drop_index index ->
     (match Catalog.find_index (Engine.catalog s.eng) index with
      | None -> err "unknown index %s" index
-     | Some _ ->
-       Catalog.drop_index (Engine.catalog s.eng) index;
+     | Some idx ->
+       with_ddl_lock s idx.Catalog.rel (fun () ->
+           Catalog.drop_index (Engine.catalog s.eng) index);
        Done (Printf.sprintf "index %s dropped" index))
   | Ast.Update_statistics ->
     Catalog.update_statistics (Engine.catalog s.eng);
     Done "statistics updated"
+  | Ast.Vacuum ->
+    let n = Catalog.vacuum (Engine.catalog s.eng) (Engine.mvcc s.eng) in
+    Done
+      (Printf.sprintf "%d dead version%s reclaimed" n (if n = 1 then "" else "s"))
   | Ast.Set_parallelism n ->
     set_parallelism s n;
     Done (Printf.sprintf "parallelism set to %d" (parallelism s))
@@ -673,11 +773,20 @@ let parse_stmt sql =
   try Parser.parse_statement sql
   with Parser.Error (msg, off) -> err "syntax error at offset %d: %s" off msg
 
+(* Read-only statements run under the shared engine latch; everything else
+   (DML, DDL, transaction control, SET, VACUUM, UPDATE STATISTICS) mutates
+   engine state and takes it exclusively. *)
+let stmt_is_read (stmt : Ast.statement) =
+  match stmt with
+  | Ast.Select _ | Ast.Explain _ -> true
+  | _ -> false
+
 (* --- public entry points (each takes the engine step exactly once) ------- *)
 
 let exec s sql =
   let stmt = parse_stmt sql in
-  with_engine s (fun () -> exec_stmt s stmt)
+  if stmt_is_read stmt then with_engine_read s (fun () -> exec_stmt s stmt)
+  else with_engine s (fun () -> exec_stmt s stmt)
 
 let exec_script s src =
   let stmts =
@@ -687,7 +796,11 @@ let exec_script s src =
   (* one engine step per statement: a long script does not starve concurrent
      sessions, and explicit transactions still hold their locks across
      statements (that is the lock table's job, not the latch's) *)
-  List.map (fun stmt -> with_engine s (fun () -> exec_stmt s stmt)) stmts
+  List.map
+    (fun stmt ->
+      if stmt_is_read stmt then with_engine_read s (fun () -> exec_stmt s stmt)
+      else with_engine s (fun () -> exec_stmt s stmt))
+    stmts
 
 let query s sql =
   (* text-level fast path: a repeat of the exact same statement skips the
@@ -695,8 +808,8 @@ let query s sql =
      path (which re-optimizes and counts the miss) after recording the
      invalidation here, matching the one-call accounting of the slow path *)
   let cache = Engine.plan_cache s.eng in
-  with_engine s (fun () ->
-      let fast =
+  let fast =
+    with_engine_read s (fun () ->
         match Plan_cache.text_entry cache sql with
         | None -> None
         | Some (key, values) ->
@@ -710,20 +823,20 @@ let query s sql =
              c.Rss.Counters.plan_cache_invalidations <-
                c.Rss.Counters.plan_cache_invalidations + 1;
              None
-           | Plan_cache.Miss -> None)
-      in
-      match fast with
-      | Some out -> out
-      | None ->
-        (match parse_stmt sql with
-         | Ast.Select q -> query_cached ~text:sql s q
-         | stmt ->
-           (match exec_stmt s stmt with
-            | Rows out -> out
-            | Text _ | Done _ -> err "not a SELECT: %s" sql)))
+           | Plan_cache.Miss -> None))
+  in
+  match fast with
+  | Some out -> out
+  | None ->
+    (match parse_stmt sql with
+     | Ast.Select q -> with_engine_read s (fun () -> query_cached ~text:sql s q)
+     | stmt ->
+       (match with_engine s (fun () -> exec_stmt s stmt) with
+        | Rows out -> out
+        | Text _ | Done _ -> err "not a SELECT: %s" sql))
 
 let cached_plan s sql =
-  with_engine s (fun () ->
+  with_engine_read s (fun () ->
       let cache = Engine.plan_cache s.eng in
       let probe key =
         match Plan_cache.find cache (Engine.catalog s.eng) (compose_key s key) with
@@ -742,9 +855,9 @@ let cached_plan s sql =
          | None -> None
          | Some (key, _, _) -> probe key))
 
-let resolve s sql = with_engine s (fun () -> resolve_i s sql)
-let optimize ?ctx s sql = with_engine s (fun () -> optimize_i ?ctx s sql)
-let run_plan s r = with_engine s (fun () -> run_plan_i s r)
+let resolve s sql = with_engine_read s (fun () -> resolve_i s sql)
+let optimize ?ctx s sql = with_engine_read s (fun () -> optimize_i ?ctx s sql)
+let run_plan s r = with_engine_read s (fun () -> run_plan_i s r)
 let explain s sql = Explain.plan (optimize s sql)
 let update_statistics s =
   with_engine s (fun () -> Catalog.update_statistics (Engine.catalog s.eng))
@@ -758,11 +871,7 @@ let close s =
   if not s.closed then
     with_engine s (fun () ->
         (match s.active with
-         | Some txn ->
-           apply_undo s txn.undo;
-           Rss.Wal.append s.eng.Engine.wal (Rss.Wal.Abort txn.txn_id);
-           release_txn_locks s txn.txn_id;
-           s.active <- None
+         | Some txn -> finish_abort s txn
          | None -> ());
         let base = Rss.Pager.base_counters (Engine.pager s.eng) in
         if s.counters != base then Rss.Counters.add s.counters ~into:base;
@@ -834,10 +943,10 @@ let check_integrity s =
           else None
       in
       let check_rel (rel : Catalog.relation) =
+        (* every physical version, delete-marked included: a marked tuple
+           keeps its index entries until VACUUM reclaims both together *)
         let heap =
-          Rss.Scan.to_list
-            (Rss.Scan.open_segment_scan rel.Catalog.segment
-               ~rel_id:rel.Catalog.rel_id ())
+          List.map (fun (tid, tup, _, _) -> (tid, tup)) (Catalog.scan_versions rel)
         in
         List.find_map (check_index rel heap) (Catalog.indexes_on cat rel)
       in
@@ -876,10 +985,10 @@ let recover s bytes =
           0 (Rss.Wal.records wal)
       in
       eng.Engine.next_txn <- max eng.Engine.next_txn (max_txn + 1);
-      (* wipe current contents: the log alone defines the recovered state *)
-      List.iter
-        (fun rel -> ignore (Catalog.delete_tuples cat rel (fun _ -> true)))
-        (Catalog.relations cat);
+      Rss.Mvcc.reset (Engine.mvcc eng);
+      (* wipe current contents physically — delete-marked versions included;
+         the log alone defines the recovered state *)
+      List.iter (Catalog.wipe_relation cat) (Catalog.relations cat);
       let rels = Catalog.relations cat in
       let checkpoint = Engine.fresh_txn_id eng in
       Rss.Wal.clear eng.Engine.wal;
@@ -923,7 +1032,7 @@ type prepared = {
 }
 
 let prepare s sql =
-  with_engine s (fun () ->
+  with_engine_read s (fun () ->
       let block = resolve_i s sql in
       let r = optimize_block s block in
       { p_sql = sql;
@@ -942,7 +1051,7 @@ let execute_prepared s p bindings =
     err "prepared statement takes %d parameter%s, %d given" p.p_params
       (if p.p_params = 1 then "" else "s")
       (List.length bindings);
-  with_engine s (fun () ->
+  with_engine_read s (fun () ->
       if
         p.p_sig <> s.cache_sig
         || not (Plan_cache.deps_valid (Engine.catalog s.eng) p.p_deps)
@@ -955,10 +1064,9 @@ let execute_prepared s p bindings =
         p.p_sig <- s.cache_sig;
         p.p_gen <- p.p_gen + 1
       end;
-      with_read_locks s p.p_result (fun () ->
-          wrap (fun () ->
-              Executor.run ~params:(Array.of_list bindings)
-                (Engine.catalog s.eng) p.p_result)))
+      wrap (fun () ->
+          Executor.run ~snap:(read_view s) ~params:(Array.of_list bindings)
+            (Engine.catalog s.eng) p.p_result))
 
 (* --- explicit transaction API (engine-step wrappers) ---------------------- *)
 

@@ -23,9 +23,21 @@ let ty_of_code = function
   | 2 -> Rel.Value.Tstr
   | c -> invalid_arg (Printf.sprintf "Snapshot: bad type code %d" c)
 
+(* Serialization runs under the engine's exclusive latch: on a shared engine
+   (wire-protocol server attached) a concurrent writer could otherwise
+   interleave with the heap scans and the snapshot would capture a mix of
+   before- and after-images. Holding the latch is not enough by itself —
+   an open transaction elsewhere has released the latch between its
+   statements while its uncommitted versions sit in the heap — so any
+   in-flight transaction (this session's or another's) refuses the save. *)
 let save db =
+  let eng = Database.engine db in
+  Engine.with_latch eng @@ fun () ->
   if Database.in_transaction db then
     invalid_arg "Snapshot.save: a transaction is open";
+  if Rss.Mvcc.active_count (Engine.mvcc eng) > 0 then
+    invalid_arg
+      "Snapshot.save: active transactions in other sessions (quiesce first)";
   let cat = Database.catalog db in
   let buf = Buffer.create 65536 in
   Buffer.add_string buf magic;

@@ -7,7 +7,11 @@
     loaded database is immediately optimizable. *)
 
 val save : Database.t -> string
-(** @raise Invalid_argument if called inside an open transaction. *)
+(** Runs under the engine's exclusive latch, so it is safe to call while a
+    wire-protocol server shares the engine — concurrent statements are
+    excluded for the duration of the scan.
+    @raise Invalid_argument if any transaction is open — this session's or
+    a concurrent session's (uncommitted versions must not be serialized). *)
 
 val load : ?buffer_pages:int -> ?w:float -> string -> Database.t
 (** @raise Invalid_argument on a corrupt or version-mismatched snapshot. *)

@@ -22,28 +22,29 @@ let residual_filter ~compiled env layout preds : Rel.Tuple.t -> bool =
    slice of a [Plan.Exchange] fan-out; it threads through nested-loop outers
    down to the leaf scan. *)
 let rec open_plan catalog block (env : Eval.env) ?(compiled = true)
-    ?partition ~join (p : Plan.t) : t =
+    ?partition ?snap ~join (p : Plan.t) : t =
   match p.Plan.node with
   | Plan.Scan { tab; access; sargs; residual } ->
-    open_scan catalog block env ~compiled ~partition ~join ~tab ~access ~sargs
-      ~residual
+    open_scan catalog block env ~compiled ~partition ~snap ~join ~tab ~access
+      ~sargs ~residual
   | Plan.Nl_join { outer; inner } ->
     (match join with
      | Some _ -> invalid_arg "Cursor: join node cannot itself be a join inner"
-     | None -> open_nl catalog block env ~compiled ~partition ~outer ~inner)
+     | None -> open_nl catalog block env ~compiled ~partition ~snap ~outer ~inner)
   | Plan.Merge_join { outer; inner; outer_col; inner_col; residual } ->
     (match join with
      | Some _ -> invalid_arg "Cursor: join node cannot itself be a join inner"
      | None ->
-       open_merge catalog block env ~compiled ~outer ~inner ~outer_col ~inner_col
-         ~residual)
-  | Plan.Sort { input; key } -> open_sort catalog block env ~compiled ~join ~input ~key
+       open_merge catalog block env ~compiled ~snap ~outer ~inner ~outer_col
+         ~inner_col ~residual)
+  | Plan.Sort { input; key } ->
+    open_sort catalog block env ~compiled ~snap ~join ~input ~key
   | Plan.Exchange { input; dop } ->
     (match join with
      | Some _ -> invalid_arg "Cursor: exchange cannot be a join inner"
-     | None -> open_exchange catalog block env ~compiled ~input ~dop)
+     | None -> open_exchange catalog block env ~compiled ~snap ~input ~dop)
   | Plan.Filter { input; preds } ->
-    let inner = open_plan catalog block env ~compiled ~join input in
+    let inner = open_plan catalog block env ~compiled ?snap ~join input in
     let layout = layout_of block input in
     let keep = residual_filter ~compiled env layout preds in
     let rec pull () =
@@ -53,8 +54,8 @@ let rec open_plan catalog block (env : Eval.env) ?(compiled = true)
     in
     pull
 
-and open_scan _catalog block env ~compiled ~partition ~join ~tab ~access ~sargs
-    ~residual =
+and open_scan _catalog block env ~compiled ~partition ~snap ~join ~tab ~access
+    ~sargs ~residual =
   let tr = List.nth block.Semant.tables tab in
   let rel = tr.Semant.rel in
   let rel_id = rel.Catalog.rel_id in
@@ -72,20 +73,21 @@ and open_scan _catalog block env ~compiled ~partition ~join ~tab ~access ~sargs
   let scan =
     match access, partition with
     | Plan.Seg_scan, None ->
-      Rss.Scan.open_segment_scan rel.Catalog.segment ~rel_id ~sargs:compiled_sargs ()
+      Rss.Scan.open_segment_scan rel.Catalog.segment ~rel_id ?snap
+        ~sargs:compiled_sargs ()
     | Plan.Seg_scan, Some (Parallel.Pages pages) ->
-      Rss.Scan.open_segment_scan rel.Catalog.segment ~rel_id ~pages
+      Rss.Scan.open_segment_scan rel.Catalog.segment ~rel_id ~pages ?snap
         ~sargs:compiled_sargs ()
     | Plan.Idx_scan { index; lo; hi; dir; _ }, None ->
       let lo = Option.map (Eval.bound_key env join) lo in
       let hi = Option.map (Eval.bound_key env join) hi in
       let dir = match dir with Ast.Asc -> `Asc | Ast.Desc -> `Desc in
       Rss.Scan.open_index_scan rel.Catalog.segment ~rel_id ~index:index.Catalog.btree
-        ?lo ?hi ~dir ~sargs:compiled_sargs ()
+        ?lo ?hi ~dir ?snap ~sargs:compiled_sargs ()
     | Plan.Idx_scan { index; _ }, Some (Parallel.Key_range (lo, hi)) ->
       (* the split ranges already absorbed the plan's lo/hi bounds *)
       Rss.Scan.open_index_scan rel.Catalog.segment ~rel_id ~index:index.Catalog.btree
-        ?lo ?hi ~dir:`Asc ~sargs:compiled_sargs ()
+        ?lo ?hi ~dir:`Asc ?snap ~sargs:compiled_sargs ()
     | Plan.Seg_scan, Some (Parallel.Key_range _)
     | Plan.Idx_scan _, Some (Parallel.Pages _) ->
       invalid_arg "Cursor: partition kind does not match the access path"
@@ -140,8 +142,10 @@ and open_scan _catalog block env ~compiled ~partition ~join ~tab ~access ~sargs
     in
     pull
 
-and open_nl catalog block env ~compiled ~partition ~outer ~inner =
-  let outer_cur = open_plan catalog block env ~compiled ?partition ~join:None outer in
+and open_nl catalog block env ~compiled ~partition ~snap ~outer ~inner =
+  let outer_cur =
+    open_plan catalog block env ~compiled ?partition ?snap ~join:None outer
+  in
   let outer_layout = layout_of block outer in
   let state = ref None in
   let rec pull () =
@@ -158,17 +162,17 @@ and open_nl catalog block env ~compiled ~partition ~outer ~inner =
        | Some outer_tuple ->
          let jframe = { Eval.layout = outer_layout; tuple = outer_tuple } in
          let inner_cur =
-           open_plan catalog block env ~compiled ~join:(Some jframe) inner
+           open_plan catalog block env ~compiled ?snap ~join:(Some jframe) inner
          in
          state := Some (outer_tuple, inner_cur);
          pull ())
   in
   pull
 
-and open_merge catalog block env ~compiled ~outer ~inner ~outer_col ~inner_col
-    ~residual =
-  let outer_cur = open_plan catalog block env ~compiled ~join:None outer in
-  let inner_cur = open_plan catalog block env ~compiled ~join:None inner in
+and open_merge catalog block env ~compiled ~snap ~outer ~inner ~outer_col
+    ~inner_col ~residual =
+  let outer_cur = open_plan catalog block env ~compiled ?snap ~join:None outer in
+  let inner_cur = open_plan catalog block env ~compiled ?snap ~join:None inner in
   let outer_layout = layout_of block outer in
   let inner_layout = layout_of block inner in
   let combined_layout = Layout.concat outer_layout inner_layout in
@@ -269,7 +273,7 @@ and open_merge catalog block env ~compiled ~outer ~inner ~outer_col ~inner_col
   in
   pull
 
-and open_sort catalog block env ~compiled ~join ~input ~key =
+and open_sort catalog block env ~compiled ~snap ~join ~input ~key =
   let layout = layout_of block input in
   let sort_key =
     List.map
@@ -281,7 +285,7 @@ and open_sort catalog block env ~compiled ~join ~input ~key =
   let cmp = if compiled then Some (Eval.compile_cmp layout key) else None in
   let pager = Catalog.pager catalog in
   let serial () =
-    let input_cur = open_plan catalog block env ~compiled ~join input in
+    let input_cur = open_plan catalog block env ~compiled ?snap ~join input in
     (* the plan cursor feeds run formation directly and the final merge
        streams straight to the consumer — the sorted result is never
        rematerialized *)
@@ -302,7 +306,7 @@ and open_sort catalog block env ~compiled ~join ~input ~key =
            (List.map
               (fun part () ->
                 Rss.Sort.runs_of_dispenser ?cmp pager ~key:sort_key
-                  (open_plan catalog block env ~compiled ~partition:part
+                  (open_plan catalog block env ~compiled ~partition:part ?snap
                      ~join:None inner))
               parts)
          |> List.concat
@@ -310,11 +314,11 @@ and open_sort catalog block env ~compiled ~join ~input ~key =
        Rss.Sort.merge_stream ?cmp pager ~key:sort_key runs)
   | _ -> serial ()
 
-and open_exchange catalog block env ~compiled ~input ~dop =
+and open_exchange catalog block env ~compiled ~snap ~input ~dop =
   (* Torture testing is single-domain-only: with the failpoint registry
      armed, an exchange degrades to serial execution of its input (results
      are identical by construction). *)
-  let serial () = open_plan catalog block env ~compiled ~join:None input in
+  let serial () = open_plan catalog block env ~compiled ?snap ~join:None input in
   if Rss.Failpoint.enabled () then serial ()
   else
     match Parallel.partitions block env input ~dop with
@@ -323,7 +327,7 @@ and open_exchange catalog block env ~compiled ~input ~dop =
       let g =
         Parallel.gather (Catalog.pager catalog) ~partitions:parts
           ~open_partition:(fun part ->
-            open_plan catalog block env ~compiled ~partition:part ~join:None
-              input)
+            open_plan catalog block env ~compiled ~partition:part ?snap
+              ~join:None input)
       in
       g.Parallel.next

@@ -22,10 +22,16 @@ val open_plan :
   Eval.env ->
   ?compiled:bool ->
   ?partition:Parallel.partition ->
+  ?snap:Rss.Mvcc.view ->
   join:Eval.frame option ->
   Plan.t ->
   t
-(** [partition] restricts the plan's leftmost scan to one slice of an
+(** [snap] is the MVCC read view every leaf scan of the plan filters
+    through (threaded to {!Rss.Scan.open_segment_scan} /
+    {!Rss.Scan.open_index_scan}); omitted, scans see exactly the
+    not-delete-marked heap — the single-session behavior.
+
+    [partition] restricts the plan's leftmost scan to one slice of an
     exchange fan-out (threaded through nested-loop outers to the leaf);
     workers opening their plan copy pass it, everything else omits it.
     An [Exchange] node opens as a {!Parallel.gather} over its partitions —

@@ -15,6 +15,9 @@ type state = {
       (* compile predicates/expressions/comparators into position-resolved
          closures at plan-open time (default); false keeps the per-tuple AST
          interpreter as a measurable baseline *)
+  snap : Rss.Mvcc.view option;
+      (* MVCC read view threaded to every leaf scan, subquery blocks
+         included; None = see the not-delete-marked heap *)
   params : Rel.Value.t array;
   stats : stats;
   caches : (Semant.block * (Rel.Value.t list, Rel.Value.t list) Hashtbl.t) list ref;
@@ -96,7 +99,8 @@ let rec run_block st (r : Optimizer.result) (blocks_stack : Eval.frame list) =
   in
   let compiled = st.compiled in
   let open_cur () =
-    Cursor.open_plan st.catalog block env ~compiled ~join:None r.Optimizer.plan
+    Cursor.open_plan st.catalog block env ~compiled ?snap:st.snap ~join:None
+      r.Optimizer.plan
   in
   let layout = Cursor.layout_of block r.Optimizer.plan in
   (* Parallel aggregation: instead of gathering the exchange's tuple stream
@@ -117,7 +121,7 @@ let rec run_block st (r : Optimizer.result) (blocks_stack : Eval.frame list) =
                (fun part () ->
                  Exec_agg.fold_partial ~compiled env layout block
                    (Cursor.open_plan st.catalog block env ~compiled
-                      ~partition:part ~join:None inner))
+                      ~partition:part ?snap:st.snap ~join:None inner))
                parts)
         in
         Some (Exec_agg.merge_partials layout block partials)
@@ -214,12 +218,13 @@ and eval_subquery st (parent : Optimizer.result) (env : Eval.env) block =
     if st.use_cache then Hashtbl.replace tbl key vs;
     vs
 
-let run_with_stats ?(use_subquery_cache = true) ?(compiled = true) ?(params = [||])
-    ?observe catalog (r : Optimizer.result) =
+let run_with_stats ?(use_subquery_cache = true) ?(compiled = true) ?snap
+    ?(params = [||]) ?observe catalog (r : Optimizer.result) =
   let st =
     { catalog;
       use_cache = use_subquery_cache;
       compiled;
+      snap;
       params;
       stats = { subquery_calls = 0; subquery_evals = 0 };
       caches = ref [] }
@@ -234,12 +239,14 @@ let run_with_stats ?(use_subquery_cache = true) ?(compiled = true) ?(params = [|
   let columns = List.map snd r.Optimizer.block.Semant.select in
   ({ columns; rows }, st.stats)
 
-let run ?use_subquery_cache ?compiled ?params ?observe catalog r =
-  fst (run_with_stats ?use_subquery_cache ?compiled ?params ?observe catalog r)
+let run ?use_subquery_cache ?compiled ?snap ?params ?observe catalog r =
+  fst
+    (run_with_stats ?use_subquery_cache ?compiled ?snap ?params ?observe catalog
+       r)
 
-let run_measured ?use_subquery_cache ?compiled ?params catalog r =
+let run_measured ?use_subquery_cache ?compiled ?snap ?params catalog r =
   let counters = Rss.Pager.counters (Catalog.pager catalog) in
   let before = Rss.Counters.snapshot counters in
-  let out = run ?use_subquery_cache ?compiled ?params catalog r in
+  let out = run ?use_subquery_cache ?compiled ?snap ?params catalog r in
   let after = Rss.Counters.snapshot counters in
   (out, Rss.Counters.diff ~after ~before)

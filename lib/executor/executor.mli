@@ -22,12 +22,16 @@ type stats = {
 val run :
   ?use_subquery_cache:bool ->
   ?compiled:bool ->
+  ?snap:Rss.Mvcc.view ->
   ?params:Rel.Value.t array ->
   ?observe:(int -> unit) ->
   Catalog.t ->
   Optimizer.result ->
   output
-(** [compiled] (default true) selects closure-compiled evaluation: residual
+(** [snap] is the MVCC read view threaded to every leaf scan, subquery
+    blocks included (see {!Cursor.open_plan}).
+
+    [compiled] (default true) selects closure-compiled evaluation: residual
     predicates, select expressions, grouping keys and ORDER BY comparators
     are closed into position-resolved closures at plan-open time (see
     DESIGN.md, "Compiled evaluation"). [~compiled:false] runs the per-tuple
@@ -43,6 +47,7 @@ val run :
 val run_with_stats :
   ?use_subquery_cache:bool ->
   ?compiled:bool ->
+  ?snap:Rss.Mvcc.view ->
   ?params:Rel.Value.t array ->
   ?observe:(int -> unit) ->
   Catalog.t ->
@@ -52,6 +57,7 @@ val run_with_stats :
 val run_measured :
   ?use_subquery_cache:bool ->
   ?compiled:bool ->
+  ?snap:Rss.Mvcc.view ->
   ?params:Rel.Value.t array ->
   Catalog.t ->
   Optimizer.result ->

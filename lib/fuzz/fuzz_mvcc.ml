@@ -1,0 +1,568 @@
+(* Interleaved multi-session MVCC histories checked against a model oracle.
+
+   A history is a scenario (schema + seed rows), one operation stream per
+   session, and a schedule — the deterministic interleaving that says which
+   session executes its next statement at each step. The engine stays
+   UNLATCHED: both Session.t values live on one domain and the scheduler is
+   the only source of concurrency, so a blocked 2PL request reports an
+   immediate error instead of waiting (there is no second domain to release
+   the lock) and every run is exactly reproducible from the seed.
+
+   The oracle is a from-scratch model of snapshot isolation over value
+   lists: versions carry (creator txn, creator CSN, deleter txn, deleter
+   CSN), snapshots are CSN watermarks, and visibility is the same
+   "creator committed at-or-before my snapshot (or is me), deleter did
+   not" rule — but implemented with none of the engine's page, lock-table
+   or status-table machinery. The model predicts, per statement:
+   - SELECT: the exact visible multiset under the session's snapshot
+     (the transaction's, or a fresh statement snapshot);
+   - INSERT/DELETE: the row-count tag, or a write-write conflict — a
+     visible victim whose xmax is already stamped by another transaction
+     is either an immediate lock error (stamper still active) or a
+     first-committer-wins serialization error (stamper committed after
+     our snapshot);
+   - VACUUM: the exact number of dead versions reclaimed under the
+     horizon rule (CSN offsets between model and engine cancel — only
+     relative order matters);
+   - transaction-control misuse (BEGIN inside a txn, COMMIT outside):
+     some error, no state change.
+
+   A statement that fails inside an explicit transaction leaves partial
+   marks and 2PL locks behind (statement-level atomicity is the session's
+   caller's job), which the model does not track — so the driver reacts to
+   every predicted conflict by immediately rolling the transaction back on
+   both sides, re-converging engine and model. After the schedule drains,
+   the driver closes both sessions (aborting open transactions), audits
+   every table against the model's committed state, runs VACUUM (count
+   checked), re-audits, and cross-checks heap/index integrity. *)
+
+module V = Rel.Value
+
+type op =
+  | Begin
+  | Commit
+  | Rollback
+  | Insert of string * V.t list list
+  | Delete of string * (string * V.t) option
+  | Select of string * (string * V.t) option
+  | Vacuum
+
+type history = {
+  scenario : Fuzz_gen.scenario;
+  streams : op list array;
+  schedule : int list;
+}
+
+(* --- generation --------------------------------------------------------- *)
+
+let gen_rows rng (t : Fuzz_gen.table) =
+  let n = 1 + Random.State.int rng 3 in
+  List.init n (fun _ ->
+      List.map
+        (fun (c : Fuzz_gen.column) ->
+          Fuzz_gen.gen_value rng
+            (fun () -> Random.State.int rng c.Fuzz_gen.distinct)
+            c)
+        t.Fuzz_gen.cols)
+
+let gen_pred rng (t : Fuzz_gen.table) =
+  if Random.State.int rng 4 = 0 then None
+  else
+    let c =
+      List.nth t.Fuzz_gen.cols
+        (Random.State.int rng (List.length t.Fuzz_gen.cols))
+    in
+    Some (c.Fuzz_gen.cname, Fuzz_gen.lit rng c)
+
+let gen_stream rng (s : Fuzz_gen.scenario) =
+  let tables = Array.of_list s.Fuzz_gen.tables in
+  let pick () = tables.(Random.State.int rng (Array.length tables)) in
+  let nops = 8 + Random.State.int rng 11 in
+  let in_txn = ref false in
+  let ops = ref [] in
+  for _ = 1 to nops do
+    let op =
+      match Random.State.int rng 12 with
+      | 0 | 1 when not !in_txn ->
+        in_txn := true;
+        Begin
+      | 0 | 1 ->
+        in_txn := false;
+        if Random.State.int rng 3 = 0 then Rollback else Commit
+      | 2 | 3 | 4 | 5 ->
+        let t = pick () in
+        Delete (t.Fuzz_gen.tname, gen_pred rng t)
+      | 6 | 7 | 8 ->
+        let t = pick () in
+        Insert (t.Fuzz_gen.tname, gen_rows rng t)
+      | 9 when Random.State.int rng 2 = 0 -> Vacuum
+      | _ ->
+        let t = pick () in
+        Select (t.Fuzz_gen.tname, gen_pred rng t)
+    in
+    ops := op :: !ops
+  done;
+  List.rev !ops
+
+let gen_history rng =
+  let scenario = Fuzz_gen.gen_scenario rng in
+  let streams = Array.init 2 (fun _ -> gen_stream rng scenario) in
+  let total = Array.fold_left (fun a s -> a + List.length s) 0 streams in
+  let schedule = List.init total (fun _ -> Random.State.int rng 2) in
+  { scenario; streams; schedule }
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let pred_sql = function
+  | None -> ""
+  | Some (c, v) -> " WHERE " ^ c ^ " = " ^ Fuzz_sql.value_to_string v
+
+let rows_sql rows =
+  String.concat ", "
+    (List.map
+       (fun row ->
+         "(" ^ String.concat ", " (List.map Fuzz_sql.value_to_string row) ^ ")")
+       rows)
+
+let op_sql = function
+  | Begin -> "BEGIN"
+  | Commit -> "COMMIT"
+  | Rollback -> "ROLLBACK"
+  | Insert (t, rows) -> "INSERT INTO " ^ t ^ " VALUES " ^ rows_sql rows
+  | Delete (t, p) -> "DELETE FROM " ^ t ^ pred_sql p
+  | Select (t, p) -> "SELECT * FROM " ^ t ^ pred_sql p
+  | Vacuum -> "VACUUM"
+
+(* DDL + seed data + the two streams with their interleaving, paste-ready
+   modulo the schedule comment. *)
+let reproducer (h : history) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Fuzz_harness.ddl_script ~indexes:true h.scenario);
+  Array.iteri
+    (fun i ops ->
+      Buffer.add_string b (Printf.sprintf "-- session %d:\n" i);
+      List.iter (fun op -> Buffer.add_string b (op_sql op ^ ";\n")) ops)
+    h.streams;
+  Buffer.add_string b
+    ("-- schedule: "
+    ^ String.concat "" (List.map string_of_int h.schedule)
+    ^ "\n");
+  Buffer.contents b
+
+(* --- the model ----------------------------------------------------------- *)
+
+type mver = {
+  m_vals : V.t list;
+  m_xmin : int;  (* model txn id; 0 = seed row *)
+  mutable m_xmin_csn : int option;
+  mutable m_xmax : int;  (* 0 = not deleted *)
+  mutable m_xmax_csn : int option;
+}
+
+type mtxn = {
+  mt_id : int;
+  mt_snap : int;
+  mutable mt_ins : mver list;
+  mutable mt_del : mver list;
+}
+
+type model = {
+  mutable m_csn : int;
+  mutable m_next_txn : int;
+  m_tables : (string, mver list ref) Hashtbl.t;
+  m_schemas : (string, Fuzz_gen.column list) Hashtbl.t;
+}
+
+let model_of_scenario (s : Fuzz_gen.scenario) =
+  let m =
+    { m_csn = 0; m_next_txn = 0; m_tables = Hashtbl.create 8;
+      m_schemas = Hashtbl.create 8 }
+  in
+  List.iter
+    (fun (t : Fuzz_gen.table) ->
+      Hashtbl.replace m.m_schemas t.Fuzz_gen.tname t.Fuzz_gen.cols;
+      Hashtbl.replace m.m_tables t.Fuzz_gen.tname
+        (ref
+           (List.map
+              (fun row ->
+                { m_vals = row; m_xmin = 0; m_xmin_csn = Some 0; m_xmax = 0;
+                  m_xmax_csn = None })
+              t.Fuzz_gen.rows)))
+    s.Fuzz_gen.tables;
+  m
+
+let fresh_mtxn m =
+  m.m_next_txn <- m.m_next_txn + 1;
+  { mt_id = m.m_next_txn; mt_snap = m.m_csn; mt_ins = []; mt_del = [] }
+
+(* Snapshot visibility, the model's restatement of Mvcc.visible. *)
+let m_visible ~self ~snap v =
+  let ins_vis =
+    (v.m_xmin <> 0 && v.m_xmin = self)
+    || (match v.m_xmin_csn with Some c -> c <= snap | None -> false)
+  in
+  let del_vis =
+    v.m_xmax <> 0
+    && ((v.m_xmax = self)
+        || (match v.m_xmax_csn with Some c -> c <= snap | None -> false))
+  in
+  ins_vis && not del_vis
+
+let m_pred m tname pred (v : mver) =
+  match pred with
+  | None -> true
+  | Some (cname, lit) ->
+    lit <> V.Null
+    &&
+    let cols = Hashtbl.find m.m_schemas tname in
+    let rec idx i = function
+      | [] -> -1
+      | (c : Fuzz_gen.column) :: _ when c.Fuzz_gen.cname = cname -> i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    let value = List.nth v.m_vals (idx 0 cols) in
+    value <> V.Null && V.compare value lit = 0
+
+let m_commit m (txn : mtxn) =
+  m.m_csn <- m.m_csn + 1;
+  let csn = m.m_csn in
+  List.iter (fun v -> v.m_xmin_csn <- Some csn) txn.mt_ins;
+  List.iter (fun v -> v.m_xmax_csn <- Some csn) txn.mt_del
+
+let m_rollback m (txn : mtxn) =
+  List.iter
+    (fun v ->
+      v.m_xmax <- 0;
+      v.m_xmax_csn <- None)
+    txn.mt_del;
+  Hashtbl.iter
+    (fun _ versions ->
+      versions := List.filter (fun v -> v.m_xmin <> txn.mt_id) !versions)
+    m.m_tables
+
+(* VACUUM horizon: the oldest CSN an in-flight snapshot can still read.
+   Reclaimable = deleter committed at-or-before it. Model and engine CSNs
+   differ by a constant seeding offset, which cancels in the comparison. *)
+let m_vacuum m ~active =
+  let horizon =
+    List.fold_left
+      (fun acc (t : mtxn) -> min acc t.mt_snap)
+      m.m_csn active
+  in
+  let reclaimed = ref 0 in
+  Hashtbl.iter
+    (fun _ versions ->
+      versions :=
+        List.filter
+          (fun v ->
+            match v.m_xmax_csn with
+            | Some c when c <= horizon ->
+              incr reclaimed;
+              false
+            | _ -> true)
+          !versions)
+    m.m_tables;
+  !reclaimed
+
+(* --- expectations -------------------------------------------------------- *)
+
+type expected =
+  | Ok_any  (* succeeds; tag not predicted (engine txn ids) *)
+  | Ok_tag of string
+  | Ok_rows of string list  (* sorted multiset *)
+  | Conflict  (* fails with a lock or serialization error *)
+  | Misuse  (* fails (txn-control misuse); no state change *)
+
+let count_tag n verb =
+  Printf.sprintf "%d row%s %s" n (if n = 1 then "" else "s") verb
+
+(* Apply [op] for session [i] to the model and return what the engine must
+   do. State changes for a Conflict are NOT applied — the driver reacts by
+   rolling back on both sides. *)
+let m_step m (active : mtxn option array) i op : expected =
+  let in_txn f =
+    (* the statement runs in the session's transaction or an implicit
+       auto-committed one *)
+    match active.(i) with
+    | Some txn -> f txn ~implicit:false
+    | None -> f (fresh_mtxn m) ~implicit:true
+  in
+  match op with
+  | Begin ->
+    (match active.(i) with
+     | Some _ -> Misuse
+     | None ->
+       active.(i) <- Some (fresh_mtxn m);
+       Ok_any)
+  | Commit ->
+    (match active.(i) with
+     | Some txn ->
+       m_commit m txn;
+       active.(i) <- None;
+       Ok_any
+     | None -> Misuse)
+  | Rollback ->
+    (match active.(i) with
+     | Some txn ->
+       m_rollback m txn;
+       active.(i) <- None;
+       Ok_any
+     | None -> Misuse)
+  | Insert (tname, rows) ->
+    in_txn (fun txn ~implicit ->
+        let versions = Hashtbl.find m.m_tables tname in
+        let vs =
+          List.map
+            (fun row ->
+              { m_vals = row; m_xmin = txn.mt_id; m_xmin_csn = None;
+                m_xmax = 0; m_xmax_csn = None })
+            rows
+        in
+        versions := !versions @ vs;
+        txn.mt_ins <- vs @ txn.mt_ins;
+        if implicit then m_commit m txn;
+        Ok_tag (count_tag (List.length rows) "inserted"))
+  | Delete (tname, pred) ->
+    in_txn (fun txn ~implicit ->
+        let versions = Hashtbl.find m.m_tables tname in
+        let victims =
+          List.filter
+            (fun v ->
+              m_visible ~self:txn.mt_id ~snap:txn.mt_snap v
+              && m_pred m tname pred v)
+            !versions
+        in
+        (* a visible victim with a stamped xmax is a write-write conflict:
+           stamper active = lock error, stamper committed (necessarily
+           after our snapshot, or it would be invisible) = serialization *)
+        if List.exists (fun v -> v.m_xmax <> 0) victims then Conflict
+        else begin
+          List.iter (fun v -> v.m_xmax <- txn.mt_id) victims;
+          txn.mt_del <- victims @ txn.mt_del;
+          if implicit then m_commit m txn;
+          Ok_tag (count_tag (List.length victims) "deleted")
+        end)
+  | Select (tname, pred) ->
+    let self, snap =
+      match active.(i) with
+      | Some txn -> (txn.mt_id, txn.mt_snap)
+      | None -> (0, m.m_csn)
+    in
+    let versions = Hashtbl.find m.m_tables tname in
+    let rows =
+      List.filter_map
+        (fun v ->
+          if m_visible ~self ~snap v && m_pred m tname pred v then
+            Some (Fuzz_harness.row_key (Array.of_list v.m_vals))
+          else None)
+        !versions
+    in
+    Ok_rows (List.sort String.compare rows)
+  | Vacuum ->
+    let live = List.filter_map (fun t -> t) (Array.to_list active) in
+    let n = m_vacuum m ~active:live in
+    Ok_tag
+      (Printf.sprintf "%d dead version%s reclaimed" n (if n = 1 then "" else "s"))
+
+(* --- driving the engine --------------------------------------------------- *)
+
+type divergence = {
+  v_step : int;  (* -1 for the post-schedule audit *)
+  v_session : int;
+  v_sql : string;
+  v_detail : string;
+  v_expected : string;
+  v_actual : string;
+}
+
+exception Found of divergence
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let committed_multiset m tname =
+  let versions = Hashtbl.find m.m_tables tname in
+  List.sort String.compare
+    (List.filter_map
+       (fun v ->
+         if m_visible ~self:0 ~snap:m.m_csn v then
+           Some (Fuzz_harness.row_key (Array.of_list v.m_vals))
+         else None)
+       !versions)
+
+let run (h : history) : divergence option =
+  let db = Database.create () in
+  ignore (Database.exec_script db (Fuzz_harness.ddl_script ~indexes:true h.scenario));
+  let eng = Database.engine db in
+  let sessions = Array.init 2 (fun _ -> Session.create eng) in
+  let model = model_of_scenario h.scenario in
+  let active : mtxn option array = [| None; None |] in
+  let streams = Array.map (fun s -> ref s) h.streams in
+  let diverge step i sql detail expected actual =
+    raise
+      (Found
+         { v_step = step; v_session = i; v_sql = sql; v_detail = detail;
+           v_expected = expected; v_actual = actual })
+  in
+  let exec_step step i op =
+    let sql = op_sql op in
+    let expected = m_step model active i op in
+    let outcome =
+      match Session.exec sessions.(i) sql with
+      | r -> Ok r
+      | exception Session.Error e -> Error e
+    in
+    match expected, outcome with
+    | (Ok_any | Ok_tag _ | Ok_rows _), Error e ->
+      diverge step i sql "engine failed where the model succeeds" "success" e
+    | (Conflict | Misuse), Ok _ ->
+      diverge step i sql "engine succeeded where the model predicts an error"
+        "error" "success"
+    | Misuse, Error _ -> ()  (* no state change on either side *)
+    | Conflict, Error e ->
+      if not (contains e "locked" || contains e "serialize" || contains e "deadlock")
+      then
+        diverge step i sql "conflict error of an unexpected kind"
+          "locked/serialize/deadlock" e;
+      (* a failed statement in an explicit transaction leaves partial marks
+         and locks: roll back on both sides to re-converge *)
+      (match active.(i) with
+       | Some txn ->
+         (match Session.exec sessions.(i) "ROLLBACK" with
+          | _ -> ()
+          | exception Session.Error e ->
+            diverge step i sql "recovery ROLLBACK failed" "success" e);
+         m_rollback model txn;
+         active.(i) <- None
+       | None -> ())
+    | Ok_any, Ok _ -> ()
+    | Ok_tag t, Ok (Session.Done t') ->
+      if t <> t' then diverge step i sql "command tag differs" t t'
+    | Ok_tag t, Ok _ ->
+      diverge step i sql "expected a command tag" t "rows/text"
+    | Ok_rows ms, Ok (Session.Rows out) ->
+      let actual = Fuzz_harness.multiset out.Executor.rows in
+      if actual <> ms then
+        diverge step i sql "snapshot SELECT differs"
+          (String.concat "; " ms)
+          (String.concat "; " actual)
+    | Ok_rows _, Ok _ -> diverge step i sql "expected rows" "rows" "tag/text"
+  in
+  let audit step phase =
+    List.iter
+      (fun (t : Fuzz_gen.table) ->
+        let tname = t.Fuzz_gen.tname in
+        let expected = committed_multiset model tname in
+        let out = Database.query db ("SELECT * FROM " ^ tname) in
+        let actual = Fuzz_harness.multiset out.Executor.rows in
+        if actual <> expected then
+          diverge step (-1)
+            ("SELECT * FROM " ^ tname)
+            (phase ^ ": committed state differs from model")
+            (String.concat "; " expected)
+            (String.concat "; " actual))
+      h.scenario.Fuzz_gen.tables;
+    match Database.check_integrity db with
+    | Ok () -> ()
+    | Error msg ->
+      diverge step (-1) "check_integrity" (phase ^ ": heap/index divergence")
+        "consistent" msg
+  in
+  Fun.protect
+    ~finally:(fun () -> Array.iter Session.close sessions)
+    (fun () ->
+      try
+        let step = ref 0 in
+        let take i =
+          match !(streams.(i)) with
+          | [] -> false
+          | op :: rest ->
+            streams.(i) := rest;
+            exec_step !step i op;
+            incr step;
+            true
+        in
+        List.iter (fun i -> if not (take i) then ignore (take (1 - i))) h.schedule;
+        (* drain anything the schedule did not cover *)
+        while take 0 || take 1 do
+          ()
+        done;
+        (* end of history: close out open transactions like a disconnect
+           would — abort on both sides — then audit *)
+        Array.iteri
+          (fun i txn ->
+            match txn with
+            | Some t ->
+              (match Session.exec sessions.(i) "ROLLBACK" with
+               | _ -> ()
+               | exception Session.Error _ -> ());
+              m_rollback model t;
+              active.(i) <- None
+            | None -> ())
+          (Array.copy active);
+        audit (-1) "final";
+        (* VACUUM with no snapshots live must reclaim every dead version —
+           and must not change any visible result *)
+        let n = m_vacuum model ~active:[] in
+        (match Database.exec db "VACUUM" with
+         | Database.Done tag ->
+           let want =
+             Printf.sprintf "%d dead version%s reclaimed" n
+               (if n = 1 then "" else "s")
+           in
+           if tag <> want then
+             diverge (-1) (-1) "VACUUM" "reclaim count differs" want tag
+         | _ -> diverge (-1) (-1) "VACUUM" "expected Done" "Done" "other");
+        audit (-1) "post-vacuum";
+        None
+      with Found d -> Some d)
+
+(* --- shrinking ------------------------------------------------------------ *)
+
+let h_size (h : history) =
+  Array.fold_left (fun acc s -> acc + (10 * List.length s)) 0 h.streams
+  + List.fold_left
+      (fun acc (t : Fuzz_gen.table) -> acc + 100 + List.length t.Fuzz_gen.rows)
+      0 h.scenario.Fuzz_gen.tables
+
+(* Unbalanced streams are fine — the model treats txn-control misuse as an
+   expected error — so candidates can drop ANY single op. *)
+let h_candidates (h : history) =
+  let cands = ref [] in
+  Array.iteri
+    (fun si ops ->
+      List.iteri
+        (fun oi _ ->
+          let streams = Array.copy h.streams in
+          streams.(si) <- List.filteri (fun j _ -> j <> oi) ops;
+          cands := { h with streams } :: !cands)
+        ops)
+    h.streams;
+  List.iter
+    (fun (t : Fuzz_gen.table) ->
+      let n = List.length t.Fuzz_gen.rows in
+      if n > 0 then begin
+        let replace rows =
+          { h with
+            scenario =
+              { Fuzz_gen.tables =
+                  List.map
+                    (fun (u : Fuzz_gen.table) ->
+                      if u.Fuzz_gen.tname = t.Fuzz_gen.tname then
+                        { u with Fuzz_gen.rows }
+                      else u)
+                    h.scenario.Fuzz_gen.tables } }
+        in
+        cands := replace (List.tl t.Fuzz_gen.rows) :: !cands;
+        cands := replace (List.filteri (fun i _ -> i < n / 2) t.Fuzz_gen.rows)
+                 :: !cands
+      end)
+    h.scenario.Fuzz_gen.tables;
+  List.rev !cands
+
+let shrink ~max_steps (h : history) =
+  Fuzz_shrink.shrink_generic ~size:h_size ~candidates:h_candidates
+    ~still_failing:(fun c -> run c <> None)
+    ~max_steps h

@@ -39,6 +39,7 @@ type dml =
 type group =
   | Auto of dml                              (* auto-commit statement *)
   | Txn of dml list * [ `Commit | `Rollback ]
+  | Vac                                      (* VACUUM: reclaim dead versions *)
 
 type workload = { scenario : Fuzz_gen.scenario; groups : group list }
 
@@ -74,7 +75,8 @@ let gen_workload rng =
   let ngroups = 3 + Random.State.int rng 5 in
   let groups =
     List.init ngroups (fun _ ->
-        if Random.State.int rng 3 = 0 then Auto (gen_dml rng (pick_table ()))
+        if Random.State.int rng 6 = 0 then Vac
+        else if Random.State.int rng 3 = 0 then Auto (gen_dml rng (pick_table ()))
         else begin
           let n = 1 + Random.State.int rng 3 in
           let dmls = List.init n (fun _ -> gen_dml rng (pick_table ())) in
@@ -104,6 +106,7 @@ let workload_sql (w : workload) =
   List.iter
     (function
       | Auto d -> dml_sql b d
+      | Vac -> Buffer.add_string b "VACUUM;\n"
       | Txn (ds, fin) ->
         Buffer.add_string b "BEGIN;\n";
         List.iter (dml_sql b) ds;
@@ -344,6 +347,7 @@ let w_size (w : workload) =
   in
   let group_weight = function
     | Auto d -> 100 + dml_weight d
+    | Vac -> 100
     | Txn (ds, _) ->
       100 + List.fold_left (fun acc d -> acc + dml_weight d) 0 ds
   in
@@ -367,7 +371,7 @@ let w_candidates (w : workload) : workload list =
   List.iteri
     (fun i g ->
       match g with
-      | Auto _ -> ()
+      | Auto _ | Vac -> ()
       | Txn (ds, fin) ->
         if List.length ds > 1 then
           List.iteri
@@ -401,6 +405,7 @@ let w_candidates (w : workload) : workload list =
       in
       match g with
       | Auto d -> List.iter (fun d' -> replace_group (Auto d')) (shrink_dml d)
+      | Vac -> ()
       | Txn (ds, fin) ->
         List.iteri
           (fun di d ->
@@ -417,7 +422,10 @@ let w_candidates (w : workload) : workload list =
     List.concat_map
       (fun g ->
         let of_dml = function Ins (t, _) | Del (t, _) -> t in
-        match g with Auto d -> [ of_dml d ] | Txn (ds, _) -> List.map of_dml ds)
+        match g with
+        | Auto d -> [ of_dml d ]
+        | Vac -> []
+        | Txn (ds, _) -> List.map of_dml ds)
       w.groups
   in
   let tables = w.scenario.Fuzz_gen.tables in

@@ -123,8 +123,20 @@ let key ~params factors =
 
 (* --- catalog-side record/lookup --------------------------------------- *)
 
+(* Feedback tables are touched from read-only statements running under the
+   engine's *shared* latch (lookup during optimization, record at cursor
+   close), so concurrent readers may race on a relation's hashtable; one
+   engine-wide mutex covers both sides — the critical sections are a find
+   or a replace, far below statement cost. *)
+let guard = Mutex.create ()
+
+let guarded f =
+  Mutex.lock guard;
+  Fun.protect ~finally:(fun () -> Mutex.unlock guard) f
+
 let lookup (ctx : Ctx.t) (rel : Catalog.relation) ~key =
-  if ctx.Ctx.use_feedback then Hashtbl.find_opt rel.Catalog.feedback key
+  if ctx.Ctx.use_feedback then
+    guarded (fun () -> Hashtbl.find_opt rel.Catalog.feedback key)
   else None
 
 (* A correction is only worth a plan-cache retirement when it is new or has
@@ -135,13 +147,14 @@ let materially_different old_sel new_sel =
   Float.abs (new_sel -. old_sel) /. denom > 0.1
 
 let record (rel : Catalog.relation) ~key sel =
-  let changed =
-    match Hashtbl.find_opt rel.Catalog.feedback key with
-    | None -> true
-    | Some old_sel -> materially_different old_sel sel
-  in
-  if changed then begin
-    Hashtbl.replace rel.Catalog.feedback key sel;
-    rel.Catalog.feedback_gen <- rel.Catalog.feedback_gen + 1
-  end;
-  changed
+  guarded (fun () ->
+      let changed =
+        match Hashtbl.find_opt rel.Catalog.feedback key with
+        | None -> true
+        | Some old_sel -> materially_different old_sel sel
+      in
+      if changed then begin
+        Hashtbl.replace rel.Catalog.feedback key sel;
+        rel.Catalog.feedback_gen <- rel.Catalog.feedback_gen + 1
+      end;
+      changed)

@@ -64,21 +64,24 @@ let acquire t txn r mode =
   let e = entry t r in
   match List.assoc_opt txn e.holders with
   | Some held when held = mode || (held = Exclusive && mode = Shared) -> Granted
-  | Some Shared when conflicting_holders e txn Exclusive = [] ->
-    grant e txn Exclusive;
-    Granted
   | held ->
     let want = match held with Some Shared -> Exclusive | _ -> mode in
     let conflicts = conflicting_holders e txn want in
-    if conflicts = [] && e.queue = [] then begin
+    let queued_ahead =
+      List.filter_map (fun (w, _) -> if w = txn then None else Some w) e.queue
+    in
+    if conflicts = [] && queued_ahead = [] then begin
       grant e txn want;
       Granted
     end
     else begin
-      let blockers =
-        if conflicts <> [] then conflicts
-        else List.map fst e.queue (* fair queuing: do not jump the line *)
-      in
+      (* Fair queuing: wait on conflicting holders AND everything already
+         queued — an upgrade must not jump an earlier Exclusive request.
+         Both edge sets feed cycle detection, so a sole Shared holder
+         upgrading behind a queued X (which waits on that very Shared
+         hold), or two Shared holders both upgrading, is a Deadlock
+         reported immediately rather than a silent mutual wait. *)
+      let blockers = conflicts @ queued_ahead in
       match find_cycle t txn blockers with
       | Some cycle -> Deadlock cycle
       | None ->
@@ -123,5 +126,9 @@ let holders t r =
 
 let waiting t r =
   match Hashtbl.find_opt t.table r with None -> [] | Some e -> e.queue
+
+let blocked_txns t =
+  Hashtbl.fold (fun _ e acc -> List.map fst e.queue @ acc) t.table []
+  |> List.sort_uniq Int.compare
 
 let granted_since t _txn = t.last_granted

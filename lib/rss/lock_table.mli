@@ -25,13 +25,23 @@ val create : unit -> t
 
 val acquire : t -> txn -> resource -> mode -> outcome
 (** Re-acquiring a held lock is granted; a Shared→Exclusive upgrade is
-    granted when no other holder exists. A [Blocked] request is queued. *)
+    granted only when no other holder exists {e and} the queue is empty —
+    an upgrade never jumps an already-queued request. Waits-for edges
+    cover conflicting holders and queued requests alike, so an upgrade
+    that would mutually wait with a queued Exclusive (or with another
+    upgrading Shared holder) reports [Deadlock] immediately. A [Blocked]
+    request is queued. *)
 
 val release_all : t -> txn -> unit
 (** Release every lock of the transaction (two-phase commit point) and grant
     any queued requests that became compatible, in arrival order. *)
 
 val holds : t -> txn -> resource -> mode -> bool
+
+val blocked_txns : t -> txn list
+(** Every transaction with a queued (waiting) request, on any resource —
+    test harnesses poll this to sequence cross-session schedules. *)
+
 val holders : t -> resource -> (txn * mode) list
 val waiting : t -> resource -> (txn * mode) list
 val granted_since : t -> txn -> (txn * resource * mode) list

@@ -6,8 +6,18 @@ let size = 4096
    serialized form is what [used_bytes] accounts for. *)
 let slot_overhead = 8
 
+(* (xmin, xmax) are the creating and delete-marking transaction ids of the
+   version stored in the slot; xmin = 0 means frozen (committed before every
+   snapshot), xmax = 0 means not deleted. A delete under MVCC only stamps
+   xmax — the slot stays physically live until VACUUM reclaims it. *)
 type slot =
-  | Live of { rel_id : int; bytes : int; tuple : Rel.Tuple.t }
+  | Live of {
+      rel_id : int;
+      bytes : int;
+      tuple : Rel.Tuple.t;
+      mutable xmin : int;
+      mutable xmax : int;
+    }
   | Dead
 
 type t = {
@@ -34,7 +44,7 @@ let grow t =
     t.slots <- bigger
   end
 
-let insert t ~rel_id tuple =
+let insert t ?(xmin = 0) ~rel_id tuple =
   let bytes = Rel.Tuple.serialized_size tuple in
   if bytes + slot_overhead > size - header_bytes then
     invalid_arg "Page.insert: tuple larger than a page";
@@ -42,7 +52,7 @@ let insert t ~rel_id tuple =
   else begin
     grow t;
     let slot = t.nslots in
-    t.slots.(slot) <- Live { rel_id; bytes; tuple };
+    t.slots.(slot) <- Live { rel_id; bytes; tuple; xmin; xmax = 0 };
     t.nslots <- slot + 1;
     t.used <- t.used + bytes + slot_overhead;
     Some slot
@@ -58,11 +68,33 @@ let get t ~slot =
   | Live { rel_id; tuple; _ } -> Some (rel_id, tuple)
   | Dead -> None
 
+let get_v t ~slot =
+  check_slot t slot;
+  match t.slots.(slot) with
+  | Live { rel_id; tuple; xmin; xmax; _ } -> Some (rel_id, tuple, xmin, xmax)
+  | Dead -> None
+
+let set_xmax t ~slot xid =
+  check_slot t slot;
+  match t.slots.(slot) with
+  | Live s -> s.xmax <- xid
+  | Dead ->
+    invalid_arg
+      (Printf.sprintf "Page.set_xmax: slot %d is dead (page %d)" slot t.id)
+
+let set_xmin t ~slot xid =
+  check_slot t slot;
+  match t.slots.(slot) with
+  | Live s -> s.xmin <- xid
+  | Dead ->
+    invalid_arg
+      (Printf.sprintf "Page.set_xmin: slot %d is dead (page %d)" slot t.id)
+
 (* Resurrect a Dead slot with its original contents. The transaction undo
    path restores a deleted tuple at its exact TID so heap TIDs stay in
    correspondence with the log across rollbacks (a fresh insert would move
    the tuple and orphan later log records that name it). *)
-let insert_at t ~slot ~rel_id tuple =
+let insert_at t ?(xmin = 0) ~slot ~rel_id tuple =
   check_slot t slot;
   match t.slots.(slot) with
   | Live _ ->
@@ -70,7 +102,7 @@ let insert_at t ~slot ~rel_id tuple =
       (Printf.sprintf "Page.insert_at: slot %d is live (page %d)" slot t.id)
   | Dead ->
     let bytes = Rel.Tuple.serialized_size tuple in
-    t.slots.(slot) <- Live { rel_id; bytes; tuple };
+    t.slots.(slot) <- Live { rel_id; bytes; tuple; xmin; xmax = 0 };
     t.used <- t.used + bytes
 
 let delete t ~slot =
@@ -84,11 +116,25 @@ let delete t ~slot =
 
 let slots t = t.nslots
 
+(* Default visibility (no snapshot): versions not delete-marked. Reproduces
+   pre-MVCC behavior for statistics and single-session embedded use. *)
 let live_tuples t =
   let acc = ref [] in
   for i = t.nslots - 1 downto 0 do
     match t.slots.(i) with
-    | Live { rel_id; tuple; _ } -> acc := (i, rel_id, tuple) :: !acc
+    | Live { rel_id; tuple; xmax = 0; _ } -> acc := (i, rel_id, tuple) :: !acc
+    | Live _ | Dead -> ()
+  done;
+  !acc
+
+(* Every physically live version, delete-marked or not: scans apply their
+   own snapshot, VACUUM and index builds need the full chain. *)
+let versions t =
+  let acc = ref [] in
+  for i = t.nslots - 1 downto 0 do
+    match t.slots.(i) with
+    | Live { rel_id; tuple; xmin; xmax; _ } ->
+      acc := (i, rel_id, tuple, xmin, xmax) :: !acc
     | Dead -> ()
   done;
   !acc

@@ -3,29 +3,27 @@ type t = {
   data_pages : (int, Page.t) Hashtbl.t;
   pool : Buffer_pool.t;
   counters : Counters.t;
-  mutable active : Counters.t;
-      (* where accounting currently lands: normally [counters] itself, but a
-         server session redirects it to its own record for the duration of a
-         statement (under the engine latch), so EXPLAIN under concurrent
-         sessions never interleaves counts — the per-session mirror of the
-         per-domain scratch fold below *)
   buffer_pages : int;
   latch : Mutex.t;
   mutable parallel_depth : int;
       (* nesting of enter/exit_parallel; pool latched while > 0 *)
+  mutable shared : bool;
+      (* engine in multi-session (server) mode: concurrent reader statements
+         may touch the pool from several domains, so keep it latched even
+         outside parallel query phases *)
 }
 
-(* Per-domain scratch counters. While a worker domain runs under
-   [as_worker], its accounting lands in a domain-local Counters.t and is
-   folded into [t.counters] exactly once when the worker finishes — so the
-   hot counter bumps stay unsynchronized single-writer stores, and the fold
-   makes parallel totals sum to the serial totals. The main domain (and all
-   serial execution) keeps [None] here and writes [t.counters] directly. *)
+(* Per-domain scratch counters. Accounting lands in the domain-local record
+   when one is installed — a worker domain under [as_worker], or a server
+   session's statement under [with_counters] — and in the engine-global
+   [t.counters] otherwise. Domain-local redirection is what lets concurrent
+   reader statements on different domains bump counters without
+   synchronization: each domain has exactly one writer target. *)
 let scratch_key : Counters.t option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
 let cnt t =
-  match Domain.DLS.get scratch_key with Some c -> c | None -> t.active
+  match Domain.DLS.get scratch_key with Some c -> c | None -> t.counters
 
 let create ?(buffer_pages = 64) () =
   let counters = Counters.create () in
@@ -33,18 +31,18 @@ let create ?(buffer_pages = 64) () =
     data_pages = Hashtbl.create 1024;
     pool = Buffer_pool.create ~capacity:buffer_pages;
     counters;
-    active = counters;
     buffer_pages;
     latch = Mutex.create ();
-    parallel_depth = 0 }
+    parallel_depth = 0;
+    shared = false }
 
-let counters t = t.active
+let counters t = cnt t
 let base_counters t = t.counters
 
-let with_counters t c f =
-  let saved = t.active in
-  t.active <- c;
-  Fun.protect ~finally:(fun () -> t.active <- saved) f
+let with_counters _t c f =
+  let saved = Domain.DLS.get scratch_key in
+  Domain.DLS.set scratch_key (Some c);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set scratch_key saved) f
 let buffer_pages t = t.buffer_pages
 
 let alloc_page_id t =
@@ -88,16 +86,23 @@ let note_merge_pass t =
 
 let evict_all t = Buffer_pool.evict_all t.pool
 
+let refresh_pool_latch t =
+  Buffer_pool.set_latched t.pool (t.shared || t.parallel_depth > 0)
+
+let set_shared t on =
+  t.shared <- on;
+  refresh_pool_latch t
+
 let enter_parallel t =
   if Failpoint.enabled () then
     invalid_arg
       "Pager.enter_parallel: failpoint registry armed (single-domain-only)";
   t.parallel_depth <- t.parallel_depth + 1;
-  if t.parallel_depth = 1 then Buffer_pool.set_latched t.pool true
+  if t.parallel_depth = 1 then refresh_pool_latch t
 
 let exit_parallel t =
   t.parallel_depth <- t.parallel_depth - 1;
-  if t.parallel_depth = 0 then Buffer_pool.set_latched t.pool false
+  if t.parallel_depth = 0 then refresh_pool_latch t
 
 let as_worker t f =
   let scratch = Counters.create () in

@@ -17,11 +17,12 @@ val base_counters : t -> Counters.t
     records fold into this one at session close ({!Counters.add}). *)
 
 val with_counters : t -> Counters.t -> (unit -> 'a) -> 'a
-(** [with_counters t c f] runs [f] with all accounting (including the
-    {!counters} accessor) redirected to [c], restoring the previous target
-    when [f] returns or raises. Server sessions wrap each statement in this
-    (under the engine latch) so concurrent sessions never interleave counts;
-    the per-session analogue of the per-domain {!as_worker} fold. *)
+(** [with_counters t c f] runs [f] with this {e domain}'s accounting
+    (including the {!counters} accessor) redirected to [c], restoring the
+    previous target when [f] returns or raises. Sessions wrap each statement
+    in this; because the redirection is domain-local, concurrent reader
+    statements on different domains each write their own record without
+    synchronization. *)
 
 val buffer_pages : t -> int
 
@@ -55,6 +56,11 @@ val note_merge_pass : t -> unit
 
 val evict_all : t -> unit
 (** Cold the cache (bench harness between runs). *)
+
+val set_shared : t -> bool -> unit
+(** Multi-session (server) mode: keep the buffer pool latched even outside
+    parallel query phases, since concurrent reader statements touch it from
+    several domains. Composes with {!enter_parallel} nesting. *)
 
 val enter_parallel : t -> unit
 (** Bracket a parallel query phase (matched by {!exit_parallel}; nests). On

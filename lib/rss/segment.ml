@@ -19,55 +19,74 @@ let alloc t =
   t.pages <- Page.id p :: t.pages;
   p
 
-let insert_fresh t ~rel_id tuple =
+let insert_fresh t ?xmin ~rel_id tuple =
   let p = alloc t in
   Hashtbl.replace t.frontier rel_id (Page.id p);
-  match Page.insert p ~rel_id tuple with
+  match Page.insert p ?xmin ~rel_id tuple with
   | Some slot -> { Tid.page = Page.id p; slot }
   | None -> assert false (* a fresh page always fits a legal tuple *)
 
-let insert t ~rel_id tuple =
+let insert t ?xmin ~rel_id tuple =
   Failpoint.hit "segment.insert";
   match t.policy with
   | Per_relation ->
     (match Hashtbl.find_opt t.frontier rel_id with
      | Some pid ->
        let p = Pager.data_page t.pager pid in
-       (match Page.insert p ~rel_id tuple with
+       (match Page.insert p ?xmin ~rel_id tuple with
         | Some slot -> { Tid.page = pid; slot }
-        | None -> insert_fresh t ~rel_id tuple)
-     | None -> insert_fresh t ~rel_id tuple)
+        | None -> insert_fresh t ?xmin ~rel_id tuple)
+     | None -> insert_fresh t ?xmin ~rel_id tuple)
   | First_fit ->
     let need = Page.record_bytes tuple in
     let rec find = function
-      | [] -> insert_fresh t ~rel_id tuple
+      | [] -> insert_fresh t ?xmin ~rel_id tuple
       | pid :: rest ->
         let p = Pager.data_page t.pager pid in
         if Page.free_space p >= need then
-          match Page.insert p ~rel_id tuple with
+          match Page.insert p ?xmin ~rel_id tuple with
           | Some slot -> { Tid.page = pid; slot }
           | None -> find rest
         else find rest
     in
     find (List.rev t.pages)
 
-let insert_at t ~rel_id (tid : Tid.t) tuple =
+let insert_at t ?xmin ~rel_id (tid : Tid.t) tuple =
   Failpoint.hit "segment.insert";
   let p = Pager.data_page t.pager tid.page in
-  Page.insert_at p ~slot:tid.slot ~rel_id tuple
+  Page.insert_at p ?xmin ~slot:tid.slot ~rel_id tuple
 
 let delete t (tid : Tid.t) =
   Failpoint.hit "segment.delete";
   let p = Pager.data_page t.pager tid.page in
   Page.delete p ~slot:tid.slot
 
+(* MVCC delete: stamp xmax, leaving the version in place for concurrent
+   snapshots; [set_xmax tid 0] un-marks it (rollback undo). *)
+let set_xmax t (tid : Tid.t) xid =
+  Failpoint.hit "segment.delete";
+  let p = Pager.data_page t.pager tid.page in
+  Page.set_xmax p ~slot:tid.slot xid
+
+let set_xmin t (tid : Tid.t) xid =
+  let p = Pager.data_page t.pager tid.page in
+  Page.set_xmin p ~slot:tid.slot xid
+
 let fetch t (tid : Tid.t) =
   let p = Pager.read_data_page t.pager tid.page in
   Page.get p ~slot:tid.slot
 
+let fetch_v t (tid : Tid.t) =
+  let p = Pager.read_data_page t.pager tid.page in
+  Page.get_v p ~slot:tid.slot
+
 let fetch_unaccounted t (tid : Tid.t) =
   let p = Pager.data_page t.pager tid.page in
   Page.get p ~slot:tid.slot
+
+let fetch_unaccounted_v t (tid : Tid.t) =
+  let p = Pager.data_page t.pager tid.page in
+  Page.get_v p ~slot:tid.slot
 
 (* Repeated-fetch closure with a one-page cache: an index scan in key order
    fetches long runs of tuples from the same (clustered) page, so the
@@ -89,6 +108,23 @@ let fetcher t =
       end
     in
     Page.get p ~slot:tid.slot
+
+let fetcher_v t =
+  let last_pid = ref (-1) in
+  let last_page = ref None in
+  fun (tid : Tid.t) ->
+    Pager.touch t.pager tid.page;
+    let p =
+      if tid.page = !last_pid then
+        match !last_page with Some p -> p | None -> assert false
+      else begin
+        let p = Pager.data_page t.pager tid.page in
+        last_pid := tid.page;
+        last_page := Some p;
+        p
+      end
+    in
+    Page.get_v p ~slot:tid.slot
 
 let page_ids t = List.rev t.pages
 

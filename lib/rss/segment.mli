@@ -19,26 +19,40 @@ type t
 val create : ?policy:fill_policy -> Pager.t -> t
 val pager : t -> Pager.t
 
-val insert : t -> rel_id:int -> Rel.Tuple.t -> Tid.t
+val insert : t -> ?xmin:int -> rel_id:int -> Rel.Tuple.t -> Tid.t
 (** Store a tuple, allocating pages as needed. No I/O is charged: loading is
-    not part of any measured query. *)
+    not part of any measured query. [xmin] defaults to 0 (frozen). *)
 
-val insert_at : t -> rel_id:int -> Tid.t -> Rel.Tuple.t -> unit
+val insert_at : t -> ?xmin:int -> rel_id:int -> Tid.t -> Rel.Tuple.t -> unit
 (** Restore a previously deleted tuple at its exact TID ({!Page.insert_at});
     used by transaction rollback.
     @raise Invalid_argument when the TID is live or never existed. *)
 
 val delete : t -> Tid.t -> bool
+(** Physically tombstone a TID (rollback of inserts, VACUUM reclaim). *)
+
+val set_xmax : t -> Tid.t -> int -> unit
+(** MVCC delete-mark: stamp the version's deleter (0 clears the mark). *)
+
+val set_xmin : t -> Tid.t -> int -> unit
+(** Restamp the version's creator (VACUUM freezing uses 0). *)
 
 val fetch : t -> Tid.t -> (int * Rel.Tuple.t) option
 (** Buffered tuple fetch (charges a page access): [(rel_id, tuple)]. *)
 
+val fetch_v : t -> Tid.t -> (int * Rel.Tuple.t * int * int) option
+(** Like {!fetch} with [(xmin, xmax)] version metadata. *)
+
 val fetch_unaccounted : t -> Tid.t -> (int * Rel.Tuple.t) option
+val fetch_unaccounted_v : t -> Tid.t -> (int * Rel.Tuple.t * int * int) option
 
 val fetcher : t -> Tid.t -> (int * Rel.Tuple.t) option
 (** A repeated-fetch closure that caches the last page it resolved, for
     scans fetching key-ordered runs of tuples from clustered pages.
     Accounting identical to {!fetch}. *)
+
+val fetcher_v : t -> Tid.t -> (int * Rel.Tuple.t * int * int) option
+(** {!fetcher} with version metadata. *)
 
 val page_ids : t -> int list
 (** All pages of the segment, in allocation order. *)

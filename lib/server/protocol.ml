@@ -19,6 +19,7 @@
    batch, not one per response. *)
 
 exception Malformed of string
+exception Disconnected
 
 let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
 
@@ -281,13 +282,19 @@ let io_of_fd fd =
 
 let fd io = io.fd
 
+(* write(2) is not all-or-nothing: a filled socket buffer accepts a prefix
+   and returns short, so every send must loop on the remainder. A peer that
+   vanished mid-reply surfaces here as EPIPE (or ECONNRESET once its kernel
+   discards the connection) — normalized to [Disconnected] so callers treat
+   it exactly like an orderly EOF on the read side, not as an I/O fault. *)
 let rec write_all fd s off len =
   if len > 0 then begin
-    let n =
-      try Unix.write_substring fd s off len
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    write_all fd s (off + n) (len - n)
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+    | exception
+        Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN), _, _)
+      -> raise Disconnected
   end
 
 let flush io =
@@ -367,6 +374,9 @@ let rec refill io =
     io.rlen <- io.rlen + n;
     true
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill io
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+    (* an abortive close reads the same as an orderly one *)
+    false
 
 (* True when a request is already buffered (or the stream is detectably
    corrupt): the server keeps answering without flushing while this holds,

@@ -13,6 +13,12 @@
 
 exception Malformed of string
 
+exception Disconnected
+(** The peer vanished while bytes were still owed to it: raised when a
+    {!flush} (or the implicit flush inside a recv) hits [EPIPE]/[ECONNRESET].
+    The read side normalizes an abortive close to the orderly-EOF [None]
+    instead. *)
+
 val version : int
 val max_frame : int
 

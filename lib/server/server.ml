@@ -3,12 +3,14 @@
    one shared Engine.
 
    Starting the server flips the engine into latched (shared) mode for the
-   listener's lifetime: statements from all sessions serialize on the engine
-   latch, blocked 2PL lock requests wait on the engine condvar, and SELECTs
-   take shared relation locks (Session.with_read_locks). A handler that dies
-   mid-transaction — client disconnect, protocol violation — closes its
-   session, which aborts the transaction and releases its locks, so a
-   vanished client can never strand a lock.
+   listener's lifetime: mutating statements hold the engine latch
+   exclusively, read-only statements hold it shared and run concurrently
+   against their MVCC snapshots (no S locks — readers never block on
+   writers), and blocked 2PL lock requests wait on the engine condvar. A
+   handler that dies mid-transaction — client disconnect (orderly EOF or
+   EPIPE on a pending reply), protocol violation — closes its session,
+   which aborts the transaction and releases its locks, so a vanished
+   client can never strand a lock.
 
    Connection handlers occupy their pool worker for the connection's
    lifetime, which is exactly why server sessions are serial_only: a worker
@@ -203,6 +205,11 @@ let handle t fd =
      loop ()
    with
    | Exit -> ()
+   | Protocol.Disconnected ->
+     (* the client vanished while we owed it bytes (EPIPE mid-flush):
+        same clean path as an orderly EOF — fall through to close the
+        session, aborting its transaction and releasing its locks *)
+     ()
    | Protocol.Malformed e ->
      (try Protocol.send io (Protocol.Err ("protocol error: " ^ e)) with _ -> ())
    | _ -> ());

@@ -60,6 +60,7 @@ type statement =
   | Drop_table of string
   | Drop_index of string
   | Update_statistics
+  | Vacuum
   | Set_parallelism of int
   | Set_histograms of bool
   | Set_plan_cache_size of int
@@ -171,6 +172,7 @@ let pp_statement ppf = function
   | Drop_table t -> Format.fprintf ppf "DROP TABLE %s" t
   | Drop_index i -> Format.fprintf ppf "DROP INDEX %s" i
   | Update_statistics -> Format.pp_print_string ppf "UPDATE STATISTICS"
+  | Vacuum -> Format.pp_print_string ppf "VACUUM"
   | Set_parallelism n -> Format.fprintf ppf "SET PARALLELISM %d" n
   | Set_histograms b ->
     Format.fprintf ppf "SET HISTOGRAMS %s" (if b then "ON" else "OFF")

@@ -71,6 +71,7 @@ type statement =
   | Drop_table of string
   | Drop_index of string
   | Update_statistics
+  | Vacuum
   | Set_parallelism of int
       (** SET PARALLELISM n: cap the degree of parallelism the optimizer may
           choose for subsequent queries; 1 disables parallel execution *)

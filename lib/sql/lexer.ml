@@ -15,7 +15,7 @@ let keywords =
     "ON"; "INSERT"; "INTO"; "VALUES"; "DELETE"; "UPDATE"; "SET"; "STATISTICS"; "SEARCH";
     "PARALLELISM"; "HISTOGRAMS"; "OFF"; "PLAN_CACHE_SIZE";
     "BEGIN"; "TRANSACTION"; "COMMIT"; "ROLLBACK"; "EXPLAIN"; "DROP"; "INT"; "FLOAT";
-    "STRING"; "NULL"; "AVG"; "MIN"; "MAX"; "SUM"; "COUNT" ]
+    "STRING"; "NULL"; "VACUUM"; "AVG"; "MIN"; "MAX"; "SUM"; "COUNT" ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')

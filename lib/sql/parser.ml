@@ -408,6 +408,9 @@ let statement st =
   | Lexer.Kw "ROLLBACK" ->
     advance st;
     Ast.Rollback
+  | Lexer.Kw "VACUUM" ->
+    advance st;
+    Ast.Vacuum
   | t -> fail st (Format.asprintf "expected statement, found %a" Lexer.pp_token t)
 
 let make_state src =

@@ -84,10 +84,12 @@ let test_tuple_granularity () =
   Alcotest.(check bool) "different tuples independent" true
     (L.acquire lt 2 r2 L.Exclusive = L.Granted)
 
-(* A sole holder's Shared→Exclusive upgrade is granted ahead of queued
-   waiters: making the upgrader queue behind a request that conflicts with
-   its own Shared hold would deadlock instantly. The waiters then proceed in
-   arrival order once the upgrader releases. *)
+(* A sole holder's Shared→Exclusive upgrade with waiters already queued is a
+   deadlock, not a queue-jump: t1 cannot get X until t2's queued X drains,
+   and t2 cannot be granted while t1 holds S. The old fast path granted the
+   upgrade past the queue, starving t2 behind an arbitrarily long string of
+   upgraders; now the upgrader is told Deadlock immediately so it can abort
+   and retry, and the queue proceeds in arrival order. *)
 let test_upgrade_with_queued_waiters () =
   let lt = L.create () in
   Alcotest.(check bool) "t1 S" true (L.acquire lt 1 (rel 0) L.Shared = L.Granted);
@@ -97,14 +99,42 @@ let test_upgrade_with_queued_waiters () =
   (match L.acquire lt 3 (rel 0) L.Shared with
    | L.Blocked _ -> ()
    | _ -> Alcotest.fail "t3 S must queue behind t2");
-  Alcotest.(check bool) "sole-holder upgrade granted past the queue" true
-    (L.acquire lt 1 (rel 0) L.Exclusive = L.Granted);
-  Alcotest.(check bool) "t1 holds X" true (L.holds lt 1 (rel 0) L.Exclusive);
+  (match L.acquire lt 1 (rel 0) L.Exclusive with
+   | L.Deadlock cycle ->
+     Alcotest.(check bool) "cycle names the upgrader or its blocker" true
+       (List.mem 1 cycle || List.mem 2 cycle)
+   | L.Granted -> Alcotest.fail "upgrade must not jump the queue"
+   | L.Blocked _ ->
+     Alcotest.fail "queued-behind-own-block is an undetected deadlock");
+  (* the upgrader aborts; everyone queued proceeds in arrival order *)
   L.release_all lt 1;
   Alcotest.(check bool) "t2 first in line gets X" true
     (L.holds lt 2 (rel 0) L.Exclusive);
   Alcotest.(check bool) "t3 still waits behind t2's X" false
+    (L.holds lt 3 (rel 0) L.Shared);
+  L.release_all lt 2;
+  Alcotest.(check bool) "t3 granted after t2" true
     (L.holds lt 3 (rel 0) L.Shared)
+
+(* Two S holders racing to upgrade: each needs the other to release first.
+   The second upgrade request must come back Deadlock (the classic
+   lost-update trap), never leave both Blocked forever. *)
+let test_two_upgraders_deadlock () =
+  let lt = L.create () in
+  ignore (L.acquire lt 1 (rel 0) L.Shared);
+  ignore (L.acquire lt 2 (rel 0) L.Shared);
+  (match L.acquire lt 1 (rel 0) L.Exclusive with
+   | L.Blocked [ 2 ] -> ()
+   | _ -> Alcotest.fail "t1's upgrade should block on t2's S");
+  (match L.acquire lt 2 (rel 0) L.Exclusive with
+   | L.Deadlock cycle ->
+     Alcotest.(check bool) "cycle mentions both upgraders" true
+       (List.mem 1 cycle || List.mem 2 cycle)
+   | _ -> Alcotest.fail "second upgrader must be refused as Deadlock");
+  (* t2 aborts; t1's pending upgrade is promoted *)
+  L.release_all lt 2;
+  Alcotest.(check bool) "t1 upgraded after t2 aborts" true
+    (L.holds lt 1 (rel 0) L.Exclusive)
 
 let test_release_grant_arrival_order () =
   let lt = L.create () in
@@ -334,6 +364,8 @@ let () =
           Alcotest.test_case "tuple granularity" `Quick test_tuple_granularity;
           Alcotest.test_case "upgrade with queued waiters" `Quick
             test_upgrade_with_queued_waiters;
+          Alcotest.test_case "two upgraders deadlock" `Quick
+            test_two_upgraders_deadlock;
           Alcotest.test_case "release grants in arrival order" `Quick
             test_release_grant_arrival_order;
           Alcotest.test_case "3-txn deadlock, mixed granularity" `Quick

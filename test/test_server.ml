@@ -5,8 +5,9 @@
      Unix-domain socket
    - per-session isolation: SET overrides, transactions, counters folding
      into the engine-global record at session close
-   - 2PL across sessions: writer/writer blocking, deadlock victims,
-     mid-transaction disconnect releasing locks (the crashed-client case)
+   - write-write 2PL across sessions: same-tuple delete conflicts block,
+     deadlock victims error, mid-transaction disconnect releases locks (the
+     crashed-client case) — while MVCC readers never block on writers
    - prepared-statement revalidation after UPDATE STATISTICS from another
      session
    - the multi-session differential: N concurrent connections replay a fuzz
@@ -42,19 +43,14 @@ let with_server ?(seed = "") f =
 let connect srv = Client.connect (Server.addr srv)
 
 (* Deterministic cross-session sequencing: block until some transaction is
-   queued waiting on [table]'s relation lock. Reads engine state under the
-   engine latch — valid while the server has the engine in latched mode. *)
-let wait_for_waiter db table =
+   queued waiting on a lock (tuple or relation). Reads engine state under
+   the engine latch — valid while the server has the engine in latched
+   mode. *)
+let wait_for_waiter db =
   let eng = Database.engine db in
-  let rel =
-    match Catalog.find_relation (Database.catalog db) table with
-    | Some r -> r
-    | None -> Alcotest.fail ("no table " ^ table)
-  in
   let waiting () =
     Engine.with_latch eng (fun () ->
-        Rss.Lock_table.waiting (Engine.lock_table eng)
-          (Rss.Lock_table.Relation rel.Catalog.rel_id))
+        Rss.Lock_table.blocked_txns (Engine.lock_table eng))
   in
   let rec go n =
     if waiting () = [] then
@@ -255,76 +251,178 @@ let test_malformed_frames () =
       Alcotest.(check string) "server still serving" "SELECT 0" r.Client.tag;
       Client.close c)
 
-(* --- 2PL across sessions --------------------------------------------------- *)
+(* --- write-write 2PL and MVCC reads across sessions ------------------------ *)
 
+(* Inserts of different transactions are compatible (an uncommitted version
+   is invisible to everyone else — there is nothing to conflict with);
+   write-write blocking happens at tuple granularity, on the victim of a
+   DELETE. First committer wins: the blocked deleter finds the tuple's xmax
+   stamped after its lock is finally granted and fails with a serialization
+   error instead of double-deleting. *)
 let test_writer_blocks_writer () =
-  with_server ~seed:"CREATE TABLE t (a INT); INSERT INTO t VALUES (1);"
+  with_server ~seed:"CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2);"
     (fun db srv ->
       let a = connect srv and b = connect srv in
       ignore (Client.ok (Client.simple a "BEGIN"));
-      ignore (Client.ok (Client.simple a "INSERT INTO t VALUES (2)"));
-      (* b's insert queues behind a's X lock; send without reading *)
-      Client.send b (P.Simple "INSERT INTO t VALUES (3)");
+      ignore (Client.ok (Client.simple a "DELETE FROM t WHERE a = 1"));
+      (* concurrent inserts do NOT block: no tuple conflict exists *)
+      let r = Client.ok (Client.simple b "INSERT INTO t VALUES (3)") in
+      Alcotest.(check string) "concurrent insert unblocked" "1 row inserted"
+        r.Client.tag;
+      (* b's delete of the same tuple queues behind a's tuple X lock *)
+      Client.send b (P.Simple "DELETE FROM t WHERE a = 1");
       Client.flush b;
-      wait_for_waiter db "t";
+      wait_for_waiter db;
       ignore (Client.ok (Client.simple a "COMMIT"));
-      let r = Client.ok (Client.read_reply b) in
-      Alcotest.(check string) "b completes after commit" "1 row inserted" r.Client.tag;
+      (* first committer (a) wins; b's delete fails rather than re-deleting *)
+      let r = Client.read_reply b in
+      (match r.Client.error with
+       | Some e ->
+         Alcotest.(check bool) "serialization error reported" true
+           (contains e "serialize")
+       | None -> Alcotest.fail "expected a serialization error");
       let r = Client.ok (Client.simple b "SELECT a FROM t") in
-      Alcotest.check msv "both writes visible"
-        (multiset [ [| V.Int 1 |]; [| V.Int 2 |]; [| V.Int 3 |] ])
+      Alcotest.check msv "a's delete and b's insert both visible"
+        (multiset [ [| V.Int 2 |]; [| V.Int 3 |] ])
         (rows_ms r);
       Client.close a;
       Client.close b)
+
+(* The tentpole acceptance pin: a point SELECT against a row an uncommitted
+   transaction has written must complete immediately from its snapshot —
+   never queue behind the writer's locks. *)
+let test_reader_never_blocks_on_writer () =
+  with_server ~seed:"CREATE TABLE t (a INT, b INT); INSERT INTO t VALUES (1, 10);"
+    (fun _db srv ->
+      let w = connect srv and r = connect srv in
+      ignore (Client.ok (Client.simple w "BEGIN"));
+      ignore (Client.ok (Client.simple w "DELETE FROM t WHERE a = 1"));
+      ignore (Client.ok (Client.simple w "INSERT INTO t VALUES (1, 11)"));
+      (* the reader completes while w's transaction is still open, and sees
+         the pre-transaction image *)
+      let reply = Client.ok (Client.simple r "SELECT b FROM t WHERE a = 1") in
+      Alcotest.check msv "snapshot read under uncommitted writer"
+        (multiset [ [| V.Int 10 |] ])
+        (rows_ms reply);
+      ignore (Client.ok (Client.simple w "COMMIT"));
+      let reply = Client.ok (Client.simple r "SELECT b FROM t WHERE a = 1") in
+      Alcotest.check msv "post-commit read sees the new version"
+        (multiset [ [| V.Int 11 |] ])
+        (rows_ms reply);
+      Client.close w;
+      Client.close r)
 
 let test_midtxn_disconnect_releases_locks () =
   with_server ~seed:"CREATE TABLE t (a INT); INSERT INTO t VALUES (1);"
     (fun db srv ->
       let a = connect srv and b = connect srv in
       ignore (Client.ok (Client.simple a "BEGIN"));
-      ignore (Client.ok (Client.simple a "INSERT INTO t VALUES (2)"));
-      Client.send b (P.Simple "INSERT INTO t VALUES (3)");
+      ignore (Client.ok (Client.simple a "DELETE FROM t WHERE a = 1"));
+      Client.send b (P.Simple "DELETE FROM t WHERE a = 1");
       Client.flush b;
-      wait_for_waiter db "t";
+      wait_for_waiter db;
       (* the client vanishes mid-transaction: no Terminate, no COMMIT *)
       Client.abandon a;
-      (* b's queued insert must be granted once a's session closes *)
+      (* a's rollback releases the tuple lock and un-marks the victim, so
+         b's queued delete is granted and succeeds *)
       let r = Client.ok (Client.read_reply b) in
-      Alcotest.(check string) "b unblocked by disconnect" "1 row inserted"
+      Alcotest.(check string) "b unblocked by disconnect" "1 row deleted"
         r.Client.tag;
       let r = Client.ok (Client.simple b "SELECT a FROM t") in
-      Alcotest.check msv "a's transaction rolled back"
-        (multiset [ [| V.Int 1 |]; [| V.Int 3 |] ])
-        (rows_ms r);
+      Alcotest.check msv "a's transaction rolled back, b's delete applied"
+        (multiset []) (rows_ms r);
       Client.close b)
+
+(* A client that vanishes while the server still owes it bytes: the flush
+   hits EPIPE/ECONNRESET instead of the read side seeing EOF. That must be
+   the same clean disconnect — session closed, transaction aborted, tuple
+   locks released — not a crashed handler or a stranded lock. The pipelined
+   result set is sized well past the socket buffer so the server is
+   guaranteed to still be writing when the peer closes. *)
+let test_epipe_disconnect_releases_locks () =
+  let seed =
+    let b = Buffer.create (1 lsl 16) in
+    Buffer.add_string b "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); ";
+    Buffer.add_string b "CREATE TABLE big (id INT, pad STRING); ";
+    Buffer.add_string b "INSERT INTO big VALUES ";
+    let pad = String.make 80 'x' in
+    for i = 0 to 2999 do
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "(%d, '%s')" i pad)
+    done;
+    Buffer.add_string b ";";
+    Buffer.contents b
+  in
+  with_server ~seed (fun _db srv ->
+      let a = connect srv and b = connect srv in
+      ignore (Client.ok (Client.simple a "BEGIN"));
+      ignore (Client.ok (Client.simple a "DELETE FROM t WHERE a = 1"));
+      (* pipeline ~2 MB of replies, read only the first, then drop the
+         socket: the server's write(2) of the remainder fails *)
+      for _ = 1 to 8 do
+        Client.send a (P.Simple "SELECT pad FROM big")
+      done;
+      Client.flush a;
+      ignore (Client.read_reply a);
+      Client.abandon a;
+      (* a's abort must release the tuple lock and restore the row, so b's
+         conflicting delete (queued or fresh) succeeds *)
+      let r = Client.ok (Client.simple b "DELETE FROM t WHERE a = 1") in
+      Alcotest.(check string) "b deletes after EPIPE disconnect"
+        "1 row deleted" r.Client.tag;
+      Client.close b)
+
+(* Snapshot.save on a shared engine: latched against concurrent statements,
+   refused outright while any session's transaction is open (uncommitted
+   versions must never be serialized), accepted again once it commits. *)
+let test_snapshot_save_on_shared_engine () =
+  with_server ~seed:"CREATE TABLE t (a INT); INSERT INTO t VALUES (1);"
+    (fun db srv ->
+      let a = connect srv in
+      ignore (Client.ok (Client.simple a "BEGIN"));
+      ignore (Client.ok (Client.simple a "INSERT INTO t VALUES (2)"));
+      (match Snapshot.save db with
+       | exception Invalid_argument _ -> ()
+       | _ -> Alcotest.fail "save must refuse while a transaction is open");
+      ignore (Client.ok (Client.simple a "COMMIT"));
+      let bytes = Snapshot.save db in
+      Client.close a;
+      let db' = Snapshot.load bytes in
+      let out = Database.query db' "SELECT a FROM t" in
+      Alcotest.check msv "snapshot captured committed state"
+        (multiset [ [| V.Int 1 |]; [| V.Int 2 |] ])
+        (multiset out.Executor.rows))
 
 let test_deadlock_victim () =
   with_server
-    ~seed:"CREATE TABLE t1 (a INT); CREATE TABLE t2 (a INT);"
+    ~seed:
+      "CREATE TABLE t1 (a INT); CREATE TABLE t2 (a INT); INSERT INTO t1 \
+       VALUES (1); INSERT INTO t2 VALUES (1);"
     (fun db srv ->
       let a = connect srv and b = connect srv in
       ignore (Client.ok (Client.simple a "BEGIN"));
-      ignore (Client.ok (Client.simple a "INSERT INTO t1 VALUES (1)"));
+      ignore (Client.ok (Client.simple a "DELETE FROM t1 WHERE a = 1"));
       ignore (Client.ok (Client.simple b "BEGIN"));
-      ignore (Client.ok (Client.simple b "INSERT INTO t2 VALUES (1)"));
-      (* a waits for t2 ... *)
-      Client.send a (P.Simple "INSERT INTO t2 VALUES (2)");
+      ignore (Client.ok (Client.simple b "DELETE FROM t2 WHERE a = 1"));
+      (* a waits for t2's tuple ... *)
+      Client.send a (P.Simple "DELETE FROM t2 WHERE a = 1");
       Client.flush a;
-      wait_for_waiter db "t2";
-      (* ... so b's request for t1 closes the cycle: b is the victim *)
-      let r = Client.simple b "INSERT INTO t1 VALUES (2)" in
+      wait_for_waiter db;
+      (* ... so b's request for t1's tuple closes the cycle: b is the victim *)
+      let r = Client.simple b "DELETE FROM t1 WHERE a = 1" in
       (match r.Client.error with
        | Some e -> Alcotest.(check bool) "deadlock reported" true (contains e "deadlock")
        | None -> Alcotest.fail "expected a deadlock error");
-      (* the victim's transaction survives (statement-level abort); it rolls
-         back, freeing t2, which unblocks a *)
+      (* the victim's transaction survives (statement-level abort); its
+         ROLLBACK undoes b's t2 delete-mark and releases the tuple lock, so
+         a's queued delete is granted, rechecks a live unmarked tuple, and
+         succeeds *)
       ignore (Client.ok (Client.simple b "ROLLBACK"));
       let r = Client.ok (Client.read_reply a) in
-      Alcotest.(check string) "a proceeds" "1 row inserted" r.Client.tag;
+      Alcotest.(check string) "a proceeds" "1 row deleted" r.Client.tag;
       ignore (Client.ok (Client.simple a "COMMIT"));
       let r = Client.ok (Client.simple a "SELECT a FROM t2") in
-      Alcotest.check msv "only a's t2 write committed"
-        (multiset [ [| V.Int 2 |] ]) (rows_ms r);
+      Alcotest.check msv "a's t2 delete committed" (multiset []) (rows_ms r);
       Client.close a;
       Client.close b)
 
@@ -501,10 +599,16 @@ let () =
           Alcotest.test_case "revalidation generation (embedded)" `Quick
             test_prepared_generation ] );
       ( "locking",
-        [ Alcotest.test_case "writer blocks writer until commit" `Quick
-            test_writer_blocks_writer;
+        [ Alcotest.test_case "same-tuple writers conflict, first committer wins"
+            `Quick test_writer_blocks_writer;
+          Alcotest.test_case "point SELECT never blocks on uncommitted writer"
+            `Quick test_reader_never_blocks_on_writer;
           Alcotest.test_case "mid-txn disconnect releases locks" `Quick
             test_midtxn_disconnect_releases_locks;
+          Alcotest.test_case "EPIPE on pending replies is a clean disconnect"
+            `Quick test_epipe_disconnect_releases_locks;
+          Alcotest.test_case "snapshot save latches and refuses active txns"
+            `Quick test_snapshot_save_on_shared_engine;
           Alcotest.test_case "deadlock victim errors, survivor proceeds" `Quick
             test_deadlock_victim ] );
       ( "sessions",
