@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke bench-parallel bench-qerror bench-server bench-mvcc fuzz torture clean
+.PHONY: all build test check bench bench-smoke bench-parallel bench-qerror bench-server bench-mvcc bench-commit fuzz torture clean
 
 all: build
 
@@ -62,6 +62,13 @@ bench-server:
 # QPS >= 2x 1-conn — snapshot reads must never queue behind the writer
 bench-mvcc:
 	dune exec bench/main.exe -- mvcc
+
+# group commit only (writes BENCH_commit.json, E12): closed-loop auto-commit
+# INSERT QPS at 1/2/4/8 connections, leader-based batched flushes vs one
+# flush per commit against a simulated 200us fsync; BENCH_ENFORCE_COMMIT=1
+# gates 8-conn group >= 2x per-commit
+bench-commit:
+	dune exec bench/main.exe -- commit
 
 clean:
 	dune clean

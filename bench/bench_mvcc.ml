@@ -55,10 +55,11 @@ let seed_sql () =
 (* Churn one hot key per cycle inside an explicit transaction that stays
    open across a sleep: the adversarial schedule for any reader that takes
    locks. Stops at the next cycle boundary after [stop] is set. *)
-let writer_loop addr stop =
+let writer_loop addr stop started =
   let c = Client.connect addr in
   let cycle = ref 0 in
   while not (Atomic.get stop) do
+    if !cycle = 1 then Bench_util.arrive started;
     let k = !cycle mod hot_keys in
     ignore (Client.ok (Client.simple c "BEGIN"));
     ignore
@@ -81,8 +82,8 @@ let writer_loop addr stop =
    Every key is hot, so every read lands on a tuple the writer is likely
    holding an uncommitted version of right now. *)
 let run_cell_once addr mode conns =
-  let ready = Atomic.make 0 in
-  let go = Atomic.make false in
+  let ready = Bench_util.latch conns in
+  let go = Bench_util.latch 1 in
   let worker conn_id () =
     match
       let c = Client.connect addr in
@@ -100,11 +101,11 @@ let run_cell_once addr mode conns =
       (c, read)
     with
     | exception e ->
-      Atomic.incr ready;
+      Bench_util.arrive ready;
       raise e
     | c, read ->
-      Atomic.incr ready;
-      while not (Atomic.get go) do Domain.cpu_relax () done;
+      Bench_util.arrive ready;
+      Bench_util.await go;
       let t0 = Unix.gettimeofday () in
       for i = 1 to iters do
         ignore (read i);
@@ -115,8 +116,8 @@ let run_cell_once addr mode conns =
       (iters, dt)
   in
   let doms = List.init conns (fun id -> Domain.spawn (worker id)) in
-  while Atomic.get ready < conns do Domain.cpu_relax () done;
-  Atomic.set go true;
+  Bench_util.await ready;
+  Bench_util.arrive go;
   let cells = List.map Domain.join doms in
   let total_ops = List.fold_left (fun a (o, _) -> a + o) 0 cells in
   let slowest = List.fold_left (fun a (_, dt) -> max a dt) 0. cells in
@@ -147,7 +148,16 @@ let run () =
   Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
   let addr = Server.addr srv in
   let stop = Atomic.make false in
-  let writer = Domain.spawn (fun () -> writer_loop addr stop) in
+  let started = Bench_util.latch 1 in
+  let writer =
+    Domain.spawn (fun () ->
+        try writer_loop addr stop started
+        with e ->
+          Bench_util.arrive started;
+          raise e)
+  in
+  (* measure only once the writer is actually churning (one full cycle) *)
+  Bench_util.await started;
   let results =
     Fun.protect
       ~finally:(fun () -> Atomic.set stop true)

@@ -83,6 +83,25 @@ let write_json ~file j =
    fast while every code path still executes. *)
 let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None
 
+(* Counting latch for cross-domain start-line handshakes: each worker
+   [arrive]s, the coordinator [await]s all arrivals — condition-variable
+   sleeps instead of atomic spin loops, so a stalled worker parks the waiter
+   rather than burning the core it is waiting for. *)
+type latch = { l_m : Mutex.t; l_c : Condition.t; mutable l_n : int }
+
+let latch n = { l_m = Mutex.create (); l_c = Condition.create (); l_n = n }
+
+let arrive l =
+  Mutex.lock l.l_m;
+  l.l_n <- l.l_n - 1;
+  if l.l_n <= 0 then Condition.broadcast l.l_c;
+  Mutex.unlock l.l_m
+
+let await l =
+  Mutex.lock l.l_m;
+  while l.l_n > 0 do Condition.wait l.l_c l.l_m done;
+  Mutex.unlock l.l_m
+
 let dummy_env =
   { Eval.blocks = [];
     params = [||];

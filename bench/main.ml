@@ -20,7 +20,8 @@ let benches =
     ("hot", "exec hot path: interpreted vs compiled evaluation", Bench_exec_hotpath.run);
     ("par", "parallel scaling: exchange/sort/group-by over domains", Bench_parallel.run);
     ("srv", "server throughput: simple vs prepared QPS over the wire", Bench_server.run);
-    ("mvcc", "MVCC: point-SELECT QPS scaling under a live writer", Bench_mvcc.run) ]
+    ("mvcc", "MVCC: point-SELECT QPS scaling under a live writer", Bench_mvcc.run);
+    ("commit", "group commit: commit QPS vs per-commit flushes", Bench_commit.run) ]
 
 let () =
   let requested =

@@ -42,6 +42,24 @@ type t = {
   mutable writers_waiting : int;
   mutable latched : bool;
   mutable live_sessions : int;
+  (* -- group commit: one WAL flush amortized across a commit window -- *)
+  gc_m : Mutex.t;               (* guards gc_* below; taken after the latch *)
+  gc_cond : Condition.t;        (* durability watermark / leadership changes *)
+  mutable gc_next_ticket : int;
+  mutable gc_queue : (int * int) list;    (* (ticket, txn), newest first *)
+  mutable gc_inflight : (int * int) list; (* appended, not durable; oldest first *)
+  mutable gc_durable : int;     (* highest ticket whose commit record is durable *)
+  mutable gc_leader : bool;     (* a session is running the flush protocol *)
+  mutable gc_enabled : bool;    (* off: every commit pays a private flush *)
+  mutable gc_delay : float;     (* leader batching window, seconds *)
+  mutable gc_hold : bool;       (* harness: defer all flushing to flush_group *)
+  mutable gc_enqueued : int;
+  mutable gc_flushes : int;
+  mutable gc_grouped : int;     (* commits made durable by group flushes *)
+  mutable gc_max_batch : int;
+  (* -- blocked-transaction events: tests wait on these, never poll -- *)
+  blocked_changed : Condition.t;
+  mutable block_events : int;
 }
 
 let create ?buffer_pages () =
@@ -68,7 +86,23 @@ let create ?buffer_pages () =
     writer = false;
     writers_waiting = 0;
     latched = false;
-    live_sessions = 0 }
+    live_sessions = 0;
+    gc_m = Mutex.create ();
+    gc_cond = Condition.create ();
+    gc_next_ticket = 1;
+    gc_queue = [];
+    gc_inflight = [];
+    gc_durable = 0;
+    gc_leader = false;
+    gc_enabled = true;
+    gc_delay = 0.;
+    gc_hold = false;
+    gc_enqueued = 0;
+    gc_flushes = 0;
+    gc_grouped = 0;
+    gc_max_batch = 0;
+    blocked_changed = Condition.create ();
+    block_events = 0 }
 
 let catalog t = t.cat
 let pager t = Catalog.pager t.cat
@@ -159,3 +193,177 @@ let fresh_session_id t =
   let id = t.next_session in
   t.next_session <- id + 1;
   id
+
+(* --- group commit ---------------------------------------------------------
+
+   Committing sessions enqueue their transaction under the engine write
+   latch — so ticket order equals MVCC visibility order equals the order the
+   leader appends commit records, which keeps prefix-durability sound: if a
+   commit's ack was released, every commit it could depend on is in the same
+   or an earlier durable batch. They then block in [await_durable] until a
+   leader's flush covers their ticket. The first waiter with no leader in
+   place becomes leader: it sleeps out the batching window (latch free, so
+   later commits join), drains the queue, appends all commit records in
+   enqueue order under the latch, and flushes outside it. If the leader's
+   flush fails, leadership is released and a waiting follower takes over,
+   retrying the still-buffered batch — a leader failure never strands
+   followers. *)
+
+let enqueue_commit t txn =
+  Mutex.lock t.gc_m;
+  let ticket = t.gc_next_ticket in
+  t.gc_next_ticket <- ticket + 1;
+  t.gc_queue <- (ticket, txn) :: t.gc_queue;
+  t.gc_enqueued <- t.gc_enqueued + 1;
+  Mutex.unlock t.gc_m;
+  ticket
+
+(* One leader pass: drain + append under the write latch (commit records
+   interleave with DML appends in latch order), flush outside it so the next
+   window's statements keep executing during the device sync. Returns the
+   txns whose acks this flush released. The caller must hold leadership (or
+   be the only live session). *)
+let leader_step t (counters : Rss.Counters.t) =
+  let batch =
+    with_latch t (fun () ->
+        Mutex.lock t.gc_m;
+        let fresh = List.rev t.gc_queue in
+        t.gc_queue <- [];
+        Mutex.unlock t.gc_m;
+        List.iter (fun (_, txn) -> Rss.Wal.append t.wal (Rss.Wal.Commit txn)) fresh;
+        (* a previous leader's failed flush leaves its batch in inflight;
+           this pass covers it too *)
+        t.gc_inflight <- t.gc_inflight @ fresh;
+        t.gc_inflight)
+  in
+  if batch = [] then []
+  else begin
+    Rss.Wal.flush t.wal;  (* may raise: the batch stays buffered, not durable *)
+    counters.Rss.Counters.wal_flushes <- counters.Rss.Counters.wal_flushes + 1;
+    Mutex.lock t.gc_m;
+    t.gc_inflight <- [];
+    t.gc_durable <- List.fold_left (fun a (k, _) -> max a k) t.gc_durable batch;
+    t.gc_flushes <- t.gc_flushes + 1;
+    let n = List.length batch in
+    t.gc_grouped <- t.gc_grouped + n;
+    if n > t.gc_max_batch then t.gc_max_batch <- n;
+    Condition.broadcast t.gc_cond;
+    Mutex.unlock t.gc_m;
+    List.map snd batch
+  end
+
+let await_durable t counters ticket =
+  (* After a simulated crash nothing more reaches the device; the unwind
+     path must not flush on the dead machine's behalf. *)
+  if not (Rss.Failpoint.halted ()) then begin
+    if t.gc_hold then ()
+    else if not t.latched then begin
+      (* embedded single-session use: nobody else will flush; run the leader
+         inline, no window *)
+      if t.gc_durable < ticket then ignore (leader_step t counters)
+    end
+    else begin
+      Mutex.lock t.gc_m;
+      (* [loop] returns holding gc_m; every raising path (a failed leader
+         pass) re-raises with gc_m already released, so no unlock guard. *)
+      let rec loop () =
+        if t.gc_durable >= ticket then ()
+        else if t.gc_leader then begin
+          Condition.wait t.gc_cond t.gc_m;
+          loop ()
+        end
+        else begin
+          t.gc_leader <- true;
+          Mutex.unlock t.gc_m;
+          let release_leadership () =
+            Mutex.lock t.gc_m;
+            t.gc_leader <- false;
+            Condition.broadcast t.gc_cond;
+            Mutex.unlock t.gc_m
+          in
+          (match
+             (if t.gc_delay > 0. then Unix.sleepf t.gc_delay);
+             leader_step t counters
+           with
+           | _ -> release_leadership ()
+           | exception e ->
+             release_leadership ();
+             raise e);
+          Mutex.lock t.gc_m;
+          loop ()
+        end
+      in
+      loop ();
+      Mutex.unlock t.gc_m
+    end
+  end
+
+let flush_group t counters = leader_step t counters
+
+let set_group_hold t on =
+  if t.latched then invalid_arg "Engine.set_group_hold: latched engine";
+  t.gc_hold <- on
+
+let set_group_commit t on = t.gc_enabled <- on
+let group_commit_enabled t = t.gc_enabled
+let set_commit_delay t s = t.gc_delay <- Float.max 0. s
+let commit_delay t = t.gc_delay
+
+type gc_stats = {
+  enqueued : int;
+  durable_ticket : int;
+  flushes : int;
+  grouped_commits : int;
+  max_batch : int;
+}
+
+(* Readable while a leader is blocked inside the device sync: only gc_m is
+   taken, never the engine latch. *)
+let group_commit_stats t =
+  Mutex.lock t.gc_m;
+  let s =
+    { enqueued = t.gc_enqueued;
+      durable_ticket = t.gc_durable;
+      flushes = t.gc_flushes;
+      grouped_commits = t.gc_grouped;
+      max_batch = t.gc_max_batch }
+  in
+  Mutex.unlock t.gc_m;
+  s
+
+(* Recovery replaced the lock table and WAL wholesale; whatever commit queue
+   state the crash stranded is moot. *)
+let reset_group t =
+  Mutex.lock t.gc_m;
+  t.gc_queue <- [];
+  t.gc_inflight <- [];
+  t.gc_durable <- t.gc_next_ticket - 1;
+  t.gc_leader <- false;
+  Condition.broadcast t.gc_cond;
+  Mutex.unlock t.gc_m
+
+(* --- blocked-transaction events ------------------------------------------
+
+   A session whose 2PL request came back Blocked notes it here before
+   sleeping on [locks_changed]. Tests that need "some transaction is now
+   queued waiting" wait for the event counter to move instead of polling the
+   lock table on a timer. *)
+
+let note_blocked t =
+  Mutex.lock t.latch;
+  t.block_events <- t.block_events + 1;
+  Condition.broadcast t.blocked_changed;
+  Mutex.unlock t.latch
+
+let block_epoch t =
+  Mutex.lock t.latch;
+  let v = t.block_events in
+  Mutex.unlock t.latch;
+  v
+
+let await_block_epoch t epoch =
+  Mutex.lock t.latch;
+  while t.block_events <= epoch do
+    Condition.wait t.blocked_changed t.latch
+  done;
+  Mutex.unlock t.latch

@@ -31,6 +31,22 @@ type t = {
   mutable writers_waiting : int;
   mutable latched : bool;
   mutable live_sessions : int;
+  gc_m : Mutex.t;
+  gc_cond : Condition.t;
+  mutable gc_next_ticket : int;
+  mutable gc_queue : (int * int) list;
+  mutable gc_inflight : (int * int) list;
+  mutable gc_durable : int;
+  mutable gc_leader : bool;
+  mutable gc_enabled : bool;
+  mutable gc_delay : float;
+  mutable gc_hold : bool;
+  mutable gc_enqueued : int;
+  mutable gc_flushes : int;
+  mutable gc_grouped : int;
+  mutable gc_max_batch : int;
+  blocked_changed : Condition.t;
+  mutable block_events : int;
 }
 
 val create : ?buffer_pages:int -> unit -> t
@@ -73,3 +89,74 @@ val fresh_txn_id : t -> int
 
 val fresh_session_id : t -> int
 (** Call under the write latch. *)
+
+(** {1 Group commit}
+
+    Committing sessions enqueue under the engine write latch (so ticket
+    order = MVCC visibility order = WAL commit-record order) and block in
+    {!await_durable}; the first waiter with no leader in place becomes
+    leader, sleeps out the {!set_commit_delay} window with the latch free so
+    later commits join, appends every queued commit record in enqueue order,
+    and performs the one {!Rss.Wal.flush}. Acks release only after the batch
+    is durable; a leader whose flush fails hands leadership to a waiting
+    follower, which retries the still-buffered batch. *)
+
+val enqueue_commit : t -> int -> int
+(** [enqueue_commit t txn] (under the write latch, at commit time) joins the
+    current commit window; returns the durability ticket to pass to
+    {!await_durable}. *)
+
+val await_durable : t -> Rss.Counters.t -> int -> unit
+(** Block (outside the latch) until the ticket's commit record is durable,
+    becoming leader if no one is flushing. Counters receive the
+    [wal_flushes] this session leads. No-op under {!set_group_hold} or after
+    a simulated crash ({!Rss.Failpoint.halted}). *)
+
+val flush_group : t -> Rss.Counters.t -> int list
+(** Run one leader pass explicitly: drain the queue, append, flush once.
+    Returns the transactions whose commit acks that flush released — the
+    torture harness's definition of "acknowledged". *)
+
+val set_group_hold : t -> bool -> unit
+(** Harness hook (unlatched engines only): while on, {!await_durable}
+    returns immediately and commits accumulate in the queue until a
+    {!flush_group} — how the torture harness builds multi-commit batches
+    deterministically. *)
+
+val set_group_commit : t -> bool -> unit
+(** Off: every commit appends and flushes privately under the latch (the
+    per-commit baseline group commit is measured against). Default on. *)
+
+val group_commit_enabled : t -> bool
+
+val set_commit_delay : t -> float -> unit
+(** Leader batching window in seconds (clamped at 0). *)
+
+val commit_delay : t -> float
+
+type gc_stats = {
+  enqueued : int;         (** commits that entered the group-commit queue *)
+  durable_ticket : int;   (** highest ticket whose commit record is durable *)
+  flushes : int;          (** group flushes performed *)
+  grouped_commits : int;  (** commits made durable by those flushes *)
+  max_batch : int;        (** largest single batch *)
+}
+
+val group_commit_stats : t -> gc_stats
+(** Safe to read while a leader is mid-flush (takes only the gc mutex). *)
+
+val reset_group : t -> unit
+(** Discard queued/in-flight commit state after recovery replaced the WAL. *)
+
+(** {1 Blocked-transaction events}
+
+    Deflaked test synchronization: a session whose 2PL request is Blocked
+    bumps an event counter before sleeping, so tests wait for "some
+    transaction is queued" on a condition variable instead of polling. *)
+
+val note_blocked : t -> unit
+val block_epoch : t -> int
+val await_block_epoch : t -> int -> unit
+(** [await_block_epoch t e] blocks until the event counter exceeds [e]
+    (capture [e] with {!block_epoch} {e before} issuing the statement that
+    should block). *)

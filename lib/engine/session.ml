@@ -65,6 +65,10 @@ type t = {
       (* (estimated QCARD, actual rows, q-error, retired a plan) of the most
          recent feedback-observed execution, surfaced by EXPLAIN *)
   mutable active : txn option;
+  mutable pending_ack : int option;
+      (* group-commit durability ticket of a commit this session performed
+         inside the current engine step; the public entry point awaits it
+         (outside the latch) before returning — the ack rule *)
   mutable cache_sig : string;
       (* settings fingerprint prefixed onto plan-cache keys: sessions with
          identical settings share cached plans, sessions with different W /
@@ -119,6 +123,7 @@ let create ?(w = Ctx.default_w) ?counters ?(serial_only = false) eng =
       feedback_threshold = default_feedback_threshold;
       last_feedback = None;
           active = None;
+          pending_ack = None;
           cache_sig = "";
           closed = false })
   in
@@ -257,10 +262,12 @@ let acquire_resource s txn_id resource ~what mode =
   | Rss.Lock_table.Blocked _ ->
     if not (Engine.latched eng) then
       err "%s is locked by another transaction" what
-    else
+    else begin
+      Engine.note_blocked eng;
       while not (Rss.Lock_table.holds eng.Engine.locks txn_id resource mode) do
         Engine.wait_locks eng
       done
+    end
 
 let acquire_rel_lock s txn_id (rel : Catalog.relation) mode =
   acquire_resource s txn_id
@@ -312,10 +319,32 @@ let start_txn s ~explicit_txn =
   Rss.Wal.append eng.Engine.wal (Rss.Wal.Begin txn_id);
   txn
 
+(* Group commit moves the durability boundary out of the latched commit
+   step: under the latch we make the commit visible (MVCC), release its
+   locks, and enqueue it in the engine's commit window — ticket order equals
+   visibility order equals the order the leader will append Commit records,
+   which keeps prefix durability sound. The WAL flush (and the Commit
+   append itself) happens in [sync_commit], after the latch is released.
+   With GROUP_COMMIT OFF every commit appends and flushes privately right
+   here — the per-commit baseline. *)
 let finish_commit s txn =
-  Rss.Wal.append s.eng.Engine.wal (Rss.Wal.Commit txn.txn_id);
-  ignore (Rss.Mvcc.commit (Engine.mvcc s.eng) txn.txn_id);
-  release_txn_locks s txn.txn_id;
+  let eng = s.eng in
+  if Engine.group_commit_enabled eng then begin
+    ignore (Rss.Mvcc.commit (Engine.mvcc eng) txn.txn_id);
+    release_txn_locks s txn.txn_id;
+    let ticket = Engine.enqueue_commit eng txn.txn_id in
+    s.counters.Rss.Counters.group_commits <-
+      s.counters.Rss.Counters.group_commits + 1;
+    s.pending_ack <- Some ticket
+  end
+  else begin
+    Rss.Wal.append eng.Engine.wal (Rss.Wal.Commit txn.txn_id);
+    Rss.Wal.flush eng.Engine.wal;
+    s.counters.Rss.Counters.wal_flushes <-
+      s.counters.Rss.Counters.wal_flushes + 1;
+    ignore (Rss.Mvcc.commit (Engine.mvcc eng) txn.txn_id);
+    release_txn_locks s txn.txn_id
+  end;
   s.active <- None
 
 let finish_abort s txn =
@@ -666,6 +695,14 @@ let explain_cache_line s =
          Printf.sprintf " last=[est=%.1f act=%d qerr=%.2f%s]" est act qerr
            (if retired then " retired" else "")
        | None -> "")
+  ^ (let g = Engine.group_commit_stats s.eng in
+     Printf.sprintf
+       "group commit: %s delay=%.0fus commits=%d flushes=%d commits/flush=%.2f\n"
+       (if Engine.group_commit_enabled s.eng then "on" else "off")
+       (Engine.commit_delay s.eng *. 1e6)
+       g.Engine.grouped_commits g.Engine.flushes
+       (if g.Engine.flushes = 0 then 0.
+        else float_of_int g.Engine.grouped_commits /. float_of_int g.Engine.flushes))
 
 let exec_stmt s (stmt : Ast.statement) =
   match stmt with
@@ -759,6 +796,12 @@ let exec_stmt s (stmt : Ast.statement) =
     Done
       (Printf.sprintf "plan cache size set to %d"
          (Plan_cache.cap (Engine.plan_cache s.eng)))
+  | Ast.Set_commit_delay us ->
+    Engine.set_commit_delay s.eng (float_of_int us *. 1e-6);
+    Done (Printf.sprintf "commit delay set to %dus" us)
+  | Ast.Set_group_commit on ->
+    Engine.set_group_commit s.eng on;
+    Done (Printf.sprintf "group commit %s" (if on then "on" else "off"))
   | Ast.Begin_transaction ->
     let id = begin_transaction_i s in
     Done (Printf.sprintf "transaction %d started" id)
@@ -783,10 +826,32 @@ let stmt_is_read (stmt : Ast.statement) =
 
 (* --- public entry points (each takes the engine step exactly once) ------- *)
 
+(* The ack rule: if the engine step committed a transaction into the
+   group-commit window, wait (outside the latch) until the leader's flush
+   makes it durable before returning to the caller. A simulated crash
+   propagates raw so the torture harness sees it; any other flush failure
+   surfaces as a commit-uncertain error — the commit is visible and may yet
+   be made durable by a successor leader, but this session cannot confirm
+   it. *)
+let sync_commit s =
+  match s.pending_ack with
+  | None -> ()
+  | Some ticket ->
+    s.pending_ack <- None;
+    (try Engine.await_durable s.eng s.counters ticket with
+     | Rss.Failpoint.Crash _ as e -> raise e
+     | e ->
+       err "commit not durable: flush failed (%s); the commit is visible and \
+            will be retried by the next group flush" (Printexc.to_string e))
+
 let exec s sql =
   let stmt = parse_stmt sql in
   if stmt_is_read stmt then with_engine_read s (fun () -> exec_stmt s stmt)
-  else with_engine s (fun () -> exec_stmt s stmt)
+  else begin
+    let r = with_engine s (fun () -> exec_stmt s stmt) in
+    sync_commit s;
+    r
+  end
 
 let exec_script s src =
   let stmts =
@@ -799,7 +864,11 @@ let exec_script s src =
   List.map
     (fun stmt ->
       if stmt_is_read stmt then with_engine_read s (fun () -> exec_stmt s stmt)
-      else with_engine s (fun () -> exec_stmt s stmt))
+      else begin
+        let r = with_engine s (fun () -> exec_stmt s stmt) in
+        sync_commit s;
+        r
+      end)
     stmts
 
 let query s sql =
@@ -831,7 +900,9 @@ let query s sql =
     (match parse_stmt sql with
      | Ast.Select q -> with_engine_read s (fun () -> query_cached ~text:sql s q)
      | stmt ->
-       (match with_engine s (fun () -> exec_stmt s stmt) with
+       let r = with_engine s (fun () -> exec_stmt s stmt) in
+       sync_commit s;
+       (match r with
         | Rows out -> out
         | Text _ | Done _ -> err "not a SELECT: %s" sql))
 
@@ -1009,6 +1080,10 @@ let recover s bytes =
             (Rss.Page.live_tuples p))
         (Rss.Segment.page_ids result.Rss.Recovery.segment);
       Rss.Wal.append eng.Engine.wal (Rss.Wal.Commit checkpoint);
+      (* the checkpoint must be durable: a crash right after recovery
+         replays this log, not the one that produced it *)
+      Rss.Wal.flush eng.Engine.wal;
+      Engine.reset_group eng;
       Rss.Counters.restore c ~from:snap;
       !restored)
 
@@ -1071,5 +1146,10 @@ let execute_prepared s p bindings =
 (* --- explicit transaction API (engine-step wrappers) ---------------------- *)
 
 let begin_transaction s = with_engine s (fun () -> begin_transaction_i s)
-let commit s = with_engine s (fun () -> commit_i s)
+
+let commit s =
+  let id = with_engine s (fun () -> commit_i s) in
+  sync_commit s;
+  id
+
 let rollback s = with_engine s (fun () -> rollback_i s)

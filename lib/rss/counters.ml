@@ -11,6 +11,8 @@ type t = {
   mutable plan_cache_evictions : int;
   mutable feedback_misestimates : int;
   mutable feedback_retirements : int;
+  mutable group_commits : int;
+  mutable wal_flushes : int;
 }
 
 let create () =
@@ -25,7 +27,9 @@ let create () =
     plan_cache_invalidations = 0;
     plan_cache_evictions = 0;
     feedback_misestimates = 0;
-    feedback_retirements = 0 }
+    feedback_retirements = 0;
+    group_commits = 0;
+    wal_flushes = 0 }
 
 let reset t =
   t.page_fetches <- 0;
@@ -39,7 +43,9 @@ let reset t =
   t.plan_cache_invalidations <- 0;
   t.plan_cache_evictions <- 0;
   t.feedback_misestimates <- 0;
-  t.feedback_retirements <- 0
+  t.feedback_retirements <- 0;
+  t.group_commits <- 0;
+  t.wal_flushes <- 0
 
 let snapshot t =
   { page_fetches = t.page_fetches;
@@ -53,7 +59,9 @@ let snapshot t =
     plan_cache_invalidations = t.plan_cache_invalidations;
     plan_cache_evictions = t.plan_cache_evictions;
     feedback_misestimates = t.feedback_misestimates;
-    feedback_retirements = t.feedback_retirements }
+    feedback_retirements = t.feedback_retirements;
+    group_commits = t.group_commits;
+    wal_flushes = t.wal_flushes }
 
 let restore t ~from =
   t.page_fetches <- from.page_fetches;
@@ -67,7 +75,9 @@ let restore t ~from =
   t.plan_cache_invalidations <- from.plan_cache_invalidations;
   t.plan_cache_evictions <- from.plan_cache_evictions;
   t.feedback_misestimates <- from.feedback_misestimates;
-  t.feedback_retirements <- from.feedback_retirements
+  t.feedback_retirements <- from.feedback_retirements;
+  t.group_commits <- from.group_commits;
+  t.wal_flushes <- from.wal_flushes
 
 let add t ~into =
   into.page_fetches <- into.page_fetches + t.page_fetches;
@@ -82,7 +92,9 @@ let add t ~into =
     into.plan_cache_invalidations + t.plan_cache_invalidations;
   into.plan_cache_evictions <- into.plan_cache_evictions + t.plan_cache_evictions;
   into.feedback_misestimates <- into.feedback_misestimates + t.feedback_misestimates;
-  into.feedback_retirements <- into.feedback_retirements + t.feedback_retirements
+  into.feedback_retirements <- into.feedback_retirements + t.feedback_retirements;
+  into.group_commits <- into.group_commits + t.group_commits;
+  into.wal_flushes <- into.wal_flushes + t.wal_flushes
 
 let diff ~after ~before =
   { page_fetches = after.page_fetches - before.page_fetches;
@@ -98,7 +110,9 @@ let diff ~after ~before =
     plan_cache_evictions = after.plan_cache_evictions - before.plan_cache_evictions;
     feedback_misestimates =
       after.feedback_misestimates - before.feedback_misestimates;
-    feedback_retirements = after.feedback_retirements - before.feedback_retirements }
+    feedback_retirements = after.feedback_retirements - before.feedback_retirements;
+    group_commits = after.group_commits - before.group_commits;
+    wal_flushes = after.wal_flushes - before.wal_flushes }
 
 let cost ~w t =
   float_of_int (t.page_fetches + t.pages_written) +. (w *. float_of_int t.rsi_calls)
@@ -106,8 +120,8 @@ let cost ~w t =
 let pp ppf t =
   Format.fprintf ppf
     "fetches=%d hits=%d rsi=%d written=%d runs=%d merges=%d plan-cache=%d/%d/%d/%d \
-     feedback=%d/%d"
+     feedback=%d/%d group-commit=%d/%d"
     t.page_fetches t.buffer_hits t.rsi_calls t.pages_written t.sort_runs
     t.merge_passes t.plan_cache_hits t.plan_cache_misses
     t.plan_cache_invalidations t.plan_cache_evictions t.feedback_misestimates
-    t.feedback_retirements
+    t.feedback_retirements t.group_commits t.wal_flushes

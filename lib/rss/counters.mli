@@ -34,6 +34,11 @@ type t = {
       (** misestimates that recorded a corrected selectivity and bumped a
           relation's feedback generation, retiring the plans costed under
           the stale estimate *)
+  mutable group_commits : int;
+      (** commits whose durability rode a shared group-commit flush *)
+  mutable wal_flushes : int;
+      (** WAL flush boundaries this session paid for (as group leader, or
+          per-commit when group commit is off) *)
 }
 
 val create : unit -> t

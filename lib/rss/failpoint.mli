@@ -1,7 +1,8 @@
 (** Deterministic failpoints for crash-recovery torture testing.
 
     A failpoint is a named site threaded through a durability-relevant write
-    path ([Wal.append], pager allocation, buffer-pool eviction, segment
+    path ([Wal.append], [Wal.flush] — the ["wal.group_flush"] batch
+    durability boundary — pager allocation, buffer-pool eviction, segment
     insert/delete, B-tree splits). In normal operation every site is inert —
     {!hit} is a single branch on a global flag. A torture harness drives the
     registry through three phases:

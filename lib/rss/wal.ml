@@ -7,13 +7,45 @@ type record =
   | Commit of txn
   | Abort of txn
 
+(* The log is staged: [append] only buffers a record ([pending]); [flush]
+   moves everything buffered to the durable image in one batch — the single
+   durability boundary group commit amortizes. A batch whose flush failed
+   stays in [flushing] and is retried (prepended) by the next flush, so a
+   leader failure between append and durability loses nothing silently.
+
+   The mutex exists because a group-commit leader flushes *outside* the
+   engine latch (so other sessions keep executing statements — and appending
+   records — while the device sync is in flight). Appends and flushes of
+   distinct batches may therefore overlap; at most one flush runs at a time
+   (the engine's leader flag / per-commit latch enforces that). *)
 type t = {
-  mutable recs : record list;  (* newest first *)
-  mutable count : int;
+  m : Mutex.t;
+  mutable durable_recs : record list;   (* newest first, flushed *)
+  mutable flushing_recs : record list;  (* newest first, batch mid-flush *)
+  mutable pending_recs : record list;   (* newest first, not yet flushed *)
+  durable_buf : Buffer.t;               (* serialized durable image *)
+  mutable flushing_bytes : string;
+  pending_buf : Buffer.t;
+  mutable count : int;                  (* all records, all stages *)
   mutable bytes : int;
+  mutable last_flush : int;             (* byte size of the last flushed batch *)
+  mutable flushes : int;
+  mutable flush_hook : (unit -> unit) option;
 }
 
-let create () = { recs = []; count = 0; bytes = 0 }
+let create () =
+  { m = Mutex.create ();
+    durable_recs = [];
+    flushing_recs = [];
+    pending_recs = [];
+    durable_buf = Buffer.create 256;
+    flushing_bytes = "";
+    pending_buf = Buffer.create 256;
+    count = 0;
+    bytes = 0;
+    last_flush = 0;
+    flushes = 0;
+    flush_hook = None }
 
 let add_int buf i = Buffer.add_int64_le buf (Int64.of_int i)
 
@@ -63,34 +95,99 @@ let decode s off =
     else Delete { txn; rel_id; tid; tuple }, off
   | c -> invalid_arg (Printf.sprintf "Wal.decode: bad tag %C" c)
 
+let locked t f =
+  Mutex.lock t.m;
+  match f () with
+  | v ->
+    Mutex.unlock t.m;
+    v
+  | exception e ->
+    Mutex.unlock t.m;
+    raise e
+
 let append t r =
   (* After a simulated crash the log device is gone: appends attempted by
      in-process unwind handlers (rollback, abort records) must not reach the
      surviving byte image a recovery will read. *)
   if not (Failpoint.halted ()) then begin
-    t.recs <- r :: t.recs;
-    t.count <- t.count + 1;
-    t.bytes <- t.bytes + String.length (encode r);
-    (* The site fires after the record lands, so a crash here means "killed
-       while writing this record": the torture harness derives the torn-tail
-       images by truncating the final record at every byte offset. *)
+    locked t (fun () ->
+        t.pending_recs <- r :: t.pending_recs;
+        t.count <- t.count + 1;
+        let enc = encode r in
+        t.bytes <- t.bytes + String.length enc;
+        Buffer.add_string t.pending_buf enc);
+    (* A crash here leaves the record buffered only: nothing new reaches the
+       device between flushes, so the torture harness treats wal.append
+       crashes as losing every unflushed record and tearing nothing. *)
     Failpoint.hit "wal.append"
   end
 
+let set_flush_hook t h = locked t (fun () -> t.flush_hook <- h)
+
+let unflushed t =
+  locked t (fun () -> List.length t.pending_recs + List.length t.flushing_recs)
+
+let last_flush_size t = locked t (fun () -> t.last_flush)
+let flushes t = locked t (fun () -> t.flushes)
+
+let flush t =
+  (* The device died with the crash: a flush attempted by unwind handlers
+     must not retroactively make the lost batch durable. *)
+  if not (Failpoint.halted ()) then begin
+    let batch, hook =
+      locked t (fun () ->
+          (* Absorb pending into the in-flight batch. A previous failed flush
+             leaves its batch in [flushing]; the retry covers it too. *)
+          if Buffer.length t.pending_buf > 0 then begin
+            t.flushing_recs <- t.pending_recs @ t.flushing_recs;
+            t.flushing_bytes <- t.flushing_bytes ^ Buffer.contents t.pending_buf;
+            t.pending_recs <- [];
+            Buffer.clear t.pending_buf
+          end;
+          t.flushing_bytes, t.flush_hook)
+    in
+    if String.length batch > 0 then begin
+      (* The hook stands in for the device sync (tests gate on it, benches
+         sleep in it). It runs outside the mutex so concurrent appends — the
+         next window's statements — proceed during the sync. If it raises,
+         the batch stays in [flushing]: not durable, not lost. *)
+      (match hook with Some f -> f () | None -> ());
+      locked t (fun () ->
+          t.durable_recs <- t.flushing_recs @ t.durable_recs;
+          Buffer.add_string t.durable_buf t.flushing_bytes;
+          t.last_flush <- String.length t.flushing_bytes;
+          t.flushing_recs <- [];
+          t.flushing_bytes <- "";
+          t.flushes <- t.flushes + 1);
+      (* The site fires after the batch reached the device, so a crash here
+         means "killed while the batch was being written": the harness derives
+         torn images by truncating this batch at every byte offset. *)
+      Failpoint.hit "wal.group_flush"
+    end
+  end
+
 let clear t =
-  t.recs <- [];
-  t.count <- 0;
-  t.bytes <- 0
+  locked t (fun () ->
+      t.durable_recs <- [];
+      t.flushing_recs <- [];
+      t.pending_recs <- [];
+      Buffer.clear t.durable_buf;
+      t.flushing_bytes <- "";
+      Buffer.clear t.pending_buf;
+      t.count <- 0;
+      t.bytes <- 0;
+      t.last_flush <- 0)
 
-let records t = List.rev t.recs
+let records t =
+  locked t (fun () ->
+      List.rev (t.pending_recs @ t.flushing_recs @ t.durable_recs))
 
-let byte_size t = t.bytes
+let byte_size t = locked t (fun () -> t.bytes)
 
 let to_bytes t =
   Failpoint.hit "wal.to_bytes";
-  let buf = Buffer.create (t.bytes + 16) in
-  List.iter (fun r -> Buffer.add_string buf (encode r)) (records t);
-  Buffer.contents buf
+  (* Durable image only: records still buffered never reached the device. *)
+  locked t (fun () -> Buffer.contents t.durable_buf)
 
 let of_bytes s =
   let t = create () in
@@ -99,7 +196,11 @@ let of_bytes s =
     else
       match decode s off with
       | r, next ->
-        append t r;
+        (* Straight into the durable stage: these bytes *are* the device. *)
+        t.durable_recs <- r :: t.durable_recs;
+        t.count <- t.count + 1;
+        t.bytes <- t.bytes + (next - off);
+        Buffer.add_substring t.durable_buf s off (next - off);
         go next
       | exception Invalid_argument _ -> ()  (* torn tail *)
   in

@@ -64,6 +64,8 @@ type statement =
   | Set_parallelism of int
   | Set_histograms of bool
   | Set_plan_cache_size of int
+  | Set_commit_delay of int
+  | Set_group_commit of bool
   | Begin_transaction
   | Commit
   | Rollback
@@ -177,6 +179,9 @@ let pp_statement ppf = function
   | Set_histograms b ->
     Format.fprintf ppf "SET HISTOGRAMS %s" (if b then "ON" else "OFF")
   | Set_plan_cache_size n -> Format.fprintf ppf "SET PLAN_CACHE_SIZE %d" n
+  | Set_commit_delay us -> Format.fprintf ppf "SET COMMIT_DELAY %d" us
+  | Set_group_commit b ->
+    Format.fprintf ppf "SET GROUP_COMMIT %s" (if b then "ON" else "OFF")
   | Begin_transaction -> Format.pp_print_string ppf "BEGIN"
   | Commit -> Format.pp_print_string ppf "COMMIT"
   | Rollback -> Format.pp_print_string ppf "ROLLBACK"

@@ -84,6 +84,13 @@ type statement =
       (** SET PLAN_CACHE_SIZE n: LRU bound on the shared compiled-plan cache
           and its statement-text memo, so long-lived server sessions replace
           entries instead of growing without bound *)
+  | Set_commit_delay of int
+      (** SET COMMIT_DELAY us: engine-wide group-commit batching window in
+          microseconds — how long a commit leader waits for other sessions'
+          commits to join its WAL flush; 0 flushes immediately *)
+  | Set_group_commit of bool
+      (** SET GROUP_COMMIT ON/OFF: OFF makes every commit pay a private WAL
+          flush (the baseline group commit is benchmarked against) *)
   | Begin_transaction
   | Commit
   | Rollback

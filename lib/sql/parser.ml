@@ -387,6 +387,23 @@ let statement st =
           (Format.asprintf "expected positive plan cache size, found %a"
              Lexer.pp_token t)
     end
+    else if accept_kw st "COMMIT_DELAY" then begin
+      match peek st with
+      | Lexer.Int_lit n when n >= 0 ->
+        advance st;
+        Ast.Set_commit_delay n
+      | t ->
+        fail st
+          (Format.asprintf "expected commit delay in microseconds, found %a"
+             Lexer.pp_token t)
+    end
+    else if accept_kw st "GROUP_COMMIT" then begin
+      if accept_kw st "ON" then Ast.Set_group_commit true
+      else begin
+        expect_kw st "OFF";
+        Ast.Set_group_commit false
+      end
+    end
     else begin
       expect_kw st "PARALLELISM";
       match peek st with

@@ -140,6 +140,7 @@ let test_logged_workload_recovers () =
          tid = { Rss.Tid.page = 0; slot = 0 };
          tuple = T.make [ V.Int 999; V.Int 999 ] });
   (* crash: recover from the serialized log into a fresh database *)
+  Rss.Wal.flush wal;
   let log_bytes = Rss.Wal.to_bytes wal in
   let db2 = Database.create () in
   let cat2 = Database.catalog db2 in

@@ -200,6 +200,7 @@ let sample_records =
 let test_wal_roundtrip () =
   let wal = W.create () in
   List.iter (W.append wal) sample_records;
+  W.flush wal;
   let bytes = W.to_bytes wal in
   Alcotest.(check int) "byte size" (String.length bytes) (W.byte_size wal);
   let wal2 = W.of_bytes bytes in
@@ -212,6 +213,7 @@ let test_wal_roundtrip () =
 let test_wal_torn_tail_ignored () =
   let wal = W.create () in
   List.iter (W.append wal) sample_records;
+  W.flush wal;
   let bytes = W.to_bytes wal in
   (* cut the last record in half *)
   let torn = String.sub bytes 0 (String.length bytes - 4) in
@@ -300,6 +302,7 @@ let prop_truncation_every_offset =
     (fun recs ->
       let wal = W.create () in
       List.iter (W.append wal) recs;
+      W.flush wal;
       let bytes = W.to_bytes wal in
       let sizes = List.map (fun r -> String.length (W.encode r)) recs in
       let ok = ref true in
@@ -317,6 +320,103 @@ let prop_truncation_every_offset =
           && List.for_all2 W.equal_record expected decoded
       done;
       !ok)
+
+(* --- group-commit batching ------------------------------------------------ *)
+
+(* A batched flush preserves global append order — and therefore every
+   session's enqueue order, of which the global order is a superset. The
+   generated value is the interleaving itself: a list of session picks, each
+   committing that session's next transaction. *)
+let prop_batch_preserves_enqueue_order =
+  QCheck.Test.make ~name:"group batch preserves per-session enqueue order"
+    ~count:200
+    (QCheck.make
+       ~print:(fun picks -> String.concat "" (List.map string_of_int picks))
+       QCheck.Gen.(list_size (int_range 1 30) (int_bound 2)))
+    (fun picks ->
+      let next = Array.make 3 0 in
+      let order =
+        List.map
+          (fun s ->
+            let txn = (s * 1000) + next.(s) in
+            next.(s) <- next.(s) + 1;
+            (s, txn))
+          picks
+      in
+      let wal = W.create () in
+      List.iter (fun (_, txn) -> W.append wal (W.Commit txn)) order;
+      W.flush wal;
+      let decoded =
+        List.filter_map
+          (function W.Commit t -> Some t | _ -> None)
+          (W.records (W.of_bytes (W.to_bytes wal)))
+      in
+      decoded = List.map snd order
+      && List.for_all
+           (fun s ->
+             let mine = List.filter (fun t -> t / 1000 = s) decoded in
+             mine = List.sort compare mine)
+           [ 0; 1; 2 ])
+
+(* One batched flush produces byte-for-byte the image N per-record flushes
+   produce: batching changes durability timing, never log content. *)
+let prop_batch_equals_serial_flushes =
+  QCheck.Test.make ~name:"one batched flush = N serial flushes" ~count:100
+    (QCheck.make
+       ~print:(fun rs ->
+         String.concat "; " (List.map (Format.asprintf "%a" W.pp_record) rs))
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 1 10) record_gen))
+    (fun recs ->
+      let a = W.create () and b = W.create () in
+      List.iter (W.append a) recs;
+      W.flush a;
+      List.iter
+        (fun r ->
+          W.append b r;
+          W.flush b)
+        recs;
+      W.to_bytes a = W.to_bytes b
+      && List.length (W.records (W.of_bytes (W.to_bytes a)))
+         = List.length recs)
+
+(* A leader that dies before its flush loses the whole window; one that
+   reaches the flush loses nothing. *)
+let test_unflushed_window_lost () =
+  let wal = W.create () in
+  W.append wal (W.Commit 1);
+  W.flush wal;
+  let durable = W.to_bytes wal in
+  List.iter (W.append wal) [ W.Begin 2; W.Commit 2; W.Commit 3 ];
+  Alcotest.(check int) "window buffered" 3 (W.unflushed wal);
+  Alcotest.(check string) "no flush: whole window lost" durable (W.to_bytes wal);
+  W.flush wal;
+  Alcotest.(check int) "drained" 0 (W.unflushed wal);
+  Alcotest.(check int) "flush loses nothing" 4
+    (List.length (W.records (W.of_bytes (W.to_bytes wal))))
+
+(* The wal.group_flush failpoint fires *after* the batch reaches the durable
+   image ("killed while writing the batch"): the image holds the whole batch,
+   the torn sweep may take any suffix of it back, and the halted log rejects
+   everything after the crash. *)
+let test_crash_at_group_flush_boundary () =
+  let module F = Rss.Failpoint in
+  Fun.protect ~finally:F.reset (fun () ->
+      let wal = W.create () in
+      List.iter (W.append wal) [ W.Begin 1; W.Commit 1; W.Commit 2 ];
+      F.arm ~site:"wal.group_flush" ~at:1;
+      (match W.flush wal with
+       | () -> Alcotest.fail "armed flush must crash"
+       | exception F.Crash _ -> ());
+      Alcotest.(check int) "batch durable before the crash point" 3
+        (List.length (W.records (W.of_bytes (W.to_bytes wal))));
+      Alcotest.(check int) "torn-sweep span covers the whole batch"
+        (String.length (W.to_bytes wal))
+        (W.last_flush_size wal);
+      let image = W.to_bytes wal in
+      W.append wal (W.Commit 9);
+      W.flush wal;
+      Alcotest.(check string) "halted log rejects writes" image
+        (W.to_bytes wal))
 
 (* --- recovery -------------------------------------------------------------- *)
 
@@ -372,7 +472,11 @@ let () =
             test_deadlock_three_txns_mixed_resources ] );
       ( "wal",
         [ Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
-          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail_ignored ] );
+          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail_ignored;
+          Alcotest.test_case "unflushed window lost whole" `Quick
+            test_unflushed_window_lost;
+          Alcotest.test_case "crash at group-flush boundary" `Quick
+            test_crash_at_group_flush_boundary ] );
       ( "recovery",
         [ Alcotest.test_case "redo committed only" `Quick
             test_recovery_redo_committed_only;
@@ -380,4 +484,6 @@ let () =
       ( "props",
         QCheck_alcotest.to_alcotest prop_record_roundtrip
         :: QCheck_alcotest.to_alcotest prop_truncation_every_offset
+        :: QCheck_alcotest.to_alcotest prop_batch_preserves_enqueue_order
+        :: QCheck_alcotest.to_alcotest prop_batch_equals_serial_flushes
         :: List.map QCheck_alcotest.to_alcotest props_constructor_roundtrip ) ]

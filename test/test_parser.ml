@@ -143,6 +143,12 @@ let test_statements () =
    | A.Update { table = "T"; sets = [ ("A", A.Binop _); ("B", A.Const _) ];
                 where = Some _ } -> ()
    | _ -> Alcotest.fail "update");
+  (match parse_stmt "SET COMMIT_DELAY 200" with
+   | A.Set_commit_delay 200 -> ()
+   | _ -> Alcotest.fail "set commit_delay");
+  (match parse_stmt "SET GROUP_COMMIT OFF" with
+   | A.Set_group_commit false -> ()
+   | _ -> Alcotest.fail "set group_commit");
   (match parse_stmt "BEGIN TRANSACTION" with
    | A.Begin_transaction -> ()
    | _ -> Alcotest.fail "begin");

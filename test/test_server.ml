@@ -42,25 +42,17 @@ let with_server ?(seed = "") f =
 
 let connect srv = Client.connect (Server.addr srv)
 
-(* Deterministic cross-session sequencing: block until some transaction is
-   queued waiting on a lock (tuple or relation). Reads engine state under
-   the engine latch — valid while the server has the engine in latched
-   mode. *)
-let wait_for_waiter db =
+(* Deterministic cross-session sequencing, without polling: capture the
+   engine's blocked-transaction epoch, pipeline the statement that must
+   queue behind a lock, then sleep on the engine's condition variable until
+   the epoch advances — the executing session bumps it right before parking
+   on the lock, so the wakeup *is* the event being waited for. *)
+let send_blocking db c sql =
   let eng = Database.engine db in
-  let waiting () =
-    Engine.with_latch eng (fun () ->
-        Rss.Lock_table.blocked_txns (Engine.lock_table eng))
-  in
-  let rec go n =
-    if waiting () = [] then
-      if n > 1000 then Alcotest.fail "no lock waiter appeared"
-      else begin
-        Unix.sleepf 0.005;
-        go (n + 1)
-      end
-  in
-  go 0
+  let epoch = Engine.block_epoch eng in
+  Client.send c (P.Simple sql);
+  Client.flush c;
+  Engine.await_block_epoch eng epoch
 
 (* --- protocol unit tests -------------------------------------------------- *)
 
@@ -270,9 +262,7 @@ let test_writer_blocks_writer () =
       Alcotest.(check string) "concurrent insert unblocked" "1 row inserted"
         r.Client.tag;
       (* b's delete of the same tuple queues behind a's tuple X lock *)
-      Client.send b (P.Simple "DELETE FROM t WHERE a = 1");
-      Client.flush b;
-      wait_for_waiter db;
+      send_blocking db b "DELETE FROM t WHERE a = 1";
       ignore (Client.ok (Client.simple a "COMMIT"));
       (* first committer (a) wins; b's delete fails rather than re-deleting *)
       let r = Client.read_reply b in
@@ -318,9 +308,7 @@ let test_midtxn_disconnect_releases_locks () =
       let a = connect srv and b = connect srv in
       ignore (Client.ok (Client.simple a "BEGIN"));
       ignore (Client.ok (Client.simple a "DELETE FROM t WHERE a = 1"));
-      Client.send b (P.Simple "DELETE FROM t WHERE a = 1");
-      Client.flush b;
-      wait_for_waiter db;
+      send_blocking db b "DELETE FROM t WHERE a = 1";
       (* the client vanishes mid-transaction: no Terminate, no COMMIT *)
       Client.abandon a;
       (* a's rollback releases the tuple lock and un-marks the victim, so
@@ -405,9 +393,7 @@ let test_deadlock_victim () =
       ignore (Client.ok (Client.simple b "BEGIN"));
       ignore (Client.ok (Client.simple b "DELETE FROM t2 WHERE a = 1"));
       (* a waits for t2's tuple ... *)
-      Client.send a (P.Simple "DELETE FROM t2 WHERE a = 1");
-      Client.flush a;
-      wait_for_waiter db;
+      send_blocking db a "DELETE FROM t2 WHERE a = 1";
       (* ... so b's request for t1's tuple closes the cycle: b is the victim *)
       let r = Client.simple b "DELETE FROM t1 WHERE a = 1" in
       (match r.Client.error with
@@ -425,6 +411,217 @@ let test_deadlock_victim () =
       Alcotest.check msv "a's t2 delete committed" (multiset []) (rows_ms r);
       Client.close a;
       Client.close b)
+
+(* --- group commit ---------------------------------------------------------- *)
+
+(* The failpoint registry is single-domain-only, so server-side durability is
+   gated through [Wal.set_flush_hook] instead: the hook runs inside the
+   leader's flush, just before the batch becomes durable — a controllable
+   stand-in for the device sync. *)
+
+(* A two-phase gate: the main test waits for a leader to *enter* the fsync
+   window, holds it there, and later releases it (it stays open after). *)
+type flush_gate = {
+  g_m : Mutex.t;
+  g_c : Condition.t;
+  mutable g_entered : bool;
+  mutable g_released : bool;
+}
+
+let flush_gate () =
+  { g_m = Mutex.create (); g_c = Condition.create ();
+    g_entered = false; g_released = false }
+
+let gate_hook g () =
+  Mutex.lock g.g_m;
+  g.g_entered <- true;
+  Condition.broadcast g.g_c;
+  while not g.g_released do Condition.wait g.g_c g.g_m done;
+  Mutex.unlock g.g_m
+
+let gate_await_entered g =
+  Mutex.lock g.g_m;
+  while not g.g_entered do Condition.wait g.g_c g.g_m done;
+  Mutex.unlock g.g_m
+
+let gate_release g =
+  Mutex.lock g.g_m;
+  g.g_released <- true;
+  Condition.broadcast g.g_c;
+  Mutex.unlock g.g_m
+
+(* Bounded positive wait on engine-side state that has no dedicated condition
+   variable (group-commit queue depth). Latency-only: the predicate becoming
+   true is guaranteed by the test's own pipelined work. *)
+let wait_until what pred =
+  let rec go n =
+    if not (pred ()) then
+      if n > 2000 then Alcotest.failf "timed out waiting for %s" what
+      else begin
+        Unix.sleepf 0.002;
+        go (n + 1)
+      end
+  in
+  go 0
+
+(* COMMIT acks release only after the batch is durable: with the flush gated,
+   N pipelined writers' replies must all be withheld; releasing the gate
+   releases every ack, and the N commits share at most two flushes (the
+   gated leader's window plus one takeover batch). *)
+let test_acks_only_after_durability () =
+  with_server ~seed:"CREATE TABLE t (a INT);" (fun db srv ->
+      let eng = Database.engine db in
+      let wal = Database.wal db in
+      let s0 = Engine.group_commit_stats eng in
+      let g = flush_gate () in
+      Rss.Wal.set_flush_hook wal (Some (gate_hook g));
+      let acked = Atomic.make 0 in
+      let writers =
+        List.init 3 (fun i ->
+            Domain.spawn (fun () ->
+                let c = connect srv in
+                let r =
+                  Client.simple c (Printf.sprintf "INSERT INTO t VALUES (%d)" i)
+                in
+                Atomic.incr acked;
+                let ok = r.Client.error = None in
+                Client.close c;
+                ok))
+      in
+      gate_await_entered g;
+      wait_until "all writers enqueued" (fun () ->
+          (Engine.group_commit_stats eng).Engine.enqueued - s0.Engine.enqueued
+          = 3);
+      (* negative check (inherently needs a timeout): the leader is parked in
+         the fsync window, so no COMMIT may have been acknowledged *)
+      Unix.sleepf 0.05;
+      Alcotest.(check int) "no acks while the flush is gated" 0
+        (Atomic.get acked);
+      gate_release g;
+      let oks = List.map Domain.join writers in
+      Alcotest.(check (list bool)) "every writer acked after durability"
+        [ true; true; true ] oks;
+      Rss.Wal.set_flush_hook wal None;
+      let s1 = Engine.group_commit_stats eng in
+      let flushes = s1.Engine.flushes - s0.Engine.flushes in
+      let commits = s1.Engine.grouped_commits - s0.Engine.grouped_commits in
+      Alcotest.(check int) "three commits" 3 commits;
+      Alcotest.(check bool) "batched: fewer flushes than commits" true
+        (flushes >= 1 && flushes <= 2))
+
+(* A follower that disconnects while parked in the commit window: its commit
+   is already enqueued (and becomes durable with the batch); the handler's
+   failed reply write is an ordinary clean disconnect — session closed, locks
+   released, server healthy. *)
+let test_follower_disconnect_mid_window () =
+  with_server ~seed:"CREATE TABLE t (a INT);" (fun db srv ->
+      let eng = Database.engine db in
+      let wal = Database.wal db in
+      let s0 = Engine.group_commit_stats eng in
+      let g = flush_gate () in
+      Rss.Wal.set_flush_hook wal (Some (gate_hook g));
+      let leader =
+        Domain.spawn (fun () ->
+            let c = connect srv in
+            let r = Client.simple c "INSERT INTO t VALUES (1)" in
+            Client.close c;
+            r.Client.error = None)
+      in
+      gate_await_entered g;
+      (* the follower pipelines its commit into the gated window ... *)
+      let f = connect srv in
+      Client.send f (P.Simple "INSERT INTO t VALUES (2)");
+      Client.flush f;
+      wait_until "follower enqueued" (fun () ->
+          (Engine.group_commit_stats eng).Engine.enqueued - s0.Engine.enqueued
+          = 2);
+      (* ... and vanishes before its ack can be delivered *)
+      Client.abandon f;
+      gate_release g;
+      Alcotest.(check bool) "leader acked" true (Domain.join leader);
+      Rss.Wal.set_flush_hook wal None;
+      (* the follower's enqueued commit stands; the dead socket only killed
+         the reply. The server keeps serving, and no lock is stranded: a new
+         session can write the same table immediately. *)
+      let c = connect srv in
+      let r = Client.ok (Client.simple c "SELECT a FROM t") in
+      Alcotest.check msv "both commits durable and visible"
+        (multiset [ [| V.Int 1 |]; [| V.Int 2 |] ])
+        (rows_ms r);
+      let r = Client.ok (Client.simple c "INSERT INTO t VALUES (3)") in
+      Alcotest.(check string) "no stranded locks" "1 row inserted" r.Client.tag;
+      wait_until "all tickets durable" (fun () ->
+          let s = Engine.group_commit_stats eng in
+          s.Engine.durable_ticket = s.Engine.enqueued);
+      Client.close c)
+
+(* A leader whose fsync fails must not strand its followers: the exception
+   releases leadership, a parked follower takes over and retries the
+   still-buffered batch. The failed leader's client gets a commit-uncertain
+   error ("not durable"); the follower's commit — and, via the retried batch,
+   the leader's record too — become durable. *)
+let test_leader_failure_does_not_strand_followers () =
+  with_server ~seed:"CREATE TABLE t (a INT);" (fun db srv ->
+      let eng = Database.engine db in
+      let wal = Database.wal db in
+      let s0 = Engine.group_commit_stats eng in
+      let g = flush_gate () in
+      let failed_once = ref false in
+      (* gate so both writers are in the window, then fail the first sync *)
+      Rss.Wal.set_flush_hook wal
+        (Some
+           (fun () ->
+             gate_hook g ();
+             let first =
+               Mutex.lock g.g_m;
+               let f = not !failed_once in
+               failed_once := true;
+               Mutex.unlock g.g_m;
+               f
+             in
+             if first then failwith "injected fsync failure"));
+      let writers =
+        Array.init 2 (fun i ->
+            Domain.spawn (fun () ->
+                let c = connect srv in
+                let r =
+                  Client.simple c (Printf.sprintf "INSERT INTO t VALUES (%d)" i)
+                in
+                (* the connection survives its statement's error *)
+                let alive =
+                  (Client.simple c "SELECT a FROM t").Client.error = None
+                in
+                Client.close c;
+                (r.Client.error, alive)))
+      in
+      gate_await_entered g;
+      wait_until "both writers enqueued" (fun () ->
+          (Engine.group_commit_stats eng).Engine.enqueued - s0.Engine.enqueued
+          = 2);
+      gate_release g;
+      let replies = Array.to_list (Array.map Domain.join writers) in
+      Rss.Wal.set_flush_hook wal None;
+      List.iter
+        (fun (_, alive) ->
+          Alcotest.(check bool) "connection survived" true alive)
+        replies;
+      (match List.filter_map fst replies with
+       | [ e ] ->
+         Alcotest.(check bool) "leader reports commit-uncertain" true
+           (contains e "not durable")
+       | errs ->
+         Alcotest.failf "expected exactly one failed ack, got %d"
+           (List.length errs));
+      (* the takeover retried the whole batch: every ticket is durable *)
+      let s1 = Engine.group_commit_stats eng in
+      Alcotest.(check int) "no ticket stranded" s1.Engine.enqueued
+        s1.Engine.durable_ticket;
+      let c = connect srv in
+      let r = Client.ok (Client.simple c "SELECT a FROM t") in
+      Alcotest.check msv "both commits present after the retried batch"
+        (multiset [ [| V.Int 0 |]; [| V.Int 1 |] ])
+        (rows_ms r);
+      Client.close c)
 
 (* --- prepared-statement invalidation across sessions ----------------------- *)
 
@@ -611,6 +808,13 @@ let () =
             `Quick test_snapshot_save_on_shared_engine;
           Alcotest.test_case "deadlock victim errors, survivor proceeds" `Quick
             test_deadlock_victim ] );
+      ( "group commit",
+        [ Alcotest.test_case "acks release only after durability" `Quick
+            test_acks_only_after_durability;
+          Alcotest.test_case "follower disconnect mid-window is clean" `Quick
+            test_follower_disconnect_mid_window;
+          Alcotest.test_case "leader failure does not strand followers" `Quick
+            test_leader_failure_does_not_strand_followers ] );
       ( "sessions",
         [ Alcotest.test_case "counters fold at close" `Quick
             test_session_counters_fold ] );

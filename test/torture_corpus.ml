@@ -2,8 +2,10 @@
    deep scenarios so `dune runtest` exercises them deterministically, without
    the full randomized sweep of torture_main:
 
-   - a torn-tail sweep over every byte offset of the final WAL record for
-     every wal.append crash point;
+   - a crash at every wal.append point (an unflushed suffix dies whole:
+     appends only buffer, so nothing tears);
+   - a torn-tail sweep over every byte offset of a multi-commit group-flush
+     batch, with the per-acknowledged-commit oracle;
    - a crash during buffer-pool eviction (2-page pool);
    - a transaction aborted before the crash (its undo must stay invisible
      to recovery);
@@ -61,28 +63,81 @@ let w_torn =
               FT.Del ("t0", Some ("c0", V.Int 2)) ],
             `Commit ) ] }
 
-let test_torn_tail_every_offset () =
+let test_append_crash_loses_unflushed_suffix () =
   let total = count_hits w_torn "wal.append" in
   Alcotest.(check bool) "workload reaches wal.append" true (total > 0);
+  for k = 1 to total do
+    let fired, bytes, torn = FT.crash_run w_torn ~site:"wal.append" ~at:k in
+    Alcotest.(check bool) "crash fired" true fired;
+    Alcotest.(check int) "appends only buffer: nothing tears" 0 torn;
+    check_none
+      (Printf.sprintf "append crash, hit %d" k)
+      (FT.check_recovery w_torn.FT.scenario bytes ~site:"wal.append" ~hit:k
+         ~torn:0)
+  done
+
+(* --- torn group-flush batch ---------------------------------------------- *)
+
+(* Two sessions, disjoint tables, both commits closed by one explicit flush:
+   the batch holds both transactions' records, and the crash-at-flush sweep
+   tears it at every byte offset. The acked oracle must hold on every image:
+   a commit acknowledged before the crash survives recovery; a torn batch
+   loses only unacknowledged suffix commits. *)
+let w_batch =
+  { FT.ms_scenario = scenario;
+    nsessions = 2;
+    items =
+      [ FT.S_begin 0;
+        FT.S_begin 1;
+        FT.S_dml (0, FT.Ins ("t0", [ [ V.Int 5; V.Str "d" ] ]));
+        FT.S_dml (1, FT.Ins ("t1", [ [ V.Int 9; V.Int 81 ]; [ V.Int 10; V.Int 100 ] ]));
+        FT.S_commit 0;
+        FT.S_commit 1;
+        FT.S_flush ] }
+
+let test_group_batch_torn_every_offset () =
+  (* counting pass: one window closes over both commits *)
+  let db = FT.build_db ~data:true w_batch.FT.ms_scenario in
+  F.count_only ();
+  let acked = ref [] in
+  FT.run_ms db w_batch ~acked;
+  F.disarm ();
+  let total = F.hits "wal.group_flush" in
+  F.reset ();
+  Alcotest.(check int) "both commits share one flush" 1 total;
+  Alcotest.(check int) "that flush acknowledged both" 2 (List.length !acked);
   let images = ref 0 in
   for k = 1 to total do
-    let fired, bytes, last = FT.crash_run w_torn ~site:"wal.append" ~at:k in
-    Alcotest.(check bool) "crash fired" true fired;
-    let rlen =
-      match last with
-      | Some r -> min (String.length (W.encode r)) (String.length bytes)
-      | None -> 0
+    let fired, bytes, torn, acked =
+      FT.crash_run_ms w_batch ~site:"wal.group_flush" ~at:k
     in
-    for j = 0 to rlen do
+    Alcotest.(check bool) "crash fired" true fired;
+    Alcotest.(check bool)
+      "batch spans more than one commit record" true
+      (torn > String.length (W.encode (W.Commit 1)));
+    for j = 0 to torn do
       incr images;
+      let surviving = String.sub bytes 0 (String.length bytes - j) in
       check_none
-        (Printf.sprintf "hit %d, torn %d" k j)
-        (FT.check_recovery w_torn.FT.scenario
-           (String.sub bytes 0 (String.length bytes - j))
-           ~site:"wal.append" ~hit:k ~torn:j)
+        (Printf.sprintf "acked oracle, hit %d, torn %d" k j)
+        (FT.check_acked surviving acked ~site:"wal.group_flush" ~hit:k ~torn:j);
+      check_none
+        (Printf.sprintf "recovery, hit %d, torn %d" k j)
+        (FT.check_recovery w_batch.FT.ms_scenario surviving
+           ~site:"wal.group_flush" ~hit:k ~torn:j)
     done
   done;
-  Alcotest.(check bool) "swept many torn images" true (!images > 50)
+  Alcotest.(check bool) "swept many torn images" true (!images > 40)
+
+(* Full multi-session torture (counting, clean, every crash site, acked
+   oracle) over a small random-but-fixed interleaving. *)
+let test_ms_torture_fixed_seed () =
+  let rng = Random.State.make [| 0xb42c |] in
+  let w = FT.gen_ms_workload rng in
+  let points, flush_points, div = FT.torture_ms ~crash_every:3 w in
+  check_none "multi-session torture" div;
+  Alcotest.(check bool) "covered crash points" true (points > 50);
+  Alcotest.(check bool) "covered group-flush tears" true (flush_points > 0)
 
 (* --- crash during buffer-pool eviction ----------------------------------- *)
 
@@ -173,8 +228,12 @@ let test_injected_commit_filter_fault_is_caught () =
 let () =
   Alcotest.run "torture_corpus"
     [ ( "corpus",
-        [ Alcotest.test_case "torn tail at every offset" `Quick
-            test_torn_tail_every_offset;
+        [ Alcotest.test_case "append crash loses unflushed suffix" `Quick
+            test_append_crash_loses_unflushed_suffix;
+          Alcotest.test_case "group batch torn at every offset" `Quick
+            test_group_batch_torn_every_offset;
+          Alcotest.test_case "multi-session torture, fixed seed" `Quick
+            test_ms_torture_fixed_seed;
           Alcotest.test_case "crash during eviction" `Quick
             test_crash_during_eviction;
           Alcotest.test_case "abort then crash" `Quick test_abort_then_crash;

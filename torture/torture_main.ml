@@ -1,17 +1,25 @@
 (* Crash-recovery torture entry point.
 
-     torture_main --seed 42 --count 20 [--crash-every 1] [--max-shrink 200]
-                  [--break-commit-filter]
+     torture_main --seed 42 --count 20 [--ms-count 20] [--crash-every 1]
+                  [--max-shrink 200] [--break-commit-filter]
 
    Each iteration derives an independent RNG from (seed + i), generates a
    schema + data + multi-transaction DML workload, and tortures it
    (Fuzz_torture.torture): one counting pass enumerates every failpoint hit,
    then the workload is re-run once per enumerated crash point with that
-   point armed; every surviving WAL image (including a torn-tail sweep over
-   the final record for wal.append crashes) is recovered into a fresh
-   database and compared against the committed-prefix oracle. On the first
-   divergence the workload is shrunk and printed as a paste-ready script and
-   the process exits 1.
+   point armed; every surviving WAL image is recovered into a fresh database
+   and compared against the committed-prefix oracle.
+
+   The second sweep (--ms-count iterations) generates *multi-session*
+   interleaved histories (Fuzz_torture.gen_ms_workload) and tortures them
+   under group commit: several sessions of one engine commit into shared
+   flush windows, crashes are armed at wal.group_flush (among every other
+   site), the surviving batch is torn at every byte offset, and each image is
+   additionally checked against the per-acknowledged-commit oracle — every
+   commit whose group flush returned before the crash must survive recovery.
+
+   On the first divergence the workload is shrunk and printed as a
+   paste-ready script and the process exits 1.
 
    With --break-commit-filter, recovery's committed-transactions filter is
    disabled (Rss.Recovery.set_commit_filter false) — a deliberately broken
@@ -22,12 +30,15 @@
 let () =
   let seed = ref 42 in
   let count = ref 20 in
+  let ms_count = ref (-1) in
   let crash_every = ref 1 in
   let max_shrink = ref 200 in
   let break_commit_filter = ref false in
   let specs =
     [ ("--seed", Arg.Set_int seed, "RNG seed (default 42)");
-      ("--count", Arg.Set_int count, "workloads (default 20)");
+      ("--count", Arg.Set_int count, "single-session workloads (default 20)");
+      ("--ms-count", Arg.Set_int ms_count,
+       "multi-session group-commit workloads (default: same as --count)");
       ("--crash-every", Arg.Set_int crash_every,
        "crash at every Nth hit of each site (default 1: every hit)");
       ("--max-shrink", Arg.Set_int max_shrink,
@@ -37,12 +48,13 @@ let () =
   in
   Arg.parse specs
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "torture_main [--seed N] [--count N] [--crash-every N] [--max-shrink N] \
-     [--break-commit-filter]";
+    "torture_main [--seed N] [--count N] [--ms-count N] [--crash-every N] \
+     [--max-shrink N] [--break-commit-filter]";
   if !crash_every < 1 then begin
     prerr_endline "--crash-every must be >= 1";
     exit 2
   end;
+  if !ms_count < 0 then ms_count := !count;
   let broken = !break_commit_filter in
   if broken then Rss.Recovery.set_commit_filter false;
   Fun.protect
@@ -50,7 +62,9 @@ let () =
     (fun () ->
       let workloads = ref 0 in
       let total_points = ref 0 in
+      let flush_points = ref 0 in
       let found = ref None in
+      (* single-session sweep *)
       (try
          for i = 0 to !count - 1 do
            let rng = Workload.rand_init (!seed + i) in
@@ -61,12 +75,29 @@ let () =
            match div with
            | None -> ()
            | Some d ->
-             found := Some (i, w, d);
+             found := Some (i, `Single w, d);
+             raise Exit
+         done;
+         (* multi-session group-commit sweep *)
+         for i = 0 to !ms_count - 1 do
+           let rng = Workload.rand_init (!seed + 100_000 + i) in
+           let w = Fuzz_torture.gen_ms_workload rng in
+           incr workloads;
+           let points, fpoints, div =
+             Fuzz_torture.torture_ms ~crash_every:!crash_every w
+           in
+           total_points := !total_points + points;
+           flush_points := !flush_points + fpoints;
+           match div with
+           | None -> ()
+           | Some d ->
+             found := Some (i, `Multi w, d);
              raise Exit
          done
        with Exit -> ());
-      Printf.printf "workloads=%d crash-points=%d crash-every=%d\n" !workloads
-        !total_points !crash_every;
+      Printf.printf
+        "workloads=%d crash-points=%d group-flush-images=%d crash-every=%d\n"
+        !workloads !total_points !flush_points !crash_every;
       match (broken, !found) with
       | true, Some (_, _, d) ->
         (* the fault was planted on purpose; detecting it is the pass *)
@@ -80,15 +111,32 @@ let () =
       | false, Some (i, w, d) ->
         Printf.printf "iteration %d: DIVERGENCE\n%s\n" i
           (Format.asprintf "%a" Fuzz_torture.pp_divergence d);
-        let w', steps =
-          Fuzz_torture.shrink ~crash_every:!crash_every
-            ~max_steps:!max_shrink w
-        in
-        Printf.printf "shrunk in %d steps to:\n\n%s\n" steps
-          (Fuzz_torture.reproducer w');
-        (match snd (Fuzz_torture.torture ~crash_every:!crash_every w') with
-         | Some d' ->
-           Printf.printf "%s\n" (Format.asprintf "%a" Fuzz_torture.pp_divergence d')
-         | None -> ());
+        (match w with
+         | `Single w ->
+           let w', steps =
+             Fuzz_torture.shrink ~crash_every:!crash_every
+               ~max_steps:!max_shrink w
+           in
+           Printf.printf "shrunk in %d steps to:\n\n%s\n" steps
+             (Fuzz_torture.reproducer w');
+           (match snd (Fuzz_torture.torture ~crash_every:!crash_every w') with
+            | Some d' ->
+              Printf.printf "%s\n"
+                (Format.asprintf "%a" Fuzz_torture.pp_divergence d')
+            | None -> ())
+         | `Multi w ->
+           let w', steps =
+             Fuzz_torture.shrink_ms ~crash_every:!crash_every
+               ~max_steps:!max_shrink w
+           in
+           Printf.printf "shrunk in %d steps to:\n\n%s\n" steps
+             (Fuzz_torture.ms_reproducer w');
+           (match
+              Fuzz_torture.torture_ms ~crash_every:!crash_every w'
+            with
+            | _, _, Some d' ->
+              Printf.printf "%s\n"
+                (Format.asprintf "%a" Fuzz_torture.pp_divergence d')
+            | _ -> ()));
         exit 1
       | false, None -> Printf.printf "no divergences\n")
